@@ -1,0 +1,136 @@
+//! Geometry of the processing-element array.
+
+use crate::error::SimError;
+
+/// Geometry of the 2-D PE array.
+///
+/// The READ paper evaluates a 16x4 output-stationary systolic array; other
+/// geometries are used by the ablation benches.  `rows` corresponds to the
+/// paper's `Ar` (parallel output pixels) and `cols` to `Ac` (parallel output
+/// channels).
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::ArrayConfig;
+///
+/// let array = ArrayConfig::paper_default();
+/// assert_eq!(array.rows(), 16);
+/// assert_eq!(array.cols(), 4);
+/// assert_eq!(array.pe_count(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayConfig {
+    rows: usize,
+    cols: usize,
+}
+
+impl ArrayConfig {
+    /// Creates an array geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; use [`ArrayConfig::try_new`] for a
+    /// fallible constructor.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::try_new(rows, cols).expect("array dimensions must be non-zero")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyDimension`] if either dimension is zero.
+    pub fn try_new(rows: usize, cols: usize) -> Result<Self, SimError> {
+        if rows == 0 {
+            return Err(SimError::EmptyDimension { what: "array rows" });
+        }
+        if cols == 0 {
+            return Err(SimError::EmptyDimension { what: "array cols" });
+        }
+        Ok(ArrayConfig { rows, cols })
+    }
+
+    /// The 16x4 output-stationary array evaluated in the paper.
+    pub fn paper_default() -> Self {
+        ArrayConfig { rows: 16, cols: 4 }
+    }
+
+    /// Number of array rows (`Ar`, parallel output pixels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of array columns (`Ac`, parallel output channels).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of column tiles needed to cover `k` output channels.
+    pub fn col_tiles(&self, k: usize) -> usize {
+        k.div_ceil(self.cols)
+    }
+
+    /// Number of row tiles needed to cover `m` output pixels.
+    pub fn row_tiles(&self, m: usize) -> usize {
+        m.div_ceil(self.rows)
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl std::fmt::Display for ArrayConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{} PE array", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let a = ArrayConfig::paper_default();
+        assert_eq!((a.rows(), a.cols()), (16, 4));
+        assert_eq!(a, ArrayConfig::default());
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(ArrayConfig::try_new(0, 4).is_err());
+        assert!(ArrayConfig::try_new(4, 0).is_err());
+        assert!(ArrayConfig::try_new(1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn new_panics_on_zero() {
+        let _ = ArrayConfig::new(0, 1);
+    }
+
+    #[test]
+    fn tiling_counts() {
+        let a = ArrayConfig::new(16, 4);
+        assert_eq!(a.col_tiles(4), 1);
+        assert_eq!(a.col_tiles(5), 2);
+        assert_eq!(a.col_tiles(64), 16);
+        assert_eq!(a.row_tiles(16), 1);
+        assert_eq!(a.row_tiles(17), 2);
+        assert_eq!(a.row_tiles(1), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArrayConfig::new(8, 2).to_string(), "8x2 PE array");
+    }
+}

@@ -1,0 +1,386 @@
+//! Convolution shapes and the im2col lowering onto a GEMM.
+
+use crate::error::SimError;
+use crate::matrix::Matrix;
+
+/// Shape of a 2-D convolution layer (NCHW input, `K` output channels,
+/// `Fx x Fy` filters).
+///
+/// Uses the paper's notation (Table II): `N, H, W, K` for the output batch,
+/// height, width and channels; `C, Fx, Fy` for the input channels and filter
+/// size.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::ConvShape;
+///
+/// let conv3x3 = ConvShape::new(1, 64, 32, 32, 128, 3, 3, 1, 1)?;
+/// assert_eq!(conv3x3.out_h(), 32);
+/// assert_eq!(conv3x3.reduction_len(), 64 * 9);
+/// assert_eq!(conv3x3.macs_per_output(), 576);
+/// # Ok::<(), accel_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels (`C`).
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels (`K`).
+    pub k: usize,
+    /// Filter height (`Fx`).
+    pub fx: usize,
+    /// Filter width (`Fy`).
+    pub fy: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvShape {
+    /// Creates and validates a convolution shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidShape`] if any dimension is zero, the
+    /// stride is zero, or the filter does not fit in the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        fx: usize,
+        fy: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, SimError> {
+        let shape = ConvShape {
+            n,
+            c,
+            h,
+            w,
+            k,
+            fx,
+            fy,
+            stride,
+            padding,
+        };
+        shape.validate()?;
+        Ok(shape)
+    }
+
+    /// Convenience constructor for a 1x1 convolution with stride 1 and no
+    /// padding (a plain matrix multiplication), the case used throughout the
+    /// paper's formulation section.
+    pub fn pointwise(n: usize, c: usize, h: usize, w: usize, k: usize) -> Self {
+        ConvShape {
+            n,
+            c,
+            h,
+            w,
+            k,
+            fx: 1,
+            fy: 1,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        for (name, v) in [
+            ("n", self.n),
+            ("c", self.c),
+            ("h", self.h),
+            ("w", self.w),
+            ("k", self.k),
+            ("fx", self.fx),
+            ("fy", self.fy),
+            ("stride", self.stride),
+        ] {
+            if v == 0 {
+                return Err(SimError::InvalidShape {
+                    reason: format!("dimension {name} must be non-zero"),
+                });
+            }
+        }
+        if self.fx > self.h + 2 * self.padding || self.fy > self.w + 2 * self.padding {
+            return Err(SimError::InvalidShape {
+                reason: format!(
+                    "filter {}x{} larger than padded input {}x{}",
+                    self.fx,
+                    self.fy,
+                    self.h + 2 * self.padding,
+                    self.w + 2 * self.padding
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.padding - self.fx) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.padding - self.fy) / self.stride + 1
+    }
+
+    /// Number of output pixels per image (`out_h * out_w`).
+    pub fn out_pixels(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Length of the GEMM reduction dimension (`C * Fx * Fy`).
+    pub fn reduction_len(&self) -> usize {
+        self.c * self.fx * self.fy
+    }
+
+    /// Number of MAC operations needed to compute a single output activation
+    /// (the `N` of the paper's Eq. (1)).
+    pub fn macs_per_output(&self) -> usize {
+        self.reduction_len()
+    }
+
+    /// Total MAC operations for the whole layer.
+    pub fn total_macs(&self) -> usize {
+        self.n * self.k * self.out_pixels() * self.reduction_len()
+    }
+
+    /// Shape of the lowered weight matrix: `reduction_len x K`.
+    pub fn weight_matrix_dims(&self) -> (usize, usize) {
+        (self.reduction_len(), self.k)
+    }
+
+    /// Shape of the lowered activation matrix: `reduction_len x (N * out_pixels)`.
+    pub fn activation_matrix_dims(&self) -> (usize, usize) {
+        (self.reduction_len(), self.n * self.out_pixels())
+    }
+}
+
+impl std::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conv {}x{}x{}x{} -> {} ch, {}x{} filter, stride {}, pad {}",
+            self.n, self.c, self.h, self.w, self.k, self.fx, self.fy, self.stride, self.padding
+        )
+    }
+}
+
+/// Lowers an NCHW activation tensor (given as a flat slice) into the im2col
+/// activation matrix of shape `reduction_len x (N * out_pixels)` expected by
+/// [`crate::GemmProblem`].
+///
+/// The reduction dimension is ordered `(c, fx, fy)` — channel-major — so that
+/// row `c * Fx * Fy + fx * Fy + fy` of the matrix corresponds to input
+/// channel `c` at filter offset `(fx, fy)`.  This matches the weight-matrix
+/// layout produced by [`weights_to_matrix`], and means an input-channel
+/// reorder is a row permutation on both matrices.
+///
+/// # Errors
+///
+/// Returns [`SimError::DimensionMismatch`] if `input.len()` does not equal
+/// `n * c * h * w`.
+pub fn im2col(shape: &ConvShape, input: &[i8]) -> Result<Matrix<i8>, SimError> {
+    let expected = shape.n * shape.c * shape.h * shape.w;
+    if input.len() != expected {
+        return Err(SimError::DimensionMismatch {
+            what: "im2col input length",
+            left: input.len(),
+            right: expected,
+        });
+    }
+    let out_h = shape.out_h();
+    let out_w = shape.out_w();
+    let cols = shape.n * out_h * out_w;
+    let rows = shape.reduction_len();
+    let mut out = Matrix::zeros(rows, cols);
+    for n in 0..shape.n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let col = n * out_h * out_w + oy * out_w + ox;
+                for c in 0..shape.c {
+                    for fx in 0..shape.fx {
+                        for fy in 0..shape.fy {
+                            let iy = (oy * shape.stride + fx) as isize - shape.padding as isize;
+                            let ix = (ox * shape.stride + fy) as isize - shape.padding as isize;
+                            let row = c * shape.fx * shape.fy + fx * shape.fy + fy;
+                            let v = if iy < 0
+                                || ix < 0
+                                || iy >= shape.h as isize
+                                || ix >= shape.w as isize
+                            {
+                                0
+                            } else {
+                                input[((n * shape.c + c) * shape.h + iy as usize) * shape.w
+                                    + ix as usize]
+                            };
+                            out[(row, col)] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lowers a KCHW weight tensor (output-channel major, given as a flat slice)
+/// into the `reduction_len x K` weight matrix expected by
+/// [`crate::GemmProblem`].
+///
+/// # Errors
+///
+/// Returns [`SimError::DimensionMismatch`] if `weights.len()` does not equal
+/// `k * c * fx * fy`.
+pub fn weights_to_matrix(shape: &ConvShape, weights: &[i8]) -> Result<Matrix<i8>, SimError> {
+    let expected = shape.k * shape.c * shape.fx * shape.fy;
+    if weights.len() != expected {
+        return Err(SimError::DimensionMismatch {
+            what: "weight tensor length",
+            left: weights.len(),
+            right: expected,
+        });
+    }
+    let rows = shape.reduction_len();
+    let out = Matrix::from_fn(rows, shape.k, |r, k| {
+        // r = c * Fx * Fy + fx * Fy + fy ; the KCHW tensor is indexed
+        // [k][c][fx][fy].
+        weights[k * rows + r]
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_with_padding() {
+        let s = ConvShape::new(1, 3, 32, 32, 64, 3, 3, 1, 1).unwrap();
+        assert_eq!(s.out_h(), 32);
+        assert_eq!(s.out_w(), 32);
+        assert_eq!(s.reduction_len(), 27);
+        assert_eq!(s.total_macs(), 64 * 32 * 32 * 27);
+    }
+
+    #[test]
+    fn output_dims_with_stride() {
+        let s = ConvShape::new(1, 16, 8, 8, 32, 3, 3, 2, 1).unwrap();
+        assert_eq!(s.out_h(), 4);
+        assert_eq!(s.out_w(), 4);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(ConvShape::new(1, 0, 8, 8, 8, 1, 1, 1, 0).is_err());
+        assert!(ConvShape::new(1, 3, 2, 2, 8, 5, 5, 1, 0).is_err());
+        assert!(ConvShape::new(1, 3, 8, 8, 8, 3, 3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn pointwise_matches_matrix_dims() {
+        let s = ConvShape::pointwise(2, 16, 4, 4, 8);
+        assert_eq!(s.weight_matrix_dims(), (16, 8));
+        assert_eq!(s.activation_matrix_dims(), (16, 2 * 16));
+        assert_eq!(s.macs_per_output(), 16);
+    }
+
+    #[test]
+    fn im2col_identity_for_pointwise() {
+        let s = ConvShape::pointwise(1, 3, 2, 2, 5);
+        // input[c][y][x] = c * 10 + y * 2 + x
+        let input: Vec<i8> = (0..3)
+            .flat_map(|c| (0..4).map(move |i| (c * 10 + i) as i8))
+            .collect();
+        let m = im2col(&s, &input).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        // column = pixel index, row = channel
+        assert_eq!(m[(0, 0)], 0);
+        assert_eq!(m[(1, 3)], 13);
+        assert_eq!(m[(2, 2)], 22);
+    }
+
+    #[test]
+    fn im2col_padding_inserts_zeros() {
+        let s = ConvShape::new(1, 1, 2, 2, 1, 3, 3, 1, 1).unwrap();
+        let input: Vec<i8> = vec![1, 2, 3, 4];
+        let m = im2col(&s, &input).unwrap();
+        assert_eq!(m.rows(), 9);
+        assert_eq!(m.cols(), 4);
+        // For output (0,0) the filter is centred on input (0,0): the top-left
+        // taps fall in the padding and must be zero; the centre tap is 1.
+        assert_eq!(m[(0, 0)], 0);
+        assert_eq!(m[(4, 0)], 1);
+        // For output (1,1) the centre tap is input (1,1) = 4.
+        assert_eq!(m[(4, 3)], 4);
+    }
+
+    #[test]
+    fn im2col_length_check() {
+        let s = ConvShape::pointwise(1, 3, 2, 2, 5);
+        assert!(im2col(&s, &[0i8; 11]).is_err());
+    }
+
+    #[test]
+    fn weights_to_matrix_layout() {
+        let s = ConvShape::new(1, 2, 4, 4, 3, 1, 1, 1, 0).unwrap();
+        // KCHW layout, k-major: w[k][c] = 10*k + c
+        let w: Vec<i8> = (0..3).flat_map(|k| (0..2).map(move |c| (10 * k + c) as i8)).collect();
+        let m = weights_to_matrix(&s, &w).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 0);
+        assert_eq!(m[(1, 0)], 1);
+        assert_eq!(m[(0, 2)], 20);
+        assert!(weights_to_matrix(&s, &[0i8; 5]).is_err());
+    }
+
+    #[test]
+    fn conv_via_gemm_matches_naive() {
+        // Cross-check the im2col + GEMM path against a naive convolution.
+        let s = ConvShape::new(1, 2, 4, 4, 3, 3, 3, 1, 1).unwrap();
+        let input: Vec<i8> = (0..(2 * 4 * 4)).map(|i| ((i * 7) % 11) as i8 - 5).collect();
+        let weights: Vec<i8> = (0..(3 * 2 * 3 * 3)).map(|i| ((i * 5) % 7) as i8 - 3).collect();
+
+        let wm = weights_to_matrix(&s, &weights).unwrap();
+        let am = im2col(&s, &input).unwrap();
+        let gemm = wm.gemm_reference(&am).unwrap();
+
+        // naive conv
+        for k in 0..s.k {
+            for oy in 0..s.out_h() {
+                for ox in 0..s.out_w() {
+                    let mut acc = 0i32;
+                    for c in 0..s.c {
+                        for fx in 0..s.fx {
+                            for fy in 0..s.fy {
+                                let iy = (oy + fx) as isize - 1;
+                                let ix = (ox + fy) as isize - 1;
+                                if iy < 0 || ix < 0 || iy >= 4 || ix >= 4 {
+                                    continue;
+                                }
+                                let a = input[(c * 4 + iy as usize) * 4 + ix as usize];
+                                let w = weights[((k * s.c + c) * 3 + fx) * 3 + fy];
+                                acc += i32::from(a) * i32::from(w);
+                            }
+                        }
+                    }
+                    let col = oy * s.out_w() + ox;
+                    assert_eq!(gemm[(k, col)], acc, "mismatch at k={k} oy={oy} ox={ox}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Dataflow styles supported by the simulator.
+
+/// The processing dataflow that maps a GEMM onto the PE array.
+///
+/// The dataflow dictates what data is held stationary in each processing
+/// element and therefore in which order the reduction dimension is visited
+/// when accumulating a single output value (see Fig. 1 of the READ paper).
+///
+/// * [`Dataflow::OutputStationary`] — each PE owns one output element and
+///   performs its entire reduction locally.  The reduction order is exactly
+///   the (possibly re-ordered) input-channel sequence, which is what READ
+///   optimizes.
+/// * [`Dataflow::WeightStationary`] — weights are pinned to PEs; partial sums
+///   flow through the array.  The reduction is split into row-tiles of the
+///   array: within a tile the accumulation order follows the physical row
+///   order, and partial results are spilled to and reloaded from the buffer
+///   between tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Dataflow {
+    /// Output-stationary systolic dataflow (the paper's primary target).
+    #[default]
+    OutputStationary,
+    /// Weight-stationary systolic dataflow.
+    WeightStationary,
+}
+
+impl Dataflow {
+    /// All dataflows implemented by the simulator.
+    pub const ALL: [Dataflow; 2] = [Dataflow::OutputStationary, Dataflow::WeightStationary];
+
+    /// Short human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataflow::OutputStationary => "output-stationary",
+            Dataflow::WeightStationary => "weight-stationary",
+        }
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_output_stationary() {
+        assert_eq!(Dataflow::default(), Dataflow::OutputStationary);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = Dataflow::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+        assert_eq!(Dataflow::OutputStationary.to_string(), "output-stationary");
+    }
+}

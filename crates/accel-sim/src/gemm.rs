@@ -1,0 +1,497 @@
+//! The GEMM problem a layer lowers to, and its execution on the PE array
+//! under a chosen dataflow and compute schedule.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::array::ArrayConfig;
+use crate::dataflow::Dataflow;
+use crate::error::SimError;
+use crate::mac::MacUnit;
+use crate::matrix::Matrix;
+use crate::schedule::ComputeSchedule;
+use crate::trace::{CycleContext, CycleObserver};
+
+/// Controls how much of a layer is simulated.
+///
+/// Timing-error rates are *rates*, so for large layers the simulator can
+/// Monte-Carlo sample a subset of output pixels instead of simulating every
+/// MAC in the layer.  Sampling is deterministic for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimOptions {
+    /// Maximum number of output pixels (columns of the activation matrix) to
+    /// simulate.  `None` simulates all of them.
+    pub max_pixels: Option<usize>,
+    /// Seed for the pixel-sampling RNG.
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_pixels: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Simulate every output pixel.
+    pub fn exhaustive() -> Self {
+        Self::default()
+    }
+
+    /// Simulate at most `max_pixels` output pixels, sampled uniformly with
+    /// the given seed.
+    pub fn sampled(max_pixels: usize, seed: u64) -> Self {
+        SimOptions {
+            max_pixels: Some(max_pixels),
+            seed,
+        }
+    }
+}
+
+/// Result of executing a GEMM on the array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Output matrix (`K x M`).  Only the simulated pixels are filled in;
+    /// un-simulated pixels (when sampling) are zero.
+    pub outputs: Matrix<i32>,
+    /// Indices of the output pixels that were simulated.
+    pub simulated_pixels: Vec<usize>,
+    /// Total number of MAC cycles issued.
+    pub total_cycles: u64,
+}
+
+/// A layer lowered to the `out[k][m] = Σ_r W[r][k] * A[r][m]` GEMM form.
+///
+/// `W` is the `R x K` weight matrix (reduction rows x output channels) and
+/// `A` the `R x M` activation matrix (reduction rows x output pixels).
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::{ArrayConfig, ComputeSchedule, Dataflow, GemmProblem, Matrix, SignFlipStats, SimOptions};
+///
+/// # fn main() -> Result<(), accel_sim::SimError> {
+/// let w = Matrix::from_fn(6, 2, |r, c| (r as i8) - 3 + c as i8);
+/// let a = Matrix::from_fn(6, 5, |r, c| ((r + c) % 3) as i8);
+/// let problem = GemmProblem::new(w, a)?;
+/// let mut stats = SignFlipStats::new();
+/// let result = problem.simulate(
+///     &ArrayConfig::new(4, 2),
+///     Dataflow::OutputStationary,
+///     &SimOptions::exhaustive(),
+///     &mut stats,
+/// )?;
+/// assert_eq!(result.outputs, problem.reference_output()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmProblem {
+    weights: Matrix<i8>,
+    activations: Matrix<i8>,
+}
+
+impl GemmProblem {
+    /// Creates a GEMM problem from a weight matrix (`R x K`) and an
+    /// activation matrix (`R x M`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the reduction dimensions
+    /// differ, or [`SimError::EmptyDimension`] if any dimension is zero.
+    pub fn new(weights: Matrix<i8>, activations: Matrix<i8>) -> Result<Self, SimError> {
+        if weights.rows() != activations.rows() {
+            return Err(SimError::DimensionMismatch {
+                what: "reduction length",
+                left: weights.rows(),
+                right: activations.rows(),
+            });
+        }
+        if weights.rows() == 0 {
+            return Err(SimError::EmptyDimension {
+                what: "reduction length",
+            });
+        }
+        if weights.cols() == 0 {
+            return Err(SimError::EmptyDimension {
+                what: "output channels",
+            });
+        }
+        if activations.cols() == 0 {
+            return Err(SimError::EmptyDimension {
+                what: "output pixels",
+            });
+        }
+        Ok(GemmProblem {
+            weights,
+            activations,
+        })
+    }
+
+    /// The weight matrix (`R x K`).
+    pub fn weights(&self) -> &Matrix<i8> {
+        &self.weights
+    }
+
+    /// The activation matrix (`R x M`).
+    pub fn activations(&self) -> &Matrix<i8> {
+        &self.activations
+    }
+
+    /// Length of the reduction dimension `R`.
+    pub fn reduction_len(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of output channels `K`.
+    pub fn num_channels(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of output pixels `M`.
+    pub fn num_pixels(&self) -> usize {
+        self.activations.cols()
+    }
+
+    /// The order-independent reference output, computed directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the underlying matrices (cannot
+    /// occur for a validated problem).
+    pub fn reference_output(&self) -> Result<Matrix<i32>, SimError> {
+        self.weights.gemm_reference(&self.activations)
+    }
+
+    /// Executes the GEMM with the baseline schedule for the given array.
+    ///
+    /// # Errors
+    ///
+    /// See [`GemmProblem::simulate_with_schedule`].
+    pub fn simulate<O: CycleObserver + ?Sized>(
+        &self,
+        array: &ArrayConfig,
+        dataflow: Dataflow,
+        options: &SimOptions,
+        observer: &mut O,
+    ) -> Result<SimResult, SimError> {
+        let schedule =
+            ComputeSchedule::baseline(self.reduction_len(), self.num_channels(), array.cols());
+        self.simulate_with_schedule(array, dataflow, &schedule, options, observer)
+    }
+
+    /// Executes the GEMM under an explicit compute schedule (e.g. one
+    /// produced by the READ optimizer), streaming every MAC cycle to the
+    /// observer.
+    ///
+    /// The functional result is independent of the schedule; only the cycle
+    /// statistics change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSchedule`] if the schedule does not cover
+    /// the problem's channels or reorders a non-existent row.
+    pub fn simulate_with_schedule<O: CycleObserver + ?Sized>(
+        &self,
+        array: &ArrayConfig,
+        dataflow: Dataflow,
+        schedule: &ComputeSchedule,
+        options: &SimOptions,
+        observer: &mut O,
+    ) -> Result<SimResult, SimError> {
+        schedule.validate(self.reduction_len(), self.num_channels())?;
+        let pixels = self.select_pixels(options);
+        let mut outputs = Matrix::zeros(self.num_channels(), self.num_pixels());
+        let mut total_cycles = 0u64;
+
+        match dataflow {
+            Dataflow::OutputStationary => {
+                self.run_output_stationary(schedule, &pixels, observer, &mut outputs, &mut total_cycles);
+            }
+            Dataflow::WeightStationary => {
+                self.run_weight_stationary(
+                    array,
+                    schedule,
+                    &pixels,
+                    observer,
+                    &mut outputs,
+                    &mut total_cycles,
+                );
+            }
+        }
+
+        Ok(SimResult {
+            outputs,
+            simulated_pixels: pixels,
+            total_cycles,
+        })
+    }
+
+    fn select_pixels(&self, options: &SimOptions) -> Vec<usize> {
+        let m = self.num_pixels();
+        match options.max_pixels {
+            Some(max) if max < m => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed);
+                let mut all: Vec<usize> = (0..m).collect();
+                all.shuffle(&mut rng);
+                let mut chosen: Vec<usize> = all.into_iter().take(max).collect();
+                chosen.sort_unstable();
+                chosen
+            }
+            _ => (0..m).collect(),
+        }
+    }
+
+    fn run_output_stationary<O: CycleObserver + ?Sized>(
+        &self,
+        schedule: &ComputeSchedule,
+        pixels: &[usize],
+        observer: &mut O,
+        outputs: &mut Matrix<i32>,
+        total_cycles: &mut u64,
+    ) {
+        for (gi, group) in schedule.groups().iter().enumerate() {
+            for &pixel in pixels {
+                for &channel in &group.columns {
+                    let mut mac = MacUnit::new();
+                    let mut ctx = CycleContext {
+                        group: gi,
+                        channel,
+                        pixel,
+                        step: 0,
+                        reduction_index: 0,
+                    };
+                    for (step, &r) in group.row_order.iter().enumerate() {
+                        ctx.step = step;
+                        ctx.reduction_index = r;
+                        let cycle =
+                            mac.mac(self.weights[(r, channel)], self.activations[(r, pixel)]);
+                        observer.on_cycle(&ctx, &cycle);
+                        *total_cycles += 1;
+                    }
+                    outputs[(channel, pixel)] = mac.psum();
+                    observer.on_output_done(&ctx, mac.psum());
+                }
+            }
+        }
+    }
+
+    fn run_weight_stationary<O: CycleObserver + ?Sized>(
+        &self,
+        array: &ArrayConfig,
+        schedule: &ComputeSchedule,
+        pixels: &[usize],
+        observer: &mut O,
+        outputs: &mut Matrix<i32>,
+        total_cycles: &mut u64,
+    ) {
+        // Weight-stationary: the reduction dimension is tiled into groups of
+        // `array.rows()` weights that are pinned onto the array.  For every
+        // tile, all pixels stream through before the next tile is loaded, so
+        // one output's accumulation is interleaved with the other outputs
+        // and its partial value round-trips through the accumulation buffer.
+        for (gi, group) in schedule.groups().iter().enumerate() {
+            let mut psums: Vec<Vec<i32>> =
+                vec![vec![0i32; self.num_pixels()]; group.columns.len()];
+            for (tile_no, tile) in group.row_order.chunks(array.rows()).enumerate() {
+                for &pixel in pixels {
+                    for (ci, &channel) in group.columns.iter().enumerate() {
+                        let mut mac = MacUnit::new();
+                        mac.load(psums[ci][pixel]);
+                        let mut ctx = CycleContext {
+                            group: gi,
+                            channel,
+                            pixel,
+                            step: 0,
+                            reduction_index: 0,
+                        };
+                        for (i, &r) in tile.iter().enumerate() {
+                            ctx.step = tile_no * array.rows() + i;
+                            ctx.reduction_index = r;
+                            let cycle =
+                                mac.mac(self.weights[(r, channel)], self.activations[(r, pixel)]);
+                            observer.on_cycle(&ctx, &cycle);
+                            *total_cycles += 1;
+                        }
+                        psums[ci][pixel] = mac.psum();
+                        let is_last_tile = (tile_no + 1) * array.rows() >= group.row_order.len();
+                        if is_last_tile {
+                            outputs[(channel, pixel)] = mac.psum();
+                            observer.on_output_done(&ctx, mac.psum());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ColumnGroup;
+    use crate::trace::{NullObserver, SignFlipStats};
+
+    fn test_problem(r: usize, k: usize, m: usize) -> GemmProblem {
+        let w = Matrix::from_fn(r, k, |i, j| (((i * 7 + j * 13) % 15) as i8) - 7);
+        let a = Matrix::from_fn(r, m, |i, j| ((i * 5 + j * 3) % 8) as i8);
+        GemmProblem::new(w, a).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_dimensions() {
+        let w = Matrix::<i8>::zeros(4, 2);
+        let a = Matrix::<i8>::zeros(5, 3);
+        assert!(GemmProblem::new(w, a).is_err());
+        let w = Matrix::<i8>::zeros(0, 2);
+        let a = Matrix::<i8>::zeros(0, 3);
+        assert!(GemmProblem::new(w, a).is_err());
+    }
+
+    #[test]
+    fn output_stationary_matches_reference() {
+        let p = test_problem(20, 6, 9);
+        let mut obs = NullObserver;
+        let res = p
+            .simulate(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut obs,
+            )
+            .unwrap();
+        assert_eq!(res.outputs, p.reference_output().unwrap());
+        assert_eq!(res.total_cycles, 20 * 6 * 9);
+    }
+
+    #[test]
+    fn weight_stationary_matches_reference() {
+        let p = test_problem(20, 6, 9);
+        let mut obs = NullObserver;
+        let res = p
+            .simulate(
+                &ArrayConfig::new(4, 2),
+                Dataflow::WeightStationary,
+                &SimOptions::exhaustive(),
+                &mut obs,
+            )
+            .unwrap();
+        assert_eq!(res.outputs, p.reference_output().unwrap());
+        assert_eq!(res.total_cycles, 20 * 6 * 9);
+    }
+
+    #[test]
+    fn reordered_schedule_preserves_outputs() {
+        let p = test_problem(16, 4, 5);
+        // Reverse reduction order, reversed channel grouping.
+        let schedule = ComputeSchedule::new(vec![
+            ColumnGroup {
+                columns: vec![3, 1],
+                row_order: (0..16).rev().collect(),
+            },
+            ColumnGroup {
+                columns: vec![0, 2],
+                row_order: (0..16).collect(),
+            },
+        ]);
+        let mut obs = NullObserver;
+        let res = p
+            .simulate_with_schedule(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &schedule,
+                &SimOptions::exhaustive(),
+                &mut obs,
+            )
+            .unwrap();
+        assert_eq!(res.outputs, p.reference_output().unwrap());
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected() {
+        let p = test_problem(8, 4, 3);
+        let schedule = ComputeSchedule::new(vec![ColumnGroup::with_identity_order(vec![0, 1], 8)]);
+        let mut obs = NullObserver;
+        assert!(p
+            .simulate_with_schedule(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &schedule,
+                &SimOptions::exhaustive(),
+                &mut obs,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn sampling_reduces_simulated_pixels() {
+        let p = test_problem(8, 2, 50);
+        let mut obs = SignFlipStats::new();
+        let res = p
+            .simulate(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &SimOptions::sampled(10, 7),
+                &mut obs,
+            )
+            .unwrap();
+        assert_eq!(res.simulated_pixels.len(), 10);
+        assert_eq!(obs.total_macs, 8 * 2 * 10);
+        // Sampled pixels must match the reference at the simulated positions.
+        let reference = p.reference_output().unwrap();
+        for &m in &res.simulated_pixels {
+            for k in 0..p.num_channels() {
+                assert_eq!(res.outputs[(k, m)], reference[(k, m)]);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = test_problem(8, 2, 40);
+        let opts = SimOptions::sampled(5, 99);
+        let mut o1 = NullObserver;
+        let mut o2 = NullObserver;
+        let r1 = p
+            .simulate(&ArrayConfig::new(4, 2), Dataflow::OutputStationary, &opts, &mut o1)
+            .unwrap();
+        let r2 = p
+            .simulate(&ArrayConfig::new(4, 2), Dataflow::OutputStationary, &opts, &mut o2)
+            .unwrap();
+        assert_eq!(r1.simulated_pixels, r2.simulated_pixels);
+    }
+
+    #[test]
+    fn observer_sees_output_done_per_output() {
+        let p = test_problem(8, 3, 4);
+        let mut stats = SignFlipStats::new();
+        p.simulate(
+            &ArrayConfig::new(2, 2),
+            Dataflow::OutputStationary,
+            &SimOptions::exhaustive(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(stats.outputs, 3 * 4);
+    }
+
+    #[test]
+    fn weight_stationary_differs_in_stats_not_results() {
+        let p = test_problem(32, 4, 6);
+        let mut os_stats = SignFlipStats::new();
+        let mut ws_stats = SignFlipStats::new();
+        let array = ArrayConfig::new(8, 2);
+        let os = p
+            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut os_stats)
+            .unwrap();
+        let ws = p
+            .simulate(&array, Dataflow::WeightStationary, &SimOptions::exhaustive(), &mut ws_stats)
+            .unwrap();
+        assert_eq!(os.outputs, ws.outputs);
+        assert_eq!(os_stats.total_macs, ws_stats.total_macs);
+        assert_eq!(os_stats.outputs, ws_stats.outputs);
+    }
+}

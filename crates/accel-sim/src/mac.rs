@@ -1,0 +1,350 @@
+//! The multiply-accumulate (MAC) processing element.
+//!
+//! The modelled unit follows the TPU-style datapath used in the READ paper:
+//! an 8-bit signed multiplier feeding a 24-bit signed accumulator.  Besides
+//! the exact arithmetic result, every cycle reports the micro-architectural
+//! activity that determines which timing paths are exercised:
+//!
+//! * the **carry-propagation length** of the accumulate (the longest chain of
+//!   adder positions through which a carry actually ripples),
+//! * the number of **toggled accumulator bits**, and
+//! * whether the **partial-sum sign bit flipped** — the "critical input
+//!   pattern" the READ paper identifies.
+
+use crate::error::SimError;
+
+/// Width of the accumulator in bits (24-bit partial sums, as in the paper).
+pub const ACC_BITS: u32 = 24;
+
+/// Mask selecting the `ACC_BITS` low-order bits.
+const ACC_MASK: u32 = (1 << ACC_BITS) - 1;
+
+/// Sign-extends a raw `ACC_BITS`-bit value to `i32`.
+#[inline]
+fn sign_extend(raw: u32) -> i32 {
+    let shift = 32 - ACC_BITS;
+    (((raw & ACC_MASK) << shift) as i32) >> shift
+}
+
+/// Wraps an `i32` value into the `ACC_BITS`-bit two's-complement range.
+#[inline]
+fn wrap(value: i32) -> i32 {
+    sign_extend(value as u32)
+}
+
+/// One cycle of MAC activity.
+///
+/// Produced by [`MacUnit::mac`] and consumed by the timing model, which maps
+/// the structural fields (carry length, toggles, sign flip) onto triggered
+/// path delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacCycle {
+    /// Weight operand of this cycle.
+    pub weight: i8,
+    /// Activation operand of this cycle.
+    pub activation: i8,
+    /// Exact 16-bit product (sign-extended to `i32`).
+    pub product: i32,
+    /// Accumulator value before the accumulate (24-bit, sign-extended).
+    pub psum_before: i32,
+    /// Accumulator value after the accumulate (24-bit, sign-extended).
+    pub psum_after: i32,
+    /// Longest carry-propagation chain (in bit positions) exercised by the
+    /// accumulate.  This is the structural proxy for the triggered adder
+    /// path: a partial-sum sign flip forces the carry to ripple through the
+    /// high-order bits and produces a long chain.
+    pub carry_len: u32,
+    /// Number of accumulator bits that toggled this cycle.
+    pub toggled_bits: u32,
+    /// One-based position of the most significant accumulator bit that
+    /// toggled this cycle (`0` when no bit toggled).  Together with
+    /// [`MacCycle::carry_len`] this determines how deep into the adder the
+    /// cycle's switching activity reaches.
+    pub msb_toggled: u32,
+    /// `true` when the sign bit of the partial sum changed this cycle —
+    /// the critical input pattern of the READ paper.
+    pub sign_flip: bool,
+}
+
+impl MacCycle {
+    /// Returns `true` if this cycle left the accumulator unchanged
+    /// (zero product and therefore no switching activity in the adder).
+    pub fn is_idle(&self) -> bool {
+        self.product == 0 && self.psum_before == self.psum_after
+    }
+}
+
+/// A single processing element: an 8x8-bit multiplier and a 24-bit
+/// accumulator.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::MacUnit;
+///
+/// let mut mac = MacUnit::new();
+/// // 3 * (-2) + 2 = -4: the paper's example of a sign-flipping accumulate.
+/// mac.load(2);
+/// let cycle = mac.mac(-2, 3);
+/// assert_eq!(cycle.psum_after, -4);
+/// assert!(cycle.sign_flip);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct MacUnit {
+    psum: i32,
+}
+
+impl MacUnit {
+    /// Creates a MAC unit with the accumulator cleared to zero.
+    pub fn new() -> Self {
+        MacUnit { psum: 0 }
+    }
+
+    /// Current accumulator value (24-bit, sign-extended to `i32`).
+    pub fn psum(&self) -> i32 {
+        self.psum
+    }
+
+    /// Clears the accumulator to zero (start of a new output activation).
+    pub fn clear(&mut self) {
+        self.psum = 0;
+    }
+
+    /// Loads an initial partial sum (e.g. a bias or a partial result flowing
+    /// in from a neighbouring PE in a weight-stationary dataflow).
+    pub fn load(&mut self, psum: i32) {
+        self.psum = wrap(psum);
+    }
+
+    /// Performs one multiply-accumulate: `psum += weight * activation`,
+    /// returning the full cycle record.
+    pub fn mac(&mut self, weight: i8, activation: i8) -> MacCycle {
+        let product = i32::from(weight) * i32::from(activation);
+        let before = self.psum;
+        let after = wrap(before.wrapping_add(product));
+
+        let a = (before as u32) & ACC_MASK;
+        let b = (product as u32) & ACC_MASK;
+        let carry_len = carry_chain_length(a, b);
+        let toggled_mask = (a ^ ((after as u32) & ACC_MASK)) & ACC_MASK;
+        let toggled_bits = toggled_mask.count_ones();
+        let msb_toggled = if toggled_mask == 0 {
+            0
+        } else {
+            32 - toggled_mask.leading_zeros()
+        };
+        let sign_flip = (before < 0) != (after < 0);
+
+        self.psum = after;
+        MacCycle {
+            weight,
+            activation,
+            product,
+            psum_before: before,
+            psum_after: after,
+            carry_len,
+            toggled_bits,
+            msb_toggled,
+            sign_flip,
+        }
+    }
+
+    /// Runs a full dot product over paired `(weight, activation)` operands,
+    /// invoking `observer` for every cycle, and returns the final partial sum.
+    ///
+    /// The accumulator is **not** cleared first, so partial results can be
+    /// chained across tiles exactly as the hardware does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the operand slices have
+    /// different lengths.
+    pub fn dot<F>(
+        &mut self,
+        weights: &[i8],
+        activations: &[i8],
+        mut observer: F,
+    ) -> Result<i32, SimError>
+    where
+        F: FnMut(&MacCycle),
+    {
+        if weights.len() != activations.len() {
+            return Err(SimError::DimensionMismatch {
+                what: "dot product operand length",
+                left: weights.len(),
+                right: activations.len(),
+            });
+        }
+        for (&w, &a) in weights.iter().zip(activations.iter()) {
+            let cycle = self.mac(w, a);
+            observer(&cycle);
+        }
+        Ok(self.psum)
+    }
+}
+
+/// Computes the longest carry-propagation chain of the `ACC_BITS`-bit ripple
+/// addition `a + b`.
+///
+/// The chain length is the longest run of consecutive bit positions through
+/// which a carry generated at the start of the run actually propagates.  It
+/// is the canonical structural measure of which adder timing path a given
+/// operand pair exercises: adding a small negative product to a small
+/// positive partial sum (a sign flip) propagates a borrow through all the
+/// high-order bits and yields a chain close to `ACC_BITS`.
+pub fn carry_chain_length(a: u32, b: u32) -> u32 {
+    let a = a & ACC_MASK;
+    let b = b & ACC_MASK;
+    let mut carry = 0u32;
+    let mut run = 0u32;
+    let mut best = 0u32;
+    for i in 0..ACC_BITS {
+        let ai = (a >> i) & 1;
+        let bi = (b >> i) & 1;
+        let generate = ai & bi;
+        let propagate = ai ^ bi;
+        let next_carry = generate | (propagate & carry);
+        if next_carry == 1 && (generate == 1 || carry == 1) {
+            // The carry chain continues (either freshly generated or
+            // propagated from the previous position).
+            if carry == 1 && propagate == 1 {
+                run += 1;
+            } else {
+                run = 1;
+            }
+        } else {
+            run = 0;
+        }
+        best = best.max(run);
+        carry = next_carry;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_and_sign_extend() {
+        assert_eq!(wrap(0), 0);
+        assert_eq!(wrap(-1), -1);
+        assert_eq!(wrap((1 << 23) - 1), (1 << 23) - 1);
+        // Overflow wraps around to the negative range like 24-bit hardware.
+        assert_eq!(wrap(1 << 23), -(1 << 23));
+        assert_eq!(wrap(-(1 << 23) - 1), (1 << 23) - 1);
+    }
+
+    #[test]
+    fn paper_example_sign_flip() {
+        // 3 * (-2) + 2 = -4 flips the sign bit and triggers a long carry
+        // chain (the paper's Section III example).
+        let mut mac = MacUnit::new();
+        mac.load(2);
+        let c = mac.mac(-2, 3);
+        assert_eq!(c.product, -6);
+        assert_eq!(c.psum_after, -4);
+        assert!(c.sign_flip);
+        // A sign flip toggles the accumulator sign bit, so the switching
+        // activity reaches the most significant adder position.
+        assert_eq!(c.msb_toggled, ACC_BITS);
+    }
+
+    #[test]
+    fn negative_to_positive_flip_long_carry() {
+        // -3 + 10 = 7: the borrow ripples through every high-order one bit,
+        // exercising a near-full-width carry chain.
+        let mut mac = MacUnit::new();
+        mac.load(-3);
+        let c = mac.mac(5, 2);
+        assert!(c.sign_flip);
+        assert!(c.carry_len >= ACC_BITS - 4, "carry chain {}", c.carry_len);
+    }
+
+    #[test]
+    fn no_sign_flip_short_chain() {
+        let mut mac = MacUnit::new();
+        mac.load(1000);
+        let c = mac.mac(2, 3);
+        assert_eq!(c.psum_after, 1006);
+        assert!(!c.sign_flip);
+        assert!(c.carry_len <= 4);
+    }
+
+    #[test]
+    fn accumulation_is_exact() {
+        let mut mac = MacUnit::new();
+        let weights: Vec<i8> = vec![1, -2, 3, -4, 5, -6, 7, -8];
+        let acts: Vec<i8> = vec![9, 8, 7, 6, 5, 4, 3, 2];
+        let expected: i32 = weights
+            .iter()
+            .zip(&acts)
+            .map(|(&w, &a)| i32::from(w) * i32::from(a))
+            .sum();
+        let got = mac.dot(&weights, &acts, |_| {}).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dot_rejects_mismatched_lengths() {
+        let mut mac = MacUnit::new();
+        assert!(mac.dot(&[1, 2], &[1], |_| {}).is_err());
+    }
+
+    #[test]
+    fn dot_observer_sees_every_cycle() {
+        let mut mac = MacUnit::new();
+        let mut n = 0usize;
+        mac.dot(&[1, 2, 3], &[4, 5, 6], |_| n += 1).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn idle_cycle_detection() {
+        let mut mac = MacUnit::new();
+        mac.load(42);
+        let c = mac.mac(0, 17);
+        assert!(c.is_idle());
+        let c = mac.mac(1, 1);
+        assert!(!c.is_idle());
+    }
+
+    #[test]
+    fn carry_chain_simple_cases() {
+        // 1 + 1: carry generated at bit 0, does not propagate further.
+        assert_eq!(carry_chain_length(1, 1), 1);
+        // 0b0111 + 0b0001: carry generated at bit 0 propagates through bits 1,2.
+        assert_eq!(carry_chain_length(0b0111, 0b0001), 3);
+        // Adding -1 (all ones) to 1: carry ripples through the entire width.
+        assert_eq!(carry_chain_length(ACC_MASK, 1), ACC_BITS);
+        // Disjoint bits never generate a carry.
+        assert_eq!(carry_chain_length(0b1010, 0b0101), 0);
+    }
+
+    #[test]
+    fn sign_flip_negative_to_positive() {
+        let mut mac = MacUnit::new();
+        mac.load(-3);
+        let c = mac.mac(5, 2); // -3 + 10 = 7
+        assert!(c.sign_flip);
+        assert_eq!(c.psum_after, 7);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut mac = MacUnit::new();
+        mac.mac(10, 10);
+        assert_ne!(mac.psum(), 0);
+        mac.clear();
+        assert_eq!(mac.psum(), 0);
+    }
+
+    #[test]
+    fn overflow_wraps_like_hardware() {
+        let mut mac = MacUnit::new();
+        mac.load((1 << 23) - 1);
+        let c = mac.mac(1, 1);
+        assert_eq!(c.psum_after, -(1 << 23));
+        assert!(c.sign_flip);
+    }
+}

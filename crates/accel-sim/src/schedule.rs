@@ -1,0 +1,205 @@
+//! Compute schedules: which output channels are processed together and in
+//! which order the reduction (input-channel) dimension is visited.
+//!
+//! A [`ComputeSchedule`] is the interface between the READ optimizer and the
+//! simulator: the optimizer decides the grouping and ordering, the simulator
+//! executes it.  The default schedule reproduces the baseline accelerator
+//! behaviour (consecutive column tiles, natural reduction order).
+
+use crate::error::SimError;
+use crate::matrix::validate_permutation;
+
+/// A group of output channels processed simultaneously on the array columns,
+/// together with the reduction order used for the whole group.
+///
+/// In the paper's terms a `ColumnGroup` is one cluster `T_i` with its
+/// per-cluster input-channel sequence `S_i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnGroup {
+    /// Output-channel (column) indices of the weight matrix in this group.
+    pub columns: Vec<usize>,
+    /// Order in which the reduction rows are visited when computing every
+    /// output of this group.  Must be a permutation of `0..reduction_len`.
+    pub row_order: Vec<usize>,
+}
+
+impl ColumnGroup {
+    /// Creates a group with the natural (identity) reduction order.
+    pub fn with_identity_order(columns: Vec<usize>, reduction_len: usize) -> Self {
+        ColumnGroup {
+            columns,
+            row_order: (0..reduction_len).collect(),
+        }
+    }
+}
+
+/// Full schedule for one GEMM / layer: a partition of the output channels
+/// into groups, each with its own reduction order.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::ComputeSchedule;
+///
+/// // Baseline schedule for a 64-channel layer with reduction length 128 on a
+/// // 4-column array: 16 groups of 4 channels, natural order.
+/// let schedule = ComputeSchedule::baseline(128, 64, 4);
+/// assert_eq!(schedule.groups().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ComputeSchedule {
+    groups: Vec<ColumnGroup>,
+}
+
+impl ComputeSchedule {
+    /// Creates a schedule from explicit groups.
+    pub fn new(groups: Vec<ColumnGroup>) -> Self {
+        ComputeSchedule { groups }
+    }
+
+    /// The baseline schedule used by an unmodified accelerator: output
+    /// channels are taken in consecutive tiles of `cols_per_group` and the
+    /// reduction dimension is visited in natural order.
+    pub fn baseline(reduction_len: usize, num_channels: usize, cols_per_group: usize) -> Self {
+        let cols_per_group = cols_per_group.max(1);
+        let mut groups = Vec::new();
+        let mut start = 0;
+        while start < num_channels {
+            let end = (start + cols_per_group).min(num_channels);
+            groups.push(ColumnGroup::with_identity_order(
+                (start..end).collect(),
+                reduction_len,
+            ));
+            start = end;
+        }
+        ComputeSchedule { groups }
+    }
+
+    /// Borrow the column groups.
+    pub fn groups(&self) -> &[ColumnGroup] {
+        &self.groups
+    }
+
+    /// Total number of output channels covered by the schedule.
+    pub fn num_channels(&self) -> usize {
+        self.groups.iter().map(|g| g.columns.len()).sum()
+    }
+
+    /// The output-channel order induced by the schedule (concatenation of the
+    /// group column lists).  This is the order in which output channels are
+    /// produced, which the next layer must account for (Section IV-D).
+    pub fn output_channel_order(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.columns.iter().copied())
+            .collect()
+    }
+
+    /// Validates the schedule against a `reduction_len x num_channels`
+    /// problem: every group's row order must be a permutation of the
+    /// reduction indices, and the groups must partition the channel set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSchedule`] describing the first violation.
+    pub fn validate(&self, reduction_len: usize, num_channels: usize) -> Result<(), SimError> {
+        if self.groups.is_empty() {
+            return Err(SimError::InvalidSchedule {
+                reason: "schedule has no column groups".into(),
+            });
+        }
+        let mut seen = vec![false; num_channels];
+        for (gi, g) in self.groups.iter().enumerate() {
+            if g.columns.is_empty() {
+                return Err(SimError::InvalidSchedule {
+                    reason: format!("group {gi} has no columns"),
+                });
+            }
+            validate_permutation(&g.row_order, reduction_len)?;
+            for &c in &g.columns {
+                if c >= num_channels {
+                    return Err(SimError::InvalidSchedule {
+                        reason: format!("group {gi} references channel {c} >= {num_channels}"),
+                    });
+                }
+                if seen[c] {
+                    return Err(SimError::InvalidSchedule {
+                        reason: format!("channel {c} appears in more than one group"),
+                    });
+                }
+                seen[c] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(SimError::InvalidSchedule {
+                reason: format!("channel {missing} is not covered by any group"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_covers_all_channels() {
+        let s = ComputeSchedule::baseline(10, 9, 4);
+        assert_eq!(s.groups().len(), 3);
+        assert_eq!(s.num_channels(), 9);
+        assert!(s.validate(10, 9).is_ok());
+        assert_eq!(s.output_channel_order(), (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn baseline_handles_zero_cols_per_group() {
+        let s = ComputeSchedule::baseline(4, 3, 0);
+        assert!(s.validate(4, 3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_channel() {
+        let s = ComputeSchedule::new(vec![ColumnGroup::with_identity_order(vec![0, 1], 4)]);
+        assert!(s.validate(4, 3).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_channel() {
+        let s = ComputeSchedule::new(vec![
+            ColumnGroup::with_identity_order(vec![0, 1], 4),
+            ColumnGroup::with_identity_order(vec![1, 2], 4),
+        ]);
+        assert!(s.validate(4, 3).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_row_order() {
+        let s = ComputeSchedule::new(vec![ColumnGroup {
+            columns: vec![0],
+            row_order: vec![0, 0, 1],
+        }]);
+        assert!(s.validate(3, 1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let s = ComputeSchedule::new(vec![]);
+        assert!(s.validate(3, 1).is_err());
+        let s = ComputeSchedule::new(vec![ColumnGroup {
+            columns: vec![],
+            row_order: vec![0, 1, 2],
+        }]);
+        assert!(s.validate(3, 0).is_err());
+    }
+
+    #[test]
+    fn output_channel_order_follows_groups() {
+        let s = ComputeSchedule::new(vec![
+            ColumnGroup::with_identity_order(vec![2, 0], 2),
+            ColumnGroup::with_identity_order(vec![1], 2),
+        ]);
+        assert_eq!(s.output_channel_order(), vec![2, 0, 1]);
+        assert!(s.validate(2, 3).is_ok());
+    }
+}

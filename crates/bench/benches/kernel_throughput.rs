@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the computational kernels: input-channel
+//! reordering, balanced clustering, and the cycle-level MAC simulation.
+//!
+//! These measure the cost of deploying READ (an offline, per-layer
+//! optimization) and of the simulator itself; they are not paper figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use accel_sim::{ArrayConfig, Dataflow, GemmProblem, Matrix, NullObserver, SimOptions};
+use qnn::init::{synthetic_activations, WeightInit};
+use read_core::{
+    sort_input_channels, BalancedKMeans, ClusteringMode, DistanceMetric, ReadConfig,
+    ReadOptimizer, SortCriterion,
+};
+
+fn demo_weights(rows: usize, cols: usize) -> Matrix<i8> {
+    let mut init = WeightInit::new(1234);
+    Matrix::from_fn(rows, cols, |_, _| init.weight(rows))
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let weights = demo_weights(1152, 256);
+    let cols: Vec<usize> = (0..4).collect();
+    c.bench_function("reorder/sign_first 1152x4", |b| {
+        b.iter(|| {
+            sort_input_channels(black_box(&weights), black_box(&cols), SortCriterion::SignFirst)
+                .expect("sortable")
+        })
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let weights = demo_weights(1152, 256);
+    c.bench_function("cluster/balanced_kmeans 256ch into 4s", |b| {
+        b.iter(|| {
+            BalancedKMeans::new(4, DistanceMetric::SignManhattan)
+                .with_max_iterations(10)
+                .run(black_box(&weights))
+                .expect("clusterable")
+        })
+    });
+}
+
+fn bench_full_optimize(c: &mut Criterion) {
+    let weights = demo_weights(576, 128);
+    let optimizer = ReadOptimizer::new(ReadConfig {
+        criterion: SortCriterion::SignFirst,
+        clustering: ClusteringMode::ClusterThenReorder,
+        ..ReadConfig::default()
+    });
+    c.bench_function("optimize/cluster_then_reorder 576x128", |b| {
+        b.iter(|| optimizer.optimize(black_box(&weights), 4).expect("optimizable"))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let weights = demo_weights(576, 16);
+    let acts = synthetic_activations(576 * 8, 0.45, 7);
+    let activations = Matrix::from_fn(576, 8, |r, p| acts[r * 8 + p]);
+    let problem = GemmProblem::new(weights, activations).expect("consistent");
+    let array = ArrayConfig::paper_default();
+    c.bench_function("simulate/output_stationary 576x16x8", |b| {
+        b.iter(|| {
+            let mut obs = NullObserver;
+            problem
+                .simulate(
+                    black_box(&array),
+                    Dataflow::OutputStationary,
+                    &SimOptions::exhaustive(),
+                    &mut obs,
+                )
+                .expect("simulates")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reorder,
+    bench_cluster,
+    bench_full_optimize,
+    bench_simulation
+);
+criterion_main!(benches);

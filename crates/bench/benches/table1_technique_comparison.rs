@@ -1,0 +1,34 @@
+//! Table I: qualitative comparison of timing-error-resilience techniques.
+
+use read_bench::report;
+use read_core::technique_comparison;
+
+fn main() {
+    report::section("Table I: representative timing error-resilient design methods");
+    let rows: Vec<Vec<String>> = technique_comparison()
+        .into_iter()
+        .map(|t| {
+            vec![
+                t.name.to_string(),
+                t.layer.to_string(),
+                if t.scalable_with_technology { "yes" } else { "no" }.to_string(),
+                if t.accuracy_loss { "yes" } else { "no" }.to_string(),
+                t.hardware_overhead.to_string(),
+                if t.throughput_drop { "yes" } else { "no" }.to_string(),
+                t.design_effort.to_string(),
+            ]
+        })
+        .collect();
+    report::table(
+        &[
+            "Method",
+            "Layer",
+            "Scalable",
+            "Accuracy loss",
+            "HW overhead",
+            "Throughput drop",
+            "Design effort",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,328 @@
+//! Experiment runners shared by the figure benches.
+
+use accel_sim::{ArrayConfig, ComputeSchedule, Dataflow, SimOptions};
+use qnn::fault::{evaluate_topk, FaultConfig};
+use qnn::{Dataset, Model};
+use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
+use timing::{ber_from_ter, DelayModel, DepthHistogram, OperatingCondition};
+
+use crate::workloads::LayerWorkload;
+
+/// The algorithms compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The unmodified accelerator order.
+    Baseline,
+    /// Input-channel reordering on consecutive column tiles.
+    Reorder(SortCriterion),
+    /// Output-channel clustering followed by per-cluster reordering.
+    ClusterThenReorder(SortCriterion),
+}
+
+impl Algorithm {
+    /// The three configurations of Figs. 8, 10 and 11.
+    pub fn paper_set() -> [Algorithm; 3] {
+        [
+            Algorithm::Baseline,
+            Algorithm::Reorder(SortCriterion::SignFirst),
+            Algorithm::ClusterThenReorder(SortCriterion::SignFirst),
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::Baseline => "baseline".to_string(),
+            Algorithm::Reorder(c) => format!("reorder[{c}]"),
+            Algorithm::ClusterThenReorder(c) => format!("cluster-then-reorder[{c}]"),
+        }
+    }
+
+    /// Builds the compute schedule this algorithm produces for a weight
+    /// matrix on an array with `cols` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optimizer rejects the matrix (empty weights), which
+    /// cannot happen for generated workloads.
+    pub fn schedule(&self, workload: &LayerWorkload, cols: usize) -> ComputeSchedule {
+        match self {
+            Algorithm::Baseline => ComputeSchedule::baseline(
+                workload.weights.rows(),
+                workload.weights.cols(),
+                cols,
+            ),
+            Algorithm::Reorder(criterion) => ReadOptimizer::new(ReadConfig {
+                criterion: *criterion,
+                clustering: ClusteringMode::Direct,
+                ..ReadConfig::default()
+            })
+            .optimize(&workload.weights, cols)
+            .expect("workload weights are non-empty")
+            .to_compute_schedule(),
+            Algorithm::ClusterThenReorder(criterion) => ReadOptimizer::new(ReadConfig {
+                criterion: *criterion,
+                clustering: ClusteringMode::ClusterThenReorder,
+                ..ReadConfig::default()
+            })
+            .optimize(&workload.weights, cols)
+            .expect("workload weights are non-empty")
+            .to_compute_schedule(),
+        }
+    }
+}
+
+/// Simulates one layer under one algorithm and returns the triggered-depth
+/// histogram (from which the TER at any corner can be computed).
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the generated workload, which indicates
+/// a bug in the harness rather than a recoverable condition.
+pub fn layer_report(
+    workload: &LayerWorkload,
+    algorithm: Algorithm,
+    array: &ArrayConfig,
+) -> DepthHistogram {
+    let schedule = algorithm.schedule(workload, array.cols());
+    let mut hist = DepthHistogram::new();
+    workload
+        .problem()
+        .simulate_with_schedule(
+            array,
+            Dataflow::OutputStationary,
+            &schedule,
+            &SimOptions::exhaustive(),
+            &mut hist,
+        )
+        .expect("generated workloads always simulate");
+    hist
+}
+
+/// One row of the layer-wise TER tables (Figs. 7 and 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTerRow {
+    /// Layer name.
+    pub layer: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Timing error rate at the evaluated corner.
+    pub ter: f64,
+    /// Sign-flip rate of the schedule.
+    pub sign_flip_rate: f64,
+    /// MAC operations per output activation.
+    pub macs_per_output: usize,
+    /// Activation-level BER implied by the TER (Eq. (1)).
+    pub ber: f64,
+}
+
+/// Runs the layer-wise TER experiment: every workload under every algorithm
+/// at the given corner (the paper's Fig. 8 uses 10-year aging + 5 % VT).
+pub fn layerwise_ter(
+    workloads: &[LayerWorkload],
+    algorithms: &[Algorithm],
+    array: &ArrayConfig,
+    delay: &DelayModel,
+    condition: &OperatingCondition,
+) -> Vec<LayerTerRow> {
+    let mut rows = Vec::new();
+    for workload in workloads {
+        for &algorithm in algorithms {
+            let hist = layer_report(workload, algorithm, array);
+            let ter = hist.ter(delay, condition);
+            rows.push(LayerTerRow {
+                layer: workload.name.clone(),
+                algorithm: algorithm.name(),
+                ter,
+                sign_flip_rate: hist.sign_flip_rate(),
+                macs_per_output: workload.macs_per_output(),
+                ber: ber_from_ter(ter, workload.macs_per_output()),
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric-mean TER reduction of `algorithm` relative to the baseline over
+/// the given rows, plus the maximum per-layer reduction.
+pub fn ter_reduction(rows: &[LayerTerRow], algorithm: &str) -> (f64, f64) {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    let mut max = 0.0f64;
+    for row in rows.iter().filter(|r| r.algorithm == algorithm) {
+        if let Some(base) = rows
+            .iter()
+            .find(|r| r.layer == row.layer && r.algorithm == "baseline")
+        {
+            if row.ter > 0.0 && base.ter > 0.0 {
+                let reduction = base.ter / row.ter;
+                log_sum += reduction.ln();
+                count += 1;
+                max = max.max(reduction);
+            }
+        }
+    }
+    if count == 0 {
+        (1.0, 1.0)
+    } else {
+        ((log_sum / count as f64).exp(), max)
+    }
+}
+
+/// One point of the accuracy figures (Figs. 10 and 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyPoint {
+    /// Operating corner name.
+    pub condition: &'static str,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean top-1 accuracy over the seeds.
+    pub top1: f64,
+    /// Mean top-k accuracy over the seeds.
+    pub topk: f64,
+    /// Mean per-layer BER used for the injection (for the record).
+    pub mean_ber: f64,
+}
+
+/// Runs the accuracy-under-PVTA experiment for one model.
+///
+/// For every (corner, algorithm) pair the per-layer TERs of the *full-size*
+/// workloads are converted to BERs via Eq. (1), matched to the scaled
+/// executable model's convolution layers by name, and the dataset is
+/// evaluated under error injection with `seeds` different seeds.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from the model (shape mismatches).
+#[allow(clippy::too_many_arguments)]
+pub fn accuracy_sweep(
+    model: &Model,
+    dataset: &Dataset,
+    workloads: &[LayerWorkload],
+    algorithms: &[Algorithm],
+    conditions: &[OperatingCondition],
+    array: &ArrayConfig,
+    delay: &DelayModel,
+    seeds: u64,
+    top_k: usize,
+) -> Result<Vec<AccuracyPoint>, qnn::QnnError> {
+    // One simulation pass per (layer, algorithm); corners reuse the
+    // histograms.
+    let mut histograms: Vec<Vec<DepthHistogram>> = Vec::with_capacity(algorithms.len());
+    for &algorithm in algorithms {
+        histograms.push(
+            workloads
+                .iter()
+                .map(|w| layer_report(w, algorithm, array))
+                .collect(),
+        );
+    }
+
+    let conv_names: Vec<String> = model
+        .conv_layers()
+        .iter()
+        .map(|c| c.name().to_string())
+        .collect();
+
+    let mut points = Vec::new();
+    for condition in conditions {
+        for (ai, &algorithm) in algorithms.iter().enumerate() {
+            // Per-layer BERs for the scaled model, matched by layer name;
+            // layers without a matching workload (e.g. ResNet downsample
+            // projections) receive zero BER.
+            let mut bers = vec![0.0f64; conv_names.len()];
+            let mut ber_sum = 0.0;
+            let mut ber_count = 0usize;
+            for (workload, hist) in workloads.iter().zip(&histograms[ai]) {
+                let ter = hist.ter(delay, condition);
+                let ber = ber_from_ter(ter, workload.macs_per_output());
+                ber_sum += ber;
+                ber_count += 1;
+                if let Some(idx) = conv_names.iter().position(|n| *n == workload.name) {
+                    bers[idx] = ber;
+                }
+            }
+            let mut top1 = 0.0;
+            let mut topk = 0.0;
+            for seed in 0..seeds.max(1) {
+                let config = FaultConfig::per_layer(bers.clone(), seed * 977 + 13);
+                let acc = evaluate_topk(model, dataset, &config, top_k)?;
+                top1 += acc.top1;
+                topk += acc.topk;
+            }
+            let runs = seeds.max(1) as f64;
+            points.push(AccuracyPoint {
+                condition: condition.name,
+                algorithm: algorithm.name(),
+                top1: top1 / runs,
+                topk: topk / runs,
+                mean_ber: if ber_count == 0 {
+                    0.0
+                } else {
+                    ber_sum / ber_count as f64
+                },
+            });
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{vgg16_workloads, WorkloadConfig};
+
+    fn tiny_workloads() -> Vec<LayerWorkload> {
+        let config = WorkloadConfig {
+            pixels_per_layer: 1,
+            ..WorkloadConfig::default()
+        };
+        // Only the two smallest layers to keep the test fast.
+        vgg16_workloads(&config).into_iter().take(2).collect()
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names: Vec<String> = Algorithm::paper_set().iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().all(|n| !n.is_empty()));
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
+    }
+
+    #[test]
+    fn reordering_reduces_ter_in_layerwise_experiment() {
+        let workloads = tiny_workloads();
+        let rows = layerwise_ter(
+            &workloads,
+            &Algorithm::paper_set(),
+            &ArrayConfig::paper_default(),
+            &DelayModel::nangate15_like(),
+            &OperatingCondition::aging_vt(10.0, 0.05),
+        );
+        assert_eq!(rows.len(), workloads.len() * 3);
+        let (geo, max) = ter_reduction(&rows, &Algorithm::Reorder(SortCriterion::SignFirst).name());
+        assert!(geo > 1.0, "reorder should reduce TER, got {geo}x");
+        assert!(max >= geo);
+    }
+
+    #[test]
+    fn histograms_reused_across_conditions_are_consistent() {
+        let workloads = tiny_workloads();
+        let hist = layer_report(
+            &workloads[0],
+            Algorithm::Baseline,
+            &ArrayConfig::paper_default(),
+        );
+        let delay = DelayModel::nangate15_like();
+        let ideal = hist.ter(&delay, &OperatingCondition::ideal());
+        let worst = hist.ter(&delay, &OperatingCondition::aging_vt(10.0, 0.05));
+        assert!(worst > ideal);
+    }
+
+    #[test]
+    fn ter_reduction_handles_missing_algorithm() {
+        let rows = vec![];
+        assert_eq!(ter_reduction(&rows, "reorder[sign_first]"), (1.0, 1.0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness for the READ reproduction.
+//!
+//! The benches under `benches/` regenerate every table and figure of the
+//! paper's evaluation section; this library holds the shared machinery:
+//! workload construction (synthetic trained layers of the paper's
+//! networks), schedule construction for the compared algorithms, TER / BER /
+//! accuracy experiment runners, and plain-text table printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use experiments::{
+    accuracy_sweep, layer_report, layerwise_ter, AccuracyPoint, Algorithm, LayerTerRow,
+};
+pub use workloads::{resnet18_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig};

@@ -1,0 +1,68 @@
+//! Plain-text table printing for the figure benches.
+//!
+//! Every bench prints its data series with these helpers so the
+//! `cargo bench` output doubles as the reproduction record collected in
+//! `EXPERIMENTS.md`.
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints a table: a header row followed by data rows, columns separated by
+/// ` | ` and padded to the widest cell.
+pub fn table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a rate in scientific notation with three significant digits.
+pub fn sci(value: f64) -> String {
+    format!("{value:.3e}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(sci(0.000123), "1.230e-4");
+        assert_eq!(pct(0.9371), "93.7%");
+    }
+
+    #[test]
+    fn table_does_not_panic_on_ragged_rows() {
+        table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "x".into()]],
+        );
+        section("smoke");
+    }
+}

@@ -1,0 +1,291 @@
+//! Synthetic classification datasets.
+//!
+//! CIFAR-10/100 and ImageNet are not available offline, so the accuracy
+//! experiments use a synthetic class-prototype dataset: each class has a
+//! random prototype image, and samples are noisy copies of their class
+//! prototype.  After the classifier head is fitted to the model's features
+//! (see [`crate::fit`]), clean accuracy lands in a realistic range and the
+//! accuracy-vs-error-rate degradation depends on error propagation through
+//! the real forward pass — the property the paper's Figs. 10 and 11 measure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::QnnError;
+use crate::tensor::Tensor;
+
+/// A labelled dataset of int8 CHW images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    images: Vec<Tensor<i8>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel image/label vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidDataset`] when the vectors differ in
+    /// length, are empty, or a label is out of range.
+    pub fn new(
+        images: Vec<Tensor<i8>>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, QnnError> {
+        if images.is_empty() || images.len() != labels.len() {
+            return Err(QnnError::dataset(format!(
+                "dataset needs equal non-zero image/label counts, got {}/{}",
+                images.len(),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(QnnError::dataset(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Returns `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Borrow the images.
+    pub fn images(&self) -> &[Tensor<i8>] {
+        &self.images
+    }
+
+    /// Borrow the labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterate over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor<i8>, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// A new dataset containing only the first `n` samples (or all of them
+    /// when `n` exceeds the length).  Useful for calibration subsets.
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len()).max(1);
+        Dataset {
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// Builder for synthetic class-prototype datasets.
+///
+/// # Example
+///
+/// ```
+/// use qnn::SyntheticDatasetBuilder;
+///
+/// # fn main() -> Result<(), qnn::QnnError> {
+/// let dataset = SyntheticDatasetBuilder::new(10, [3, 32, 32])
+///     .samples_per_class(4)
+///     .noise(12.0)
+///     .seed(1)
+///     .build()?;
+/// assert_eq!(dataset.len(), 40);
+/// assert_eq!(dataset.num_classes(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticDatasetBuilder {
+    num_classes: usize,
+    shape: [usize; 3],
+    samples_per_class: usize,
+    noise: f64,
+    seed: u64,
+}
+
+impl SyntheticDatasetBuilder {
+    /// Creates a builder for `num_classes` classes of CHW images of the
+    /// given shape.
+    pub fn new(num_classes: usize, shape: [usize; 3]) -> Self {
+        SyntheticDatasetBuilder {
+            num_classes,
+            shape,
+            samples_per_class: 8,
+            noise: 15.0,
+            seed: 0xDA7A,
+        }
+    }
+
+    /// Sets how many samples each class receives.
+    pub fn samples_per_class(mut self, samples: usize) -> Self {
+        self.samples_per_class = samples;
+        self
+    }
+
+    /// Sets the per-pixel Gaussian noise standard deviation (int8 units).
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidDataset`] for zero classes, zero samples
+    /// per class or an empty image shape.
+    pub fn build(&self) -> Result<Dataset, QnnError> {
+        if self.num_classes == 0 || self.samples_per_class == 0 {
+            return Err(QnnError::dataset(
+                "need at least one class and one sample per class",
+            ));
+        }
+        if self.shape.iter().any(|&d| d == 0) {
+            return Err(QnnError::dataset("image shape must be non-empty"));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Class prototypes: smooth random patterns so neighbouring pixels
+        // correlate like natural images.
+        let prototypes: Vec<Tensor<i8>> = (0..self.num_classes)
+            .map(|_| {
+                let fx = rng.gen_range(0.2..1.5);
+                let fy = rng.gen_range(0.2..1.5);
+                let phase_x: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let phase_y: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let amp = rng.gen_range(40.0..90.0);
+                Tensor::from_fn(self.shape, |c, y, x| {
+                    let v = amp
+                        * ((x as f64 * fx + phase_x + c as f64).sin()
+                            + (y as f64 * fy + phase_y - c as f64).cos())
+                        / 2.0;
+                    v.round().clamp(-127.0, 127.0) as i8
+                })
+            })
+            .collect();
+
+        let mut images = Vec::with_capacity(self.num_classes * self.samples_per_class);
+        let mut labels = Vec::with_capacity(images.capacity());
+        for (class, proto) in prototypes.iter().enumerate() {
+            for _ in 0..self.samples_per_class {
+                let noisy = proto.map(|p| {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    (f64::from(p) + n * self.noise)
+                        .round()
+                        .clamp(-127.0, 127.0) as i8
+                });
+                images.push(noisy);
+                labels.push(class);
+            }
+        }
+        Dataset::new(images, labels, self.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_counts() {
+        let d = SyntheticDatasetBuilder::new(5, [3, 8, 8])
+            .samples_per_class(3)
+            .build()
+            .unwrap();
+        assert_eq!(d.len(), 15);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 5);
+        assert_eq!(d.images()[0].shape(), [3, 8, 8]);
+        for (_, label) in d.iter() {
+            assert!(label < 5);
+        }
+    }
+
+    #[test]
+    fn samples_of_same_class_are_similar() {
+        let d = SyntheticDatasetBuilder::new(2, [1, 16, 16])
+            .samples_per_class(2)
+            .noise(5.0)
+            .seed(3)
+            .build()
+            .unwrap();
+        let dist = |a: &Tensor<i8>, b: &Tensor<i8>| -> f64 {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&x, &y)| (f64::from(x) - f64::from(y)).abs())
+                .sum::<f64>()
+                / a.len() as f64
+        };
+        let same = dist(&d.images()[0], &d.images()[1]);
+        let cross = dist(&d.images()[0], &d.images()[2]);
+        assert!(
+            same < cross,
+            "same-class distance {same} should be below cross-class {cross}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert!(SyntheticDatasetBuilder::new(0, [1, 4, 4]).build().is_err());
+        assert!(SyntheticDatasetBuilder::new(2, [1, 4, 4])
+            .samples_per_class(0)
+            .build()
+            .is_err());
+        assert!(SyntheticDatasetBuilder::new(2, [0, 4, 4]).build().is_err());
+    }
+
+    #[test]
+    fn dataset_validation() {
+        let img = Tensor::<i8>::zeros([1, 2, 2]);
+        assert!(Dataset::new(vec![img.clone()], vec![0, 1], 2).is_err());
+        assert!(Dataset::new(vec![], vec![], 2).is_err());
+        assert!(Dataset::new(vec![img.clone()], vec![5], 2).is_err());
+        let ok = Dataset::new(vec![img], vec![1], 2).unwrap();
+        assert_eq!(ok.labels(), &[1]);
+    }
+
+    #[test]
+    fn take_subsets_dataset() {
+        let d = SyntheticDatasetBuilder::new(3, [1, 4, 4])
+            .samples_per_class(4)
+            .build()
+            .unwrap();
+        assert_eq!(d.take(5).len(), 5);
+        assert_eq!(d.take(100).len(), 12);
+        assert_eq!(d.take(0).len(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticDatasetBuilder::new(3, [1, 6, 6]).seed(9).build().unwrap();
+        let b = SyntheticDatasetBuilder::new(3, [1, 6, 6]).seed(9).build().unwrap();
+        assert_eq!(a, b);
+    }
+}

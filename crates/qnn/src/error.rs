@@ -1,0 +1,78 @@
+//! Error type for the quantized-NN substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the quantized-NN substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QnnError {
+    /// A tensor's shape does not match what the operation expects.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A layer or model was configured inconsistently.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A dataset is empty or inconsistent with the model.
+    InvalidDataset {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl QnnError {
+    /// Convenience constructor for shape mismatches.
+    pub fn shape(reason: impl Into<String>) -> Self {
+        QnnError::ShapeMismatch {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for configuration errors.
+    pub fn config(reason: impl Into<String>) -> Self {
+        QnnError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for dataset errors.
+    pub fn dataset(reason: impl Into<String>) -> Self {
+        QnnError::InvalidDataset {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for QnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QnnError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            QnnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            QnnError::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+        }
+    }
+}
+
+impl Error for QnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        assert!(QnnError::shape("got 3 dims").to_string().contains("3 dims"));
+        assert!(QnnError::config("bad stride").to_string().contains("bad stride"));
+        assert!(QnnError::dataset("empty").to_string().contains("empty"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<QnnError>();
+    }
+}

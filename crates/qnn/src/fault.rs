@@ -1,0 +1,351 @@
+//! The paper's error-injection protocol: flip accumulator bits of the
+//! pre-activation convolution outputs at the per-layer BER derived from the
+//! measured TER, then measure top-1 / top-k accuracy.
+
+use accel_sim::ACC_BITS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Dataset;
+use crate::error::QnnError;
+use crate::model::{ConvFaultHook, Model};
+
+/// Which accumulator bit a timing error corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FlipModel {
+    /// Always flip the most significant (sign) bit — the worst case the
+    /// paper highlights.
+    MostSignificant,
+    /// Flip a bit chosen uniformly from the top `n` bits of the 24-bit
+    /// accumulator (timing errors land in the upper carry-chain bits).
+    UniformTop(u32),
+    /// Flip a bit chosen uniformly over the whole accumulator width.
+    UniformAll,
+}
+
+impl Default for FlipModel {
+    fn default() -> Self {
+        FlipModel::UniformTop(8)
+    }
+}
+
+/// Per-layer bit-error-rate specification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BerSpec {
+    /// No errors anywhere (the Ideal corner).
+    Clean,
+    /// The same BER for every convolution layer.
+    Uniform(f64),
+    /// One BER per convolution layer, in execution order.  Layers beyond the
+    /// end of the vector receive zero BER (the paper injects errors only
+    /// into the vulnerable early layers for the large networks).
+    PerLayer(Vec<f64>),
+}
+
+/// Fault-injection configuration for one evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Per-layer BER specification.
+    pub bers: BerSpec,
+    /// Bit-flip position model.
+    pub flip: FlipModel,
+    /// RNG seed (the paper repeats each configuration with several seeds).
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A configuration that injects no errors.
+    pub fn clean() -> Self {
+        FaultConfig {
+            bers: BerSpec::Clean,
+            flip: FlipModel::default(),
+            seed: 0,
+        }
+    }
+
+    /// The same BER for every convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not a finite value in `[0, 1]`.
+    pub fn uniform(ber: f64, seed: u64) -> Self {
+        assert!(
+            ber.is_finite() && (0.0..=1.0).contains(&ber),
+            "BER must be in [0, 1], got {ber}"
+        );
+        FaultConfig {
+            bers: BerSpec::Uniform(ber),
+            flip: FlipModel::default(),
+            seed,
+        }
+    }
+
+    /// One BER per convolution layer (execution order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any BER is not a finite value in `[0, 1]`.
+    pub fn per_layer(bers: Vec<f64>, seed: u64) -> Self {
+        assert!(
+            bers.iter().all(|b| b.is_finite() && (0.0..=1.0).contains(b)),
+            "all BERs must be in [0, 1]"
+        );
+        FaultConfig {
+            bers: BerSpec::PerLayer(bers),
+            flip: FlipModel::default(),
+            seed,
+        }
+    }
+
+    /// Overrides the bit-flip model.
+    pub fn with_flip(mut self, flip: FlipModel) -> Self {
+        self.flip = flip;
+        self
+    }
+
+    /// BER applied to convolution layer `index`.
+    pub fn ber_for_layer(&self, index: usize) -> f64 {
+        match &self.bers {
+            BerSpec::Clean => 0.0,
+            BerSpec::Uniform(b) => *b,
+            BerSpec::PerLayer(v) => v.get(index).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Returns `true` when the configuration can never inject an error.
+    pub fn is_clean(&self) -> bool {
+        match &self.bers {
+            BerSpec::Clean => true,
+            BerSpec::Uniform(b) => *b <= 0.0,
+            BerSpec::PerLayer(v) => v.iter().all(|b| *b <= 0.0),
+        }
+    }
+}
+
+/// A live fault-injection session: implements the model's
+/// [`ConvFaultHook`] and tracks how many errors were injected.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    config: FaultConfig,
+    rng: StdRng,
+    injected: u64,
+    examined: u64,
+}
+
+impl FaultSession {
+    /// Starts a session for the given configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        let seed = config.seed;
+        FaultSession {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            injected: 0,
+            examined: 0,
+        }
+    }
+
+    /// Number of accumulator values corrupted so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of accumulator values examined so far.
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn flip_bit(&mut self) -> u32 {
+        match self.config.flip {
+            FlipModel::MostSignificant => ACC_BITS - 1,
+            FlipModel::UniformTop(n) => {
+                let n = n.clamp(1, ACC_BITS);
+                self.rng.gen_range(ACC_BITS - n..ACC_BITS)
+            }
+            FlipModel::UniformAll => self.rng.gen_range(0..ACC_BITS),
+        }
+    }
+}
+
+impl ConvFaultHook for FaultSession {
+    fn corrupt(&mut self, conv_index: usize, acc: i32) -> i32 {
+        self.examined += 1;
+        let ber = self.config.ber_for_layer(conv_index);
+        if ber <= 0.0 || self.rng.gen::<f64>() >= ber {
+            return acc;
+        }
+        self.injected += 1;
+        let bit = self.flip_bit();
+        let mask: u32 = (1 << ACC_BITS) - 1;
+        let raw = (acc as u32 ^ (1 << bit)) & mask;
+        let shift = 32 - ACC_BITS;
+        ((raw << shift) as i32) >> shift
+    }
+}
+
+/// Accuracy of one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub top1: f64,
+    /// Top-k accuracy in `[0, 1]` (k given by [`Accuracy::k`]).
+    pub topk: f64,
+    /// The `k` used for the top-k figure.
+    pub k: usize,
+    /// Number of evaluated samples.
+    pub samples: usize,
+    /// Number of injected errors across the run.
+    pub injected_errors: u64,
+}
+
+/// Evaluates a model on a dataset under fault injection, reporting top-1 and
+/// top-3 accuracy (the paper's Fig. 11 metric).
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidDataset`] for an empty dataset and propagates
+/// forward-pass errors.
+pub fn evaluate(model: &Model, dataset: &Dataset, config: &FaultConfig) -> Result<Accuracy, QnnError> {
+    evaluate_topk(model, dataset, config, 3)
+}
+
+/// Evaluates a model on a dataset under fault injection with an explicit
+/// top-k.
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidDataset`] for an empty dataset or `k == 0`,
+/// and propagates forward-pass errors.
+pub fn evaluate_topk(
+    model: &Model,
+    dataset: &Dataset,
+    config: &FaultConfig,
+    k: usize,
+) -> Result<Accuracy, QnnError> {
+    if dataset.is_empty() {
+        return Err(QnnError::dataset("cannot evaluate on an empty dataset"));
+    }
+    if k == 0 {
+        return Err(QnnError::dataset("top-k requires k >= 1"));
+    }
+    let mut session = FaultSession::new(config.clone());
+    let mut top1 = 0usize;
+    let mut topk = 0usize;
+    for (image, label) in dataset.iter() {
+        let logits = model.forward_with_faults(image, &mut session)?;
+        let ranking = Model::rank_classes(&logits);
+        if ranking.first() == Some(&label) {
+            top1 += 1;
+        }
+        if ranking.iter().take(k).any(|&c| c == label) {
+            topk += 1;
+        }
+    }
+    Ok(Accuracy {
+        top1: top1 as f64 / dataset.len() as f64,
+        topk: topk as f64 / dataset.len() as f64,
+        k,
+        samples: dataset.len(),
+        injected_errors: session.injected(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDatasetBuilder;
+    use crate::fit::fit_classifier_head;
+    use crate::models;
+
+    fn fitted_model_and_data() -> (Model, Dataset) {
+        let mut model = models::vgg11_cifar_scaled(8, 5, 2).unwrap();
+        let dataset = SyntheticDatasetBuilder::new(5, [3, 16, 16])
+            .samples_per_class(3)
+            .noise(8.0)
+            .seed(21)
+            .build()
+            .unwrap();
+        fit_classifier_head(&mut model, &dataset).unwrap();
+        (model, dataset)
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(FaultConfig::clean().is_clean());
+        assert!(!FaultConfig::uniform(0.1, 0).is_clean());
+        assert!(FaultConfig::uniform(0.0, 0).is_clean());
+        let per = FaultConfig::per_layer(vec![0.0, 0.2], 0);
+        assert!(!per.is_clean());
+        assert_eq!(per.ber_for_layer(0), 0.0);
+        assert_eq!(per.ber_for_layer(1), 0.2);
+        assert_eq!(per.ber_for_layer(9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be in")]
+    fn invalid_uniform_ber_panics() {
+        let _ = FaultConfig::uniform(1.5, 0);
+    }
+
+    #[test]
+    fn clean_evaluation_matches_predict() {
+        let (model, dataset) = fitted_model_and_data();
+        let acc = evaluate(&model, &dataset, &FaultConfig::clean()).unwrap();
+        assert_eq!(acc.injected_errors, 0);
+        assert!(acc.top1 > 0.4, "clean top1 {}", acc.top1);
+        assert!(acc.topk >= acc.top1);
+        assert_eq!(acc.samples, dataset.len());
+    }
+
+    #[test]
+    fn heavy_errors_destroy_accuracy() {
+        let (model, dataset) = fitted_model_and_data();
+        let clean = evaluate(&model, &dataset, &FaultConfig::clean()).unwrap();
+        let heavy = evaluate(
+            &model,
+            &dataset,
+            &FaultConfig::uniform(0.5, 7).with_flip(FlipModel::MostSignificant),
+        )
+        .unwrap();
+        assert!(heavy.injected_errors > 0);
+        assert!(
+            heavy.top1 <= clean.top1,
+            "faulty accuracy {} should not exceed clean {}",
+            heavy.top1,
+            clean.top1
+        );
+    }
+
+    #[test]
+    fn accuracy_degrades_monotonically_in_expectation() {
+        let (model, dataset) = fitted_model_and_data();
+        let low = evaluate(&model, &dataset, &FaultConfig::uniform(0.001, 3)).unwrap();
+        let high = evaluate(&model, &dataset, &FaultConfig::uniform(0.3, 3)).unwrap();
+        assert!(high.injected_errors > low.injected_errors);
+    }
+
+    #[test]
+    fn per_layer_bers_only_touch_listed_layers() {
+        let (model, dataset) = fitted_model_and_data();
+        // Errors only in layer 0.
+        let cfg = FaultConfig::per_layer(vec![0.9], 5);
+        let acc = evaluate(&model, &dataset, &cfg).unwrap();
+        assert!(acc.injected_errors > 0);
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_inputs() {
+        let (model, dataset) = fitted_model_and_data();
+        assert!(evaluate_topk(&model, &dataset, &FaultConfig::clean(), 0).is_err());
+    }
+
+    #[test]
+    fn seeds_change_injection_pattern_not_counts_wildly() {
+        let (model, dataset) = fitted_model_and_data();
+        let a = evaluate(&model, &dataset, &FaultConfig::uniform(0.05, 1)).unwrap();
+        let b = evaluate(&model, &dataset, &FaultConfig::uniform(0.05, 2)).unwrap();
+        let ratio = a.injected_errors.max(1) as f64 / b.injected_errors.max(1) as f64;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+}

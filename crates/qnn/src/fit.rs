@@ -1,0 +1,158 @@
+//! Closed-form classifier-head fitting.
+//!
+//! With random (synthetic) convolutional features, the classifier head must
+//! still separate the dataset's classes for the accuracy experiments to be
+//! meaningful.  Rather than training end-to-end, the head is fitted in
+//! closed form: the model is calibrated on a subset of the data, every
+//! image's penultimate feature vector is extracted, per-class feature
+//! centroids are computed, and the final linear layer's weights are set to
+//! the (mean-removed) centroids — nearest-centroid classification expressed
+//! as a linear layer.  This mirrors post-training head re-fitting and gives
+//! clean accuracies in the realistic range without a training framework.
+
+use crate::data::Dataset;
+use crate::error::QnnError;
+use crate::model::Model;
+use crate::quant::clamp_i8;
+
+/// Calibrates the model's quantization scales and fits its classifier head
+/// to the dataset's class centroids.
+///
+/// Returns the fraction of dataset samples the fitted model classifies
+/// correctly (clean accuracy), so callers can check the model is usable
+/// before running error-injection experiments.
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidDataset`] for an empty dataset or a dataset
+/// whose class count does not match the model, and propagates shape errors
+/// from the forward passes.
+pub fn fit_classifier_head(model: &mut Model, dataset: &Dataset) -> Result<f64, QnnError> {
+    if dataset.is_empty() {
+        return Err(QnnError::dataset("cannot fit a head on an empty dataset"));
+    }
+    if dataset.num_classes() != model.num_classes() {
+        return Err(QnnError::dataset(format!(
+            "dataset has {} classes but the model expects {}",
+            dataset.num_classes(),
+            model.num_classes()
+        )));
+    }
+
+    // 1. Calibrate requantization scales on a small subset.
+    let calib = dataset.take(8);
+    model.calibrate(calib.images())?;
+
+    // 2. Extract penultimate features for every sample.
+    let mut features = Vec::with_capacity(dataset.len());
+    for (image, _) in dataset.iter() {
+        features.push(model.penultimate_features(image)?);
+    }
+    let feature_dim = features[0].len();
+    if feature_dim != model.classifier().in_features() {
+        return Err(QnnError::shape(format!(
+            "feature length {} != classifier input {}",
+            feature_dim,
+            model.classifier().in_features()
+        )));
+    }
+
+    // 3. Per-class centroids and the global mean.
+    let num_classes = model.num_classes();
+    let mut sums = vec![vec![0f64; feature_dim]; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (feat, (_, label)) in features.iter().zip(dataset.iter()) {
+        counts[label] += 1;
+        for (s, &f) in sums[label].iter_mut().zip(feat) {
+            *s += f64::from(f);
+        }
+    }
+    let mut centroids = vec![vec![0f64; feature_dim]; num_classes];
+    for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+        if count == 0 {
+            continue;
+        }
+        for (ci, s) in c.iter_mut().zip(sum) {
+            *ci = s / count as f64;
+        }
+    }
+    let mut mean = vec![0f64; feature_dim];
+    for c in &centroids {
+        for (m, v) in mean.iter_mut().zip(c) {
+            *m += v / num_classes as f64;
+        }
+    }
+
+    // 4. Write the mean-removed centroids into the classifier weights,
+    //    scaled to use the int8 range, and set the bias to the nearest
+    //    -centroid offset (-0.5 * ||centroid||^2 expressed in the same
+    //    scale).
+    let max_abs = centroids
+        .iter()
+        .flat_map(|c| c.iter().zip(&mean).map(|(v, m)| (v - m).abs()))
+        .fold(1e-6f64, f64::max);
+    let w_scale = 127.0 / max_abs;
+    let classifier = model.classifier_mut();
+    let in_features = classifier.in_features();
+    let mut bias = vec![0i32; num_classes];
+    for (class, centroid) in centroids.iter().enumerate() {
+        let row =
+            &mut classifier.weights_mut()[class * in_features..(class + 1) * in_features];
+        let mut norm_sq = 0f64;
+        let mut dot_mean = 0f64;
+        for ((w, v), m) in row.iter_mut().zip(centroid).zip(&mean) {
+            let centred = v - m;
+            *w = clamp_i8((centred * w_scale) as f32);
+            norm_sq += centred * centred;
+            dot_mean += centred * m;
+        }
+        // Nearest-centroid discriminant with mean-removed centroids ĉ:
+        // argmin ||x - c||² ⇔ argmax ĉ·(x - m) - 0.5||ĉ||²,
+        // so the bias folds in both the -ĉ·m and the -0.5||ĉ||² terms
+        // (in the same quantized units as the weight row).
+        bias[class] = ((-0.5 * norm_sq - dot_mean) * w_scale).round() as i32;
+    }
+    classifier.set_bias(bias)?;
+
+    // 5. Report clean accuracy.
+    let mut correct = 0usize;
+    for (image, label) in dataset.iter() {
+        if model.predict(image)? == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / dataset.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDatasetBuilder;
+    use crate::models;
+
+    #[test]
+    fn fitted_head_separates_synthetic_classes() {
+        let mut model = models::vgg11_cifar_scaled(8, 6, 3).unwrap();
+        let dataset = SyntheticDatasetBuilder::new(6, [3, 16, 16])
+            .samples_per_class(4)
+            .noise(10.0)
+            .seed(11)
+            .build()
+            .unwrap();
+        let accuracy = fit_classifier_head(&mut model, &dataset).unwrap();
+        // Nearest-centroid on random-conv features separates smooth
+        // prototypes well; anything far above chance (1/6) demonstrates the
+        // head fit worked.
+        assert!(accuracy > 0.5, "clean accuracy {accuracy}");
+    }
+
+    #[test]
+    fn fit_rejects_mismatched_class_counts() {
+        let mut model = models::vgg11_cifar_scaled(8, 4, 0).unwrap();
+        let dataset = SyntheticDatasetBuilder::new(3, [3, 16, 16])
+            .samples_per_class(2)
+            .build()
+            .unwrap();
+        assert!(fit_classifier_head(&mut model, &dataset).is_err());
+    }
+}

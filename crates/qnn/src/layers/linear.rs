@@ -1,0 +1,176 @@
+//! Fully connected (linear) layer with int8 weights and i32 logits.
+
+use crate::error::QnnError;
+
+/// A fully connected layer mapping an int8 feature vector to i32 logits.
+///
+/// The classifier head of every model in the zoo is a `Linear` layer; its
+/// raw i32 outputs are used directly for arg-max classification, so no
+/// requantization is applied.
+///
+/// # Example
+///
+/// ```
+/// use qnn::layers::Linear;
+///
+/// # fn main() -> Result<(), qnn::QnnError> {
+/// let layer = Linear::new("fc", 4, 2, |o, i| if o == i { 1 } else { 0 })?;
+/// let logits = layer.forward(&[10, 20, 30, 40])?;
+/// assert_eq!(logits, vec![10, 20]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Linear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    /// Row-major `[out_features][in_features]` weights.
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+}
+
+impl Linear {
+    /// Creates a linear layer, initialising every weight via `init(out, in)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidConfig`] for zero-sized dimensions.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        mut init: impl FnMut(usize, usize) -> i8,
+    ) -> Result<Self, QnnError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(QnnError::config("linear dimensions must be non-zero"));
+        }
+        let mut weights = Vec::with_capacity(in_features * out_features);
+        for o in 0..out_features {
+            for i in 0..in_features {
+                weights.push(init(o, i));
+            }
+        }
+        Ok(Linear {
+            name: name.into(),
+            in_features,
+            out_features,
+            weights,
+            bias: vec![0; out_features],
+        })
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Mutably borrow the row-major weight storage.
+    pub fn weights_mut(&mut self) -> &mut [i8] {
+        &mut self.weights
+    }
+
+    /// Borrow the row-major weight storage.
+    pub fn weights(&self) -> &[i8] {
+        &self.weights
+    }
+
+    /// Sets the per-output bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::ShapeMismatch`] if the length differs from the
+    /// output feature count.
+    pub fn set_bias(&mut self, bias: Vec<i32>) -> Result<(), QnnError> {
+        if bias.len() != self.out_features {
+            return Err(QnnError::shape(format!(
+                "bias length {} != output features {}",
+                bias.len(),
+                self.out_features
+            )));
+        }
+        self.bias = bias;
+        Ok(())
+    }
+
+    /// Computes the i32 logits for an int8 feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::ShapeMismatch`] if the feature length differs
+    /// from the layer's input size.
+    pub fn forward(&self, features: &[i8]) -> Result<Vec<i32>, QnnError> {
+        if features.len() != self.in_features {
+            return Err(QnnError::shape(format!(
+                "layer {} expects {} features, got {}",
+                self.name,
+                self.in_features,
+                features.len()
+            )));
+        }
+        let mut logits = Vec::with_capacity(self.out_features);
+        for o in 0..self.out_features {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = self.bias[o];
+            for (w, a) in row.iter().zip(features) {
+                acc += i32::from(*w) * i32::from(*a);
+            }
+            logits.push(acc);
+        }
+        Ok(logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(Linear::new("fc", 0, 2, |_, _| 0).is_err());
+        assert!(Linear::new("fc", 2, 0, |_, _| 0).is_err());
+    }
+
+    #[test]
+    fn forward_computes_dot_products() {
+        let layer = Linear::new("fc", 3, 2, |o, i| (o * 3 + i) as i8).unwrap();
+        let logits = layer.forward(&[1, 2, 3]).unwrap();
+        // Row 0 = [0,1,2] -> 0+2+6 = 8; row 1 = [3,4,5] -> 3+8+15 = 26.
+        assert_eq!(logits, vec![8, 26]);
+    }
+
+    #[test]
+    fn bias_offsets_logits() {
+        let mut layer = Linear::new("fc", 2, 2, |_, _| 0).unwrap();
+        layer.set_bias(vec![5, -5]).unwrap();
+        assert_eq!(layer.forward(&[1, 1]).unwrap(), vec![5, -5]);
+        assert!(layer.set_bias(vec![0]).is_err());
+    }
+
+    #[test]
+    fn feature_length_checked() {
+        let layer = Linear::new("fc", 3, 2, |_, _| 1).unwrap();
+        assert!(layer.forward(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut layer = Linear::new("fc", 3, 2, |_, _| 1).unwrap();
+        assert_eq!(layer.name(), "fc");
+        assert_eq!(layer.in_features(), 3);
+        assert_eq!(layer.out_features(), 2);
+        assert_eq!(layer.weights().len(), 6);
+        layer.weights_mut()[0] = 7;
+        assert_eq!(layer.weights()[0], 7);
+    }
+}

@@ -1,0 +1,18 @@
+//! Neural-network layers operating on int8 tensors with i32 accumulation.
+
+pub mod conv;
+pub mod linear;
+pub mod pool;
+
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use pool::{global_avg_pool, max_pool2};
+
+/// A hook invoked on every pre-activation accumulator value, used by the
+/// fault-injection machinery.  The identity hook is a no-op.
+pub type AccumulatorHook<'a> = &'a mut dyn FnMut(i32) -> i32;
+
+/// The identity accumulator hook (no fault injection).
+pub fn identity_hook(acc: i32) -> i32 {
+    acc
+}

@@ -1,0 +1,119 @@
+//! Pooling operations on int8 tensors.
+
+use crate::error::QnnError;
+use crate::tensor::Tensor;
+
+/// 2x2 max pooling with stride 2.
+///
+/// Odd trailing rows/columns are dropped, as in the standard floor-mode
+/// pooling used by VGG/ResNet.
+///
+/// # Errors
+///
+/// Returns [`QnnError::ShapeMismatch`] if the spatial size is smaller than
+/// the pooling window.
+///
+/// # Example
+///
+/// ```
+/// use qnn::layers::max_pool2;
+/// use qnn::Tensor;
+///
+/// # fn main() -> Result<(), qnn::QnnError> {
+/// let t = Tensor::from_fn([1, 4, 4], |_, y, x| (y * 4 + x) as i8);
+/// let pooled = max_pool2(&t)?;
+/// assert_eq!(pooled.shape(), [1, 2, 2]);
+/// assert_eq!(pooled.get(0, 0, 0), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_pool2(input: &Tensor<i8>) -> Result<Tensor<i8>, QnnError> {
+    if input.height() < 2 || input.width() < 2 {
+        return Err(QnnError::shape(format!(
+            "max_pool2 requires at least 2x2 input, got {}x{}",
+            input.height(),
+            input.width()
+        )));
+    }
+    let out_h = input.height() / 2;
+    let out_w = input.width() / 2;
+    let mut out = Tensor::<i8>::zeros([input.channels(), out_h, out_w]);
+    for c in 0..input.channels() {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let m = input
+                    .get(c, 2 * y, 2 * x)
+                    .max(input.get(c, 2 * y, 2 * x + 1))
+                    .max(input.get(c, 2 * y + 1, 2 * x))
+                    .max(input.get(c, 2 * y + 1, 2 * x + 1));
+                out.set(c, y, x, m);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: averages every channel's spatial map down to a
+/// single value (round-to-nearest).
+///
+/// # Errors
+///
+/// Returns [`QnnError::ShapeMismatch`] for an empty spatial map.
+pub fn global_avg_pool(input: &Tensor<i8>) -> Result<Vec<i8>, QnnError> {
+    let area = input.height() * input.width();
+    if area == 0 {
+        return Err(QnnError::shape("global_avg_pool requires a non-empty map"));
+    }
+    let mut out = Vec::with_capacity(input.channels());
+    for c in 0..input.channels() {
+        let mut sum = 0i32;
+        for y in 0..input.height() {
+            for x in 0..input.width() {
+                sum += i32::from(input.get(c, y, x));
+            }
+        }
+        let avg = (sum as f32 / area as f32).round();
+        out.push(avg.clamp(-128.0, 127.0) as i8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let t = Tensor::from_vec([1, 2, 4], vec![1i8, 5, -3, 2, 0, -1, 7, 7]).unwrap();
+        let p = max_pool2(&t).unwrap();
+        assert_eq!(p.shape(), [1, 1, 2]);
+        assert_eq!(p.get(0, 0, 0), 5);
+        assert_eq!(p.get(0, 0, 1), 7);
+    }
+
+    #[test]
+    fn max_pool_drops_odd_edges() {
+        let t = Tensor::from_fn([2, 5, 5], |c, y, x| (c * 25 + y * 5 + x) as i8);
+        let p = max_pool2(&t).unwrap();
+        assert_eq!(p.shape(), [2, 2, 2]);
+    }
+
+    #[test]
+    fn max_pool_rejects_tiny_inputs() {
+        let t = Tensor::<i8>::zeros([1, 1, 4]);
+        assert!(max_pool2(&t).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_averages() {
+        let t = Tensor::from_vec([2, 1, 2], vec![10i8, 20, -10, -20]).unwrap();
+        let v = global_avg_pool(&t).unwrap();
+        assert_eq!(v, vec![15, -15]);
+    }
+
+    #[test]
+    fn global_avg_pool_rejects_empty_map() {
+        let t = Tensor::<i8>::zeros([2, 0, 3]);
+        assert!(global_avg_pool(&t).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Quantized (int8) convolutional-neural-network inference substrate.
+//!
+//! The READ paper evaluates its dataflow optimization on VGG-16, ResNet-18
+//! and ResNet-34, quantized to 8-bit weights and activations, and measures
+//! accuracy under timing-error injection.  This crate provides everything
+//! needed to reproduce that pipeline without external frameworks or trained
+//! checkpoints:
+//!
+//! * [`tensor`] / [`quant`] — NCHW integer tensors and symmetric int8
+//!   quantization with 32-bit accumulators, matching the accelerator's
+//!   datapath (8-bit operands, 24-bit partial sums).
+//! * [`layers`] — convolution, linear, ReLU, pooling and residual blocks.
+//! * [`model`] / [`models`] — a sequential-with-residuals model container
+//!   and builders for the paper's networks (optionally width-scaled so the
+//!   error-injection experiments run at laptop scale).
+//! * [`init`] / [`data`] / [`fit`] — synthetic "trained" weights
+//!   (He-initialised, realistically sign-balanced), synthetic class-
+//!   prototype datasets, and a closed-form classifier-head fit that brings
+//!   clean accuracy into the realistic range.
+//! * [`fault`] — the paper's error-injection protocol: flip accumulator
+//!   bits of the pre-activation outputs at the per-layer BER derived from
+//!   the measured TER, then measure top-1/top-k accuracy.
+//!
+//! # Example
+//!
+//! ```
+//! use qnn::{models, Dataset, FaultConfig, SyntheticDatasetBuilder};
+//!
+//! # fn main() -> Result<(), qnn::QnnError> {
+//! // A small width-scaled VGG-style network and a matching dataset.
+//! let mut model = models::vgg11_cifar_scaled(8, 10, 1)?;
+//! let dataset = SyntheticDatasetBuilder::new(10, [3, 32, 32])
+//!     .samples_per_class(2)
+//!     .seed(7)
+//!     .build()?;
+//! qnn::fit::fit_classifier_head(&mut model, &dataset)?;
+//! let clean = qnn::fault::evaluate(&model, &dataset, &FaultConfig::clean())?;
+//! assert!(clean.top1 >= 0.0 && clean.top1 <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod error;
+pub mod fault;
+pub mod fit;
+pub mod init;
+pub mod layers;
+pub mod model;
+pub mod models;
+pub mod quant;
+pub mod tensor;
+
+pub use data::{Dataset, SyntheticDatasetBuilder};
+pub use error::QnnError;
+pub use fault::{evaluate, Accuracy, FaultConfig, FlipModel};
+pub use model::{LayerKind, Model};
+pub use quant::QuantParams;
+pub use tensor::Tensor;

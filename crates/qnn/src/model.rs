@@ -1,0 +1,618 @@
+//! Model container: a sequence of layers (with residual blocks) ending in a
+//! classifier head.
+
+use crate::error::QnnError;
+use crate::layers::{global_avg_pool, max_pool2, Conv2d, Linear};
+use crate::tensor::Tensor;
+
+/// A ResNet-style basic block: two 3x3 convolutions with a shortcut
+/// connection (optionally a 1x1 strided downsample convolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualBlock {
+    /// First convolution (followed by ReLU).
+    pub conv1: Conv2d,
+    /// Second convolution (no activation before the shortcut add).
+    pub conv2: Conv2d,
+    /// Optional shortcut projection when the shape changes.
+    pub downsample: Option<Conv2d>,
+}
+
+/// One stage of a [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// Convolution, optionally followed by ReLU.
+    Conv {
+        /// The convolution layer.
+        conv: Conv2d,
+        /// Whether a ReLU follows the convolution.
+        relu: bool,
+    },
+    /// 2x2 max pooling with stride 2.
+    MaxPool2,
+    /// Global average pooling (produces the feature vector).
+    GlobalAvgPool,
+    /// Residual basic block.
+    Residual(ResidualBlock),
+    /// Final classifier: flattens the current features and produces logits.
+    Classifier(Linear),
+}
+
+/// Receives every convolution-layer accumulator during a faulty forward
+/// pass; implementations inject bit flips at the configured BER.
+pub trait ConvFaultHook {
+    /// Possibly corrupts the accumulator value of convolution layer
+    /// `conv_index` (execution order).
+    fn corrupt(&mut self, conv_index: usize, acc: i32) -> i32;
+}
+
+/// A no-fault hook.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl ConvFaultHook for NoFaults {
+    fn corrupt(&mut self, _conv_index: usize, acc: i32) -> i32 {
+        acc
+    }
+}
+
+/// Intermediate feature state while running a model.
+enum Features {
+    Map(Tensor<i8>),
+    Vector(Vec<i8>),
+}
+
+impl Features {
+    fn into_vector(self) -> Vec<i8> {
+        match self {
+            Features::Map(t) => t.into_vec(),
+            Features::Vector(v) => v,
+        }
+    }
+
+    fn as_map(&self) -> Result<&Tensor<i8>, QnnError> {
+        match self {
+            Features::Map(t) => Ok(t),
+            Features::Vector(_) => Err(QnnError::shape(
+                "expected a spatial feature map but found a flattened vector",
+            )),
+        }
+    }
+}
+
+/// A quantized CNN: a sequence of [`LayerKind`] stages ending in a
+/// classifier.
+///
+/// # Example
+///
+/// ```
+/// use qnn::layers::{Conv2d, Linear};
+/// use qnn::{LayerKind, Model, Tensor};
+///
+/// # fn main() -> Result<(), qnn::QnnError> {
+/// let layers = vec![
+///     LayerKind::Conv {
+///         conv: Conv2d::new("conv1", 1, 4, 3, 1, 1, |_, _, _, _| 1)?,
+///         relu: true,
+///     },
+///     LayerKind::GlobalAvgPool,
+///     LayerKind::Classifier(Linear::new("fc", 4, 3, |o, i| (o == i) as i8)?),
+/// ];
+/// let model = Model::new("tiny", layers)?;
+/// let input = Tensor::from_fn([1, 8, 8], |_, y, x| ((y + x) % 3) as i8);
+/// let logits = model.forward(&input)?;
+/// assert_eq!(logits.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    name: String,
+    layers: Vec<LayerKind>,
+    num_classes: usize,
+}
+
+impl Model {
+    /// Creates a model from a stage list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidConfig`] unless the last stage (and only
+    /// the last stage) is a [`LayerKind::Classifier`].
+    pub fn new(name: impl Into<String>, layers: Vec<LayerKind>) -> Result<Self, QnnError> {
+        let classifier_positions: Vec<usize> = layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, LayerKind::Classifier(_)))
+            .map(|(i, _)| i)
+            .collect();
+        match (classifier_positions.as_slice(), layers.len()) {
+            ([last], n) if *last == n - 1 => {}
+            _ => {
+                return Err(QnnError::config(
+                    "a model must contain exactly one classifier, as its final stage",
+                ))
+            }
+        }
+        let num_classes = match layers.last() {
+            Some(LayerKind::Classifier(linear)) => linear.out_features(),
+            _ => unreachable!("validated above"),
+        };
+        Ok(Model {
+            name: name.into(),
+            layers,
+            num_classes,
+        })
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Borrow the stage list.
+    pub fn layers(&self) -> &[LayerKind] {
+        &self.layers
+    }
+
+    /// The convolution layers in execution order (residual blocks contribute
+    /// `conv1`, `conv2`, then the optional downsample projection).
+    pub fn conv_layers(&self) -> Vec<&Conv2d> {
+        let mut convs = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Conv { conv, .. } => convs.push(conv),
+                LayerKind::Residual(block) => {
+                    convs.push(&block.conv1);
+                    convs.push(&block.conv2);
+                    if let Some(ds) = &block.downsample {
+                        convs.push(ds);
+                    }
+                }
+                _ => {}
+            }
+        }
+        convs
+    }
+
+    /// Mutable access to the convolution layers in execution order.
+    pub fn conv_layers_mut(&mut self) -> Vec<&mut Conv2d> {
+        let mut convs = Vec::new();
+        for layer in &mut self.layers {
+            match layer {
+                LayerKind::Conv { conv, .. } => convs.push(conv),
+                LayerKind::Residual(block) => {
+                    convs.push(&mut block.conv1);
+                    convs.push(&mut block.conv2);
+                    if let Some(ds) = &mut block.downsample {
+                        convs.push(ds);
+                    }
+                }
+                _ => {}
+            }
+        }
+        convs
+    }
+
+    /// Number of convolution layers (the per-layer BER vector must have this
+    /// length).
+    pub fn num_conv_layers(&self) -> usize {
+        self.conv_layers().len()
+    }
+
+    /// Mutable access to the classifier head.
+    pub fn classifier_mut(&mut self) -> &mut Linear {
+        match self.layers.last_mut() {
+            Some(LayerKind::Classifier(linear)) => linear,
+            _ => unreachable!("constructor guarantees a classifier tail"),
+        }
+    }
+
+    /// The classifier head.
+    pub fn classifier(&self) -> &Linear {
+        match self.layers.last() {
+            Some(LayerKind::Classifier(linear)) => linear,
+            _ => unreachable!("constructor guarantees a classifier tail"),
+        }
+    }
+
+    /// Fault-free forward pass producing the class logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::ShapeMismatch`] when the input does not match the
+    /// first layer.
+    pub fn forward(&self, input: &Tensor<i8>) -> Result<Vec<i32>, QnnError> {
+        self.forward_with_faults(input, &mut NoFaults)
+    }
+
+    /// Forward pass with a fault hook applied to every convolution
+    /// accumulator (the paper's error-injection point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::ShapeMismatch`] when tensor shapes do not match
+    /// the layer configuration.
+    pub fn forward_with_faults(
+        &self,
+        input: &Tensor<i8>,
+        faults: &mut dyn ConvFaultHook,
+    ) -> Result<Vec<i32>, QnnError> {
+        let features = self.run_feature_stages(input, faults)?;
+        self.classifier().forward(&features.into_vector())
+    }
+
+    /// The penultimate (pre-classifier) feature vector of a fault-free pass,
+    /// used to fit the classifier head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::ShapeMismatch`] when the input does not match the
+    /// model.
+    pub fn penultimate_features(&self, input: &Tensor<i8>) -> Result<Vec<i8>, QnnError> {
+        Ok(self
+            .run_feature_stages(input, &mut NoFaults)?
+            .into_vector())
+    }
+
+    /// Predicted class (arg-max of the logits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(&self, input: &Tensor<i8>) -> Result<usize, QnnError> {
+        let logits = self.forward(input)?;
+        Ok(argmax(&logits))
+    }
+
+    /// The classes ranked by decreasing logit.
+    pub fn rank_classes(logits: &[i32]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..logits.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(logits[i]));
+        order
+    }
+
+    /// Calibrates the requantization scale of every convolution layer so the
+    /// observed accumulator range of the calibration images maps onto int8.
+    ///
+    /// Calibration proceeds layer by layer (standard post-training
+    /// quantization): each convolution's scale is chosen from the
+    /// accumulator range it sees *after* all earlier layers have already
+    /// been calibrated, so deep networks neither saturate nor collapse to
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidDataset`] when `images` is empty, or
+    /// shape errors when an image does not match the model.
+    pub fn calibrate(&mut self, images: &[Tensor<i8>]) -> Result<(), QnnError> {
+        if images.is_empty() {
+            return Err(QnnError::dataset("calibration requires at least one image"));
+        }
+        let mut maps: Vec<Tensor<i8>> = images.to_vec();
+
+        // Calibrates one convolution on the current feature maps and returns
+        // its outputs computed with the freshly chosen scale.
+        fn calibrate_conv(
+            conv: &mut Conv2d,
+            inputs: &[Tensor<i8>],
+            relu: bool,
+        ) -> Result<Vec<Tensor<i8>>, QnnError> {
+            let mut max_abs = 1i32;
+            let mut accumulators = Vec::with_capacity(inputs.len());
+            for input in inputs {
+                let acc = conv.forward_accumulators(input)?;
+                for &v in acc.as_slice() {
+                    max_abs = max_abs.max(v.saturating_abs());
+                }
+                accumulators.push(acc);
+            }
+            conv.set_out_scale(127.0 / max_abs.max(1) as f32)?;
+            let scale = conv.out_scale();
+            Ok(accumulators
+                .into_iter()
+                .map(|acc| {
+                    acc.map(|v| {
+                        let q = crate::quant::requantize(v, scale);
+                        if relu {
+                            q.max(0)
+                        } else {
+                            q
+                        }
+                    })
+                })
+                .collect())
+        }
+
+        for layer in &mut self.layers {
+            match layer {
+                LayerKind::Conv { conv, relu } => {
+                    maps = calibrate_conv(conv, &maps, *relu)?;
+                }
+                LayerKind::MaxPool2 => {
+                    let mut next = Vec::with_capacity(maps.len());
+                    for map in &maps {
+                        if map.height() < 2 || map.width() < 2 {
+                            next.push(map.clone());
+                        } else {
+                            next.push(max_pool2(map)?);
+                        }
+                    }
+                    maps = next;
+                }
+                LayerKind::Residual(block) => {
+                    let hidden = calibrate_conv(&mut block.conv1, &maps, true)?;
+                    let main = calibrate_conv(&mut block.conv2, &hidden, false)?;
+                    let shortcuts = match &mut block.downsample {
+                        Some(ds) => calibrate_conv(ds, &maps, false)?,
+                        None => maps.clone(),
+                    };
+                    let mut next = Vec::with_capacity(maps.len());
+                    for (m, s) in main.into_iter().zip(&shortcuts) {
+                        let mut sum = m.clone();
+                        for (o, (a, b)) in sum
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(m.as_slice().iter().zip(s.as_slice()))
+                        {
+                            *o = a.saturating_add(*b).max(0);
+                        }
+                        next.push(sum);
+                    }
+                    maps = next;
+                }
+                LayerKind::GlobalAvgPool | LayerKind::Classifier(_) => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn run_feature_stages(
+        &self,
+        input: &Tensor<i8>,
+        faults: &mut dyn ConvFaultHook,
+    ) -> Result<Features, QnnError> {
+        let mut features = Features::Map(input.clone());
+        let mut conv_index = 0usize;
+        for layer in &self.layers {
+            features = match layer {
+                LayerKind::Conv { conv, relu } => {
+                    let map = features.as_map()?;
+                    let idx = conv_index;
+                    conv_index += 1;
+                    let mut hook = |acc: i32| faults.corrupt(idx, acc);
+                    Features::Map(conv.forward_with(map, *relu, &mut hook)?)
+                }
+                LayerKind::MaxPool2 => {
+                    let map = features.as_map()?;
+                    if map.height() < 2 || map.width() < 2 {
+                        // Feature map already collapsed to a single pixel
+                        // (small inputs through a deep plan): pooling is a
+                        // no-op rather than an error.
+                        Features::Map(map.clone())
+                    } else {
+                        Features::Map(max_pool2(map)?)
+                    }
+                }
+                LayerKind::GlobalAvgPool => {
+                    Features::Vector(global_avg_pool(features.as_map()?)?)
+                }
+                LayerKind::Residual(block) => {
+                    let map = features.as_map()?;
+                    let idx1 = conv_index;
+                    let idx2 = conv_index + 1;
+                    conv_index += 2;
+                    let mut hook1 = |acc: i32| faults.corrupt(idx1, acc);
+                    let hidden = block.conv1.forward_with(map, true, &mut hook1)?;
+                    let mut hook2 = |acc: i32| faults.corrupt(idx2, acc);
+                    let main = block.conv2.forward_with(&hidden, false, &mut hook2)?;
+                    let shortcut = match &block.downsample {
+                        Some(ds) => {
+                            let idx3 = conv_index;
+                            conv_index += 1;
+                            let mut hook3 = |acc: i32| faults.corrupt(idx3, acc);
+                            ds.forward_with(map, false, &mut hook3)?
+                        }
+                        None => map.clone(),
+                    };
+                    if shortcut.shape() != main.shape() {
+                        return Err(QnnError::shape(format!(
+                            "residual shapes differ: {:?} vs {:?}",
+                            shortcut.shape(),
+                            main.shape()
+                        )));
+                    }
+                    let mut sum = main.clone();
+                    for (s, (m, sc)) in sum
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(main.as_slice().iter().zip(shortcut.as_slice()))
+                    {
+                        *s = m.saturating_add(*sc).max(0);
+                    }
+                    Features::Map(sum)
+                }
+                LayerKind::Classifier(_) => break,
+            };
+        }
+        Ok(features)
+    }
+}
+
+/// Index of the maximum logit (ties resolve to the first maximum).
+pub fn argmax(logits: &[i32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &v)| (v, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> Model {
+        let layers = vec![
+            LayerKind::Conv {
+                conv: Conv2d::new("c1", 1, 4, 3, 1, 1, |k, c, dy, dx| {
+                    (((k * 3 + c + dy + dx) % 5) as i8) - 2
+                })
+                .unwrap(),
+                relu: true,
+            },
+            LayerKind::MaxPool2,
+            LayerKind::Conv {
+                conv: Conv2d::new("c2", 4, 8, 3, 1, 1, |k, c, dy, dx| {
+                    (((k + c * 2 + dy + dx) % 7) as i8) - 3
+                })
+                .unwrap(),
+                relu: true,
+            },
+            LayerKind::GlobalAvgPool,
+            LayerKind::Classifier(Linear::new("fc", 8, 3, |o, i| ((o + i) % 3) as i8 - 1).unwrap()),
+        ];
+        Model::new("tiny", layers).unwrap()
+    }
+
+    fn residual_model() -> Model {
+        let block = ResidualBlock {
+            conv1: Conv2d::new("b1c1", 4, 4, 3, 1, 1, |k, c, _, _| ((k + c) % 3) as i8 - 1)
+                .unwrap(),
+            conv2: Conv2d::new("b1c2", 4, 4, 3, 1, 1, |k, c, _, _| ((k * c) % 3) as i8 - 1)
+                .unwrap(),
+            downsample: None,
+        };
+        let strided = ResidualBlock {
+            conv1: Conv2d::new("b2c1", 4, 8, 3, 2, 1, |_, _, _, _| 1).unwrap(),
+            conv2: Conv2d::new("b2c2", 8, 8, 3, 1, 1, |_, _, _, _| 1).unwrap(),
+            downsample: Some(Conv2d::new("b2ds", 4, 8, 1, 2, 0, |_, _, _, _| 1).unwrap()),
+        };
+        let layers = vec![
+            LayerKind::Conv {
+                conv: Conv2d::new("stem", 1, 4, 3, 1, 1, |_, _, _, _| 1).unwrap(),
+                relu: true,
+            },
+            LayerKind::Residual(block),
+            LayerKind::Residual(strided),
+            LayerKind::GlobalAvgPool,
+            LayerKind::Classifier(Linear::new("fc", 8, 4, |o, i| (o == i) as i8).unwrap()),
+        ];
+        Model::new("resnet-tiny", layers).unwrap()
+    }
+
+    #[test]
+    fn model_requires_trailing_classifier() {
+        let missing = Model::new(
+            "bad",
+            vec![LayerKind::Conv {
+                conv: Conv2d::new("c", 1, 1, 1, 1, 0, |_, _, _, _| 1).unwrap(),
+                relu: true,
+            }],
+        );
+        assert!(missing.is_err());
+        let misplaced = Model::new(
+            "bad",
+            vec![
+                LayerKind::Classifier(Linear::new("fc", 4, 2, |_, _| 1).unwrap()),
+                LayerKind::GlobalAvgPool,
+            ],
+        );
+        assert!(misplaced.is_err());
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let model = tiny_model();
+        let input = Tensor::from_fn([1, 8, 8], |_, y, x| ((y * 3 + x) % 5) as i8);
+        let logits = model.forward(&input).unwrap();
+        assert_eq!(logits.len(), 3);
+        assert_eq!(model.num_classes(), 3);
+        let class = model.predict(&input).unwrap();
+        assert!(class < 3);
+    }
+
+    #[test]
+    fn conv_layer_enumeration() {
+        let model = residual_model();
+        let convs = model.conv_layers();
+        assert_eq!(convs.len(), 6); // stem + 2 + (2 + downsample)
+        assert_eq!(model.num_conv_layers(), 6);
+        assert_eq!(convs[0].name(), "stem");
+        assert_eq!(convs[5].name(), "b2ds");
+    }
+
+    #[test]
+    fn residual_forward_runs_and_matches_shapes() {
+        let model = residual_model();
+        let input = Tensor::from_fn([1, 8, 8], |_, y, x| ((y + x) % 4) as i8);
+        let logits = model.forward(&input).unwrap();
+        assert_eq!(logits.len(), 4);
+        let features = model.penultimate_features(&input).unwrap();
+        assert_eq!(features.len(), 8);
+    }
+
+    #[test]
+    fn fault_hook_receives_all_conv_layers() {
+        struct Counter {
+            seen: Vec<u64>,
+        }
+        impl ConvFaultHook for Counter {
+            fn corrupt(&mut self, conv_index: usize, acc: i32) -> i32 {
+                self.seen[conv_index] += 1;
+                acc
+            }
+        }
+        let model = residual_model();
+        let input = Tensor::from_fn([1, 8, 8], |_, y, x| ((y + x) % 4) as i8);
+        let mut counter = Counter {
+            seen: vec![0; model.num_conv_layers()],
+        };
+        model.forward_with_faults(&input, &mut counter).unwrap();
+        assert!(counter.seen.iter().all(|&n| n > 0), "{:?}", counter.seen);
+    }
+
+    #[test]
+    fn corrupting_faults_change_predictions_eventually() {
+        struct SmashEverything;
+        impl ConvFaultHook for SmashEverything {
+            fn corrupt(&mut self, _conv_index: usize, _acc: i32) -> i32 {
+                1 << 22
+            }
+        }
+        let model = tiny_model();
+        let input = Tensor::from_fn([1, 8, 8], |_, y, x| ((y * 7 + x) % 5) as i8);
+        let clean = model.forward(&input).unwrap();
+        let faulty = model
+            .forward_with_faults(&input, &mut SmashEverything)
+            .unwrap();
+        assert_ne!(clean, faulty);
+    }
+
+    #[test]
+    fn calibration_sets_scales_from_data() {
+        let mut model = tiny_model();
+        let before: Vec<f32> = model.conv_layers().iter().map(|c| c.out_scale()).collect();
+        let images: Vec<Tensor<i8>> = (0..3)
+            .map(|s| Tensor::from_fn([1, 8, 8], |_, y, x| ((y + x + s) % 6) as i8))
+            .collect();
+        model.calibrate(&images).unwrap();
+        let after: Vec<f32> = model.conv_layers().iter().map(|c| c.out_scale()).collect();
+        assert_ne!(before, after);
+        assert!(after.iter().all(|&s| s > 0.0 && s.is_finite()));
+        assert!(model.calibrate(&[]).is_err());
+    }
+
+    #[test]
+    fn rank_classes_orders_by_logit() {
+        assert_eq!(Model::rank_classes(&[3, 9, -1, 9]), vec![1, 3, 0, 2]);
+        assert_eq!(argmax(&[1, 5, 5, 2]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

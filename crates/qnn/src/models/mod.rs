@@ -1,0 +1,76 @@
+//! Model zoo: the networks evaluated in the paper (VGG-16, ResNet-18,
+//! ResNet-34) plus smaller variants used by the laptop-scale error-injection
+//! experiments.
+//!
+//! Two kinds of artifacts are provided:
+//!
+//! * **Shape lists** (`*_conv_shapes`) — the full-size convolution layer
+//!   shapes of the paper's networks, used by the layer-wise TER experiments
+//!   (Fig. 8), where only the weight matrices matter and no full inference
+//!   is run.
+//! * **Scaled executable models** (`*_scaled`) — width-divided versions of
+//!   the same architectures with synthetic He-initialised weights, used by
+//!   the accuracy-under-error-injection experiments (Figs. 10 and 11) where
+//!   a real forward pass is required.
+
+mod resnet;
+mod vgg;
+
+pub use resnet::{
+    resnet18_cifar_conv_shapes, resnet18_cifar_scaled, resnet34_imagenet_conv_shapes,
+    resnet34_imagenet_scaled,
+};
+pub use vgg::{vgg11_cifar_scaled, vgg16_cifar_conv_shapes, vgg16_cifar_scaled};
+
+use crate::error::QnnError;
+use crate::init::WeightInit;
+use crate::layers::Conv2d;
+
+/// Builds a convolution layer with synthetic He-initialised weights.
+pub(crate) fn synthetic_conv(
+    name: &str,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    init: &mut WeightInit,
+) -> Result<Conv2d, QnnError> {
+    let fan_in = in_channels * kernel * kernel;
+    Conv2d::new(
+        name,
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        |_, _, _, _| init.weight(fan_in),
+    )
+}
+
+/// Divides a channel count by the width divisor, keeping at least 4
+/// channels so the scaled models stay structurally interesting.
+pub(crate) fn scaled_channels(channels: usize, width_div: usize) -> usize {
+    (channels / width_div.max(1)).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_channels_floors_at_four() {
+        assert_eq!(scaled_channels(64, 8), 8);
+        assert_eq!(scaled_channels(64, 64), 4);
+        assert_eq!(scaled_channels(64, 0), 64);
+        assert_eq!(scaled_channels(512, 4), 128);
+    }
+
+    #[test]
+    fn synthetic_conv_uses_init() {
+        let mut init = WeightInit::new(5);
+        let conv = synthetic_conv("c", 3, 8, 3, 1, 1, &mut init).unwrap();
+        let nonzero = conv.weights().iter().filter(|&&w| w != 0).count();
+        assert!(nonzero > conv.weights().len() / 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! ResNet-style networks (basic blocks, CIFAR and ImageNet channel plans).
+
+use accel_sim::ConvShape;
+
+use crate::error::QnnError;
+use crate::init::WeightInit;
+use crate::layers::Linear;
+use crate::model::{LayerKind, Model, ResidualBlock};
+
+use super::{scaled_channels, synthetic_conv};
+
+/// Stage widths shared by ResNet-18 and ResNet-34.
+const STAGE_WIDTHS: [usize; 4] = [64, 128, 256, 512];
+/// Blocks per stage for ResNet-18.
+const RESNET18_BLOCKS: [usize; 4] = [2, 2, 2, 2];
+/// Blocks per stage for ResNet-34.
+const RESNET34_BLOCKS: [usize; 4] = [3, 4, 6, 3];
+
+fn build_resnet(
+    name: &str,
+    blocks_per_stage: &[usize; 4],
+    width_div: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Model, QnnError> {
+    if num_classes == 0 {
+        return Err(QnnError::config("need at least one class"));
+    }
+    let mut init = WeightInit::new(seed);
+    let mut layers = Vec::new();
+    let stem_out = scaled_channels(STAGE_WIDTHS[0], width_div);
+    layers.push(LayerKind::Conv {
+        conv: synthetic_conv("stem", 3, stem_out, 3, 1, 1, &mut init)?,
+        relu: true,
+    });
+    let mut in_channels = stem_out;
+    for (stage, (&width, &blocks)) in STAGE_WIDTHS.iter().zip(blocks_per_stage).enumerate() {
+        let out_channels = scaled_channels(width, width_div);
+        for block in 0..blocks {
+            // The first block of stages 2..4 downsamples spatially.
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let needs_projection = stride != 1 || in_channels != out_channels;
+            let prefix = format!("layer{}_{}", stage + 1, block + 1);
+            let conv1 = synthetic_conv(
+                &format!("{prefix}_conv1"),
+                in_channels,
+                out_channels,
+                3,
+                stride,
+                1,
+                &mut init,
+            )?;
+            let conv2 = synthetic_conv(
+                &format!("{prefix}_conv2"),
+                out_channels,
+                out_channels,
+                3,
+                1,
+                1,
+                &mut init,
+            )?;
+            let downsample = if needs_projection {
+                Some(synthetic_conv(
+                    &format!("{prefix}_down"),
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride,
+                    0,
+                    &mut init,
+                )?)
+            } else {
+                None
+            };
+            layers.push(LayerKind::Residual(ResidualBlock {
+                conv1,
+                conv2,
+                downsample,
+            }));
+            in_channels = out_channels;
+        }
+    }
+    layers.push(LayerKind::GlobalAvgPool);
+    layers.push(LayerKind::Classifier(Linear::new(
+        "fc",
+        in_channels,
+        num_classes,
+        |_, _| init.weight(in_channels),
+    )?));
+    Model::new(name, layers)
+}
+
+/// A width-scaled ResNet-18 for CIFAR-sized inputs with synthetic weights.
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidConfig`] if `num_classes` is zero.
+pub fn resnet18_cifar_scaled(
+    width_div: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Model, QnnError> {
+    build_resnet(
+        "resnet18-cifar",
+        &RESNET18_BLOCKS,
+        width_div,
+        num_classes,
+        seed,
+    )
+}
+
+/// A width-scaled ResNet-34 (ImageNet channel plan) with synthetic weights.
+///
+/// The executable variant accepts any input resolution (global average
+/// pooling absorbs the spatial size); the accuracy benches feed reduced
+/// resolution inputs to keep runtime laptop-scale.
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidConfig`] if `num_classes` is zero.
+pub fn resnet34_imagenet_scaled(
+    width_div: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Model, QnnError> {
+    build_resnet(
+        "resnet34-imagenet",
+        &RESNET34_BLOCKS,
+        width_div,
+        num_classes,
+        seed,
+    )
+}
+
+fn conv_shapes(
+    blocks_per_stage: &[usize; 4],
+    input_hw: usize,
+    include_downsample: bool,
+) -> Vec<(String, ConvShape)> {
+    let mut shapes = Vec::new();
+    let mut hw = input_hw;
+    shapes.push((
+        "stem".to_string(),
+        ConvShape::new(1, 3, hw, hw, STAGE_WIDTHS[0], 3, 3, 1, 1).expect("static plan is valid"),
+    ));
+    let mut in_channels = STAGE_WIDTHS[0];
+    for (stage, (&width, &blocks)) in STAGE_WIDTHS.iter().zip(blocks_per_stage).enumerate() {
+        for block in 0..blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let prefix = format!("layer{}_{}", stage + 1, block + 1);
+            shapes.push((
+                format!("{prefix}_conv1"),
+                ConvShape::new(1, in_channels, hw, hw, width, 3, 3, stride, 1)
+                    .expect("static plan is valid"),
+            ));
+            if stride == 2 {
+                hw /= 2;
+            }
+            shapes.push((
+                format!("{prefix}_conv2"),
+                ConvShape::new(1, width, hw, hw, width, 3, 3, 1, 1).expect("static plan is valid"),
+            ));
+            if include_downsample && (stride != 1 || in_channels != width) {
+                shapes.push((
+                    format!("{prefix}_down"),
+                    ConvShape::new(1, in_channels, hw * stride, hw * stride, width, 1, 1, stride, 0)
+                        .expect("static plan is valid"),
+                ));
+            }
+            in_channels = width;
+        }
+    }
+    shapes
+}
+
+/// The full-size convolution shapes of ResNet-18 on 32x32 (CIFAR) inputs,
+/// main-path convolutions only — the 17-layer workload of Fig. 8.
+pub fn resnet18_cifar_conv_shapes() -> Vec<(String, ConvShape)> {
+    conv_shapes(&RESNET18_BLOCKS, 32, false)
+}
+
+/// The full-size convolution shapes of ResNet-34 on 224x224 (ImageNet)
+/// inputs, main-path convolutions only.
+pub fn resnet34_imagenet_conv_shapes() -> Vec<(String, ConvShape)> {
+    conv_shapes(&RESNET34_BLOCKS, 224, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn resnet18_shape_list_matches_paper_layer_count() {
+        // Fig. 8 sweeps 17 ResNet-18 layers: the stem plus 8 basic blocks x
+        // 2 main-path convolutions.
+        let shapes = resnet18_cifar_conv_shapes();
+        assert_eq!(shapes.len(), 17);
+        assert_eq!(shapes[0].1.c, 3);
+        assert_eq!(shapes.last().unwrap().1.k, 512);
+    }
+
+    #[test]
+    fn resnet34_shape_list_has_33_main_convs() {
+        let shapes = resnet34_imagenet_conv_shapes();
+        assert_eq!(shapes.len(), 1 + 2 * (3 + 4 + 6 + 3));
+        assert_eq!(shapes[0].1.h, 224);
+    }
+
+    #[test]
+    fn scaled_resnet18_builds_and_runs() {
+        let model = resnet18_cifar_scaled(16, 10, 2).unwrap();
+        // stem + 8 blocks x 2 convs + 3 downsample projections = 20.
+        assert_eq!(model.num_conv_layers(), 20);
+        let input = Tensor::from_fn([3, 32, 32], |c, y, x| ((c * 5 + y + x) % 6) as i8);
+        let logits = model.forward(&input).unwrap();
+        assert_eq!(logits.len(), 10);
+    }
+
+    #[test]
+    fn scaled_resnet34_has_more_blocks_than_resnet18() {
+        let r18 = resnet18_cifar_scaled(32, 5, 1).unwrap();
+        let r34 = resnet34_imagenet_scaled(32, 5, 1).unwrap();
+        assert!(r34.num_conv_layers() > r18.num_conv_layers());
+        let input = Tensor::from_fn([3, 16, 16], |c, y, x| ((c + y * x) % 5) as i8);
+        assert_eq!(r34.forward(&input).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn zero_classes_rejected() {
+        assert!(resnet18_cifar_scaled(8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn downsample_spatial_sizes_are_consistent() {
+        let shapes = conv_shapes(&RESNET18_BLOCKS, 32, true);
+        for (name, shape) in &shapes {
+            assert!(shape.out_h() >= 1, "{name} collapsed to zero height");
+        }
+        // With downsample projections included the count grows by 3.
+        assert_eq!(shapes.len(), 20);
+    }
+}

@@ -1,0 +1,167 @@
+//! VGG-style networks.
+
+use accel_sim::ConvShape;
+
+use crate::error::QnnError;
+use crate::init::WeightInit;
+use crate::layers::Linear;
+use crate::model::{LayerKind, Model};
+
+use super::{scaled_channels, synthetic_conv};
+
+/// VGG-16 channel plan for 32x32 (CIFAR) inputs: 13 convolution layers in
+/// five stages separated by 2x2 max pooling.
+const VGG16_PLAN: [&[usize]; 5] = [
+    &[64, 64],
+    &[128, 128],
+    &[256, 256, 256],
+    &[512, 512, 512],
+    &[512, 512, 512],
+];
+
+/// VGG-11 channel plan (a lighter stand-in used for fast tests and doc
+/// examples).
+const VGG11_PLAN: [&[usize]; 5] = [&[64], &[128], &[256, 256], &[512, 512], &[512, 512]];
+
+fn build_vgg(
+    name: &str,
+    plan: &[&[usize]],
+    width_div: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Model, QnnError> {
+    if num_classes == 0 {
+        return Err(QnnError::config("need at least one class"));
+    }
+    let mut init = WeightInit::new(seed);
+    let mut layers = Vec::new();
+    let mut in_channels = 3usize;
+    let mut conv_id = 0usize;
+    for (stage, widths) in plan.iter().enumerate() {
+        for &w in widths.iter() {
+            let out_channels = scaled_channels(w, width_div);
+            conv_id += 1;
+            layers.push(LayerKind::Conv {
+                conv: synthetic_conv(
+                    &format!("conv{}_{}", stage + 1, conv_id),
+                    in_channels,
+                    out_channels,
+                    3,
+                    1,
+                    1,
+                    &mut init,
+                )?,
+                relu: true,
+            });
+            in_channels = out_channels;
+        }
+        layers.push(LayerKind::MaxPool2);
+    }
+    layers.push(LayerKind::GlobalAvgPool);
+    layers.push(LayerKind::Classifier(Linear::new(
+        "fc",
+        in_channels,
+        num_classes,
+        |_, _| init.weight(in_channels),
+    )?));
+    Model::new(name, layers)
+}
+
+/// A width-scaled VGG-16 for CIFAR-sized inputs with synthetic weights.
+///
+/// `width_div` divides every channel count (use 1 for the full-size
+/// network); the accuracy benches use `width_div = 4` or more to keep the
+/// error-injection sweeps fast.
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidConfig`] if `num_classes` is zero.
+pub fn vgg16_cifar_scaled(
+    width_div: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Model, QnnError> {
+    build_vgg("vgg16-cifar", &VGG16_PLAN, width_div, num_classes, seed)
+}
+
+/// A width-scaled VGG-11 (lighter variant used by tests and examples).
+///
+/// # Errors
+///
+/// Returns [`QnnError::InvalidConfig`] if `num_classes` is zero.
+pub fn vgg11_cifar_scaled(
+    width_div: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Model, QnnError> {
+    build_vgg("vgg11-cifar", &VGG11_PLAN, width_div, num_classes, seed)
+}
+
+/// The full-size convolution shapes of VGG-16 on 32x32 inputs, in layer
+/// order — the workload of the layer-wise TER experiments (Fig. 8).
+pub fn vgg16_cifar_conv_shapes() -> Vec<(String, ConvShape)> {
+    let mut shapes = Vec::new();
+    let mut in_channels = 3usize;
+    let mut hw = 32usize;
+    let mut conv_id = 0usize;
+    for (stage, widths) in VGG16_PLAN.iter().enumerate() {
+        for &w in widths.iter() {
+            conv_id += 1;
+            shapes.push((
+                format!("conv{}_{}", stage + 1, conv_id),
+                ConvShape::new(1, in_channels, hw, hw, w, 3, 3, 1, 1)
+                    .expect("static plan is valid"),
+            ));
+            in_channels = w;
+        }
+        hw /= 2;
+    }
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn vgg16_full_plan_has_13_conv_layers() {
+        let shapes = vgg16_cifar_conv_shapes();
+        assert_eq!(shapes.len(), 13);
+        assert_eq!(shapes[0].1.c, 3);
+        assert_eq!(shapes[0].1.k, 64);
+        assert_eq!(shapes[12].1.k, 512);
+        // Spatial size shrinks with the pooling stages.
+        assert_eq!(shapes[0].1.h, 32);
+        assert_eq!(shapes[12].1.h, 2);
+    }
+
+    #[test]
+    fn scaled_vgg16_builds_and_runs() {
+        let model = vgg16_cifar_scaled(16, 10, 1).unwrap();
+        assert_eq!(model.num_conv_layers(), 13);
+        assert_eq!(model.num_classes(), 10);
+        let input = Tensor::from_fn([3, 32, 32], |c, y, x| ((c + y + x) % 7) as i8);
+        let logits = model.forward(&input).unwrap();
+        assert_eq!(logits.len(), 10);
+    }
+
+    #[test]
+    fn vgg11_is_smaller_than_vgg16() {
+        let small = vgg11_cifar_scaled(16, 10, 1).unwrap();
+        let big = vgg16_cifar_scaled(16, 10, 1).unwrap();
+        assert!(small.num_conv_layers() < big.num_conv_layers());
+    }
+
+    #[test]
+    fn zero_classes_rejected() {
+        assert!(vgg16_cifar_scaled(8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let a = vgg11_cifar_scaled(16, 4, 1).unwrap();
+        let b = vgg11_cifar_scaled(16, 4, 2).unwrap();
+        assert_ne!(a.conv_layers()[0].weights(), b.conv_layers()[0].weights());
+    }
+}

@@ -1,0 +1,133 @@
+//! Symmetric int8 quantization helpers.
+//!
+//! The substrate mirrors the accelerator datapath: activations and weights
+//! are 8-bit signed integers, accumulators are 32-bit (with the low 24 bits
+//! mapping onto the hardware accumulator), and each layer requantizes its
+//! accumulator outputs back to int8 with a per-layer scale.
+
+use crate::error::QnnError;
+
+/// Per-tensor symmetric quantization parameters: `real = scale * quantized`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Creates quantization parameters with the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidConfig`] if the scale is not a positive
+    /// finite number.
+    pub fn new(scale: f32) -> Result<Self, QnnError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(QnnError::config(format!(
+                "quantization scale must be positive and finite, got {scale}"
+            )));
+        }
+        Ok(QuantParams { scale })
+    }
+
+    /// Chooses a scale that maps `max_abs` onto the int8 limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::InvalidConfig`] if `max_abs` is not positive.
+    pub fn from_max_abs(max_abs: f32) -> Result<Self, QnnError> {
+        Self::new(max_abs / 127.0)
+    }
+
+    /// Quantizes a real value to int8 (round-to-nearest, saturating).
+    pub fn quantize(&self, value: f32) -> i8 {
+        clamp_i8((value / self.scale).round())
+    }
+
+    /// Dequantizes an int8 value back to a real value.
+    pub fn dequantize(&self, value: i8) -> f32 {
+        f32::from(value) * self.scale
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        QuantParams { scale: 1.0 / 127.0 }
+    }
+}
+
+/// Saturating conversion of a rounded float to int8.
+pub fn clamp_i8(value: f32) -> i8 {
+    if value >= 127.0 {
+        127
+    } else if value <= -128.0 {
+        -128
+    } else {
+        value as i8
+    }
+}
+
+/// Requantizes a 32-bit accumulator value to int8 with the given output
+/// scale (`out = clamp(round(acc * scale))`).
+#[inline]
+pub fn requantize(acc: i32, scale: f32) -> i8 {
+    clamp_i8((acc as f32 * scale).round())
+}
+
+/// Rectified linear unit on an int8 value.
+#[inline]
+pub fn relu_i8(value: i8) -> i8 {
+    value.max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trip_within_one_step() {
+        let q = QuantParams::from_max_abs(2.0).unwrap();
+        for &v in &[-2.0f32, -1.3, -0.01, 0.0, 0.5, 1.99] {
+            let dq = q.dequantize(q.quantize(v));
+            assert!((dq - v).abs() <= q.scale, "v={v} dq={dq}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QuantParams::from_max_abs(1.0).unwrap();
+        assert_eq!(q.quantize(10.0), 127);
+        assert_eq!(q.quantize(-10.0), -128);
+    }
+
+    #[test]
+    fn invalid_scales_rejected() {
+        assert!(QuantParams::new(0.0).is_err());
+        assert!(QuantParams::new(-1.0).is_err());
+        assert!(QuantParams::new(f32::NAN).is_err());
+        assert!(QuantParams::from_max_abs(0.0).is_err());
+    }
+
+    #[test]
+    fn requantize_behaviour() {
+        assert_eq!(requantize(1000, 0.1), 100);
+        assert_eq!(requantize(10_000, 0.1), 127);
+        assert_eq!(requantize(-10_000, 0.1), -128);
+        assert_eq!(requantize(0, 0.5), 0);
+        assert_eq!(requantize(-6, 0.5), -3);
+    }
+
+    #[test]
+    fn relu_clamps_negative_values() {
+        assert_eq!(relu_i8(-5), 0);
+        assert_eq!(relu_i8(0), 0);
+        assert_eq!(relu_i8(17), 17);
+    }
+
+    #[test]
+    fn clamp_edges() {
+        assert_eq!(clamp_i8(127.4), 127);
+        assert_eq!(clamp_i8(-128.4), -128);
+        assert_eq!(clamp_i8(126.6), 126);
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal CHW / NCHW integer tensors.
+//!
+//! The inference substrate works on per-image CHW tensors (batching is done
+//! by looping over images), with `i8` activations and `i32` accumulators.
+
+use crate::error::QnnError;
+
+/// A dense 3-dimensional (channels x height x width) tensor.
+///
+/// # Example
+///
+/// ```
+/// use qnn::Tensor;
+///
+/// let t = Tensor::from_fn([2, 3, 3], |c, y, x| (c * 9 + y * 3 + x) as i8);
+/// assert_eq!(t.get(1, 2, 2), 17);
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tensor<T> {
+    shape: [usize; 3],
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a zero-filled tensor of shape `[channels, height, width]`.
+    pub fn zeros(shape: [usize; 3]) -> Self {
+        Tensor {
+            shape,
+            data: vec![T::default(); shape[0] * shape[1] * shape[2]],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f(channel, y, x)` for every element.
+    pub fn from_fn(shape: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape[0] * shape[1] * shape[2]);
+        for c in 0..shape[0] {
+            for y in 0..shape[1] {
+                for x in 0..shape[2] {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor from a flat CHW data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QnnError::ShapeMismatch`] when `data.len()` does not equal
+    /// the product of the shape.
+    pub fn from_vec(shape: [usize; 3], data: Vec<T>) -> Result<Self, QnnError> {
+        let expected = shape[0] * shape[1] * shape[2];
+        if data.len() != expected {
+            return Err(QnnError::shape(format!(
+                "data length {} != {}x{}x{}",
+                data.len(),
+                shape[0],
+                shape[1],
+                shape[2]
+            )));
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor shape `[channels, height, width]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.shape[1]
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.shape[2]
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> T {
+        debug_assert!(c < self.shape[0] && y < self.shape[1] && x < self.shape[2]);
+        self.data[(c * self.shape[1] + y) * self.shape[2] + x]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: T) {
+        debug_assert!(c < self.shape[0] && y < self.shape[1] && x < self.shape[2]);
+        self.data[(c * self.shape[1] + y) * self.shape[2] + x] = value;
+    }
+
+    /// Borrow the flat CHW storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat CHW storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the flat CHW storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Maps every element through `f`, producing a tensor of a new element
+    /// type with the same shape.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Tensor<U> {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::<i8>::zeros([2, 2, 2]);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+        t.set(1, 1, 1, 7);
+        assert_eq!(t.get(1, 1, 1), 7);
+        assert_eq!(t.get(0, 0, 0), 0);
+        assert_eq!(t.shape(), [2, 2, 2]);
+        assert_eq!(t.channels(), 2);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.width(), 2);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec([1, 2, 2], vec![1i8, 2, 3]).is_err());
+        let t = Tensor::from_vec([1, 2, 2], vec![1i8, 2, 3, 4]).unwrap();
+        assert_eq!(t.get(0, 1, 0), 3);
+    }
+
+    #[test]
+    fn from_fn_layout_is_chw() {
+        let t = Tensor::from_fn([2, 2, 3], |c, y, x| (c * 100 + y * 10 + x) as i32);
+        assert_eq!(t.get(1, 1, 2), 112);
+        assert_eq!(t.as_slice()[0], 0);
+        assert_eq!(t.as_slice()[6], 100);
+    }
+
+    #[test]
+    fn map_converts_element_type() {
+        let t = Tensor::from_fn([1, 2, 2], |_, y, x| (y * 2 + x) as i8);
+        let wide = t.map(i32::from);
+        assert_eq!(wide.get(0, 1, 1), 3);
+        assert_eq!(wide.shape(), t.shape());
+    }
+
+    #[test]
+    fn into_vec_round_trip() {
+        let t = Tensor::from_fn([1, 1, 4], |_, _, x| x as i8);
+        let v = t.clone().into_vec();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        let back = Tensor::from_vec([1, 1, 4], v).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = Tensor::<i8>::zeros([0, 4, 4]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,468 @@
+//! Output-channel clustering (Problem 2 of the paper).
+//!
+//! Before segmenting the weight matrix onto the array columns, output
+//! channels with similar weight-sign patterns are grouped together so that
+//! one shared input-channel order suits every column of the group.  The
+//! paper solves this hard-balanced clustering problem with balanced k-means
+//! on the weight sign matrix under the Manhattan (sign-difference) metric;
+//! this module implements that algorithm plus a Euclidean-on-values variant
+//! used by the ablation benches.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use accel_sim::Matrix;
+
+use crate::error::ReadError;
+use crate::metrics::weight_is_nonneg;
+
+/// Distance metric used for clustering output channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum DistanceMetric {
+    /// Manhattan distance between weight *sign* vectors — the paper's
+    /// sign-difference `SD(x, y) = Σ |sign(x_i) − sign(y_i)|`.
+    #[default]
+    SignManhattan,
+    /// Euclidean distance between the raw weight values (ablation).
+    Euclidean,
+}
+
+impl DistanceMetric {
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistanceMetric::SignManhattan => "sign-manhattan",
+            DistanceMetric::Euclidean => "euclidean",
+        }
+    }
+}
+
+/// Sign difference between two weight vectors (the paper's `SD`): the number
+/// of positions where one weight is non-negative and the other negative.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use read_core::cluster::sign_difference;
+///
+/// assert_eq!(sign_difference(&[1, -2, 3], &[1, 2, -3]), 2);
+/// assert_eq!(sign_difference(&[1, -2], &[5, -7]), 0);
+/// ```
+pub fn sign_difference(x: &[i8], y: &[i8]) -> usize {
+    assert_eq!(x.len(), y.len(), "sign difference requires equal lengths");
+    x.iter()
+        .zip(y)
+        .filter(|(a, b)| weight_is_nonneg(**a) != weight_is_nonneg(**b))
+        .count()
+}
+
+/// Total pairwise sign difference inside one cluster of output channels
+/// (`SD(W_Ti)` in the paper's Problem 2).
+pub fn cluster_sign_difference(weights: &Matrix<i8>, cluster: &[usize]) -> usize {
+    let mut total = 0;
+    for (i, &a) in cluster.iter().enumerate() {
+        let col_a = weights.column(a);
+        for &b in &cluster[i + 1..] {
+            let col_b = weights.column(b);
+            total += sign_difference(&col_a, &col_b);
+        }
+    }
+    total
+}
+
+/// Result of a balanced clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResult {
+    /// The clusters: each entry lists the output-channel indices assigned to
+    /// that cluster, all of size `cluster_size` (the last may be smaller
+    /// when the channel count is not divisible).
+    pub clusters: Vec<Vec<usize>>,
+    /// Number of iterations executed before convergence (or the cap).
+    pub iterations: usize,
+    /// Objective value (total within-cluster sign difference) after each
+    /// iteration, for convergence plots such as Fig. 5(d).
+    pub cost_history: Vec<f64>,
+    /// Cluster assignments after each iteration (same layout as
+    /// [`ClusterResult::clusters`]), so per-iteration quality metrics can be
+    /// recomputed.
+    pub history: Vec<Vec<Vec<usize>>>,
+}
+
+impl ClusterResult {
+    /// The final objective value (total within-cluster sign difference).
+    pub fn final_cost(&self) -> f64 {
+        self.cost_history.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Balanced k-means clustering of output channels.
+///
+/// Every cluster receives exactly `cluster_size` channels (the array column
+/// count `Ac`), except the last when the channel count is not a multiple.
+/// Assignment is greedy-balanced: all (channel, centroid) distances are
+/// sorted and consumed in ascending order, skipping full clusters, which
+/// guarantees the hard balance constraint of Problem 2.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::Matrix;
+/// use read_core::{BalancedKMeans, DistanceMetric};
+///
+/// # fn main() -> Result<(), read_core::ReadError> {
+/// let weights = Matrix::from_fn(16, 8, |r, c| if (r + c) % 2 == 0 { 3i8 } else { -3 });
+/// let result = BalancedKMeans::new(2, DistanceMetric::SignManhattan)
+///     .with_seed(7)
+///     .run(&weights)?;
+/// assert_eq!(result.clusters.len(), 4);
+/// for cluster in &result.clusters {
+///     assert_eq!(cluster.len(), 2);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancedKMeans {
+    cluster_size: usize,
+    metric: DistanceMetric,
+    max_iterations: usize,
+    seed: u64,
+}
+
+impl BalancedKMeans {
+    /// Creates a clusterer producing clusters of `cluster_size` channels.
+    pub fn new(cluster_size: usize, metric: DistanceMetric) -> Self {
+        BalancedKMeans {
+            cluster_size,
+            metric,
+            max_iterations: 30,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the iteration cap (default 30, as in the paper's convergence
+    /// plot).
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the RNG seed used for centroid initialisation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// Runs the clustering on a `C x K` weight matrix (reduction rows x
+    /// output channels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::EmptyWeights`] for an empty matrix and
+    /// [`ReadError::InvalidGrouping`] if the cluster size is zero.
+    pub fn run(&self, weights: &Matrix<i8>) -> Result<ClusterResult, ReadError> {
+        if weights.is_empty() {
+            return Err(ReadError::EmptyWeights);
+        }
+        if self.cluster_size == 0 {
+            return Err(ReadError::InvalidGrouping {
+                reason: "cluster size must be non-zero".into(),
+            });
+        }
+        let k = weights.cols();
+        let n_clusters = k.div_ceil(self.cluster_size);
+        let features: Vec<Vec<f64>> = (0..k)
+            .map(|c| self.feature_vector(weights, c))
+            .collect();
+
+        // Initialise centroids from a random sample of channels.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut channel_ids: Vec<usize> = (0..k).collect();
+        channel_ids.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f64>> = channel_ids
+            .iter()
+            .take(n_clusters)
+            .map(|&c| features[c].clone())
+            .collect();
+        // Degenerate case: fewer channels than clusters cannot happen since
+        // n_clusters = ceil(k / size) <= k, but keep the loop robust anyway.
+
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut cost_history = Vec::new();
+        let mut history = Vec::new();
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iterations.max(1) {
+            iterations += 1;
+            let new_clusters = self.balanced_assign(&features, &centroids, k, n_clusters);
+            let cost: f64 = new_clusters
+                .iter()
+                .map(|cluster| cluster_sign_difference(weights, cluster) as f64)
+                .sum();
+            cost_history.push(cost);
+            history.push(new_clusters.clone());
+            let converged = new_clusters == clusters;
+            clusters = new_clusters;
+            if converged {
+                break;
+            }
+            // Update centroids to the mean feature of each cluster.
+            for (ci, cluster) in clusters.iter().enumerate() {
+                if cluster.is_empty() {
+                    continue;
+                }
+                let dim = features[0].len();
+                let mut mean = vec![0.0; dim];
+                for &ch in cluster {
+                    for (m, f) in mean.iter_mut().zip(&features[ch]) {
+                        *m += f;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= cluster.len() as f64;
+                }
+                centroids[ci] = mean;
+            }
+        }
+
+        Ok(ClusterResult {
+            clusters,
+            iterations,
+            cost_history,
+            history,
+        })
+    }
+
+    fn feature_vector(&self, weights: &Matrix<i8>, channel: usize) -> Vec<f64> {
+        let col = weights.column(channel);
+        match self.metric {
+            DistanceMetric::SignManhattan => col
+                .iter()
+                .map(|&w| if weight_is_nonneg(w) { 1.0 } else { 0.0 })
+                .collect(),
+            DistanceMetric::Euclidean => col.iter().map(|&w| f64::from(w)).collect(),
+        }
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self.metric {
+            DistanceMetric::SignManhattan => {
+                a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+            }
+            DistanceMetric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+
+    fn balanced_assign(
+        &self,
+        features: &[Vec<f64>],
+        centroids: &[Vec<f64>],
+        k: usize,
+        n_clusters: usize,
+    ) -> Vec<Vec<usize>> {
+        // Greedy balanced assignment: consume (distance, channel, cluster)
+        // triples in ascending distance order, skipping channels already
+        // placed and clusters already full.
+        let mut triples: Vec<(f64, usize, usize)> = Vec::with_capacity(k * n_clusters);
+        for (ch, feat) in features.iter().enumerate() {
+            for (ci, centroid) in centroids.iter().enumerate() {
+                triples.push((self.distance(feat, centroid), ch, ci));
+            }
+        }
+        triples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); n_clusters];
+        let mut assigned = vec![false; k];
+        let mut remaining = k;
+        // Cluster capacities: all `cluster_size`, except the leftover slots
+        // are spread so the total equals k.
+        let full_capacity = self.cluster_size;
+        let mut capacities = vec![full_capacity; n_clusters];
+        let overflow = n_clusters * full_capacity - k;
+        for cap in capacities.iter_mut().take(overflow) {
+            *cap -= 1;
+        }
+        for (_, ch, ci) in triples {
+            if remaining == 0 {
+                break;
+            }
+            if assigned[ch] || clusters[ci].len() >= capacities[ci] {
+                continue;
+            }
+            clusters[ci].push(ch);
+            assigned[ch] = true;
+            remaining -= 1;
+        }
+        // Keep deterministic, readable output: channels within a cluster in
+        // ascending index order, clusters sorted by their first channel.
+        for cluster in &mut clusters {
+            cluster.sort_unstable();
+        }
+        clusters.retain(|c| !c.is_empty());
+        clusters.sort_by_key(|c| c[0]);
+        clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example_matrix() -> Matrix<i8> {
+        // Section IV-C example: clustering {0,2} and {1,3} minimizes the
+        // sign difference.
+        Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4, -5, 5, -1, //
+                -10, 3, -2, 2, //
+                9, -2, 3, -1, //
+                -2, 3, -6, 3,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sign_difference_basics() {
+        assert_eq!(sign_difference(&[], &[]), 0);
+        assert_eq!(sign_difference(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(sign_difference(&[-1, -2], &[1, 2]), 2);
+        assert_eq!(sign_difference(&[0, -1], &[1, -5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn sign_difference_length_mismatch_panics() {
+        let _ = sign_difference(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn paper_example_clusters_matching_signs() {
+        let w = paper_example_matrix();
+        let result = BalancedKMeans::new(2, DistanceMetric::SignManhattan)
+            .with_seed(1)
+            .run(&w)
+            .unwrap();
+        assert_eq!(result.clusters.len(), 2);
+        // Channels 0 and 2 have identical sign patterns (+,-,+,-), channels
+        // 1 and 3 the opposite; the optimal balanced clustering pairs them.
+        let mut clusters = result.clusters.clone();
+        clusters.sort();
+        assert_eq!(clusters, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(result.final_cost(), 0.0);
+    }
+
+    #[test]
+    fn clusters_are_balanced_and_disjoint() {
+        let w = Matrix::from_fn(32, 23, |r, c| (((r * 7 + c * 13) % 11) as i8) - 5);
+        let size = 4;
+        let result = BalancedKMeans::new(size, DistanceMetric::SignManhattan)
+            .with_seed(9)
+            .run(&w)
+            .unwrap();
+        let mut seen = vec![false; 23];
+        for cluster in &result.clusters {
+            assert!(cluster.len() <= size);
+            for &c in cluster {
+                assert!(!seen[c], "channel {c} assigned twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every channel must be covered");
+        // 23 channels in clusters of 4 -> 6 clusters.
+        assert_eq!(result.clusters.len(), 6);
+    }
+
+    #[test]
+    fn clustering_reduces_objective_vs_consecutive_grouping() {
+        let w = Matrix::from_fn(64, 16, |r, c| {
+            // Two families of sign patterns interleaved across channels.
+            let sign = if (r + c) % 2 == 0 { 1 } else { -1 };
+            (sign * (1 + ((r * c) % 5) as i32)) as i8
+        });
+        let size = 4;
+        let consecutive: Vec<Vec<usize>> = (0..4).map(|g| (g * 4..(g + 1) * 4).collect()).collect();
+        let consecutive_cost: usize = consecutive
+            .iter()
+            .map(|c| cluster_sign_difference(&w, c))
+            .sum();
+        let result = BalancedKMeans::new(size, DistanceMetric::SignManhattan)
+            .with_seed(3)
+            .run(&w)
+            .unwrap();
+        let clustered_cost: usize = result
+            .clusters
+            .iter()
+            .map(|c| cluster_sign_difference(&w, c))
+            .sum();
+        assert!(
+            clustered_cost <= consecutive_cost,
+            "clustered {clustered_cost} vs consecutive {consecutive_cost}"
+        );
+        assert!(clustered_cost == 0);
+    }
+
+    #[test]
+    fn cost_history_is_recorded_and_bounded_by_iterations() {
+        let w = Matrix::from_fn(24, 12, |r, c| (((r * 3 + c * 5) % 13) as i8) - 6);
+        let result = BalancedKMeans::new(4, DistanceMetric::SignManhattan)
+            .with_max_iterations(10)
+            .run(&w)
+            .unwrap();
+        assert_eq!(result.cost_history.len(), result.iterations);
+        assert_eq!(result.history.len(), result.iterations);
+        assert!(result.iterations <= 10);
+        // The final cost never exceeds the initial cost.
+        assert!(result.final_cost() <= result.cost_history[0] + 1e-9);
+    }
+
+    #[test]
+    fn euclidean_metric_also_produces_balanced_clusters() {
+        let w = Matrix::from_fn(16, 8, |r, c| (((r + c * 3) % 9) as i8) - 4);
+        let result = BalancedKMeans::new(2, DistanceMetric::Euclidean)
+            .run(&w)
+            .unwrap();
+        assert_eq!(result.clusters.len(), 4);
+        assert!(result.clusters.iter().all(|c| c.len() == 2));
+        assert_eq!(DistanceMetric::Euclidean.name(), "euclidean");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let w = Matrix::from_fn(4, 4, |_, _| 1i8);
+        assert!(BalancedKMeans::new(0, DistanceMetric::SignManhattan)
+            .run(&w)
+            .is_err());
+        let empty = Matrix::<i8>::zeros(0, 0);
+        assert!(BalancedKMeans::new(2, DistanceMetric::SignManhattan)
+            .run(&empty)
+            .is_err());
+    }
+
+    #[test]
+    fn single_cluster_when_size_covers_all_channels() {
+        let w = Matrix::from_fn(8, 3, |r, c| ((r + c) % 3) as i8 - 1);
+        let result = BalancedKMeans::new(8, DistanceMetric::SignManhattan)
+            .run(&w)
+            .unwrap();
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type of the READ optimizer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the READ optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// The weight matrix is empty.
+    EmptyWeights,
+    /// A requested grouping parameter is invalid (e.g. zero columns per
+    /// cluster).
+    InvalidGrouping {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A channel order or cluster assignment is inconsistent with the weight
+    /// matrix dimensions.
+    InvalidOrder {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::EmptyWeights => write!(f, "weight matrix has no elements"),
+            ReadError::InvalidGrouping { reason } => write!(f, "invalid grouping: {reason}"),
+            ReadError::InvalidOrder { reason } => write!(f, "invalid channel order: {reason}"),
+        }
+    }
+}
+
+impl Error for ReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ReadError::EmptyWeights.to_string(), "weight matrix has no elements");
+        assert!(ReadError::InvalidGrouping {
+            reason: "zero columns".into()
+        }
+        .to_string()
+        .contains("zero columns"));
+        assert!(ReadError::InvalidOrder {
+            reason: "length".into()
+        }
+        .to_string()
+        .contains("length"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ReadError>();
+    }
+}

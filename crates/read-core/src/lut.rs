@@ -1,0 +1,166 @@
+//! IFMAP address look-up table: the hardware support for activation
+//! reordering (Section IV-D, Fig. 6 of the paper).
+//!
+//! Weight matrices are reordered offline, but the input activations must be
+//! fetched in the reordered sequence at inference time, and different
+//! output-channel clusters use different sequences.  The paper realizes this
+//! with a small SRAM LUT in front of the activation buffer: the access
+//! counter indexes the LUT, which returns the physical activation address.
+//! This module models that LUT (contents, capacity, and overhead) so the
+//! negligible-overhead claim can be checked quantitatively.
+
+use crate::error::ReadError;
+use crate::metrics::validate_order;
+
+/// Address look-up table holding one activation-fetch order per output
+/// -channel cluster.
+///
+/// # Example
+///
+/// ```
+/// use read_core::AddressLut;
+///
+/// # fn main() -> Result<(), read_core::ReadError> {
+/// let lut = AddressLut::from_orders(vec![vec![2, 0, 1], vec![1, 2, 0]])?;
+/// assert_eq!(lut.lookup(0, 0), Some(2));
+/// assert_eq!(lut.lookup(1, 2), Some(0));
+/// assert_eq!(lut.entries(), 6);
+/// // A 1024-channel layer needs less than 2 KB of LUT SRAM (paper claim).
+/// let big = AddressLut::from_orders(vec![(0..1024).rev().collect::<Vec<_>>()])?;
+/// assert!(big.size_bytes() < 2048);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AddressLut {
+    orders: Vec<Vec<usize>>,
+    channels: usize,
+}
+
+impl AddressLut {
+    /// Builds a LUT from per-cluster channel orders.  Every order must be a
+    /// permutation of the same channel range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::InvalidOrder`] if any order is not a permutation
+    /// of `0..len` or the orders have inconsistent lengths, and
+    /// [`ReadError::EmptyWeights`] if no orders are supplied.
+    pub fn from_orders(orders: Vec<Vec<usize>>) -> Result<Self, ReadError> {
+        let channels = match orders.first() {
+            Some(o) => o.len(),
+            None => return Err(ReadError::EmptyWeights),
+        };
+        for order in &orders {
+            if order.len() != channels {
+                return Err(ReadError::InvalidOrder {
+                    reason: format!(
+                        "cluster orders have inconsistent lengths ({} vs {channels})",
+                        order.len()
+                    ),
+                });
+            }
+            validate_order(order, channels)?;
+        }
+        Ok(AddressLut { orders, channels })
+    }
+
+    /// Number of clusters (independent fetch orders).
+    pub fn num_clusters(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Number of addressable channels per order.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Physical channel index fetched at logical position `index` for the
+    /// given cluster, or `None` when out of range.
+    pub fn lookup(&self, cluster: usize, index: usize) -> Option<usize> {
+        self.orders.get(cluster)?.get(index).copied()
+    }
+
+    /// Borrow the fetch order of one cluster.
+    pub fn order(&self, cluster: usize) -> Option<&[usize]> {
+        self.orders.get(cluster).map(Vec::as_slice)
+    }
+
+    /// Total number of LUT entries (clusters x channels).
+    pub fn entries(&self) -> usize {
+        self.orders.len() * self.channels
+    }
+
+    /// Width of one LUT entry in bits (enough to address every channel).
+    pub fn entry_bits(&self) -> u32 {
+        if self.channels <= 1 {
+            1
+        } else {
+            usize::BITS - (self.channels - 1).leading_zeros()
+        }
+    }
+
+    /// Total LUT SRAM size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.entries() * self.entry_bits() as usize).div_ceil(8)
+    }
+
+    /// LUT overhead relative to an on-chip activation buffer of
+    /// `buffer_bytes` bytes (the paper compares against a 2–64 MB global
+    /// buffer).
+    pub fn overhead_fraction(&self, buffer_bytes: usize) -> f64 {
+        if buffer_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.size_bytes() as f64 / buffer_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_round_trips_permutations() {
+        let orders = vec![vec![3, 1, 0, 2], vec![0, 1, 2, 3]];
+        let lut = AddressLut::from_orders(orders.clone()).unwrap();
+        for (ci, order) in orders.iter().enumerate() {
+            for (i, &ch) in order.iter().enumerate() {
+                assert_eq!(lut.lookup(ci, i), Some(ch));
+            }
+        }
+        assert_eq!(lut.lookup(0, 4), None);
+        assert_eq!(lut.lookup(2, 0), None);
+        assert_eq!(lut.order(1), Some(&[0usize, 1, 2, 3][..]));
+    }
+
+    #[test]
+    fn rejects_inconsistent_or_invalid_orders() {
+        assert!(AddressLut::from_orders(vec![]).is_err());
+        assert!(AddressLut::from_orders(vec![vec![0, 1], vec![0]]).is_err());
+        assert!(AddressLut::from_orders(vec![vec![0, 0]]).is_err());
+        assert!(AddressLut::from_orders(vec![vec![0, 2]]).is_err());
+    }
+
+    #[test]
+    fn entry_bits_scale_with_channel_count() {
+        let lut = AddressLut::from_orders(vec![(0..1024).collect::<Vec<_>>()]).unwrap();
+        assert_eq!(lut.entry_bits(), 10);
+        assert_eq!(lut.entries(), 1024);
+        assert_eq!(lut.size_bytes(), 1280);
+        let tiny = AddressLut::from_orders(vec![vec![0]]).unwrap();
+        assert_eq!(tiny.entry_bits(), 1);
+    }
+
+    #[test]
+    fn paper_overhead_claim_holds() {
+        // 1024 channels, one order per 4-column cluster of a 256-channel
+        // output (i.e. 64 clusters) would be the extreme case; the paper's
+        // claim is per-layer LUT below 2 KB for a single shared order, and
+        // negligible relative to a multi-megabyte global buffer.
+        let single = AddressLut::from_orders(vec![(0..1024).rev().collect::<Vec<_>>()]).unwrap();
+        assert!(single.size_bytes() < 2048);
+        assert!(single.overhead_fraction(2 * 1024 * 1024) < 1e-3);
+        assert!(single.overhead_fraction(0).is_infinite());
+    }
+}

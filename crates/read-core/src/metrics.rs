@@ -1,0 +1,348 @@
+//! Objective metrics: sign-flip counting and weight-distribution profiles.
+//!
+//! These are the analytical counterparts of the simulator statistics: they
+//! evaluate an ordering without running the cycle-level simulator, which is
+//! what the optimizer and the Fig. 5 weight-distribution plots need.
+
+use accel_sim::Matrix;
+
+use crate::error::ReadError;
+
+/// Per-input-channel sorting metrics of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WeightColumnStats {
+    /// Number of non-negative weights of this input channel across the
+    /// considered output channels (`metric_sign` in Algorithm 1).
+    pub nonneg_count: usize,
+    /// Sum of the weights of this input channel across the considered
+    /// output channels (`metric_mag` in Algorithm 1).
+    pub weight_sum: i64,
+}
+
+/// Returns `true` when a weight counts as non-negative for the purposes of
+/// the paper's `sign(·)` function (which returns 1 for positive inputs and 0
+/// for negative inputs; zero weights cannot flip the sign and are grouped
+/// with the non-negative ones).
+#[inline]
+pub fn weight_is_nonneg(w: i8) -> bool {
+    w >= 0
+}
+
+/// Computes the per-input-channel metrics over the selected output channels.
+///
+/// # Errors
+///
+/// Returns [`ReadError::InvalidOrder`] if any column index is out of range,
+/// or [`ReadError::EmptyWeights`] for an empty matrix.
+pub fn channel_stats(
+    weights: &Matrix<i8>,
+    columns: &[usize],
+) -> Result<Vec<WeightColumnStats>, ReadError> {
+    if weights.is_empty() {
+        return Err(ReadError::EmptyWeights);
+    }
+    for &c in columns {
+        if c >= weights.cols() {
+            return Err(ReadError::InvalidOrder {
+                reason: format!("column {c} out of range ({})", weights.cols()),
+            });
+        }
+    }
+    let mut stats = vec![WeightColumnStats::default(); weights.rows()];
+    for (r, stat) in stats.iter_mut().enumerate() {
+        for &c in columns {
+            let w = weights[(r, c)];
+            if weight_is_nonneg(w) {
+                stat.nonneg_count += 1;
+            }
+            stat.weight_sum += i64::from(w);
+        }
+    }
+    Ok(stats)
+}
+
+/// Counts the partial-sum sign flips produced by accumulating the given
+/// sequence of per-cycle addends (weight x activation products), starting
+/// from a zero partial sum.
+///
+/// This is the paper's `SF` objective for a single output activation.
+///
+/// # Example
+///
+/// ```
+/// use read_core::count_sign_flips;
+///
+/// // Accumulating -1, 7, -5, 4 from zero crosses the sign twice.
+/// assert_eq!(count_sign_flips([-1i64, 7, -5, 4]), 2);
+/// // Non-negative-first ordering of the same addends never goes negative.
+/// assert_eq!(count_sign_flips([7i64, 4, -1, -5]), 0);
+/// ```
+pub fn count_sign_flips<I>(addends: I) -> usize
+where
+    I: IntoIterator<Item = i64>,
+{
+    let mut psum: i64 = 0;
+    let mut flips = 0;
+    for a in addends {
+        let next = psum + a;
+        if (psum < 0) != (next < 0) {
+            flips += 1;
+        }
+        psum = next;
+    }
+    flips
+}
+
+/// Total sign flips over all selected output channels when the reduction
+/// rows are visited in `order`, for a given activation vector (one
+/// activation per reduction row).
+///
+/// When `activations` is `None` every activation is taken as 1 — the
+/// "unit-activation" surrogate the optimizer uses, valid because post-ReLU
+/// activations are non-negative and the sign of each product is then the
+/// sign of the weight.
+///
+/// # Errors
+///
+/// Returns [`ReadError::InvalidOrder`] if `order` is not a permutation of
+/// the row indices, if any column is out of range, or if the activation
+/// vector has the wrong length.
+pub fn sign_flips_for_order(
+    weights: &Matrix<i8>,
+    columns: &[usize],
+    order: &[usize],
+    activations: Option<&[i8]>,
+) -> Result<u64, ReadError> {
+    validate_order(order, weights.rows())?;
+    if let Some(acts) = activations {
+        if acts.len() != weights.rows() {
+            return Err(ReadError::InvalidOrder {
+                reason: format!(
+                    "activation length {} != reduction length {}",
+                    acts.len(),
+                    weights.rows()
+                ),
+            });
+        }
+    }
+    let mut total = 0u64;
+    for &c in columns {
+        if c >= weights.cols() {
+            return Err(ReadError::InvalidOrder {
+                reason: format!("column {c} out of range ({})", weights.cols()),
+            });
+        }
+        let flips = count_sign_flips(order.iter().map(|&r| {
+            let a = activations.map_or(1i64, |acts| i64::from(acts[r]));
+            i64::from(weights[(r, c)]) * a
+        }));
+        total += flips as u64;
+    }
+    Ok(total)
+}
+
+/// Fraction of non-negative weights in each position-quantile of the
+/// reordered weight matrix (the Fig. 5(a)–(c) profile).
+///
+/// The rows of `weights` (restricted to `columns`) are visited in `order`;
+/// the visited positions are split into `buckets` equal quantiles and the
+/// non-negative ratio of each bucket is returned.
+///
+/// # Errors
+///
+/// Returns [`ReadError::InvalidOrder`] for inconsistent orders or columns,
+/// and [`ReadError::InvalidGrouping`] if `buckets` is zero.
+pub fn nonneg_quantile_profile(
+    weights: &Matrix<i8>,
+    columns: &[usize],
+    order: &[usize],
+    buckets: usize,
+) -> Result<Vec<f64>, ReadError> {
+    if buckets == 0 {
+        return Err(ReadError::InvalidGrouping {
+            reason: "quantile bucket count must be non-zero".into(),
+        });
+    }
+    validate_order(order, weights.rows())?;
+    let mut totals = vec![0usize; buckets];
+    let mut nonneg = vec![0usize; buckets];
+    for (pos, &r) in order.iter().enumerate() {
+        let bucket = (pos * buckets / order.len()).min(buckets - 1);
+        for &c in columns {
+            if c >= weights.cols() {
+                return Err(ReadError::InvalidOrder {
+                    reason: format!("column {c} out of range ({})", weights.cols()),
+                });
+            }
+            totals[bucket] += 1;
+            if weight_is_nonneg(weights[(r, c)]) {
+                nonneg[bucket] += 1;
+            }
+        }
+    }
+    Ok(totals
+        .iter()
+        .zip(&nonneg)
+        .map(|(&t, &n)| if t == 0 { 0.0 } else { n as f64 / t as f64 })
+        .collect())
+}
+
+/// Fraction of non-negative weights among the first `fraction` of the
+/// reordered positions (the Fig. 5(d) convergence metric: "ratio of
+/// non-negative weights in the top 25 % / 50 % of the weight matrix").
+///
+/// # Errors
+///
+/// Same conditions as [`nonneg_quantile_profile`].
+pub fn nonneg_ratio_in_top(
+    weights: &Matrix<i8>,
+    columns: &[usize],
+    order: &[usize],
+    fraction: f64,
+) -> Result<f64, ReadError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(ReadError::InvalidGrouping {
+            reason: format!("fraction {fraction} outside [0, 1]"),
+        });
+    }
+    validate_order(order, weights.rows())?;
+    let top = ((order.len() as f64 * fraction).ceil() as usize).min(order.len());
+    if top == 0 {
+        return Ok(0.0);
+    }
+    let mut total = 0usize;
+    let mut nonneg = 0usize;
+    for &r in order.iter().take(top) {
+        for &c in columns {
+            if c >= weights.cols() {
+                return Err(ReadError::InvalidOrder {
+                    reason: format!("column {c} out of range ({})", weights.cols()),
+                });
+            }
+            total += 1;
+            if weight_is_nonneg(weights[(r, c)]) {
+                nonneg += 1;
+            }
+        }
+    }
+    Ok(nonneg as f64 / total as f64)
+}
+
+pub(crate) fn validate_order(order: &[usize], len: usize) -> Result<(), ReadError> {
+    if order.len() != len {
+        return Err(ReadError::InvalidOrder {
+            reason: format!("order length {} != {}", order.len(), len),
+        });
+    }
+    let mut seen = vec![false; len];
+    for &i in order {
+        if i >= len || seen[i] {
+            return Err(ReadError::InvalidOrder {
+                reason: format!("index {i} repeated or out of range"),
+            });
+        }
+        seen[i] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_weights() -> Matrix<i8> {
+        Matrix::from_fn(8, 4, |r, c| (((r * 5 + c * 3) % 9) as i8) - 4)
+    }
+
+    #[test]
+    fn channel_stats_counts() {
+        let w = Matrix::from_vec(3, 2, vec![1i8, -1, 0, 5, -3, -2]).unwrap();
+        let stats = channel_stats(&w, &[0, 1]).unwrap();
+        assert_eq!(stats[0], WeightColumnStats { nonneg_count: 1, weight_sum: 0 });
+        assert_eq!(stats[1], WeightColumnStats { nonneg_count: 2, weight_sum: 5 });
+        assert_eq!(stats[2], WeightColumnStats { nonneg_count: 0, weight_sum: -5 });
+    }
+
+    #[test]
+    fn channel_stats_validates_columns() {
+        let w = demo_weights();
+        assert!(channel_stats(&w, &[4]).is_err());
+        let empty = Matrix::<i8>::zeros(0, 0);
+        assert!(channel_stats(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn paper_fig3_example() {
+        // Fig. 3: a 1x4 convolution with weights [-1, 7, -5, 4] and inputs
+        // [3, 3, 2, 1].  The natural order repeatedly crosses zero; the
+        // non-negative-first order never goes negative because the final
+        // output is positive, so it produces zero sign flips.
+        let products: Vec<i64> = vec![-1 * 3, 7 * 3, -5 * 2, 4 * 1];
+        assert_eq!(count_sign_flips(products), 2);
+        let reordered: Vec<i64> = vec![7 * 3, 4 * 1, -5 * 2, -1 * 3];
+        assert_eq!(count_sign_flips(reordered), 0);
+    }
+
+    #[test]
+    fn sign_flips_for_order_unit_activations() {
+        let w = Matrix::from_vec(4, 1, vec![-1i8, 7, -5, 4]).unwrap();
+        let natural = sign_flips_for_order(&w, &[0], &[0, 1, 2, 3], None).unwrap();
+        let sorted = sign_flips_for_order(&w, &[0], &[1, 3, 0, 2], None).unwrap();
+        assert!(natural >= sorted);
+        assert_eq!(sorted, 0);
+    }
+
+    #[test]
+    fn sign_flips_for_order_with_activations() {
+        let w = Matrix::from_vec(4, 1, vec![-1i8, 7, -5, 4]).unwrap();
+        let acts = vec![3i8, 3, 2, 1];
+        let natural = sign_flips_for_order(&w, &[0], &[0, 1, 2, 3], Some(&acts)).unwrap();
+        assert_eq!(natural, 2);
+        assert!(sign_flips_for_order(&w, &[0], &[0, 1, 2, 3], Some(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn sign_flips_rejects_bad_order() {
+        let w = demo_weights();
+        assert!(sign_flips_for_order(&w, &[0], &[0, 1, 2], None).is_err());
+        assert!(sign_flips_for_order(&w, &[9], &(0..8).collect::<Vec<_>>(), None).is_err());
+    }
+
+    #[test]
+    fn quantile_profile_sums_to_overall_ratio() {
+        let w = demo_weights();
+        let order: Vec<usize> = (0..8).collect();
+        let profile = nonneg_quantile_profile(&w, &[0, 1, 2, 3], &order, 4).unwrap();
+        assert_eq!(profile.len(), 4);
+        for p in &profile {
+            assert!((0.0..=1.0).contains(p));
+        }
+        assert!(nonneg_quantile_profile(&w, &[0], &order, 0).is_err());
+    }
+
+    #[test]
+    fn sorted_profile_is_front_loaded() {
+        // After sorting rows by non-negative count the early quantiles must
+        // have at least the non-negative density of the late quantiles.
+        let w = demo_weights();
+        let cols: Vec<usize> = (0..4).collect();
+        let stats = channel_stats(&w, &cols).unwrap();
+        let mut order: Vec<usize> = (0..8).collect();
+        order.sort_by_key(|&r| std::cmp::Reverse(stats[r].nonneg_count));
+        let profile = nonneg_quantile_profile(&w, &cols, &order, 2).unwrap();
+        assert!(profile[0] >= profile[1]);
+    }
+
+    #[test]
+    fn top_ratio_bounds() {
+        let w = demo_weights();
+        let cols: Vec<usize> = (0..4).collect();
+        let order: Vec<usize> = (0..8).collect();
+        let all = nonneg_ratio_in_top(&w, &cols, &order, 1.0).unwrap();
+        let quarter = nonneg_ratio_in_top(&w, &cols, &order, 0.25).unwrap();
+        assert!((0.0..=1.0).contains(&all));
+        assert!((0.0..=1.0).contains(&quarter));
+        assert!(nonneg_ratio_in_top(&w, &cols, &order, 1.5).is_err());
+        assert_eq!(nonneg_ratio_in_top(&w, &cols, &order, 0.0).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The qualitative comparison of reliability-enhancement techniques
+//! (Table I of the paper), reproduced as data so the `table1` bench can
+//! print it.
+
+/// Qualitative levels used in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// No cost / not present.
+    No,
+    /// Present / applies.
+    Yes,
+    /// Negligible cost.
+    Negligible,
+    /// Low cost.
+    Low,
+    /// Medium cost.
+    Medium,
+    /// High cost.
+    High,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Level::No => "no",
+            Level::Yes => "yes",
+            Level::Negligible => "negligible",
+            Level::Low => "low",
+            Level::Medium => "medium",
+            Level::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table I: a timing-error-resilience technique and its
+/// qualitative properties.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Technique {
+    /// Technique name.
+    pub name: &'static str,
+    /// Abstraction layer the technique operates at.
+    pub layer: &'static str,
+    /// Whether the technique scales with technology.
+    pub scalable_with_technology: bool,
+    /// Whether the technique loses accuracy.
+    pub accuracy_loss: bool,
+    /// Hardware overhead level.
+    pub hardware_overhead: Level,
+    /// Whether throughput drops.
+    pub throughput_drop: bool,
+    /// Design effort level.
+    pub design_effort: Level,
+}
+
+/// The rows of Table I, in the paper's order.  The last row is READ itself.
+pub fn technique_comparison() -> Vec<Technique> {
+    vec![
+        Technique {
+            name: "Guardbanding",
+            layer: "circuit",
+            scalable_with_technology: false,
+            accuracy_loss: false,
+            hardware_overhead: Level::High,
+            throughput_drop: true,
+            design_effort: Level::Low,
+        },
+        Technique {
+            name: "Sensitivity analysis",
+            layer: "algorithm",
+            scalable_with_technology: true,
+            accuracy_loss: true,
+            hardware_overhead: Level::Negligible,
+            throughput_drop: false,
+            design_effort: Level::Medium,
+        },
+        Technique {
+            name: "ABFT",
+            layer: "algorithm",
+            scalable_with_technology: true,
+            accuracy_loss: false,
+            hardware_overhead: Level::Medium,
+            throughput_drop: true,
+            design_effort: Level::High,
+        },
+        Technique {
+            name: "Timing error detection",
+            layer: "circuit",
+            scalable_with_technology: true,
+            accuracy_loss: false,
+            hardware_overhead: Level::High,
+            throughput_drop: false,
+            design_effort: Level::Medium,
+        },
+        Technique {
+            name: "Timing error prediction",
+            layer: "circuit",
+            scalable_with_technology: true,
+            accuracy_loss: true,
+            hardware_overhead: Level::Medium,
+            throughput_drop: false,
+            design_effort: Level::High,
+        },
+        Technique {
+            name: "READ (ours)",
+            layer: "dataflow",
+            scalable_with_technology: true,
+            accuracy_loss: false,
+            hardware_overhead: Level::Negligible,
+            throughput_drop: false,
+            design_effort: Level::Low,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_rows_and_read_is_last() {
+        let rows = technique_comparison();
+        assert_eq!(rows.len(), 6);
+        let read = rows.last().unwrap();
+        assert_eq!(read.layer, "dataflow");
+        assert!(!read.accuracy_loss);
+        assert!(!read.throughput_drop);
+        assert_eq!(read.hardware_overhead, Level::Negligible);
+        assert_eq!(read.design_effort, Level::Low);
+    }
+
+    #[test]
+    fn read_dominates_guardbanding() {
+        let rows = technique_comparison();
+        let guardband = &rows[0];
+        let read = rows.last().unwrap();
+        assert!(guardband.throughput_drop && !read.throughput_drop);
+        assert!(!guardband.scalable_with_technology && read.scalable_with_technology);
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(Level::Negligible.to_string(), "negligible");
+        assert_eq!(Level::High.to_string(), "high");
+        assert_eq!(Level::Yes.to_string(), "yes");
+    }
+}

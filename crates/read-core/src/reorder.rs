@@ -1,0 +1,270 @@
+//! Input-channel reordering (Algorithm 1 of the paper).
+//!
+//! Given the weight sub-matrix of the output channels that share one pass
+//! through the array, the input channels (reduction rows) are sorted so that
+//! the channels contributing non-negative products are computed first.  With
+//! non-negative post-ReLU activations the partial sum then rises
+//! monotonically before it falls, so its sign flips at most once per output
+//! activation.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use accel_sim::Matrix;
+
+use crate::error::ReadError;
+use crate::metrics::channel_stats;
+
+/// The sorting criterion of Algorithm 1 (plus two ablation variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum SortCriterion {
+    /// Primary key: number of non-negative weights per channel; tie-break:
+    /// channel weight sum.  The paper's `sign_first` approach and its best
+    /// performer.
+    #[default]
+    SignFirst,
+    /// Primary key: channel weight sum; tie-break: number of non-negative
+    /// weights.  The paper's `mag_first` approach.
+    MagFirst,
+    /// Ablation: sort by the weight sum only (no sign information).
+    MagnitudeOnly,
+    /// Ablation: a random permutation (seeded), to separate the effect of
+    /// *any* fixed reorder from the sign-aware ones.
+    Random {
+        /// RNG seed for the permutation.
+        seed: u64,
+    },
+}
+
+impl SortCriterion {
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortCriterion::SignFirst => "sign_first",
+            SortCriterion::MagFirst => "mag_first",
+            SortCriterion::MagnitudeOnly => "magnitude_only",
+            SortCriterion::Random { .. } => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for SortCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sorts the input channels (reduction rows) of `weights`, restricted to the
+/// given output `columns`, returning the visiting order (a permutation of
+/// `0..weights.rows()`).
+///
+/// This is the `sort_input_channel` function of Algorithm 1: each channel is
+/// scored by its non-negative-weight count and its weight sum; the secondary
+/// metric is min–max scaled into `[0, 1]` so it only breaks ties of the
+/// primary metric, and channels are visited in descending score order.
+///
+/// # Errors
+///
+/// Returns [`ReadError::EmptyWeights`] for an empty matrix and
+/// [`ReadError::InvalidOrder`] if a column index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::Matrix;
+/// use read_core::{sort_input_channels, SortCriterion};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = Matrix::from_vec(4, 1, vec![-1i8, 7, -5, 4])?;
+/// let order = sort_input_channels(&w, &[0], SortCriterion::SignFirst)?;
+/// // The two non-negative channels (1 and 3) come first.
+/// assert_eq!(&order[..2], &[1, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sort_input_channels(
+    weights: &Matrix<i8>,
+    columns: &[usize],
+    criterion: SortCriterion,
+) -> Result<Vec<usize>, ReadError> {
+    if weights.is_empty() {
+        return Err(ReadError::EmptyWeights);
+    }
+    let rows = weights.rows();
+    if let SortCriterion::Random { seed } = criterion {
+        let mut order: Vec<usize> = (0..rows).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        return Ok(order);
+    }
+
+    let stats = channel_stats(weights, columns)?;
+    let sign_metric: Vec<f64> = stats.iter().map(|s| s.nonneg_count as f64).collect();
+    let mag_metric: Vec<f64> = stats.iter().map(|s| s.weight_sum as f64).collect();
+
+    let scores: Vec<f64> = match criterion {
+        SortCriterion::SignFirst => combine(&sign_metric, &scale_unit(&mag_metric)),
+        SortCriterion::MagFirst => combine(&mag_metric, &scale_unit(&sign_metric)),
+        SortCriterion::MagnitudeOnly => mag_metric.clone(),
+        SortCriterion::Random { .. } => unreachable!("handled above"),
+    };
+
+    let mut order: Vec<usize> = (0..rows).collect();
+    // Descending by score; ties broken by the original index so the sort is
+    // fully deterministic.
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    Ok(order)
+}
+
+/// Min–max scales a metric into `[0, 1]` (Algorithm 1, lines 6 and 8).  A
+/// constant metric scales to all zeros.
+fn scale_unit(values: &[f64]) -> Vec<f64> {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(max - min).is_normal() {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - min) / (max - min)).collect()
+}
+
+/// Adds the scaled secondary metric to the primary metric (Algorithm 1,
+/// line 9).
+fn combine(primary: &[f64], scaled_secondary: &[f64]) -> Vec<f64> {
+    primary
+        .iter()
+        .zip(scaled_secondary)
+        .map(|(p, s)| p + s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::sign_flips_for_order;
+
+    fn random_weights(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+        // Small deterministic pseudo-random weights with a balanced sign
+        // distribution (mimics a He-initialised, int8-quantized layer).
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((c as u64).wrapping_mul(1442695040888963407))
+                .wrapping_add(seed);
+            ((x >> 33) % 21) as i8 - 10
+        })
+    }
+
+    #[test]
+    fn sign_first_puts_nonnegative_channels_first() {
+        let w = Matrix::from_vec(6, 1, vec![-3i8, 5, -1, 0, 7, -2]).unwrap();
+        let order = sort_input_channels(&w, &[0], SortCriterion::SignFirst).unwrap();
+        // Channels 1, 3, 4 are non-negative and must occupy the first three
+        // positions (in descending weight-sum order: 4, 1, 3).
+        assert_eq!(&order[..3], &[4, 1, 3]);
+        // The negative channels follow, larger sums first.
+        assert_eq!(&order[3..], &[2, 5, 0]);
+    }
+
+    #[test]
+    fn mag_first_sorts_by_sum() {
+        let w = Matrix::from_vec(4, 1, vec![1i8, 9, -9, 2]).unwrap();
+        let order = sort_input_channels(&w, &[0], SortCriterion::MagFirst).unwrap();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn tie_breaking_uses_secondary_metric() {
+        // Two channels with the same non-negative count but different sums:
+        // the larger sum must come first under sign_first.
+        let w = Matrix::from_vec(2, 2, vec![1i8, 1, 5, 5]).unwrap();
+        let order = sort_input_channels(&w, &[0, 1], SortCriterion::SignFirst).unwrap();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn all_criteria_return_valid_permutations() {
+        let w = random_weights(37, 5, 3);
+        let cols: Vec<usize> = (0..5).collect();
+        for criterion in [
+            SortCriterion::SignFirst,
+            SortCriterion::MagFirst,
+            SortCriterion::MagnitudeOnly,
+            SortCriterion::Random { seed: 1 },
+        ] {
+            let order = sort_input_channels(&w, &cols, criterion).unwrap();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..37).collect::<Vec<_>>(), "criterion {criterion}");
+        }
+    }
+
+    #[test]
+    fn single_column_sign_first_is_optimal() {
+        // For a single output channel and non-negative activations the
+        // sign_first order achieves the minimum possible sign flips
+        // (0 if the output is non-negative, 1 if negative).
+        for seed in 0..10u64 {
+            let w = random_weights(24, 1, seed);
+            let order = sort_input_channels(&w, &[0], SortCriterion::SignFirst).unwrap();
+            let flips = sign_flips_for_order(&w, &[0], &order, None).unwrap();
+            let total: i64 = (0..24).map(|r| i64::from(w[(r, 0)])).sum();
+            let expected = u64::from(total < 0);
+            assert_eq!(flips, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reordering_never_increases_flips_single_column() {
+        for seed in 0..10u64 {
+            let w = random_weights(32, 1, seed * 7 + 1);
+            let natural: Vec<usize> = (0..32).collect();
+            let baseline = sign_flips_for_order(&w, &[0], &natural, None).unwrap();
+            let order = sort_input_channels(&w, &[0], SortCriterion::SignFirst).unwrap();
+            let optimized = sign_flips_for_order(&w, &[0], &order, None).unwrap();
+            assert!(optimized <= baseline, "seed {seed}: {optimized} > {baseline}");
+        }
+    }
+
+    #[test]
+    fn multi_column_reordering_reduces_flips_on_average() {
+        let w = random_weights(64, 4, 11);
+        let cols: Vec<usize> = (0..4).collect();
+        let natural: Vec<usize> = (0..64).collect();
+        let baseline = sign_flips_for_order(&w, &cols, &natural, None).unwrap();
+        let order = sort_input_channels(&w, &cols, SortCriterion::SignFirst).unwrap();
+        let optimized = sign_flips_for_order(&w, &cols, &order, None).unwrap();
+        assert!(
+            optimized < baseline,
+            "expected reduction, got {optimized} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn random_criterion_is_deterministic_per_seed() {
+        let w = random_weights(16, 2, 0);
+        let a = sort_input_channels(&w, &[0, 1], SortCriterion::Random { seed: 5 }).unwrap();
+        let b = sort_input_channels(&w, &[0, 1], SortCriterion::Random { seed: 5 }).unwrap();
+        let c = sort_input_channels(&w, &[0, 1], SortCriterion::Random { seed: 6 }).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let w = Matrix::<i8>::zeros(0, 0);
+        assert!(sort_input_channels(&w, &[], SortCriterion::SignFirst).is_err());
+    }
+
+    #[test]
+    fn criterion_names() {
+        assert_eq!(SortCriterion::SignFirst.name(), "sign_first");
+        assert_eq!(SortCriterion::MagFirst.name(), "mag_first");
+        assert_eq!(SortCriterion::Random { seed: 0 }.to_string(), "random");
+    }
+}

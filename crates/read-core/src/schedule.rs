@@ -1,0 +1,290 @@
+//! Cross-layer schedule propagation (Section IV-D).
+//!
+//! Output-channel clustering changes the order in which a layer's output
+//! activations are produced, which the *next* layer must account for when
+//! fetching its input activations.  Following the cross-layer reordering of
+//! Pool & Yu ("Channel permutations for N:M sparsity"), starting from the
+//! second layer the memory fetch order of each layer is determined by two
+//! orders: the current layer's own input-channel order (applied along its
+//! `C` dimension) and the previous layer's output-channel order (applied
+//! along its `K` dimension).
+//!
+//! [`NetworkScheduler`] composes these orders across a chain of layers so
+//! the whole network can be executed with reordered weights while keeping
+//! its results bit-identical.
+
+use accel_sim::Matrix;
+
+use crate::error::ReadError;
+use crate::metrics::validate_order;
+use crate::optimizer::{LayerSchedule, ReadOptimizer};
+
+/// Expands an input-*channel* order into a reduction-*row* order for a layer
+/// whose filters have `taps_per_channel = Fx * Fy` taps: channel `c` owns
+/// the consecutive row block `c * taps .. (c + 1) * taps`, which moves as a
+/// unit.
+///
+/// # Errors
+///
+/// Returns [`ReadError::InvalidOrder`] if `channel_order` is not a
+/// permutation or `taps_per_channel` is zero.
+///
+/// # Example
+///
+/// ```
+/// use read_core::expand_channel_order_to_rows;
+///
+/// let rows = expand_channel_order_to_rows(&[2, 0, 1], 2)?;
+/// assert_eq!(rows, vec![4, 5, 0, 1, 2, 3]);
+/// # Ok::<(), read_core::ReadError>(())
+/// ```
+pub fn expand_channel_order_to_rows(
+    channel_order: &[usize],
+    taps_per_channel: usize,
+) -> Result<Vec<usize>, ReadError> {
+    if taps_per_channel == 0 {
+        return Err(ReadError::InvalidOrder {
+            reason: "taps per channel must be non-zero".into(),
+        });
+    }
+    validate_order(channel_order, channel_order.len())?;
+    let mut rows = Vec::with_capacity(channel_order.len() * taps_per_channel);
+    for &c in channel_order {
+        for t in 0..taps_per_channel {
+            rows.push(c * taps_per_channel + t);
+        }
+    }
+    Ok(rows)
+}
+
+/// Applies a previous layer's output-channel order to the current layer's
+/// weight matrix: input-channel block `i` of the result corresponds to the
+/// previous layer's output channel `prev_output_order[i]`.
+///
+/// After this permutation the current layer can consume the previous layer's
+/// activations exactly in the order they are produced, without any
+/// additional buffering.
+///
+/// # Errors
+///
+/// Returns [`ReadError::InvalidOrder`] when the order does not match the
+/// matrix's channel count or is not a permutation.
+pub fn permute_input_channels(
+    weights: &Matrix<i8>,
+    prev_output_order: &[usize],
+    taps_per_channel: usize,
+) -> Result<Matrix<i8>, ReadError> {
+    if taps_per_channel == 0 || weights.rows() % taps_per_channel != 0 {
+        return Err(ReadError::InvalidOrder {
+            reason: format!(
+                "reduction length {} is not a multiple of taps {}",
+                weights.rows(),
+                taps_per_channel
+            ),
+        });
+    }
+    let channels = weights.rows() / taps_per_channel;
+    if prev_output_order.len() != channels {
+        return Err(ReadError::InvalidOrder {
+            reason: format!(
+                "previous-layer order length {} != input channels {channels}",
+                prev_output_order.len()
+            ),
+        });
+    }
+    let rows = expand_channel_order_to_rows(prev_output_order, taps_per_channel)?;
+    weights.permute_rows(&rows).map_err(|e| ReadError::InvalidOrder {
+        reason: e.to_string(),
+    })
+}
+
+/// Per-layer inputs to the network scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerDescriptor {
+    /// Layer name (for reports).
+    pub name: String,
+    /// Weight matrix in `(C * Fx * Fy) x K` form.
+    pub weights: Matrix<i8>,
+    /// Filter taps per input channel (`Fx * Fy`).
+    pub taps_per_channel: usize,
+}
+
+/// A scheduled layer: the (possibly input-permuted) weight matrix and the
+/// READ schedule computed for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledLayer {
+    /// Layer name.
+    pub name: String,
+    /// Weight matrix after accounting for the previous layer's output order.
+    pub weights: Matrix<i8>,
+    /// The READ schedule for this layer.
+    pub schedule: LayerSchedule,
+}
+
+/// Propagates READ schedules across a chain of layers.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::Matrix;
+/// use read_core::{NetworkScheduler, ReadConfig, ReadOptimizer};
+/// use read_core::schedule::LayerDescriptor;
+///
+/// # fn main() -> Result<(), read_core::ReadError> {
+/// let layers = vec![
+///     LayerDescriptor {
+///         name: "conv1".into(),
+///         weights: Matrix::from_fn(27, 16, |r, c| ((r * 3 + c) % 7) as i8 - 3),
+///         taps_per_channel: 9,
+///     },
+///     LayerDescriptor {
+///         name: "conv2".into(),
+///         weights: Matrix::from_fn(144, 8, |r, c| ((r + c * 5) % 9) as i8 - 4),
+///         taps_per_channel: 9,
+///     },
+/// ];
+/// let scheduler = NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 4);
+/// let scheduled = scheduler.schedule_network(&layers)?;
+/// assert_eq!(scheduled.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetworkScheduler {
+    optimizer: ReadOptimizer,
+    cols_per_group: usize,
+}
+
+impl NetworkScheduler {
+    /// Creates a scheduler that optimizes every layer for an array with
+    /// `cols_per_group` columns.
+    pub fn new(optimizer: ReadOptimizer, cols_per_group: usize) -> Self {
+        NetworkScheduler {
+            optimizer,
+            cols_per_group,
+        }
+    }
+
+    /// Schedules a chain of layers, threading each layer's output-channel
+    /// order into the next layer's input-channel permutation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer errors and inconsistencies between consecutive
+    /// layer shapes (a next layer whose input-channel count does not match
+    /// the previous layer's output-channel count is rejected).
+    pub fn schedule_network(
+        &self,
+        layers: &[LayerDescriptor],
+    ) -> Result<Vec<ScheduledLayer>, ReadError> {
+        let mut scheduled = Vec::with_capacity(layers.len());
+        let mut prev_output_order: Option<Vec<usize>> = None;
+        for layer in layers {
+            let weights = match &prev_output_order {
+                Some(order) if order.len() == layer.weights.rows() / layer.taps_per_channel.max(1) => {
+                    permute_input_channels(&layer.weights, order, layer.taps_per_channel)?
+                }
+                Some(_) | None => layer.weights.clone(),
+            };
+            let schedule = self.optimizer.optimize(&weights, self.cols_per_group)?;
+            prev_output_order = Some(schedule.output_channel_order());
+            scheduled.push(ScheduledLayer {
+                name: layer.name.clone(),
+                weights,
+                schedule,
+            });
+        }
+        Ok(scheduled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::ReadConfig;
+
+    #[test]
+    fn expand_blocks_move_as_units() {
+        let rows = expand_channel_order_to_rows(&[1, 0], 3).unwrap();
+        assert_eq!(rows, vec![3, 4, 5, 0, 1, 2]);
+        assert!(expand_channel_order_to_rows(&[0, 0], 3).is_err());
+        assert!(expand_channel_order_to_rows(&[0, 1], 0).is_err());
+    }
+
+    #[test]
+    fn permute_input_channels_round_trip() {
+        let w = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as i8);
+        let order = vec![2, 0, 1];
+        let permuted = permute_input_channels(&w, &order, 2).unwrap();
+        // Channel block 2 (rows 4,5) moves to the front.
+        assert_eq!(permuted.row(0), w.row(4));
+        assert_eq!(permuted.row(1), w.row(5));
+        // Applying the inverse order restores the matrix.
+        let mut inverse = vec![0; 3];
+        for (i, &o) in order.iter().enumerate() {
+            inverse[o] = i;
+        }
+        let restored = permute_input_channels(&permuted, &inverse, 2).unwrap();
+        assert_eq!(restored, w);
+    }
+
+    #[test]
+    fn permute_input_channels_validates_shapes() {
+        let w = Matrix::from_fn(6, 2, |r, c| (r + c) as i8);
+        assert!(permute_input_channels(&w, &[0, 1], 4).is_err());
+        assert!(permute_input_channels(&w, &[0, 1], 2).is_err());
+        assert!(permute_input_channels(&w, &[0, 1, 1], 2).is_err());
+    }
+
+    #[test]
+    fn network_scheduler_threads_orders() {
+        // Layer 1: 4 input channels (1x1), 6 output channels.
+        // Layer 2: 6 input channels (1x1), 4 output channels.
+        let layers = vec![
+            LayerDescriptor {
+                name: "l1".into(),
+                weights: Matrix::from_fn(4, 6, |r, c| ((r * 5 + c * 3) % 9) as i8 - 4),
+                taps_per_channel: 1,
+            },
+            LayerDescriptor {
+                name: "l2".into(),
+                weights: Matrix::from_fn(6, 4, |r, c| ((r * 7 + c) % 9) as i8 - 4),
+                taps_per_channel: 1,
+            },
+        ];
+        let scheduler =
+            NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 2);
+        let scheduled = scheduler.schedule_network(&layers).unwrap();
+        assert_eq!(scheduled.len(), 2);
+        // Layer 2's weights are the original rows permuted by layer 1's
+        // output order.
+        let order = scheduled[0].schedule.output_channel_order();
+        for (i, &ch) in order.iter().enumerate() {
+            assert_eq!(scheduled[1].weights.row(i), layers[1].weights.row(ch));
+        }
+    }
+
+    #[test]
+    fn mismatched_chain_falls_back_to_unpermuted_weights() {
+        // Layer 2 has an input-channel count that does not match layer 1's
+        // output count (e.g. a pooling layer in between changed nothing, but
+        // a channel-count mismatch means the order cannot be applied); the
+        // scheduler must still succeed and use the original weights.
+        let layers = vec![
+            LayerDescriptor {
+                name: "l1".into(),
+                weights: Matrix::from_fn(4, 6, |r, c| ((r + c) % 5) as i8 - 2),
+                taps_per_channel: 1,
+            },
+            LayerDescriptor {
+                name: "l2".into(),
+                weights: Matrix::from_fn(8, 4, |r, c| ((r + c) % 5) as i8 - 2),
+                taps_per_channel: 1,
+            },
+        ];
+        let scheduler =
+            NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 2);
+        let scheduled = scheduler.schedule_network(&layers).unwrap();
+        assert_eq!(scheduled[1].weights, layers[1].weights);
+    }
+}

@@ -1,0 +1,216 @@
+//! Bit-flip fault models for accumulator words.
+//!
+//! The paper evaluates accuracy by flipping bits of the output activations
+//! (before the activation function) at the BER computed from the layer TER.
+//! Timing errors overwhelmingly corrupt the high-order bits of the
+//! accumulator — the failing paths end at the most significant sum bits — so
+//! the default fault model biases flips toward the top of the 24-bit word.
+
+use accel_sim::ACC_BITS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which accumulator bits a timing error may corrupt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum BitFlipModel {
+    /// Always flip the most significant (sign) bit of the accumulator —
+    /// the worst case the paper highlights.
+    MostSignificant,
+    /// Flip a bit chosen uniformly from the top `n` bits of the accumulator.
+    UniformTop {
+        /// Number of high-order bit positions eligible for flipping.
+        n: u32,
+    },
+    /// Flip a bit chosen uniformly from the whole accumulator width.
+    UniformAll,
+}
+
+impl Default for BitFlipModel {
+    fn default() -> Self {
+        // Timing errors land in the upper carry-chain bits; the top 8 bits
+        // of the 24-bit accumulator is the default corruption window.
+        BitFlipModel::UniformTop { n: 8 }
+    }
+}
+
+impl BitFlipModel {
+    /// Chooses the bit position to flip for one error event.
+    fn sample_bit(&self, rng: &mut StdRng) -> u32 {
+        match self {
+            BitFlipModel::MostSignificant => ACC_BITS - 1,
+            BitFlipModel::UniformTop { n } => {
+                let n = (*n).clamp(1, ACC_BITS);
+                rng.gen_range(ACC_BITS - n..ACC_BITS)
+            }
+            BitFlipModel::UniformAll => rng.gen_range(0..ACC_BITS),
+        }
+    }
+}
+
+/// Injects timing-error bit flips into accumulator-precision values at a
+/// given bit error rate.
+///
+/// # Example
+///
+/// ```
+/// use timing::{BitFlipModel, FaultInjector};
+///
+/// let mut injector = FaultInjector::new(1.0, BitFlipModel::MostSignificant, 42);
+/// let corrupted = injector.corrupt(100);
+/// assert_ne!(corrupted, 100);
+/// let mut clean = FaultInjector::new(0.0, BitFlipModel::MostSignificant, 42);
+/// assert_eq!(clean.corrupt(100), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    ber: f64,
+    model: BitFlipModel,
+    rng: StdRng,
+    injected: u64,
+    examined: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector that corrupts each value independently with
+    /// probability `ber`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not a finite value in `[0, 1]`.
+    pub fn new(ber: f64, model: BitFlipModel, seed: u64) -> Self {
+        assert!(
+            ber.is_finite() && (0.0..=1.0).contains(&ber),
+            "BER must be in [0, 1], got {ber}"
+        );
+        FaultInjector {
+            ber,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            injected: 0,
+            examined: 0,
+        }
+    }
+
+    /// The configured bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    /// Number of values corrupted so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of values examined so far.
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    /// Possibly corrupts one accumulator value, returning the (possibly
+    /// unchanged) result.  The value is interpreted as a 24-bit word: flips
+    /// are applied within the accumulator width and the result sign-extended
+    /// back to `i32`.
+    pub fn corrupt(&mut self, value: i32) -> i32 {
+        self.examined += 1;
+        if self.ber <= 0.0 || self.rng.gen::<f64>() >= self.ber {
+            return value;
+        }
+        self.injected += 1;
+        let bit = self.model.sample_bit(&mut self.rng);
+        let mask: u32 = (1 << ACC_BITS) - 1;
+        let raw = (value as u32 ^ (1 << bit)) & mask;
+        // Sign-extend the 24-bit word back to i32.
+        let shift = 32 - ACC_BITS;
+        (((raw) << shift) as i32) >> shift
+    }
+
+    /// Corrupts a slice of accumulator values in place, returning how many
+    /// were flipped.
+    pub fn corrupt_slice(&mut self, values: &mut [i32]) -> u64 {
+        let before = self.injected;
+        for v in values.iter_mut() {
+            *v = self.corrupt(*v);
+        }
+        self.injected - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ber_never_corrupts() {
+        let mut inj = FaultInjector::new(0.0, BitFlipModel::default(), 1);
+        let mut values: Vec<i32> = (0..1000).collect();
+        let flips = inj.corrupt_slice(&mut values);
+        assert_eq!(flips, 0);
+        assert_eq!(values, (0..1000).collect::<Vec<i32>>());
+        assert_eq!(inj.examined(), 1000);
+    }
+
+    #[test]
+    fn unit_ber_always_corrupts() {
+        let mut inj = FaultInjector::new(1.0, BitFlipModel::MostSignificant, 1);
+        let mut values: Vec<i32> = (1..100).collect();
+        let flips = inj.corrupt_slice(&mut values);
+        assert_eq!(flips, 99);
+        for (i, v) in values.iter().enumerate() {
+            assert_ne!(*v, (i + 1) as i32);
+        }
+    }
+
+    #[test]
+    fn msb_flip_of_positive_value_goes_negative() {
+        let mut inj = FaultInjector::new(1.0, BitFlipModel::MostSignificant, 7);
+        let corrupted = inj.corrupt(5);
+        assert!(corrupted < 0, "MSB flip of a small positive value must go negative, got {corrupted}");
+        // Flipping the MSB twice restores the original value.
+        let mut inj2 = FaultInjector::new(1.0, BitFlipModel::MostSignificant, 7);
+        assert_eq!(inj2.corrupt(corrupted), 5);
+    }
+
+    #[test]
+    fn approximate_rate_matches_ber() {
+        let mut inj = FaultInjector::new(0.1, BitFlipModel::default(), 99);
+        let mut values = vec![1234i32; 20_000];
+        let flips = inj.corrupt_slice(&mut values) as f64;
+        let rate = flips / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn uniform_top_flips_only_high_bits() {
+        let mut inj = FaultInjector::new(1.0, BitFlipModel::UniformTop { n: 4 }, 3);
+        for _ in 0..200 {
+            let corrupted = inj.corrupt(0);
+            let changed = corrupted as u32 & ((1 << ACC_BITS) - 1);
+            let bit = 31 - changed.leading_zeros();
+            // Sign extension fills the top 8 bits of the i32; within the
+            // 24-bit word only bits 20..=23 are eligible.
+            let bit24 = bit.min(ACC_BITS - 1);
+            assert!(bit24 >= ACC_BITS - 4, "flipped bit {bit24}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be in")]
+    fn invalid_ber_panics() {
+        let _ = FaultInjector::new(1.5, BitFlipModel::default(), 0);
+    }
+
+    #[test]
+    fn uniform_all_covers_low_bits_eventually() {
+        let mut inj = FaultInjector::new(1.0, BitFlipModel::UniformAll, 5);
+        let mut saw_low_bit = false;
+        for _ in 0..500 {
+            let corrupted = inj.corrupt(0);
+            if corrupted.unsigned_abs() < (1 << 8) && corrupted != 0 {
+                saw_low_bit = true;
+                break;
+            }
+        }
+        assert!(saw_low_bit);
+    }
+}

@@ -1,0 +1,67 @@
+//! Timing-error modelling for MAC datapaths under PVTA variations.
+//!
+//! The READ paper evaluates timing errors with a commercial dynamic-timing
+//! -analysis flow (PrimeTime STA on a synthesized Nangate-15nm MAC,
+//! SiliconSmart LVF libraries at voltage/temperature corners, and an NBTI
+//! aging model).  This crate rebuilds that flow as a behavioural model:
+//!
+//! * [`delay::DelayModel`] — a parametric delay model of the MAC datapath:
+//!   a fixed multiplier stage plus an accumulator whose delay grows with the
+//!   carry-propagation depth actually exercised by each cycle's operands.
+//! * [`pvta::OperatingCondition`] — the voltage/temperature/aging corners
+//!   used in the paper (Ideal, VT-3 %, VT-5 %, Aging-10y, and combinations),
+//!   mapped to delay derating factors.
+//! * [`dta::DynamicTimingAnalyzer`] — an [`accel_sim::CycleObserver`] that
+//!   converts every simulated MAC cycle into a timing-error probability (or
+//!   a sampled error event) by comparing the triggered path delay against
+//!   the clock period chosen by static timing analysis.
+//! * [`ter`] — timing-error-rate estimation helpers and the paper's
+//!   Eq. (1) conversion from MAC-level TER to activation-level BER.
+//! * [`error_inject`] — bit-flip fault models for accumulator words.
+//!
+//! The model is calibrated so that the *mechanism* matches the paper: the
+//! partial-sum sign flip is the critical input pattern, nominal conditions
+//! are error-free, and increasing PVTA stress moves the deepest triggered
+//! paths past the clock edge first.
+//!
+//! # Example
+//!
+//! ```
+//! use accel_sim::{ArrayConfig, Dataflow, GemmProblem, Matrix, SimOptions};
+//! use timing::{DelayModel, DynamicTimingAnalyzer, OperatingCondition};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let weights = Matrix::from_fn(64, 4, |r, c| ((r * 17 + c * 5) % 13) as i8 - 6);
+//! let acts = Matrix::from_fn(64, 8, |r, c| ((r + 3 * c) % 7) as i8);
+//! let problem = GemmProblem::new(weights, acts)?;
+//!
+//! let delay = DelayModel::nangate15_like();
+//! let condition = OperatingCondition::aging_vt(10.0, 0.05);
+//! let mut dta = DynamicTimingAnalyzer::new(delay, condition);
+//! problem.simulate(
+//!     &ArrayConfig::paper_default(),
+//!     Dataflow::OutputStationary,
+//!     &SimOptions::exhaustive(),
+//!     &mut dta,
+//! )?;
+//! let report = dta.report();
+//! assert!(report.ter >= 0.0 && report.ter <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod dta;
+pub mod error_inject;
+pub mod math;
+pub mod pvta;
+pub mod ter;
+
+pub use delay::DelayModel;
+pub use dta::{AnalysisMode, DepthHistogram, DynamicTimingAnalyzer, TimingReport};
+pub use error_inject::{BitFlipModel, FaultInjector};
+pub use pvta::{paper_conditions, AgingModel, OperatingCondition, PAPER_CONDITIONS};
+pub use ter::{ber_from_ter, ter_for_target_ber, LayerTer, TerEstimator};

@@ -1,0 +1,186 @@
+//! Small numeric helpers: the standard-normal CDF used to turn timing slack
+//! into an error probability.
+
+/// Complementary error function.
+///
+/// Uses the Chebyshev-fitted rational approximation (Numerical Recipes
+/// `erfcc`), whose fractional error is below `1.2e-7` over the full range —
+/// accurate enough for the timing-error tail probabilities (down to ~1e-9)
+/// used by the dynamic timing analyzer.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal cumulative distribution function `P(Z <= x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Upper-tail probability of the standard normal, `P(Z > x)`.
+///
+/// This is the quantity the timing model needs: the probability that the
+/// random delay component pushes a path past the clock edge.
+pub fn normal_tail(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error below `1.15e-9`).  Used to back out the stress level at
+/// which a target error probability is reached.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly between 0 and 1.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns `None` when the samples are shorter than two points or either
+/// sample has zero variance.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x * var_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.004_677_7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for &x in &[0.0, 0.5, 1.0, 2.0, 3.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_tail_small_probabilities() {
+        // Known tail values.
+        assert!((normal_tail(3.0) - 1.349_9e-3).abs() / 1.349_9e-3 < 1e-3);
+        assert!((normal_tail(5.0) - 2.866_5e-7).abs() / 2.866_5e-7 < 1e-2);
+        assert!(normal_tail(8.0) < 1e-14);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires")]
+    fn quantile_rejects_invalid_input() {
+        let _ = normal_quantile(1.5);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        let ys_neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson_correlation(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert!(pearson_correlation(&[1.0], &[2.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[2.0, 3.0, 4.0]).is_none());
+    }
+}

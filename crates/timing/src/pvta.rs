@@ -1,0 +1,255 @@
+//! Process, voltage, temperature and aging (PVTA) variation models.
+//!
+//! The paper evaluates six operating corners: Ideal, 3 % and 5 % combined
+//! voltage/temperature fluctuation, 10-year NBTI aging, and the combinations
+//! of aging with the VT corners.  Each corner is mapped to a multiplicative
+//! delay derating factor applied to every timing path.
+
+/// First-order NBTI aging model.
+///
+/// Negative-bias temperature instability dominates transistor aging in
+/// digital logic; its threshold-voltage shift (and hence the path-delay
+/// increase) follows a power law in stress time,
+/// `Δdelay/delay = k * t_years^n`.  The default exponent `n = 0.16` is the
+/// commonly reported NBTI time exponent; `k` scales the 10-year degradation
+/// to a few percent, matching the guardband erosion the paper describes.
+///
+/// # Example
+///
+/// ```
+/// use timing::AgingModel;
+///
+/// let nbti = AgingModel::default();
+/// assert_eq!(nbti.delay_derate(0.0), 0.0);
+/// assert!(nbti.delay_derate(10.0) > nbti.delay_derate(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingModel {
+    /// Fractional delay increase after one year of stress.
+    pub k: f64,
+    /// Power-law time exponent.
+    pub n: f64,
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        // 10-year degradation of k * 10^0.16 ≈ 1.45 k; with k = 0.04 this is
+        // ≈ 5.8 % — in the range reported for scaled FinFET nodes.
+        AgingModel { k: 0.04, n: 0.16 }
+    }
+}
+
+impl AgingModel {
+    /// Creates an aging model with explicit parameters.
+    pub fn new(k: f64, n: f64) -> Self {
+        AgingModel { k, n }
+    }
+
+    /// Fractional delay increase after `years` of stress.
+    pub fn delay_derate(&self, years: f64) -> f64 {
+        if years <= 0.0 {
+            0.0
+        } else {
+            self.k * years.powf(self.n)
+        }
+    }
+}
+
+/// An operating corner: a combined voltage/temperature fluctuation magnitude
+/// and an aging duration.
+///
+/// The fluctuation is expressed as the paper does ("3 % VT fluctuation",
+/// "5 % VT fluctuation"); the translation to a *delay* derate applies the
+/// sensitivity factor of the delay to the supply/temperature excursion,
+/// which is larger than one for scaled nodes (see
+/// [`OperatingCondition::vt_delay_sensitivity`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingCondition {
+    /// Human-readable corner name (e.g. `"Aging&VT-5%"`).
+    pub name: &'static str,
+    /// Combined voltage/temperature fluctuation magnitude (e.g. `0.05` for
+    /// the paper's 5 % corner).
+    pub vt_fluctuation: f64,
+    /// Aging stress duration in years.
+    pub aging_years: f64,
+    /// Delay sensitivity to the VT fluctuation (delay derate = sensitivity x
+    /// fluctuation).  Defaults to 2.0: a 5 % supply droop costs ~10 % delay,
+    /// typical of near-nominal FinFET operation.
+    pub vt_delay_sensitivity: f64,
+    /// Aging model used to convert `aging_years` into a delay derate.
+    pub aging_model: AgingModel,
+}
+
+impl OperatingCondition {
+    /// Default VT-fluctuation-to-delay sensitivity.
+    pub const DEFAULT_VT_SENSITIVITY: f64 = 2.0;
+
+    /// Nominal (fresh silicon, no fluctuation) conditions — the paper's
+    /// "Ideal" corner.
+    pub fn ideal() -> Self {
+        OperatingCondition {
+            name: "Ideal",
+            vt_fluctuation: 0.0,
+            aging_years: 0.0,
+            vt_delay_sensitivity: Self::DEFAULT_VT_SENSITIVITY,
+            aging_model: AgingModel::default(),
+        }
+    }
+
+    /// A voltage/temperature fluctuation corner with fresh silicon.
+    pub fn vt(fluctuation: f64) -> Self {
+        OperatingCondition {
+            name: match () {
+                _ if (fluctuation - 0.03).abs() < 1e-9 => "VT-3%",
+                _ if (fluctuation - 0.05).abs() < 1e-9 => "VT-5%",
+                _ => "VT",
+            },
+            vt_fluctuation: fluctuation,
+            aging_years: 0.0,
+            vt_delay_sensitivity: Self::DEFAULT_VT_SENSITIVITY,
+            aging_model: AgingModel::default(),
+        }
+    }
+
+    /// An aging-only corner (no VT fluctuation).
+    pub fn aging(years: f64) -> Self {
+        OperatingCondition {
+            name: if (years - 10.0).abs() < 1e-9 {
+                "Aging-10y"
+            } else {
+                "Aging"
+            },
+            vt_fluctuation: 0.0,
+            aging_years: years,
+            vt_delay_sensitivity: Self::DEFAULT_VT_SENSITIVITY,
+            aging_model: AgingModel::default(),
+        }
+    }
+
+    /// A combined aging + VT fluctuation corner.
+    pub fn aging_vt(years: f64, fluctuation: f64) -> Self {
+        OperatingCondition {
+            name: match () {
+                _ if (fluctuation - 0.03).abs() < 1e-9 => "Aging&VT-3%",
+                _ if (fluctuation - 0.05).abs() < 1e-9 => "Aging&VT-5%",
+                _ => "Aging&VT",
+            },
+            vt_fluctuation: fluctuation,
+            aging_years: years,
+            vt_delay_sensitivity: Self::DEFAULT_VT_SENSITIVITY,
+            aging_model: AgingModel::default(),
+        }
+    }
+
+    /// Overrides the VT delay sensitivity.
+    pub fn with_vt_sensitivity(mut self, sensitivity: f64) -> Self {
+        self.vt_delay_sensitivity = sensitivity;
+        self
+    }
+
+    /// Overrides the aging model.
+    pub fn with_aging_model(mut self, model: AgingModel) -> Self {
+        self.aging_model = model;
+        self
+    }
+
+    /// Total multiplicative delay derate of this corner relative to nominal
+    /// conditions (`1.0` for the Ideal corner).
+    pub fn delay_derate(&self) -> f64 {
+        1.0 + self.vt_fluctuation * self.vt_delay_sensitivity
+            + self.aging_model.delay_derate(self.aging_years)
+    }
+}
+
+impl Default for OperatingCondition {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl std::fmt::Display for OperatingCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// The six corners evaluated in Figs. 10 and 11 of the paper, in the order
+/// they appear on the x-axis.
+pub fn paper_conditions() -> [OperatingCondition; 6] {
+    [
+        OperatingCondition::ideal(),
+        OperatingCondition::vt(0.03),
+        OperatingCondition::vt(0.05),
+        OperatingCondition::aging(10.0),
+        OperatingCondition::aging_vt(10.0, 0.03),
+        OperatingCondition::aging_vt(10.0, 0.05),
+    ]
+}
+
+/// Names of the six paper corners, for table headers.
+pub const PAPER_CONDITIONS: [&str; 6] = [
+    "Ideal",
+    "VT-3%",
+    "VT-5%",
+    "Aging-10y",
+    "Aging&VT-3%",
+    "Aging&VT-5%",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aging_is_monotone_and_zero_at_start() {
+        let m = AgingModel::default();
+        assert_eq!(m.delay_derate(0.0), 0.0);
+        assert_eq!(m.delay_derate(-1.0), 0.0);
+        let mut prev = 0.0;
+        for years in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+            let d = m.delay_derate(years);
+            assert!(d > prev, "aging derate must grow with time");
+            prev = d;
+        }
+        // 10-year degradation lands in the single-digit-percent range.
+        let ten = m.delay_derate(10.0);
+        assert!(ten > 0.03 && ten < 0.10, "10y derate {ten}");
+    }
+
+    #[test]
+    fn corner_derates_are_ordered() {
+        let conditions = paper_conditions();
+        let derates: Vec<f64> = conditions.iter().map(|c| c.delay_derate()).collect();
+        assert_eq!(derates[0], 1.0);
+        // Every stressed corner is slower than Ideal, and the combined
+        // corners are the slowest.
+        for d in &derates[1..] {
+            assert!(*d > 1.0);
+        }
+        assert!(derates[5] > derates[4]);
+        assert!(derates[4] > derates[3]);
+        assert!(derates[5] > derates[2]);
+    }
+
+    #[test]
+    fn corner_names_match_paper() {
+        let names: Vec<&str> = paper_conditions().iter().map(|c| c.name).collect();
+        assert_eq!(names, PAPER_CONDITIONS.to_vec());
+    }
+
+    #[test]
+    fn builders_apply_overrides() {
+        let c = OperatingCondition::vt(0.05)
+            .with_vt_sensitivity(1.0)
+            .with_aging_model(AgingModel::new(0.0, 0.16));
+        assert!((c.delay_derate() - 1.05).abs() < 1e-12);
+        assert_eq!(c.to_string(), "VT-5%");
+    }
+
+    #[test]
+    fn custom_corners_get_generic_names() {
+        assert_eq!(OperatingCondition::vt(0.04).name, "VT");
+        assert_eq!(OperatingCondition::aging(5.0).name, "Aging");
+        assert_eq!(OperatingCondition::aging_vt(5.0, 0.04).name, "Aging&VT");
+    }
+}

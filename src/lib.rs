@@ -1,0 +1,59 @@
+//! # read-repro — READ: Reliability-Enhanced Accelerator Dataflow Optimization
+//!
+//! Workspace facade crate: re-exports the four substrate crates of the READ
+//! reproduction so that examples and downstream users can depend on a single
+//! crate.
+//!
+//! * [`read_core`] — the READ optimizer (input-channel reordering,
+//!   output-channel clustering, schedules, LUT hardware model).
+//! * [`accel_sim`] — cycle-level systolic-array simulator (MAC datapath,
+//!   dataflows, conv→GEMM lowering).
+//! * [`timing`] — dynamic timing analysis, PVTA variation corners,
+//!   timing-error-rate estimation and error injection.
+//! * [`qnn`] — quantized (int8) CNN inference substrate with a VGG/ResNet
+//!   model zoo, synthetic datasets, and fault-injection evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use read_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small weight matrix: 32 input channels x 8 output channels.
+//! let weights = Matrix::from_fn(32, 8, |r, c| ((r * 37 + c * 11) % 19) as i8 - 9);
+//!
+//! // Optimize the computation order with the READ cluster-then-reorder flow.
+//! let optimizer = ReadOptimizer::new(ReadConfig {
+//!     criterion: SortCriterion::SignFirst,
+//!     clustering: ClusteringMode::ClusterThenReorder,
+//!     ..ReadConfig::default()
+//! });
+//! let schedule = optimizer.optimize(&weights, 4)?;
+//! assert_eq!(schedule.clusters().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use accel_sim;
+pub use qnn;
+pub use read_core;
+pub use timing;
+
+/// Commonly used items from all substrate crates.
+pub mod prelude {
+    pub use accel_sim::{
+        im2col, weights_to_matrix, ArrayConfig, ComputeSchedule, ConvShape, Dataflow, GemmProblem,
+        MacUnit, Matrix, PsumTraceRecorder, SignFlipStats, SimOptions,
+    };
+    pub use qnn::{
+        Dataset, FaultConfig, Model, QuantParams, SyntheticDatasetBuilder, Tensor,
+    };
+    pub use read_core::{
+        ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
+    };
+    pub use timing::{
+        ber_from_ter, DelayModel, DynamicTimingAnalyzer, OperatingCondition, TerEstimator,
+    };
+}

@@ -1,0 +1,75 @@
+//! Integration tests for the cross-layer scheduling path: READ schedules
+//! threaded through consecutive layers of a real model from the zoo.
+
+use qnn::models;
+use read_core::schedule::LayerDescriptor;
+use read_core::{NetworkScheduler, ReadConfig, ReadOptimizer};
+
+#[test]
+fn whole_vgg_network_schedules_with_order_propagation() {
+    // Build the scaled executable VGG-16 and schedule every conv layer,
+    // threading output-channel orders into the next layer's input channels.
+    let model = models::vgg16_cifar_scaled(16, 10, 7).unwrap();
+    let layers: Vec<LayerDescriptor> = model
+        .conv_layers()
+        .iter()
+        .map(|conv| LayerDescriptor {
+            name: conv.name().to_string(),
+            weights: conv.weight_matrix(),
+            taps_per_channel: conv.kernel() * conv.kernel(),
+        })
+        .collect();
+    let scheduler = NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 4);
+    let scheduled = scheduler.schedule_network(&layers).unwrap();
+    assert_eq!(scheduled.len(), model.num_conv_layers());
+
+    for (descriptor, scheduled_layer) in layers.iter().zip(&scheduled) {
+        // Every layer's schedule covers its own channel set.
+        let schedule = &scheduled_layer.schedule;
+        assert_eq!(schedule.num_channels(), descriptor.weights.cols());
+        assert!(schedule
+            .to_compute_schedule()
+            .validate(descriptor.weights.rows(), descriptor.weights.cols())
+            .is_ok());
+        // The permuted weight matrix still contains exactly the same
+        // multiset of values as the original (it is a row permutation).
+        let mut original: Vec<i8> = descriptor.weights.as_slice().to_vec();
+        let mut permuted: Vec<i8> = scheduled_layer.weights.as_slice().to_vec();
+        original.sort_unstable();
+        permuted.sort_unstable();
+        assert_eq!(original, permuted);
+    }
+
+    // Consecutive layers are chained: the second layer's weights are the
+    // original rows permuted by the first layer's output order whenever the
+    // channel counts line up.
+    let first_order = scheduled[0].schedule.output_channel_order();
+    let taps = layers[1].taps_per_channel;
+    if first_order.len() * taps == layers[1].weights.rows() {
+        for (block, &src_channel) in first_order.iter().enumerate() {
+            for t in 0..taps {
+                assert_eq!(
+                    scheduled[1].weights.row(block * taps + t),
+                    layers[1].weights.row(src_channel * taps + t)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resnet_schedules_every_block_conv() {
+    let model = models::resnet18_cifar_scaled(16, 10, 9).unwrap();
+    let optimizer = ReadOptimizer::new(ReadConfig::default());
+    for conv in model.conv_layers() {
+        let weights = conv.weight_matrix();
+        let schedule = optimizer.optimize(&weights, 4).unwrap();
+        let baseline = read_core::LayerSchedule::baseline(weights.rows(), weights.cols(), 4);
+        assert!(
+            schedule.total_sign_flips(&weights, None).unwrap()
+                <= baseline.total_sign_flips(&weights, None).unwrap(),
+            "layer {} regressed",
+            conv.name()
+        );
+    }
+}

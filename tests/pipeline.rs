@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: the full READ pipeline from a network
+//! layer, through the optimizer, onto the simulated array, into the timing
+//! model and the error-injection accuracy evaluation.
+
+use accel_sim::{ArrayConfig, Dataflow, GemmProblem, Matrix, NullObserver, SimOptions};
+use qnn::init::{synthetic_activations, WeightInit};
+use qnn::models;
+use read_core::{ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion};
+use timing::{ber_from_ter, paper_conditions, OperatingCondition, TerEstimator};
+
+fn synthetic_layer(reduction: usize, channels: usize, pixels: usize, seed: u64) -> GemmProblem {
+    let mut init = WeightInit::new(seed);
+    let weights = Matrix::from_fn(reduction, channels, |_, _| init.weight(reduction));
+    let acts = synthetic_activations(reduction * pixels, 0.45, seed + 1);
+    let activations = Matrix::from_fn(reduction, pixels, |r, p| acts[r * pixels + p]);
+    GemmProblem::new(weights, activations).expect("consistent matrices")
+}
+
+fn read_schedule(problem: &GemmProblem, cols: usize) -> read_core::LayerSchedule {
+    ReadOptimizer::new(ReadConfig {
+        criterion: SortCriterion::SignFirst,
+        clustering: ClusteringMode::ClusterThenReorder,
+        ..ReadConfig::default()
+    })
+    .optimize(problem.weights(), cols)
+    .expect("optimizable")
+}
+
+#[test]
+fn read_schedule_preserves_layer_outputs_bit_exactly() {
+    let problem = synthetic_layer(288, 32, 6, 1);
+    let array = ArrayConfig::paper_default();
+    let schedule = read_schedule(&problem, array.cols());
+    let mut obs = NullObserver;
+    let baseline = problem
+        .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut obs)
+        .unwrap();
+    let optimized = problem
+        .simulate_with_schedule(
+            &array,
+            Dataflow::OutputStationary,
+            &schedule.to_compute_schedule(),
+            &SimOptions::exhaustive(),
+            &mut obs,
+        )
+        .unwrap();
+    assert_eq!(baseline.outputs, optimized.outputs);
+    assert_eq!(baseline.outputs, problem.reference_output().unwrap());
+}
+
+#[test]
+fn read_reduces_ter_under_stress_and_never_hurts_at_nominal() {
+    let problem = synthetic_layer(576, 16, 4, 3);
+    let array = ArrayConfig::paper_default();
+    let schedule = read_schedule(&problem, array.cols()).to_compute_schedule();
+    let estimator = TerEstimator::new().with_array(array);
+
+    let stressed = OperatingCondition::aging_vt(10.0, 0.05);
+    let base = estimator.analyze(&problem, &stressed).unwrap();
+    let read = estimator
+        .analyze_with_schedule(&problem, &schedule, &stressed)
+        .unwrap();
+    assert!(base.ter > 0.0);
+    assert!(
+        read.ter < base.ter / 2.0,
+        "READ should reduce TER by well over 2x, got {} vs {}",
+        read.ter,
+        base.ter
+    );
+    assert!(read.sign_flip_rate < base.sign_flip_rate);
+
+    let ideal = OperatingCondition::ideal();
+    let base_ideal = estimator.analyze(&problem, &ideal).unwrap();
+    let read_ideal = estimator
+        .analyze_with_schedule(&problem, &schedule, &ideal)
+        .unwrap();
+    assert!(read_ideal.ter <= base_ideal.ter * 1.01 + 1e-12);
+}
+
+#[test]
+fn ter_ordering_follows_pvta_stress_for_both_schedules() {
+    let problem = synthetic_layer(288, 8, 3, 9);
+    let array = ArrayConfig::paper_default();
+    let schedule = read_schedule(&problem, array.cols()).to_compute_schedule();
+    let estimator = TerEstimator::new().with_array(array);
+    for schedule in [None, Some(&schedule)] {
+        let ters: Vec<f64> = paper_conditions()
+            .iter()
+            .map(|c| match schedule {
+                None => estimator.analyze(&problem, c).unwrap().ter,
+                Some(s) => estimator.analyze_with_schedule(&problem, s, c).unwrap().ter,
+            })
+            .collect();
+        // Ideal is the most benign corner; the combined aging + 5% corner is
+        // the worst.
+        assert!(ters[0] <= ters.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-18);
+        assert!((ters[5] - ters.iter().cloned().fold(0.0, f64::max)).abs() < 1e-18);
+    }
+}
+
+#[test]
+fn vgg_layer_matrices_flow_through_the_whole_stack() {
+    // Take the real VGG-16 layer shapes, build the weight matrix from the
+    // executable model's conv layer, optimize, and verify the LUT describes
+    // exactly the schedule the simulator executes.
+    let model = models::vgg16_cifar_scaled(16, 10, 5).unwrap();
+    let conv = model.conv_layers()[4];
+    let weights = conv.weight_matrix();
+    let schedule = ReadOptimizer::new(ReadConfig::default())
+        .optimize(&weights, 4)
+        .unwrap();
+    let lut = schedule.lut().unwrap();
+    assert_eq!(lut.num_clusters(), schedule.clusters().len());
+    for (ci, cluster) in schedule.clusters().iter().enumerate() {
+        for (pos, &row) in cluster.order.iter().enumerate() {
+            assert_eq!(lut.lookup(ci, pos), Some(row));
+        }
+    }
+    // The schedule is valid for the layer's GEMM dimensions.
+    assert!(schedule
+        .to_compute_schedule()
+        .validate(weights.rows(), weights.cols())
+        .is_ok());
+}
+
+#[test]
+fn ber_formula_connects_layer_ter_to_activation_error_rate() {
+    let problem = synthetic_layer(1152, 8, 2, 21);
+    let estimator = TerEstimator::new();
+    let report = estimator
+        .analyze(&problem, &OperatingCondition::aging_vt(10.0, 0.05))
+        .unwrap();
+    let ber = ber_from_ter(report.ter, 1152);
+    assert!(ber >= report.ter);
+    assert!(ber <= 1.0);
+    assert!((report.ber(1152) - ber).abs() < 1e-15);
+}
+
+#[test]
+fn baseline_layer_schedule_matches_compute_schedule_baseline() {
+    let schedule = LayerSchedule::baseline(32, 12, 4);
+    let compute = schedule.to_compute_schedule();
+    let direct = accel_sim::ComputeSchedule::baseline(32, 12, 4);
+    assert_eq!(compute.output_channel_order(), direct.output_channel_order());
+    assert_eq!(compute.groups().len(), direct.groups().len());
+}
