@@ -337,7 +337,9 @@ mod tests {
     fn weights_to_matrix_layout() {
         let s = ConvShape::new(1, 2, 4, 4, 3, 1, 1, 1, 0).unwrap();
         // KCHW layout, k-major: w[k][c] = 10*k + c
-        let w: Vec<i8> = (0..3).flat_map(|k| (0..2).map(move |c| (10 * k + c) as i8)).collect();
+        let w: Vec<i8> = (0..3)
+            .flat_map(|k| (0..2).map(move |c| (10 * k + c) as i8))
+            .collect();
         let m = weights_to_matrix(&s, &w).unwrap();
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
@@ -352,7 +354,9 @@ mod tests {
         // Cross-check the im2col + GEMM path against a naive convolution.
         let s = ConvShape::new(1, 2, 4, 4, 3, 3, 3, 1, 1).unwrap();
         let input: Vec<i8> = (0..(2 * 4 * 4)).map(|i| ((i * 7) % 11) as i8 - 5).collect();
-        let weights: Vec<i8> = (0..(3 * 2 * 3 * 3)).map(|i| ((i * 5) % 7) as i8 - 3).collect();
+        let weights: Vec<i8> = (0..(3 * 2 * 3 * 3))
+            .map(|i| ((i * 5) % 7) as i8 - 3)
+            .collect();
 
         let wm = weights_to_matrix(&s, &weights).unwrap();
         let am = im2col(&s, &input).unwrap();

@@ -209,7 +209,13 @@ impl GemmProblem {
 
         match dataflow {
             Dataflow::OutputStationary => {
-                self.run_output_stationary(schedule, &pixels, observer, &mut outputs, &mut total_cycles);
+                self.run_output_stationary(
+                    schedule,
+                    &pixels,
+                    observer,
+                    &mut outputs,
+                    &mut total_cycles,
+                );
             }
             Dataflow::WeightStationary => {
                 self.run_weight_stationary(
@@ -294,8 +300,7 @@ impl GemmProblem {
         // one output's accumulation is interleaved with the other outputs
         // and its partial value round-trips through the accumulation buffer.
         for (gi, group) in schedule.groups().iter().enumerate() {
-            let mut psums: Vec<Vec<i32>> =
-                vec![vec![0i32; self.num_pixels()]; group.columns.len()];
+            let mut psums: Vec<Vec<i32>> = vec![vec![0i32; self.num_pixels()]; group.columns.len()];
             for (tile_no, tile) in group.row_order.chunks(array.rows()).enumerate() {
                 for &pixel in pixels {
                     for (ci, &channel) in group.columns.iter().enumerate() {
@@ -456,10 +461,20 @@ mod tests {
         let mut o1 = NullObserver;
         let mut o2 = NullObserver;
         let r1 = p
-            .simulate(&ArrayConfig::new(4, 2), Dataflow::OutputStationary, &opts, &mut o1)
+            .simulate(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &opts,
+                &mut o1,
+            )
             .unwrap();
         let r2 = p
-            .simulate(&ArrayConfig::new(4, 2), Dataflow::OutputStationary, &opts, &mut o2)
+            .simulate(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &opts,
+                &mut o2,
+            )
             .unwrap();
         assert_eq!(r1.simulated_pixels, r2.simulated_pixels);
     }
@@ -485,10 +500,20 @@ mod tests {
         let mut ws_stats = SignFlipStats::new();
         let array = ArrayConfig::new(8, 2);
         let os = p
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut os_stats)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut os_stats,
+            )
             .unwrap();
         let ws = p
-            .simulate(&array, Dataflow::WeightStationary, &SimOptions::exhaustive(), &mut ws_stats)
+            .simulate(
+                &array,
+                Dataflow::WeightStationary,
+                &SimOptions::exhaustive(),
+                &mut ws_stats,
+            )
             .unwrap();
         assert_eq!(os.outputs, ws.outputs);
         assert_eq!(os_stats.total_macs, ws_stats.total_macs);

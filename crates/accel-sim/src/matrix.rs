@@ -119,7 +119,9 @@ impl<T: Copy + Default> Matrix<T> {
     /// Panics if `col >= self.cols()`.
     pub fn column(&self, col: usize) -> Vec<T> {
         assert!(col < self.cols, "col {col} out of range ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + col])
+            .collect()
     }
 
     /// Returns a new matrix whose rows are permuted: row `i` of the result is
@@ -340,7 +342,7 @@ mod tests {
         let a = Matrix::from_vec(2, 1, vec![5i8, 7]).unwrap();
         let out = w.gemm_reference(&a).unwrap();
         // out[k][m] = sum_r w[r][k] * a[r][m]
-        assert_eq!(out[(0, 0)], 1 * 5 + 3 * 7);
+        assert_eq!(out[(0, 0)], 5 + 3 * 7);
         assert_eq!(out[(1, 0)], -2 * 5 + 4 * 7);
     }
 

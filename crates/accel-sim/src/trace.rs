@@ -203,8 +203,8 @@ impl PsumTraceRecorder {
     }
 
     fn matches(&self, ctx: &CycleContext) -> bool {
-        self.channel_filter.map_or(true, |c| c == ctx.channel)
-            && self.pixel_filter.map_or(true, |p| p == ctx.pixel)
+        self.channel_filter.is_none_or(|c| c == ctx.channel)
+            && self.pixel_filter.is_none_or(|p| p == ctx.pixel)
     }
 }
 

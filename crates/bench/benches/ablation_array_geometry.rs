@@ -2,28 +2,38 @@
 //! of array columns (output channels per pass) and, for the
 //! weight-stationary dataflow, the number of rows (reduction tile height).
 
-use accel_sim::{ArrayConfig, Dataflow, SimOptions};
+use accel_sim::{ArrayConfig, Dataflow};
 use read_bench::experiments::Algorithm;
 use read_bench::report;
 use read_bench::workloads::{vgg16_workloads, WorkloadConfig};
 use read_core::SortCriterion;
-use timing::{DelayModel, DepthHistogram, OperatingCondition};
+use read_pipeline::{DelayErrorModel, ReadPipeline};
+use timing::{DelayModel, OperatingCondition};
 
-fn ter_for(
+fn ters_for(
     workload: &read_bench::LayerWorkload,
-    algorithm: Algorithm,
     array: &ArrayConfig,
     dataflow: Dataflow,
     delay: &DelayModel,
     condition: &OperatingCondition,
-) -> f64 {
-    let schedule = algorithm.schedule(workload, array.cols());
-    let mut hist = DepthHistogram::new();
-    workload
-        .problem()
-        .simulate_with_schedule(array, dataflow, &schedule, &SimOptions::exhaustive(), &mut hist)
+) -> (f64, f64) {
+    let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
+    let pipeline = ReadPipeline::builder()
+        .array(*array)
+        .dataflow(dataflow)
+        .error_model(DelayErrorModel::new(*delay))
+        .condition(*condition)
+        .source(Algorithm::Baseline)
+        .source(read)
+        .build()
+        .expect("valid pipeline");
+    let base = pipeline
+        .layer_ter(workload, &Algorithm::Baseline, condition)
         .expect("simulates");
-    hist.ter(delay, condition)
+    let opt = pipeline
+        .layer_ter(workload, &read, condition)
+        .expect("simulates");
+    (base, opt)
 }
 
 fn main() {
@@ -37,7 +47,6 @@ fn main() {
         .expect("vgg16 plan contains conv4_8");
     let delay = DelayModel::nangate15_like();
     let condition = OperatingCondition::aging_vt(10.0, 0.05);
-    let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
 
     report::section(&format!(
         "Ablation: TER reduction vs array columns ({}, output-stationary)",
@@ -46,8 +55,13 @@ fn main() {
     let mut rows = Vec::new();
     for cols in [2usize, 4, 8, 16, 32] {
         let array = ArrayConfig::new(16, cols);
-        let base = ter_for(&workload, Algorithm::Baseline, &array, Dataflow::OutputStationary, &delay, &condition);
-        let opt = ter_for(&workload, read, &array, Dataflow::OutputStationary, &delay, &condition);
+        let (base, opt) = ters_for(
+            &workload,
+            &array,
+            Dataflow::OutputStationary,
+            &delay,
+            &condition,
+        );
         rows.push(vec![
             format!("16x{cols}"),
             report::sci(base),
@@ -61,8 +75,13 @@ fn main() {
     let mut rows = Vec::new();
     for array_rows in [4usize, 16, 64] {
         let array = ArrayConfig::new(array_rows, 4);
-        let base = ter_for(&workload, Algorithm::Baseline, &array, Dataflow::WeightStationary, &delay, &condition);
-        let opt = ter_for(&workload, read, &array, Dataflow::WeightStationary, &delay, &condition);
+        let (base, opt) = ters_for(
+            &workload,
+            &array,
+            Dataflow::WeightStationary,
+            &delay,
+            &condition,
+        );
         rows.push(vec![
             format!("{array_rows}x4"),
             report::sci(base),
@@ -73,5 +92,7 @@ fn main() {
     report::table(&["array", "baseline TER", "READ TER", "reduction"], &rows);
     println!();
     println!("(expected: the reduction shrinks as more output channels share one order, and the");
-    println!(" weight-stationary dataflow benefits less because partial sums round-trip the buffer)");
+    println!(
+        " weight-stationary dataflow benefits less because partial sums round-trip the buffer)"
+    );
 }

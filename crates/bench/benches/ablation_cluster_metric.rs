@@ -1,11 +1,12 @@
 //! Ablation: clustering metric — the paper's sign-difference (Manhattan on
 //! weight signs) against Euclidean distance on the raw weight values.
 
-use accel_sim::{ArrayConfig, Dataflow, SimOptions};
+use accel_sim::ArrayConfig;
 use read_bench::report;
 use read_bench::workloads::{vgg16_workloads, WorkloadConfig};
-use read_core::{ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{DelayModel, DepthHistogram, OperatingCondition};
+use read_core::{ClusteringMode, DistanceMetric, ReadConfig, SortCriterion};
+use read_pipeline::{DelayErrorModel, ReadPipeline};
+use timing::{DelayModel, OperatingCondition};
 
 fn main() {
     let config = WorkloadConfig {
@@ -23,33 +24,27 @@ fn main() {
         ("sign difference (paper)", DistanceMetric::SignManhattan),
         ("euclidean on values", DistanceMetric::Euclidean),
     ] {
-        let optimizer = ReadOptimizer::new(ReadConfig {
-            criterion: SortCriterion::SignFirst,
-            clustering: ClusteringMode::ClusterThenReorder,
-            metric,
-            ..ReadConfig::default()
-        });
+        let pipeline = ReadPipeline::builder()
+            .array(array)
+            .error_model(DelayErrorModel::new(delay))
+            .condition(condition)
+            .optimizer(ReadConfig {
+                criterion: SortCriterion::SignFirst,
+                clustering: ClusteringMode::ClusterThenReorder,
+                metric,
+                ..ReadConfig::default()
+            })
+            .parallel()
+            .build()
+            .expect("valid pipeline");
+        let net = pipeline
+            .run_ter("cluster-metric", &workloads)
+            .expect("simulates");
         let mut log_ter = 0.0;
         let mut n = 0usize;
-        for workload in &workloads {
-            let schedule = optimizer
-                .optimize(&workload.weights, array.cols())
-                .expect("optimizable")
-                .to_compute_schedule();
-            let mut hist = DepthHistogram::new();
-            workload
-                .problem()
-                .simulate_with_schedule(
-                    &array,
-                    Dataflow::OutputStationary,
-                    &schedule,
-                    &SimOptions::exhaustive(),
-                    &mut hist,
-                )
-                .expect("simulates");
-            let ter = hist.ter(&delay, &condition);
-            if ter > 0.0 {
-                log_ter += ter.ln();
+        for row in &net.rows {
+            if row.ter > 0.0 {
+                log_ter += row.ter.ln();
                 n += 1;
             }
         }
@@ -58,7 +53,10 @@ fn main() {
             report::sci((log_ter / n.max(1) as f64).exp()),
         ]);
     }
-    report::table(&["clustering metric", "geo-mean TER over VGG-16 layers"], &rows);
+    report::table(
+        &["clustering metric", "geo-mean TER over VGG-16 layers"],
+        &rows,
+    );
     println!();
     println!("(expected: the sign-difference metric matches or beats Euclidean — only the sign");
     println!(" pattern matters for the reorder quality, magnitudes just add noise)");

@@ -6,12 +6,12 @@
 //! a layer without ReLU, or with symmetric quantization of raw inputs) to
 //! show how much of the benefit survives.
 
-use accel_sim::{ArrayConfig, Dataflow, Matrix, SimOptions};
-use read_bench::experiments::Algorithm;
+use accel_sim::{ArrayConfig, Matrix};
+use read_bench::experiments::{figure_pipeline, Algorithm};
 use read_bench::report;
 use read_bench::workloads::{vgg16_workloads, WorkloadConfig};
 use read_core::SortCriterion;
-use timing::{DelayModel, DepthHistogram, OperatingCondition};
+use timing::{DelayModel, OperatingCondition};
 
 fn main() {
     let config = WorkloadConfig {
@@ -22,6 +22,7 @@ fn main() {
     let delay = DelayModel::nangate15_like();
     let condition = OperatingCondition::aging_vt(10.0, 0.05);
     let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
+    let pipeline = figure_pipeline(&[Algorithm::Baseline, read], &array, &delay, &[condition]);
 
     report::section("Ablation: ReLU (non-negative) vs signed activations (aging 10y + 5% VT)");
     let mut rows = Vec::new();
@@ -47,23 +48,12 @@ fn main() {
                     },
                 );
             }
-            let run = |algorithm: Algorithm| {
-                let schedule = algorithm.schedule(&workload, array.cols());
-                let mut hist = DepthHistogram::new();
-                workload
-                    .problem()
-                    .simulate_with_schedule(
-                        &array,
-                        Dataflow::OutputStationary,
-                        &schedule,
-                        &SimOptions::exhaustive(),
-                        &mut hist,
-                    )
-                    .expect("simulates");
-                hist.ter(&delay, &condition)
-            };
-            let base = run(Algorithm::Baseline);
-            let opt = run(read);
+            let base = pipeline
+                .layer_ter(&workload, &Algorithm::Baseline, &condition)
+                .expect("simulates");
+            let opt = pipeline
+                .layer_ter(&workload, &read, &condition)
+                .expect("simulates");
             if base > 0.0 && opt > 0.0 {
                 log_reduction += (base / opt).ln();
                 n += 1;
@@ -75,7 +65,10 @@ fn main() {
         ]);
     }
     report::table(
-        &["activation distribution", "geo-mean TER reduction (READ vs baseline)"],
+        &[
+            "activation distribution",
+            "geo-mean TER reduction (READ vs baseline)",
+        ],
         &rows,
     );
     println!();

@@ -23,10 +23,7 @@ fn main() {
 
     let criteria = [
         ("baseline (no reorder)", Algorithm::Baseline),
-        (
-            "sign_first",
-            Algorithm::Reorder(SortCriterion::SignFirst),
-        ),
+        ("sign_first", Algorithm::Reorder(SortCriterion::SignFirst)),
         ("mag_first", Algorithm::Reorder(SortCriterion::MagFirst)),
         (
             "magnitude only",
@@ -38,7 +35,9 @@ fn main() {
         ),
     ];
 
-    report::section("Ablation: sorting criterion (aging 10y + 5% VT, geometric mean over VGG-16 layers)");
+    report::section(
+        "Ablation: sorting criterion (aging 10y + 5% VT, geometric mean over VGG-16 layers)",
+    );
     let workloads = vgg16_workloads(&config);
     let mut rows = Vec::new();
     for (label, algorithm) in criteria {
@@ -56,9 +55,16 @@ fn main() {
         }
         let gm_ter = (log_ter / n.max(1) as f64).exp();
         let gm_sfr = (log_sfr / n.max(1) as f64).exp();
-        rows.push(vec![label.to_string(), report::sci(gm_sfr), report::sci(gm_ter)]);
+        rows.push(vec![
+            label.to_string(),
+            report::sci(gm_sfr),
+            report::sci(gm_ter),
+        ]);
     }
-    report::table(&["criterion", "geo-mean sign-flip rate", "geo-mean TER"], &rows);
+    report::table(
+        &["criterion", "geo-mean sign-flip rate", "geo-mean TER"],
+        &rows,
+    );
     println!();
     println!("(expected: sign_first < mag_first < magnitude-only ~ random ~ baseline)");
 }

@@ -74,7 +74,11 @@ fn main() {
                     .iter()
                     .find(|p| p.condition == condition.name && p.algorithm == algorithm.name())
                     .expect("point exists");
-                cells.push(format!("{} (BER {})", report::pct(p.top1), report::sci(p.mean_ber)));
+                cells.push(format!(
+                    "{} (BER {})",
+                    report::pct(p.top1),
+                    report::sci(p.mean_ber)
+                ));
             }
             rows.push(cells);
         }
@@ -83,6 +87,8 @@ fn main() {
             &rows,
         );
         println!();
-        println!("(paper: baseline accuracy collapses under aging / combined corners; READ keeps it)");
+        println!(
+            "(paper: baseline accuracy collapses under aging / combined corners; READ keeps it)"
+        );
     }
 }

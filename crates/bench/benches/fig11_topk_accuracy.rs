@@ -41,17 +41,28 @@ fn main() {
         .build()
         .expect("dataset builds");
 
-    let runs: Vec<(&str, qnn::Model, Vec<read_bench::LayerWorkload>, qnn::Dataset)> = vec![
+    let runs: Vec<(
+        &str,
+        qnn::Model,
+        Vec<read_bench::LayerWorkload>,
+        qnn::Dataset,
+    )> = vec![
         (
             "VGG-16 (CIFAR-100-style, 20 classes)",
             models::vgg16_cifar_scaled(8, 20, 51).expect("model builds"),
-            vgg16_workloads(&config).into_iter().take(vulnerable).collect(),
+            vgg16_workloads(&config)
+                .into_iter()
+                .take(vulnerable)
+                .collect(),
             cifar100_like,
         ),
         (
             "ResNet-34 (ImageNet-style, 20 classes)",
             models::resnet34_imagenet_scaled(16, 20, 52).expect("model builds"),
-            resnet34_workloads(&config).into_iter().take(vulnerable).collect(),
+            resnet34_workloads(&config)
+                .into_iter()
+                .take(vulnerable)
+                .collect(),
             imagenet_like,
         ),
     ];
@@ -92,6 +103,8 @@ fn main() {
             &rows,
         );
         println!();
-        println!("(paper: same trend as Fig. 10 — READ withstands a much wider range of fluctuations)");
+        println!(
+            "(paper: same trend as Fig. 10 — READ withstands a much wider range of fluctuations)"
+        );
     }
 }

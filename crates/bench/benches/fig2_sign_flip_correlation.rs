@@ -7,13 +7,14 @@
 //! baseline and reordered schedules to span a wide range of sign-flip
 //! rates, then reports the Pearson correlation of log(SFR) vs log(TER).
 
-use accel_sim::{ArrayConfig, Dataflow, SimOptions};
+use accel_sim::{ArrayConfig, Dataflow};
 use read_bench::experiments::Algorithm;
 use read_bench::report;
 use read_bench::workloads::{resnet18_workloads, vgg16_workloads, WorkloadConfig};
 use read_core::SortCriterion;
+use read_pipeline::{DelayErrorModel, ReadPipeline};
 use timing::math::pearson_correlation;
-use timing::{DelayModel, DepthHistogram, OperatingCondition};
+use timing::{DelayModel, OperatingCondition};
 
 fn main() {
     let config = WorkloadConfig {
@@ -28,32 +29,27 @@ fn main() {
     workloads.extend(resnet18_workloads(&config).into_iter().step_by(2));
 
     let mut points: Vec<(String, f64, f64)> = Vec::new();
-    for workload in &workloads {
-        for dataflow in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
-            for algorithm in [
-                Algorithm::Baseline,
-                Algorithm::Reorder(SortCriterion::SignFirst),
-            ] {
-                let schedule = algorithm.schedule(workload, array.cols());
-                let mut hist = DepthHistogram::new();
-                workload
-                    .problem()
-                    .simulate_with_schedule(
-                        &array,
-                        dataflow,
-                        &schedule,
-                        &SimOptions::exhaustive(),
-                        &mut hist,
-                    )
-                    .expect("workload simulates");
-                let ter = hist.ter(&delay, &condition);
-                if hist.sign_flip_rate() > 0.0 && ter > 0.0 {
-                    points.push((
-                        format!("{} / {} / {}", workload.name, dataflow, algorithm.name()),
-                        hist.sign_flip_rate(),
-                        ter,
-                    ));
-                }
+    for dataflow in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+        let pipeline = ReadPipeline::builder()
+            .array(array)
+            .dataflow(dataflow)
+            .error_model(DelayErrorModel::new(delay))
+            .condition(condition)
+            .source(Algorithm::Baseline)
+            .source(Algorithm::Reorder(SortCriterion::SignFirst))
+            .parallel()
+            .build()
+            .expect("valid pipeline");
+        let net = pipeline
+            .run_ter("fig2", &workloads)
+            .expect("workloads simulate");
+        for row in &net.rows {
+            if row.sign_flip_rate > 0.0 && row.ter > 0.0 {
+                points.push((
+                    format!("{} / {} / {}", row.layer, dataflow, row.algorithm),
+                    row.sign_flip_rate,
+                    row.ter,
+                ));
             }
         }
     }
@@ -63,7 +59,10 @@ fn main() {
         .iter()
         .map(|(name, sfr, ter)| vec![name.clone(), report::sci(*sfr), report::sci(*ter)])
         .collect();
-    report::table(&["layer / dataflow / schedule", "sign-flip rate", "TER"], &rows);
+    report::table(
+        &["layer / dataflow / schedule", "sign-flip rate", "TER"],
+        &rows,
+    );
 
     let xs: Vec<f64> = points.iter().map(|(_, s, _)| s.ln()).collect();
     let ys: Vec<f64> = points.iter().map(|(_, _, t)| t.ln()).collect();

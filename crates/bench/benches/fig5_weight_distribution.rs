@@ -71,8 +71,8 @@ fn main() {
         let mut top25 = 0.0;
         let mut top50 = 0.0;
         for cluster in clusters {
-            let order = sort_input_channels(weights, cluster, SortCriterion::SignFirst)
-                .expect("sortable");
+            let order =
+                sort_input_channels(weights, cluster, SortCriterion::SignFirst).expect("sortable");
             top25 += nonneg_ratio_in_top(weights, cluster, &order, 0.25).expect("valid");
             top50 += nonneg_ratio_in_top(weights, cluster, &order, 0.50).expect("valid");
         }

@@ -66,10 +66,8 @@ fn main() {
             &printed,
         );
 
-        let (reorder_avg, reorder_max) =
-            ter_reduction(&rows, &algorithms[1].name());
-        let (cluster_avg, cluster_max) =
-            ter_reduction(&rows, &algorithms[2].name());
+        let (reorder_avg, reorder_max) = ter_reduction(&rows, &algorithms[1].name());
+        let (cluster_avg, cluster_max) = ter_reduction(&rows, &algorithms[2].name());
         println!();
         println!(
             "{network}: reorder reduction avg {reorder_avg:.1}x (max {reorder_max:.1}x); \

@@ -6,11 +6,12 @@
 //! falls, so the sign flips at most once per output; the original order
 //! repeatedly crosses zero.
 
-use accel_sim::{ArrayConfig, Dataflow, PsumTraceRecorder, SimOptions, TeeObserver};
-use read_bench::experiments::Algorithm;
+use accel_sim::{ArrayConfig, PsumTraceRecorder, TeeObserver};
+use read_bench::experiments::{figure_pipeline, Algorithm};
 use read_bench::report;
 use read_bench::workloads::{vgg16_workloads, WorkloadConfig};
 use read_core::SortCriterion;
+use timing::{DelayModel, OperatingCondition};
 
 fn main() {
     let config = WorkloadConfig {
@@ -22,37 +23,36 @@ fn main() {
         .find(|w| w.name == "conv2_3")
         .expect("vgg16 plan contains conv2_3");
     let array = ArrayConfig::paper_default();
+    let algorithms = [
+        Algorithm::Baseline,
+        Algorithm::ClusterThenReorder(SortCriterion::SignFirst),
+    ];
+    let pipeline = figure_pipeline(
+        &algorithms,
+        &array,
+        &DelayModel::nangate15_like(),
+        &[OperatingCondition::ideal()],
+    );
 
     report::section(&format!(
         "Fig. 9: PSUM accumulation on one MAC while computing 3 outputs ({})",
         workload.name
     ));
-    for algorithm in [
-        Algorithm::Baseline,
-        Algorithm::ClusterThenReorder(SortCriterion::SignFirst),
-    ] {
-        let schedule = algorithm.schedule(&workload, array.cols());
+    for algorithm in algorithms {
         // Record the PSUM series of output channel 0 over all three pixels.
         let mut tee = TeeObserver::new(
             PsumTraceRecorder::for_channel(0),
             accel_sim::SignFlipStats::new(),
         );
-        workload
-            .problem()
-            .simulate_with_schedule(
-                &array,
-                Dataflow::OutputStationary,
-                &schedule,
-                &SimOptions::exhaustive(),
-                &mut tee,
-            )
+        pipeline
+            .observe_layer(&workload, &algorithm, &mut tee)
             .expect("workload simulates");
         let trace = tee.first.trace();
         let flips = tee.first.sign_flip_count();
         println!();
         println!(
             "{} — {} recorded cycles, {} sign flips on this MAC",
-            algorithm.name(),
+            algorithm,
             trace.len(),
             flips
         );

@@ -1,68 +1,107 @@
-//! Criterion micro-benchmarks of the computational kernels: input-channel
-//! reordering, balanced clustering, and the cycle-level MAC simulation.
+//! Micro-benchmarks of the computational kernels: input-channel reordering,
+//! balanced clustering, the cycle-level MAC simulation, and the end-to-end
+//! pipeline (serial vs parallel, cold vs warm schedule cache).
 //!
 //! These measure the cost of deploying READ (an offline, per-layer
-//! optimization) and of the simulator itself; they are not paper figures.
+//! optimization) and of the harness itself; they are not paper figures.
+//! Criterion is not available offline, so this uses a small built-in
+//! timing harness (median of repeated timed runs after warmup).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use accel_sim::{ArrayConfig, Dataflow, GemmProblem, Matrix, NullObserver, SimOptions};
 use qnn::init::{synthetic_activations, WeightInit};
+use read_bench::experiments::{figure_pipeline, Algorithm};
+use read_bench::workloads::{vgg16_workloads, WorkloadConfig};
 use read_core::{
-    sort_input_channels, BalancedKMeans, ClusteringMode, DistanceMetric, ReadConfig,
-    ReadOptimizer, SortCriterion,
+    sort_input_channels, BalancedKMeans, ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer,
+    SortCriterion,
 };
+use timing::{DelayModel, OperatingCondition};
+
+/// Times `f` (median of `runs` timed executions after one warmup) and
+/// prints a criterion-style line.
+fn bench(name: &str, runs: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<48} median {:>10}  [{} .. {}]",
+        fmt(median),
+        fmt(lo),
+        fmt(hi)
+    );
+}
+
+fn fmt(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} us", seconds * 1e6)
+    }
+}
 
 fn demo_weights(rows: usize, cols: usize) -> Matrix<i8> {
     let mut init = WeightInit::new(1234);
     Matrix::from_fn(rows, cols, |_, _| init.weight(rows))
 }
 
-fn bench_reorder(c: &mut Criterion) {
+fn main() {
     let weights = demo_weights(1152, 256);
     let cols: Vec<usize> = (0..4).collect();
-    c.bench_function("reorder/sign_first 1152x4", |b| {
-        b.iter(|| {
-            sort_input_channels(black_box(&weights), black_box(&cols), SortCriterion::SignFirst)
-                .expect("sortable")
-        })
+    bench("reorder/sign_first 1152x4", 20, || {
+        black_box(
+            sort_input_channels(
+                black_box(&weights),
+                black_box(&cols),
+                SortCriterion::SignFirst,
+            )
+            .expect("sortable"),
+        );
     });
-}
 
-fn bench_cluster(c: &mut Criterion) {
-    let weights = demo_weights(1152, 256);
-    c.bench_function("cluster/balanced_kmeans 256ch into 4s", |b| {
-        b.iter(|| {
+    bench("cluster/balanced_kmeans 256ch into 4s", 10, || {
+        black_box(
             BalancedKMeans::new(4, DistanceMetric::SignManhattan)
                 .with_max_iterations(10)
                 .run(black_box(&weights))
-                .expect("clusterable")
-        })
+                .expect("clusterable"),
+        );
     });
-}
 
-fn bench_full_optimize(c: &mut Criterion) {
-    let weights = demo_weights(576, 128);
+    let opt_weights = demo_weights(576, 128);
     let optimizer = ReadOptimizer::new(ReadConfig {
         criterion: SortCriterion::SignFirst,
         clustering: ClusteringMode::ClusterThenReorder,
         ..ReadConfig::default()
     });
-    c.bench_function("optimize/cluster_then_reorder 576x128", |b| {
-        b.iter(|| optimizer.optimize(black_box(&weights), 4).expect("optimizable"))
+    bench("optimize/cluster_then_reorder 576x128", 10, || {
+        black_box(
+            optimizer
+                .optimize(black_box(&opt_weights), 4)
+                .expect("optimizable"),
+        );
     });
-}
 
-fn bench_simulation(c: &mut Criterion) {
-    let weights = demo_weights(576, 16);
+    let sim_weights = demo_weights(576, 16);
     let acts = synthetic_activations(576 * 8, 0.45, 7);
     let activations = Matrix::from_fn(576, 8, |r, p| acts[r * 8 + p]);
-    let problem = GemmProblem::new(weights, activations).expect("consistent");
+    let problem = GemmProblem::new(sim_weights, activations).expect("consistent");
     let array = ArrayConfig::paper_default();
-    c.bench_function("simulate/output_stationary 576x16x8", |b| {
-        b.iter(|| {
-            let mut obs = NullObserver;
+    bench("simulate/output_stationary 576x16x8", 10, || {
+        let mut obs = NullObserver;
+        black_box(
             problem
                 .simulate(
                     black_box(&array),
@@ -70,16 +109,49 @@ fn bench_simulation(c: &mut Criterion) {
                     &SimOptions::exhaustive(),
                     &mut obs,
                 )
-                .expect("simulates")
-        })
+                .expect("simulates"),
+        );
     });
-}
 
-criterion_group!(
-    benches,
-    bench_reorder,
-    bench_cluster,
-    bench_full_optimize,
-    bench_simulation
-);
-criterion_main!(benches);
+    // End-to-end pipeline: the Fig. 8 shape over the first VGG-16 layers,
+    // serial vs parallel, and warm-cache re-run.
+    let config = WorkloadConfig {
+        pixels_per_layer: 2,
+        ..WorkloadConfig::default()
+    };
+    let workloads: Vec<_> = vgg16_workloads(&config).into_iter().take(6).collect();
+    let delay = DelayModel::nangate15_like();
+    let condition = OperatingCondition::aging_vt(10.0, 0.05);
+    let algorithms = Algorithm::paper_set();
+
+    let serial = read_pipeline::ReadPipeline::builder()
+        .array(array)
+        .error_model(read_pipeline::DelayErrorModel::new(delay))
+        .condition(condition)
+        .source(algorithms[0])
+        .source(algorithms[1])
+        .source(algorithms[2])
+        .build()
+        .expect("valid pipeline");
+    bench("pipeline/run_ter 6 layers x 3 algos (serial)", 3, || {
+        black_box(
+            serial
+                .run_ter("bench", black_box(&workloads))
+                .expect("runs"),
+        );
+    });
+
+    let parallel = figure_pipeline(&algorithms, &array, &delay, &[condition]);
+    bench("pipeline/run_ter 6 layers x 3 algos (parallel)", 3, || {
+        black_box(
+            parallel
+                .run_ter("bench", black_box(&workloads))
+                .expect("runs"),
+        );
+    });
+    let stats = parallel.cache_stats();
+    println!(
+        "schedule cache after parallel runs: {} hits / {} misses / {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+}

@@ -11,7 +11,12 @@ fn main() {
             vec![
                 t.name.to_string(),
                 t.layer.to_string(),
-                if t.scalable_with_technology { "yes" } else { "no" }.to_string(),
+                if t.scalable_with_technology {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
                 if t.accuracy_loss { "yes" } else { "no" }.to_string(),
                 t.hardware_overhead.to_string(),
                 if t.throughput_drop { "yes" } else { "no" }.to_string(),

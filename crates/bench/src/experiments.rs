@@ -1,75 +1,44 @@
-//! Experiment runners shared by the figure benches.
+//! Experiment runners shared by the figure benches — thin adapters over the
+//! unified [`read_pipeline::ReadPipeline`] API.
+//!
+//! The schedule construction, simulation, caching and parallel fan-out all
+//! live in `read-pipeline`; this module keeps the figure-oriented row types
+//! and the historical function signatures the benches are written against.
 
-use accel_sim::{ArrayConfig, ComputeSchedule, Dataflow, SimOptions};
-use qnn::fault::{evaluate_topk, FaultConfig};
+use accel_sim::ArrayConfig;
 use qnn::{Dataset, Model};
-use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{ber_from_ter, DelayModel, DepthHistogram, OperatingCondition};
+pub use read_pipeline::Algorithm;
+use read_pipeline::{DelayErrorModel, ReadPipeline, TopKEvaluator};
+use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
 use crate::workloads::LayerWorkload;
 
-/// The algorithms compared throughout the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// The unmodified accelerator order.
-    Baseline,
-    /// Input-channel reordering on consecutive column tiles.
-    Reorder(SortCriterion),
-    /// Output-channel clustering followed by per-cluster reordering.
-    ClusterThenReorder(SortCriterion),
-}
-
-impl Algorithm {
-    /// The three configurations of Figs. 8, 10 and 11.
-    pub fn paper_set() -> [Algorithm; 3] {
-        [
-            Algorithm::Baseline,
-            Algorithm::Reorder(SortCriterion::SignFirst),
-            Algorithm::ClusterThenReorder(SortCriterion::SignFirst),
-        ]
+/// Builds the standard figure pipeline: the given algorithms as schedule
+/// sources, the given delay model, the given corners, parallel per-layer
+/// execution.
+///
+/// # Panics
+///
+/// Panics if the combination is invalid (e.g. duplicate algorithm names),
+/// which indicates a bug in the bench harness rather than a recoverable
+/// condition.
+pub fn figure_pipeline(
+    algorithms: &[Algorithm],
+    array: &ArrayConfig,
+    delay: &DelayModel,
+    conditions: &[OperatingCondition],
+) -> ReadPipeline {
+    let mut builder = ReadPipeline::builder()
+        .array(*array)
+        .error_model(DelayErrorModel::new(*delay))
+        .conditions(conditions.iter().copied())
+        .parallel();
+    for &algorithm in algorithms {
+        builder = builder.source(algorithm);
     }
-
-    /// Display name.
-    pub fn name(&self) -> String {
-        match self {
-            Algorithm::Baseline => "baseline".to_string(),
-            Algorithm::Reorder(c) => format!("reorder[{c}]"),
-            Algorithm::ClusterThenReorder(c) => format!("cluster-then-reorder[{c}]"),
-        }
-    }
-
-    /// Builds the compute schedule this algorithm produces for a weight
-    /// matrix on an array with `cols` columns.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the optimizer rejects the matrix (empty weights), which
-    /// cannot happen for generated workloads.
-    pub fn schedule(&self, workload: &LayerWorkload, cols: usize) -> ComputeSchedule {
-        match self {
-            Algorithm::Baseline => ComputeSchedule::baseline(
-                workload.weights.rows(),
-                workload.weights.cols(),
-                cols,
-            ),
-            Algorithm::Reorder(criterion) => ReadOptimizer::new(ReadConfig {
-                criterion: *criterion,
-                clustering: ClusteringMode::Direct,
-                ..ReadConfig::default()
-            })
-            .optimize(&workload.weights, cols)
-            .expect("workload weights are non-empty")
-            .to_compute_schedule(),
-            Algorithm::ClusterThenReorder(criterion) => ReadOptimizer::new(ReadConfig {
-                criterion: *criterion,
-                clustering: ClusteringMode::ClusterThenReorder,
-                ..ReadConfig::default()
-            })
-            .optimize(&workload.weights, cols)
-            .expect("workload weights are non-empty")
-            .to_compute_schedule(),
-        }
-    }
+    builder
+        .build()
+        .expect("figure pipeline configuration is valid")
 }
 
 /// Simulates one layer under one algorithm and returns the triggered-depth
@@ -84,19 +53,15 @@ pub fn layer_report(
     algorithm: Algorithm,
     array: &ArrayConfig,
 ) -> DepthHistogram {
-    let schedule = algorithm.schedule(workload, array.cols());
-    let mut hist = DepthHistogram::new();
-    workload
-        .problem()
-        .simulate_with_schedule(
-            array,
-            Dataflow::OutputStationary,
-            &schedule,
-            &SimOptions::exhaustive(),
-            &mut hist,
-        )
-        .expect("generated workloads always simulate");
-    hist
+    let pipeline = figure_pipeline(
+        &[algorithm],
+        array,
+        &DelayModel::nangate15_like(),
+        &[OperatingCondition::ideal()],
+    );
+    pipeline
+        .layer_histogram(workload, &algorithm)
+        .expect("generated workloads always simulate")
 }
 
 /// One row of the layer-wise TER tables (Figs. 7 and 8).
@@ -125,22 +90,21 @@ pub fn layerwise_ter(
     delay: &DelayModel,
     condition: &OperatingCondition,
 ) -> Vec<LayerTerRow> {
-    let mut rows = Vec::new();
-    for workload in workloads {
-        for &algorithm in algorithms {
-            let hist = layer_report(workload, algorithm, array);
-            let ter = hist.ter(delay, condition);
-            rows.push(LayerTerRow {
-                layer: workload.name.clone(),
-                algorithm: algorithm.name(),
-                ter,
-                sign_flip_rate: hist.sign_flip_rate(),
-                macs_per_output: workload.macs_per_output(),
-                ber: ber_from_ter(ter, workload.macs_per_output()),
-            });
-        }
-    }
-    rows
+    let pipeline = figure_pipeline(algorithms, array, delay, &[*condition]);
+    pipeline
+        .run_ter("layerwise-ter", workloads)
+        .expect("generated workloads always simulate")
+        .rows
+        .into_iter()
+        .map(|row| LayerTerRow {
+            layer: row.layer,
+            algorithm: row.algorithm,
+            ter: row.ter,
+            sign_flip_rate: row.sign_flip_rate,
+            macs_per_output: row.macs_per_output,
+            ber: row.ber,
+        })
+        .collect()
 }
 
 /// Geometric-mean TER reduction of `algorithm` relative to the baseline over
@@ -173,7 +137,7 @@ pub fn ter_reduction(rows: &[LayerTerRow], algorithm: &str) -> (f64, f64) {
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyPoint {
     /// Operating corner name.
-    pub condition: &'static str,
+    pub condition: String,
     /// Algorithm name.
     pub algorithm: String,
     /// Mean top-1 accuracy over the seeds.
@@ -206,71 +170,42 @@ pub fn accuracy_sweep(
     seeds: u64,
     top_k: usize,
 ) -> Result<Vec<AccuracyPoint>, qnn::QnnError> {
-    // One simulation pass per (layer, algorithm); corners reuse the
-    // histograms.
-    let mut histograms: Vec<Vec<DepthHistogram>> = Vec::with_capacity(algorithms.len());
+    let mut builder = ReadPipeline::builder()
+        .array(*array)
+        .error_model(DelayErrorModel::new(*delay))
+        .conditions(conditions.iter().copied())
+        .evaluator(TopKEvaluator::new(top_k))
+        .parallel();
     for &algorithm in algorithms {
-        histograms.push(
-            workloads
-                .iter()
-                .map(|w| layer_report(w, algorithm, array))
-                .collect(),
-        );
+        builder = builder.source(algorithm);
     }
-
-    let conv_names: Vec<String> = model
-        .conv_layers()
-        .iter()
-        .map(|c| c.name().to_string())
-        .collect();
-
-    let mut points = Vec::new();
-    for condition in conditions {
-        for (ai, &algorithm) in algorithms.iter().enumerate() {
-            // Per-layer BERs for the scaled model, matched by layer name;
-            // layers without a matching workload (e.g. ResNet downsample
-            // projections) receive zero BER.
-            let mut bers = vec![0.0f64; conv_names.len()];
-            let mut ber_sum = 0.0;
-            let mut ber_count = 0usize;
-            for (workload, hist) in workloads.iter().zip(&histograms[ai]) {
-                let ter = hist.ter(delay, condition);
-                let ber = ber_from_ter(ter, workload.macs_per_output());
-                ber_sum += ber;
-                ber_count += 1;
-                if let Some(idx) = conv_names.iter().position(|n| *n == workload.name) {
-                    bers[idx] = ber;
-                }
-            }
-            let mut top1 = 0.0;
-            let mut topk = 0.0;
-            for seed in 0..seeds.max(1) {
-                let config = FaultConfig::per_layer(bers.clone(), seed * 977 + 13);
-                let acc = evaluate_topk(model, dataset, &config, top_k)?;
-                top1 += acc.top1;
-                topk += acc.topk;
-            }
-            let runs = seeds.max(1) as f64;
-            points.push(AccuracyPoint {
-                condition: condition.name,
-                algorithm: algorithm.name(),
-                top1: top1 / runs,
-                topk: topk / runs,
-                mean_ber: if ber_count == 0 {
-                    0.0
-                } else {
-                    ber_sum / ber_count as f64
-                },
-            });
-        }
-    }
-    Ok(points)
+    let pipeline = builder
+        .build()
+        .expect("sweep pipeline configuration is valid");
+    let report = pipeline
+        .run_accuracy_for(model, "accuracy-sweep", dataset, workloads, seeds)
+        .map_err(|e| match e {
+            read_pipeline::PipelineError::Eval(q) => q,
+            other => qnn::QnnError::dataset(other.to_string()),
+        })?;
+    Ok(report
+        .points
+        .into_iter()
+        .map(|p| AccuracyPoint {
+            condition: p.condition,
+            algorithm: p.algorithm,
+            top1: p.top1,
+            topk: p.topk,
+            mean_ber: p.mean_ber,
+        })
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workloads::{vgg16_workloads, WorkloadConfig};
+    use read_core::SortCriterion;
 
     fn tiny_workloads() -> Vec<LayerWorkload> {
         let config = WorkloadConfig {

@@ -61,7 +61,10 @@ mod tests {
     fn table_does_not_panic_on_ragged_rows() {
         table(
             &["a", "b"],
-            &[vec!["1".into()], vec!["22".into(), "333".into(), "x".into()]],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "x".into()],
+            ],
         );
         section("smoke");
     }

@@ -1,0 +1,179 @@
+//! Seed-keyed schedule cache.
+//!
+//! Optimizing a layer is the expensive part of a sweep (balanced k-means
+//! plus per-cluster sorting), and experiment grids revisit the same
+//! (source, layer, array) corner many times — e.g. every operating condition
+//! of an accuracy sweep, or repeated runs over seeds.  The cache keys on the
+//! source fingerprint (which includes [`read_core::ReadConfig::seed`]), a
+//! fingerprint of the weight matrix, and the array column count, so a
+//! repeated corner reuses its schedule while any configuration change
+//! recomputes it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use accel_sim::{ComputeSchedule, Matrix};
+
+use crate::error::PipelineError;
+use crate::stage::fnv1a;
+
+/// Cache key: (source fingerprint, weights fingerprint, array columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// [`crate::ScheduleSource::fingerprint`] of the producing source.
+    pub source: u64,
+    /// Fingerprint of the weight matrix (dimensions + contents).
+    pub weights: u64,
+    /// Array columns the schedule was built for.
+    pub array_cols: usize,
+}
+
+/// Fingerprint of a weight matrix: FNV-1a over its dimensions and bytes.
+pub fn weights_fingerprint(weights: &Matrix<i8>) -> u64 {
+    let dims = [weights.rows() as u64, weights.cols() as u64];
+    let bytes = dims
+        .iter()
+        .flat_map(|d| d.to_le_bytes())
+        .chain(weights.as_slice().iter().map(|&w| w as u8));
+    fnv1a(bytes)
+}
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute a schedule.
+    pub misses: u64,
+    /// Schedules currently cached.
+    pub entries: usize,
+}
+
+/// A thread-safe, in-memory schedule cache.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: Mutex<HashMap<ScheduleKey, Arc<ComputeSchedule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached schedule for `key`, or computes, caches and
+    /// returns it.
+    ///
+    /// The compute closure runs outside the cache lock, so concurrent
+    /// lookups of *different* keys never serialize on a slow optimization;
+    /// two racing computations of the same key are deterministic and
+    /// idempotent, and the first insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error without caching anything.
+    pub fn get_or_compute(
+        &self,
+        key: ScheduleKey,
+        compute: impl FnOnce() -> Result<ComputeSchedule, PipelineError>,
+    ) -> Result<Arc<ComputeSchedule>, PipelineError> {
+        if let Some(found) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        let computed = Arc::new(compute()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&computed));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops every cached schedule and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> ScheduleKey {
+        ScheduleKey {
+            source: n,
+            weights: 7,
+            array_cols: 4,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ScheduleCache::new();
+        let make = || Ok(ComputeSchedule::baseline(8, 4, 2));
+        let a = cache.get_or_compute(key(1), make).unwrap();
+        let b = cache.get_or_compute(key(1), make).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_compute_separately() {
+        let cache = ScheduleCache::new();
+        cache
+            .get_or_compute(key(1), || Ok(ComputeSchedule::baseline(8, 4, 2)))
+            .unwrap();
+        cache
+            .get_or_compute(key(2), || Ok(ComputeSchedule::baseline(8, 4, 4)))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ScheduleCache::new();
+        let err = cache.get_or_compute(key(3), || Err(PipelineError::builder("nope")));
+        assert!(err.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // A later successful compute still works.
+        cache
+            .get_or_compute(key(3), || Ok(ComputeSchedule::baseline(8, 4, 2)))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn weights_fingerprint_sees_dims_and_values() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i8);
+        let b = Matrix::from_fn(2, 8, |r, c| (r * 8 + c) as i8);
+        let c = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i8 + 1);
+        assert_ne!(weights_fingerprint(&a), weights_fingerprint(&b));
+        assert_ne!(weights_fingerprint(&a), weights_fingerprint(&c));
+        assert_eq!(weights_fingerprint(&a), weights_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = ScheduleCache::new();
+        cache
+            .get_or_compute(key(1), || Ok(ComputeSchedule::baseline(8, 4, 2)))
+            .unwrap();
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the pipeline layer.
+
+use accel_sim::SimError;
+use qnn::QnnError;
+use read_core::ReadError;
+
+/// Errors produced while building or running a [`crate::ReadPipeline`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The builder was misconfigured.
+    Builder {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A stage that the requested operation needs was not configured.
+    Missing {
+        /// The missing stage ("model", "dataset", ...).
+        what: &'static str,
+    },
+    /// The experiment inputs are inconsistent with each other.
+    Input {
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// The schedule source rejected the layer.
+    Schedule(ReadError),
+    /// The simulator rejected the problem or schedule.
+    Sim(SimError),
+    /// The fault-injection evaluation failed.
+    Eval(QnnError),
+}
+
+impl PipelineError {
+    /// Builder-validation error with the given reason.
+    pub fn builder(reason: impl Into<String>) -> Self {
+        PipelineError::Builder {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Builder { reason } => write!(f, "invalid pipeline: {reason}"),
+            PipelineError::Missing { what } => {
+                write!(f, "pipeline stage not configured: {what}")
+            }
+            PipelineError::Input { reason } => {
+                write!(f, "inconsistent experiment inputs: {reason}")
+            }
+            PipelineError::Schedule(e) => write!(f, "schedule source failed: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Schedule(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReadError> for PipelineError {
+    fn from(e: ReadError) -> Self {
+        PipelineError::Schedule(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+impl From<QnnError> for PipelineError {
+    fn from(e: QnnError) -> Self {
+        PipelineError::Eval(e)
+    }
+}

@@ -1,0 +1,128 @@
+//! Execution strategy: serial or multi-threaded fan-out over independent
+//! work items.
+//!
+//! The build environment has no external crates, so the parallel path is a
+//! small scoped-thread work queue with the same contract rayon's
+//! `par_iter().map().collect()` would give: results come back in item order
+//! and the first error (by item index) wins, so serial and parallel runs of
+//! a deterministic job produce identical output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a pipeline fans out per-layer work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One item after another on the calling thread.
+    #[default]
+    Serial,
+    /// Scoped worker threads pulling items from a shared queue.
+    Parallel {
+        /// Worker count; `0` uses the machine's available parallelism.
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Parallel execution sized to the machine.
+    pub fn parallel() -> Self {
+        ExecMode::Parallel { threads: 0 }
+    }
+
+    fn resolved_threads(self, items: usize) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(items.max(1)),
+            ExecMode::Parallel { threads } => threads.min(items.max(1)),
+        }
+    }
+}
+
+/// Runs `job(0..items)` under the given mode and returns the results in item
+/// order.  On failure the error of the smallest failing index is returned,
+/// independent of thread timing.
+pub fn run_indexed<T, E, F>(mode: ExecMode, items: usize, job: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    if items == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = mode.resolved_threads(items);
+    if threads <= 1 {
+        return (0..items).map(job).collect();
+    }
+
+    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..items).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(items);
+    for slot in slots {
+        match slot.into_inner().expect("result slot") {
+            Some(Ok(value)) => out.push(Ok(value)),
+            Some(Err(e)) => return Err(e),
+            // A panicking worker would have propagated out of the scope
+            // already; an empty slot is unreachable.
+            None => unreachable!("work item skipped"),
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial: Vec<usize> =
+            run_indexed(ExecMode::Serial, 100, |i| Ok::<_, ()>(i * i)).unwrap();
+        let parallel: Vec<usize> =
+            run_indexed(ExecMode::parallel(), 100, |i| Ok::<_, ()>(i * i)).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn first_error_by_index_wins() {
+        let result = run_indexed(ExecMode::Parallel { threads: 4 }, 50, |i| {
+            if i % 10 == 3 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(result.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        let out: Vec<u8> = run_indexed(ExecMode::parallel(), 0, |_| Ok::<_, ()>(0)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_count_is_respected() {
+        // More threads than items must not deadlock or duplicate work.
+        let out: Vec<usize> =
+            run_indexed(ExecMode::Parallel { threads: 16 }, 3, Ok::<_, ()>).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Unified staged-pipeline API for the READ reproduction.
+//!
+//! The paper's contribution is a *flow*: cluster a layer's output channels,
+//! reorder its input channels, then measure the timing error rate and the
+//! network accuracy under PVTA stress.  This crate packages that flow as a
+//! single composable object, [`ReadPipeline`], built from three trait-based
+//! stages:
+//!
+//! * [`ScheduleSource`] — turns a weight matrix into a compute schedule.
+//!   Implemented by [`Baseline`], by [`read_core::ReadOptimizer`] itself,
+//!   and by the paper-set [`Algorithm`] enum; custom heuristics implement
+//!   the same trait.
+//! * [`ErrorModel`] — turns a triggered-depth histogram into a TER at an
+//!   operating condition ([`DelayErrorModel`] wraps
+//!   [`timing::DelayModel`]).
+//! * [`Evaluator`] — measures accuracy under per-layer BERs
+//!   ([`TopKEvaluator`] wraps [`qnn::fault::evaluate_topk`]).
+//!
+//! A pipeline runs every configured source over every workload (serially or
+//! on scoped worker threads — results are byte-identical either way),
+//! caches schedules under a seed-aware key so repeated corners never
+//! re-optimize, and produces typed, deterministically-serializable
+//! [`LayerReport`]/[`NetworkReport`]/[`AccuracyReport`] results.
+//!
+//! # Example
+//!
+//! ```
+//! use read_pipeline::prelude::*;
+//!
+//! # fn main() -> Result<(), read_pipeline::PipelineError> {
+//! let pipeline = ReadPipeline::builder()
+//!     .source(Algorithm::Baseline)
+//!     .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+//!     .condition(OperatingCondition::aging_vt(10.0, 0.05))
+//!     .parallel()
+//!     .build()?;
+//!
+//! let config = WorkloadConfig { pixels_per_layer: 1, ..Default::default() };
+//! let workloads: Vec<_> = vgg16_workloads(&config).into_iter().take(2).collect();
+//! let report = pipeline.run_ter("vgg16", &workloads)?;
+//! let (geo, max) = report.ter_reduction("cluster-then-reorder[sign_first]", "baseline");
+//! assert!(geo >= 1.0 && max >= geo);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod exec;
+pub mod report;
+pub mod stage;
+pub mod workload;
+
+mod pipeline;
+
+pub use cache::{CacheStats, ScheduleKey};
+pub use error::PipelineError;
+pub use exec::ExecMode;
+pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
+pub use report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+pub use stage::{
+    Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, ScheduleSource, TopKEvaluator,
+};
+pub use workload::{
+    resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
+};
+
+/// Everything a pipeline consumer usually needs.
+pub mod prelude {
+    pub use crate::cache::CacheStats;
+    pub use crate::error::PipelineError;
+    pub use crate::exec::ExecMode;
+    pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
+    pub use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+    pub use crate::stage::{
+        Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, ScheduleSource, TopKEvaluator,
+    };
+    pub use crate::workload::{
+        resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
+    };
+    pub use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
+    pub use timing::OperatingCondition;
+}

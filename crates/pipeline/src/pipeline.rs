@@ -1,0 +1,676 @@
+//! The [`ReadPipeline`]: one composable object for the paper's whole flow —
+//! schedule sources × operating conditions × layers, through the simulator
+//! and error model, into typed reports.
+
+use std::sync::Arc;
+
+use accel_sim::{
+    ArrayConfig, ComputeSchedule, CycleObserver, Dataflow, Matrix, SimOptions, SimResult,
+};
+use qnn::{Dataset, Model};
+use read_core::{ReadConfig, ReadOptimizer};
+use timing::{DelayModel, DepthHistogram, OperatingCondition};
+
+use crate::cache::{weights_fingerprint, CacheStats, ScheduleCache, ScheduleKey};
+use crate::error::PipelineError;
+use crate::exec::{run_indexed, ExecMode};
+use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+use crate::stage::{DelayErrorModel, ErrorModel, Evaluator, ScheduleSource, TopKEvaluator};
+use crate::workload::LayerWorkload;
+
+/// Builder for a [`ReadPipeline`].  Obtain with [`ReadPipeline::builder`].
+#[derive(Default)]
+pub struct ReadPipelineBuilder {
+    array: Option<ArrayConfig>,
+    dataflow: Option<Dataflow>,
+    sim_options: Option<SimOptions>,
+    sources: Vec<Arc<dyn ScheduleSource>>,
+    error_model: Option<Arc<dyn ErrorModel>>,
+    conditions: Vec<OperatingCondition>,
+    evaluator: Option<Arc<dyn Evaluator>>,
+    top_k: Option<usize>,
+    model: Option<Model>,
+    exec: ExecMode,
+}
+
+impl ReadPipelineBuilder {
+    /// Sets the systolic-array geometry (default:
+    /// [`ArrayConfig::paper_default`], 16×4).
+    pub fn array(mut self, array: ArrayConfig) -> Self {
+        self.array = Some(array);
+        self
+    }
+
+    /// Sets the dataflow (default: [`Dataflow::OutputStationary`]).
+    pub fn dataflow(mut self, dataflow: Dataflow) -> Self {
+        self.dataflow = Some(dataflow);
+        self
+    }
+
+    /// Sets the simulation options (default: [`SimOptions::exhaustive`]).
+    pub fn sim_options(mut self, options: SimOptions) -> Self {
+        self.sim_options = Some(options);
+        self
+    }
+
+    /// Adds a schedule source stage.  Sources run in insertion order and
+    /// key the report rows by their [`ScheduleSource::name`].
+    pub fn source(mut self, source: impl ScheduleSource + 'static) -> Self {
+        self.sources.push(Arc::new(source));
+        self
+    }
+
+    /// Adds an already-shared schedule source.
+    pub fn source_arc(mut self, source: Arc<dyn ScheduleSource>) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Adds the [`crate::Baseline`] source.
+    pub fn baseline(self) -> Self {
+        self.source(crate::stage::Baseline)
+    }
+
+    /// Adds a READ optimizer source with the given configuration.
+    pub fn optimizer(self, config: ReadConfig) -> Self {
+        self.source(ReadOptimizer::new(config))
+    }
+
+    /// Sets the error-model stage (default: [`DelayErrorModel`] with the
+    /// Nangate-15nm-like delay model).
+    pub fn error_model(mut self, model: impl ErrorModel + 'static) -> Self {
+        self.error_model = Some(Arc::new(model));
+        self
+    }
+
+    /// Shorthand: a [`DelayErrorModel`] wrapping `delay`.
+    pub fn delay_model(self, delay: DelayModel) -> Self {
+        self.error_model(DelayErrorModel::new(delay))
+    }
+
+    /// Adds one operating condition.
+    pub fn condition(mut self, condition: OperatingCondition) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+
+    /// Adds several operating conditions.
+    pub fn conditions(mut self, conditions: impl IntoIterator<Item = OperatingCondition>) -> Self {
+        self.conditions.extend(conditions);
+        self
+    }
+
+    /// Sets the evaluator stage (default: [`TopKEvaluator`] with `k = 3`).
+    pub fn evaluator(mut self, evaluator: impl Evaluator + 'static) -> Self {
+        self.evaluator = Some(Arc::new(evaluator));
+        self
+    }
+
+    /// Shorthand: a [`TopKEvaluator`] with the given `k`.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Sets the executable model accuracy experiments evaluate.
+    pub fn model(mut self, model: Model) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the execution mode (default: [`ExecMode::Serial`]).
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
+    /// Shorthand for [`ExecMode::parallel`] (worker count = machine).
+    pub fn parallel(self) -> Self {
+        self.exec(ExecMode::parallel())
+    }
+
+    /// Validates the configuration and builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Builder`] when no schedule source or no
+    /// operating condition is configured, when two sources share a name,
+    /// when the array has no columns, or when `top_k(0)` was requested.
+    pub fn build(self) -> Result<ReadPipeline, PipelineError> {
+        if self.sources.is_empty() {
+            return Err(PipelineError::builder(
+                "at least one schedule source is required (use .baseline(), .optimizer(..) or .source(..))",
+            ));
+        }
+        if self.conditions.is_empty() {
+            return Err(PipelineError::builder(
+                "at least one operating condition is required (use .condition(..))",
+            ));
+        }
+        let mut names: Vec<String> = self.sources.iter().map(|s| s.name()).collect();
+        names.sort();
+        if let Some(dup) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(PipelineError::builder(format!(
+                "duplicate schedule source name: {:?} (source names key report rows)",
+                dup[0]
+            )));
+        }
+        let array = self.array.unwrap_or_else(ArrayConfig::paper_default);
+        if array.cols() == 0 || array.rows() == 0 {
+            return Err(PipelineError::builder("array must have rows and columns"));
+        }
+        if self.top_k == Some(0) {
+            return Err(PipelineError::builder("top-k requires k >= 1"));
+        }
+        let evaluator = match (self.evaluator, self.top_k) {
+            (Some(e), None) => e,
+            (Some(_), Some(_)) => {
+                return Err(PipelineError::builder(
+                    "set either .evaluator(..) or .top_k(..), not both",
+                ))
+            }
+            (None, k) => Arc::new(TopKEvaluator::new(k.unwrap_or(3))),
+        };
+        Ok(ReadPipeline {
+            array,
+            dataflow: self.dataflow.unwrap_or(Dataflow::OutputStationary),
+            sim_options: self.sim_options.unwrap_or_else(SimOptions::exhaustive),
+            sources: self.sources,
+            error_model: self
+                .error_model
+                .unwrap_or_else(|| Arc::new(DelayErrorModel::default())),
+            conditions: self.conditions,
+            evaluator,
+            model: self.model,
+            exec: self.exec,
+            cache: ScheduleCache::new(),
+        })
+    }
+}
+
+/// The composed pipeline: schedule sources → simulator → error model →
+/// (optionally) fault-injection evaluation, over a set of operating
+/// conditions, with a seed-keyed schedule cache and serial or parallel
+/// per-layer execution.
+///
+/// # Example
+///
+/// ```
+/// use read_pipeline::{Algorithm, ReadPipeline};
+/// use read_pipeline::workload::{vgg16_workloads, WorkloadConfig};
+/// use timing::OperatingCondition;
+///
+/// # fn main() -> Result<(), read_pipeline::PipelineError> {
+/// let pipeline = ReadPipeline::builder()
+///     .source(Algorithm::Baseline)
+///     .source(Algorithm::ClusterThenReorder(Default::default()))
+///     .condition(OperatingCondition::aging_vt(10.0, 0.05))
+///     .build()?;
+/// let config = WorkloadConfig { pixels_per_layer: 1, ..Default::default() };
+/// let workloads: Vec<_> = vgg16_workloads(&config).into_iter().take(1).collect();
+/// let report = pipeline.run_ter("vgg16-head", &workloads)?;
+/// assert_eq!(report.rows.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ReadPipeline {
+    array: ArrayConfig,
+    dataflow: Dataflow,
+    sim_options: SimOptions,
+    sources: Vec<Arc<dyn ScheduleSource>>,
+    error_model: Arc<dyn ErrorModel>,
+    conditions: Vec<OperatingCondition>,
+    evaluator: Arc<dyn Evaluator>,
+    model: Option<Model>,
+    exec: ExecMode,
+    cache: ScheduleCache,
+}
+
+impl std::fmt::Debug for ReadPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadPipeline")
+            .field("array", &self.array)
+            .field("dataflow", &self.dataflow)
+            .field(
+                "sources",
+                &self.sources.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("error_model", &self.error_model.name())
+            .field(
+                "conditions",
+                &self.conditions.iter().map(|c| c.name).collect::<Vec<_>>(),
+            )
+            .field("evaluator", &self.evaluator.name())
+            .field("has_model", &self.model.is_some())
+            .field("exec", &self.exec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReadPipeline {
+    /// Starts a builder.
+    pub fn builder() -> ReadPipelineBuilder {
+        ReadPipelineBuilder::default()
+    }
+
+    /// The configured array geometry.
+    pub fn array(&self) -> &ArrayConfig {
+        &self.array
+    }
+
+    /// The configured dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// The configured schedule sources, in report order.
+    pub fn sources(&self) -> &[Arc<dyn ScheduleSource>] {
+        &self.sources
+    }
+
+    /// The configured operating conditions, in report order.
+    pub fn conditions(&self) -> &[OperatingCondition] {
+        &self.conditions
+    }
+
+    /// The configured model, when accuracy evaluation is set up.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Schedule-cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The (cached) schedule `source` produces for `weights` on this
+    /// pipeline's array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's rejection of the matrix.
+    pub fn schedule_for(
+        &self,
+        weights: &Matrix<i8>,
+        source: &dyn ScheduleSource,
+    ) -> Result<Arc<ComputeSchedule>, PipelineError> {
+        let key = ScheduleKey {
+            source: source.fingerprint(),
+            weights: weights_fingerprint(weights),
+            array_cols: self.array.cols(),
+        };
+        self.cache
+            .get_or_compute(key, || source.schedule(weights, self.array.cols()))
+    }
+
+    /// Simulates `workload` under `source`'s schedule, feeding every cycle
+    /// to `observer`.  This is the generic observation hook the specialised
+    /// runs (`layer_histogram`, `layer_outputs`, psum traces, ...) build on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule and simulation failures.
+    pub fn observe_layer(
+        &self,
+        workload: &LayerWorkload,
+        source: &dyn ScheduleSource,
+        observer: &mut (impl CycleObserver + ?Sized),
+    ) -> Result<SimResult, PipelineError> {
+        let schedule = self.schedule_for(&workload.weights, source)?;
+        Ok(workload.problem().simulate_with_schedule(
+            &self.array,
+            self.dataflow,
+            &schedule,
+            &self.sim_options,
+            observer,
+        )?)
+    }
+
+    /// Simulates `workload` under `source` and returns the triggered-depth
+    /// histogram (from which the TER at any corner follows without
+    /// re-simulating).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule and simulation failures.
+    pub fn layer_histogram(
+        &self,
+        workload: &LayerWorkload,
+        source: &dyn ScheduleSource,
+    ) -> Result<DepthHistogram, PipelineError> {
+        let mut hist = DepthHistogram::new();
+        self.observe_layer(workload, source, &mut hist)?;
+        Ok(hist)
+    }
+
+    /// Simulates `workload` under `source` and returns the layer outputs —
+    /// the bit-exactness hook: a schedule must never change them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule and simulation failures.
+    pub fn layer_outputs(
+        &self,
+        workload: &LayerWorkload,
+        source: &dyn ScheduleSource,
+    ) -> Result<Matrix<i32>, PipelineError> {
+        let mut obs = accel_sim::NullObserver;
+        Ok(self.observe_layer(workload, source, &mut obs)?.outputs)
+    }
+
+    /// TER of `workload` under `source` at `condition` (single-cell
+    /// convenience over [`ReadPipeline::layer_histogram`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule and simulation failures.
+    pub fn layer_ter(
+        &self,
+        workload: &LayerWorkload,
+        source: &dyn ScheduleSource,
+        condition: &OperatingCondition,
+    ) -> Result<f64, PipelineError> {
+        Ok(self
+            .error_model
+            .ter(&self.layer_histogram(workload, source)?, condition))
+    }
+
+    /// Runs the layer-wise TER experiment (the paper's Figs. 7/8 shape):
+    /// every workload under every source, evaluated at every condition from
+    /// one simulation pass per (workload, source).
+    ///
+    /// Rows are ordered layer-major, then source, then condition,
+    /// independent of execution mode — a parallel run returns a
+    /// byte-identical report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure in (workload, source) order.
+    pub fn run_ter(
+        &self,
+        network: &str,
+        workloads: &[LayerWorkload],
+    ) -> Result<NetworkReport, PipelineError> {
+        let pairs = workloads.len() * self.sources.len();
+        let histograms = run_indexed(self.exec, pairs, |index| {
+            let workload = &workloads[index / self.sources.len()];
+            let source = &self.sources[index % self.sources.len()];
+            self.layer_histogram(workload, source.as_ref())
+        })?;
+
+        let mut rows = Vec::with_capacity(pairs * self.conditions.len());
+        for (index, hist) in histograms.iter().enumerate() {
+            let workload = &workloads[index / self.sources.len()];
+            let source = &self.sources[index % self.sources.len()];
+            for condition in &self.conditions {
+                let ter = self.error_model.ter(hist, condition);
+                rows.push(LayerReport {
+                    layer: workload.name.clone(),
+                    algorithm: source.name(),
+                    condition: condition.name.to_string(),
+                    ter,
+                    ber: self.error_model.ber(ter, workload.macs_per_output()),
+                    sign_flip_rate: hist.sign_flip_rate(),
+                    macs_per_output: workload.macs_per_output(),
+                    total_cycles: hist.total(),
+                    sign_flips: hist.sign_flips(),
+                });
+            }
+        }
+        Ok(NetworkReport {
+            network: network.to_string(),
+            rows,
+        })
+    }
+
+    /// Runs the accuracy-under-PVTA experiment (the paper's Figs. 10/11
+    /// shape) with the pipeline's configured model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Missing`] when no model was configured;
+    /// otherwise see [`ReadPipeline::run_accuracy_for`].
+    pub fn run_accuracy(
+        &self,
+        network: &str,
+        dataset: &Dataset,
+        workloads: &[LayerWorkload],
+        seeds: u64,
+    ) -> Result<AccuracyReport, PipelineError> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or(PipelineError::Missing { what: "model" })?;
+        self.run_accuracy_for(model, network, dataset, workloads, seeds)
+    }
+
+    /// Runs the accuracy experiment against an externally-owned model.
+    ///
+    /// Per (source, workload) the layer TER comes from one cached
+    /// simulation pass; per condition it is converted to an activation BER
+    /// (Eq. (1)), matched to the model's convolution layers by name (layers
+    /// without a matching workload receive zero BER), and the dataset is
+    /// evaluated under error injection with `seeds` different seeds.
+    ///
+    /// Points are ordered condition-major, then source, independent of
+    /// execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and evaluation failures.
+    pub fn run_accuracy_for(
+        &self,
+        model: &Model,
+        network: &str,
+        dataset: &Dataset,
+        workloads: &[LayerWorkload],
+        seeds: u64,
+    ) -> Result<AccuracyReport, PipelineError> {
+        // One simulation pass per (workload, source); corners reuse the
+        // histograms.
+        let pairs = workloads.len() * self.sources.len();
+        let histograms = run_indexed(self.exec, pairs, |index| {
+            let workload = &workloads[index / self.sources.len()];
+            let source = &self.sources[index % self.sources.len()];
+            self.layer_histogram(workload, source.as_ref())
+        })?;
+
+        let conv_names: Vec<String> = model
+            .conv_layers()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        // BERs are matched to conv layers by name; a workload set from one
+        // network evaluated against a model of another would silently inject
+        // nothing, so refuse it outright.
+        if !workloads.is_empty() && !workloads.iter().any(|w| conv_names.contains(&w.name)) {
+            return Err(PipelineError::Input {
+                reason: format!(
+                    "no workload name matches any convolution layer of the model \
+                     (workloads: {:?}..., model layers: {:?}...)",
+                    workloads
+                        .iter()
+                        .map(|w| &w.name)
+                        .take(3)
+                        .collect::<Vec<_>>(),
+                    conv_names.iter().take(3).collect::<Vec<_>>(),
+                ),
+            });
+        }
+
+        let cells = self.conditions.len() * self.sources.len();
+        let points = run_indexed(self.exec, cells, |cell| {
+            let condition = &self.conditions[cell / self.sources.len()];
+            let si = cell % self.sources.len();
+            let source = &self.sources[si];
+
+            // Per-layer BERs for the model, matched by layer name.
+            let mut bers = vec![0.0f64; conv_names.len()];
+            let mut ber_sum = 0.0;
+            let mut ber_count = 0usize;
+            for (wi, workload) in workloads.iter().enumerate() {
+                let hist = &histograms[wi * self.sources.len() + si];
+                let ter = self.error_model.ter(hist, condition);
+                let ber = self.error_model.ber(ter, workload.macs_per_output());
+                ber_sum += ber;
+                ber_count += 1;
+                if let Some(idx) = conv_names.iter().position(|n| *n == workload.name) {
+                    bers[idx] = ber;
+                }
+            }
+
+            let runs = seeds.max(1);
+            let mut top1 = 0.0;
+            let mut topk = 0.0;
+            let mut k = 0usize;
+            for seed in 0..runs {
+                let acc = self
+                    .evaluator
+                    .evaluate(model, dataset, &bers, seed * 977 + 13)?;
+                top1 += acc.top1;
+                topk += acc.topk;
+                k = acc.k;
+            }
+            Ok::<_, PipelineError>(AccuracyPoint {
+                condition: condition.name.to_string(),
+                algorithm: source.name(),
+                top1: top1 / runs as f64,
+                topk: topk / runs as f64,
+                k,
+                mean_ber: if ber_count == 0 {
+                    0.0
+                } else {
+                    ber_sum / ber_count as f64
+                },
+                seeds: runs,
+            })
+        })?;
+
+        Ok(AccuracyReport {
+            network: network.to_string(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{Algorithm, Baseline};
+    use crate::workload::{vgg16_workloads, WorkloadConfig};
+    use read_core::SortCriterion;
+
+    fn tiny_workloads(n: usize) -> Vec<LayerWorkload> {
+        let config = WorkloadConfig {
+            pixels_per_layer: 1,
+            ..WorkloadConfig::default()
+        };
+        vgg16_workloads(&config).into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn builder_rejects_missing_sources() {
+        let err = ReadPipeline::builder()
+            .condition(OperatingCondition::ideal())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Builder { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_missing_conditions() {
+        let err = ReadPipeline::builder().baseline().build().unwrap_err();
+        assert!(err.to_string().contains("operating condition"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_source_names() {
+        let err = ReadPipeline::builder()
+            .baseline()
+            .source(Baseline)
+            .condition(OperatingCondition::ideal())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_top_k() {
+        let err = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::ideal())
+            .top_k(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("top-k"), "{err}");
+    }
+
+    #[test]
+    fn run_ter_shape_and_cache() {
+        let pipeline = ReadPipeline::builder()
+            .source(Algorithm::Baseline)
+            .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+            .condition(OperatingCondition::ideal())
+            .condition(OperatingCondition::aging_vt(10.0, 0.05))
+            .build()
+            .unwrap();
+        let workloads = tiny_workloads(2);
+        let report = pipeline.run_ter("tiny", &workloads).unwrap();
+        // layers x sources x conditions
+        assert_eq!(report.rows.len(), 2 * 2 * 2);
+        assert_eq!(report.rows[0].layer, workloads[0].name);
+        assert_eq!(report.rows[0].algorithm, "baseline");
+        assert_eq!(report.rows[0].condition, "Ideal");
+        let first_stats = pipeline.cache_stats();
+        assert_eq!(first_stats.misses, 4);
+        // Re-running hits the schedule cache for every (source, layer) pair.
+        pipeline.run_ter("tiny", &workloads).unwrap();
+        let second_stats = pipeline.cache_stats();
+        assert_eq!(second_stats.misses, first_stats.misses);
+        assert!(second_stats.hits >= first_stats.hits + 4);
+    }
+
+    #[test]
+    fn accuracy_rejects_workloads_matching_no_model_layer() {
+        let pipeline = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::ideal())
+            .build()
+            .unwrap();
+        let model = qnn::models::vgg11_cifar_scaled(8, 2, 1).unwrap();
+        let dataset = qnn::SyntheticDatasetBuilder::new(2, [3, 8, 8])
+            .samples_per_class(1)
+            .build()
+            .unwrap();
+        // ResNet workload names cannot match VGG conv layer names.
+        let config = crate::workload::WorkloadConfig {
+            pixels_per_layer: 1,
+            ..Default::default()
+        };
+        let workloads: Vec<_> = crate::workload::resnet18_workloads(&config)
+            .into_iter()
+            .take(1)
+            .collect();
+        let err = pipeline
+            .run_accuracy_for(&model, "mismatch", &dataset, &workloads, 1)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Input { .. }), "{err}");
+    }
+
+    #[test]
+    fn accuracy_requires_model() {
+        let pipeline = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::ideal())
+            .build()
+            .unwrap();
+        let dataset = qnn::SyntheticDatasetBuilder::new(2, [3, 8, 8])
+            .samples_per_class(1)
+            .build()
+            .unwrap();
+        let err = pipeline
+            .run_accuracy("net", &dataset, &tiny_workloads(1), 1)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Missing { what: "model" }));
+    }
+}

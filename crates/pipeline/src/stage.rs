@@ -1,0 +1,349 @@
+//! The trait-based stages a [`crate::ReadPipeline`] is composed from.
+//!
+//! * [`ScheduleSource`] — produces a [`ComputeSchedule`] for a layer's
+//!   weight matrix (implemented by [`Baseline`], [`read_core::ReadOptimizer`]
+//!   and the paper-set [`Algorithm`] enum).
+//! * [`ErrorModel`] — turns a triggered-depth histogram into a TER at an
+//!   operating condition and a TER into an activation BER (implemented by
+//!   [`DelayErrorModel`] wrapping [`timing::DelayModel`]).
+//! * [`Evaluator`] — measures model accuracy under per-layer BERs
+//!   (implemented by [`TopKEvaluator`] wrapping
+//!   [`qnn::fault::evaluate_topk`]).
+//!
+//! Custom heuristics plug in by implementing the same traits.
+
+use accel_sim::{ComputeSchedule, Matrix};
+use qnn::fault::{evaluate_topk, Accuracy, FaultConfig, FlipModel};
+use qnn::{Dataset, Model};
+use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
+use timing::{ber_from_ter, DelayModel, DepthHistogram, OperatingCondition};
+
+use crate::error::PipelineError;
+
+/// FNV-1a over a byte stream: the stable fingerprint hash used for the
+/// schedule cache (never persisted, but deterministic across runs).
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn fingerprint_str(s: &str) -> u64 {
+    fnv1a(s.bytes())
+}
+
+/// Stage 1: turns a layer's weight matrix into a compute schedule.
+pub trait ScheduleSource: Send + Sync {
+    /// Stable display name; also used to key experiment rows, so two sources
+    /// in one pipeline must not share a name.
+    fn name(&self) -> String;
+
+    /// Cache fingerprint: must change whenever the produced schedules could
+    /// change (configuration, seed, ...).  The default hashes [`Self::name`],
+    /// which is sufficient when the name encodes the full configuration.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_str(&self.name())
+    }
+
+    /// Produces the schedule for a `reduction_len x num_channels` weight
+    /// matrix on an array with `array_cols` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Schedule`] when the source rejects the
+    /// matrix (e.g. empty weights).
+    fn schedule(
+        &self,
+        weights: &Matrix<i8>,
+        array_cols: usize,
+    ) -> Result<ComputeSchedule, PipelineError>;
+}
+
+/// The unmodified accelerator order: consecutive column tiles, natural
+/// reduction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Baseline;
+
+impl ScheduleSource for Baseline {
+    fn name(&self) -> String {
+        "baseline".to_string()
+    }
+
+    fn schedule(
+        &self,
+        weights: &Matrix<i8>,
+        array_cols: usize,
+    ) -> Result<ComputeSchedule, PipelineError> {
+        Ok(ComputeSchedule::baseline(
+            weights.rows(),
+            weights.cols(),
+            array_cols,
+        ))
+    }
+}
+
+/// The READ optimizer is itself a schedule source: its name and fingerprint
+/// encode the full [`ReadConfig`] (criterion, clustering, metric, iteration
+/// cap and seed), so differently-seeded optimizers cache independently.
+impl ScheduleSource for ReadOptimizer {
+    fn name(&self) -> String {
+        let c = self.config();
+        format!("{}[{}]", c.clustering.name(), c.criterion)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Debug output covers every config field (all are plain data), so
+        // any configuration change — including the seed — changes the key.
+        fingerprint_str(&format!("{:?}", self.config()))
+    }
+
+    fn schedule(
+        &self,
+        weights: &Matrix<i8>,
+        array_cols: usize,
+    ) -> Result<ComputeSchedule, PipelineError> {
+        Ok(self.optimize(weights, array_cols)?.to_compute_schedule())
+    }
+}
+
+/// The algorithm configurations compared throughout the paper's evaluation
+/// (Figs. 8, 10 and 11), as a ready-made [`ScheduleSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The unmodified accelerator order.
+    Baseline,
+    /// Input-channel reordering on consecutive column tiles.
+    Reorder(SortCriterion),
+    /// Output-channel clustering followed by per-cluster reordering.
+    ClusterThenReorder(SortCriterion),
+}
+
+impl Algorithm {
+    /// The three configurations of Figs. 8, 10 and 11.
+    pub fn paper_set() -> [Algorithm; 3] {
+        [
+            Algorithm::Baseline,
+            Algorithm::Reorder(SortCriterion::SignFirst),
+            Algorithm::ClusterThenReorder(SortCriterion::SignFirst),
+        ]
+    }
+
+    /// Display name (inherent mirror of [`ScheduleSource::name`], so
+    /// callers need not import the trait).
+    pub fn name(&self) -> String {
+        ScheduleSource::name(self)
+    }
+
+    /// The optimizer configuration this algorithm runs, or `None` for the
+    /// baseline.  This is the single place the paper-set configurations are
+    /// constructed.
+    pub fn read_config(&self) -> Option<ReadConfig> {
+        let (criterion, clustering) = match self {
+            Algorithm::Baseline => return None,
+            Algorithm::Reorder(c) => (*c, ClusteringMode::Direct),
+            Algorithm::ClusterThenReorder(c) => (*c, ClusteringMode::ClusterThenReorder),
+        };
+        Some(ReadConfig {
+            criterion,
+            clustering,
+            ..ReadConfig::default()
+        })
+    }
+}
+
+impl ScheduleSource for Algorithm {
+    fn name(&self) -> String {
+        match self.read_config() {
+            None => Baseline.name(),
+            Some(config) => ReadOptimizer::new(config).name(),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self.read_config() {
+            None => Baseline.fingerprint(),
+            Some(config) => ReadOptimizer::new(config).fingerprint(),
+        }
+    }
+
+    fn schedule(
+        &self,
+        weights: &Matrix<i8>,
+        array_cols: usize,
+    ) -> Result<ComputeSchedule, PipelineError> {
+        match self.read_config() {
+            None => Baseline.schedule(weights, array_cols),
+            Some(config) => ReadOptimizer::new(config).schedule(weights, array_cols),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&ScheduleSource::name(self))
+    }
+}
+
+/// Stage 2: turns a triggered-depth histogram into error rates.
+pub trait ErrorModel: Send + Sync {
+    /// Display name of the model.
+    fn name(&self) -> String;
+
+    /// Expected MAC-level timing error rate of the recorded cycles at the
+    /// given operating condition.
+    fn ter(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> f64;
+
+    /// Activation-level bit error rate implied by a TER for outputs that
+    /// accumulate `macs_per_output` MACs (the paper's Eq. (1)).
+    fn ber(&self, ter: f64, macs_per_output: usize) -> f64 {
+        ber_from_ter(ter, macs_per_output)
+    }
+}
+
+/// The default error model: the parametric Nangate-15nm-like MAC delay model
+/// evaluated over the depth histogram (the same math as
+/// [`timing::TerEstimator`], but reusing one simulation pass for any number
+/// of corners).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayErrorModel {
+    /// The MAC datapath delay model.
+    pub delay: DelayModel,
+}
+
+impl DelayErrorModel {
+    /// Wraps a delay model.
+    pub fn new(delay: DelayModel) -> Self {
+        DelayErrorModel { delay }
+    }
+}
+
+impl Default for DelayErrorModel {
+    fn default() -> Self {
+        DelayErrorModel::new(DelayModel::nangate15_like())
+    }
+}
+
+impl ErrorModel for DelayErrorModel {
+    fn name(&self) -> String {
+        "delay-model".to_string()
+    }
+
+    fn ter(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> f64 {
+        hist.ter(&self.delay, condition)
+    }
+}
+
+/// Stage 3: measures accuracy under per-layer BERs.
+pub trait Evaluator: Send + Sync {
+    /// Display name of the evaluator.
+    fn name(&self) -> String;
+
+    /// Evaluates `model` on `dataset` with the given per-layer BERs (one per
+    /// convolution layer, execution order) and RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Eval`] for shape mismatches or an empty
+    /// dataset.
+    fn evaluate(
+        &self,
+        model: &Model,
+        dataset: &Dataset,
+        bers: &[f64],
+        seed: u64,
+    ) -> Result<Accuracy, PipelineError>;
+}
+
+/// The paper's error-injection protocol: flip accumulator bits at the
+/// per-layer BER and report top-1 / top-k accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEvaluator {
+    /// The `k` of the top-k accuracy figure.
+    pub k: usize,
+    /// Bit-flip position model.
+    pub flip: FlipModel,
+}
+
+impl TopKEvaluator {
+    /// Evaluator with the paper's default flip model.
+    pub fn new(k: usize) -> Self {
+        TopKEvaluator {
+            k,
+            flip: FlipModel::default(),
+        }
+    }
+}
+
+impl Default for TopKEvaluator {
+    fn default() -> Self {
+        TopKEvaluator::new(3)
+    }
+}
+
+impl Evaluator for TopKEvaluator {
+    fn name(&self) -> String {
+        format!("top-{}", self.k)
+    }
+
+    fn evaluate(
+        &self,
+        model: &Model,
+        dataset: &Dataset,
+        bers: &[f64],
+        seed: u64,
+    ) -> Result<Accuracy, PipelineError> {
+        let config = FaultConfig::per_layer(bers.to_vec(), seed).with_flip(self.flip);
+        Ok(evaluate_topk(model, dataset, &config, self.k)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_match_paper_set_conventions() {
+        let names: Vec<String> = Algorithm::paper_set()
+            .iter()
+            .map(ScheduleSource::name)
+            .collect();
+        assert_eq!(names[0], "baseline");
+        assert_eq!(names[1], "reorder[sign_first]");
+        assert_eq!(names[2], "cluster-then-reorder[sign_first]");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs() {
+        let a = ReadOptimizer::new(ReadConfig::default());
+        let b = ReadOptimizer::new(ReadConfig {
+            seed: 1,
+            ..ReadConfig::default()
+        });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), Baseline.fingerprint());
+        // Same config -> same fingerprint.
+        assert_eq!(
+            a.fingerprint(),
+            ReadOptimizer::new(ReadConfig::default()).fingerprint()
+        );
+    }
+
+    #[test]
+    fn baseline_source_matches_compute_schedule_baseline() {
+        let weights = Matrix::from_fn(12, 6, |r, c| (r + c) as i8);
+        let got = Baseline.schedule(&weights, 4).unwrap();
+        assert_eq!(got, ComputeSchedule::baseline(12, 6, 4));
+    }
+
+    #[test]
+    fn algorithm_sources_produce_valid_schedules() {
+        let weights = Matrix::from_fn(24, 8, |r, c| (((r * 5 + c * 3) % 11) as i8) - 5);
+        for algorithm in Algorithm::paper_set() {
+            let schedule = algorithm.schedule(&weights, 4).unwrap();
+            assert!(schedule.validate(24, 8).is_ok(), "{algorithm}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Synthetic layer workloads: the paper's network layers realised with
+//! synthetic trained weights and post-ReLU activations.
+//!
+//! (Moved here from `read-bench` so that every pipeline consumer — benches,
+//! examples, tests — shares one workload vocabulary.)
+
+use accel_sim::{ConvShape, GemmProblem, Matrix};
+use qnn::init::{synthetic_activations, WeightInit};
+use qnn::models;
+
+/// How a layer workload is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of output pixels (activation-matrix columns) to generate per
+    /// layer.  TER is a rate, so a modest sample is sufficient; the paper's
+    /// full layers would be billions of MACs.
+    pub pixels_per_layer: usize,
+    /// Fraction of zero activations (post-ReLU sparsity).
+    pub activation_sparsity: f64,
+    /// Weight sparsity (fraction of exactly-zero weights).
+    pub weight_sparsity: f64,
+    /// Cross-channel correlation of the weights in `[0, 1]`: trained
+    /// convolution filters fall into families with similar sign patterns,
+    /// which is exactly the structure output-channel clustering exploits.
+    /// `0.0` makes every output channel independent; values around `0.5`
+    /// mimic trained layers.
+    pub channel_correlation: f64,
+    /// Number of filter families the correlated component is drawn from.
+    pub filter_families: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            pixels_per_layer: 4,
+            activation_sparsity: 0.45,
+            weight_sparsity: 0.05,
+            channel_correlation: 0.55,
+            filter_families: 8,
+            seed: 0xBE9C4,
+        }
+    }
+}
+
+/// One convolution layer lowered to the GEMM form the simulator consumes.
+#[derive(Debug, Clone)]
+pub struct LayerWorkload {
+    /// Layer name (e.g. `"conv3_2"`).
+    pub name: String,
+    /// Full-size convolution shape of the layer.
+    pub shape: ConvShape,
+    /// Weight matrix (`reduction_len x K`).
+    pub weights: Matrix<i8>,
+    /// Activation matrix (`reduction_len x pixels`).
+    pub activations: Matrix<i8>,
+}
+
+impl LayerWorkload {
+    /// Wraps raw weight/activation matrices as a workload (a pointwise
+    /// convolution shape is synthesized, so `macs_per_output` equals the
+    /// reduction length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`accel_sim::SimError`] when the matrices are empty or their
+    /// reduction dimensions disagree.
+    pub fn from_matrices(
+        name: &str,
+        weights: Matrix<i8>,
+        activations: Matrix<i8>,
+    ) -> Result<Self, accel_sim::SimError> {
+        // Validate consistency the same way the simulator will.
+        GemmProblem::new(weights.clone(), activations.clone())?;
+        let shape = ConvShape::pointwise(
+            1,
+            weights.rows(),
+            1,
+            activations.cols().max(1),
+            weights.cols(),
+        );
+        Ok(LayerWorkload {
+            name: name.to_string(),
+            shape,
+            weights,
+            activations,
+        })
+    }
+
+    /// Builds a workload for one layer shape.
+    pub fn generate(name: &str, shape: ConvShape, config: &WorkloadConfig, index: usize) -> Self {
+        let reduction = shape.reduction_len();
+        let rho = config.channel_correlation.clamp(0.0, 1.0);
+        let families = config.filter_families.max(1);
+        let mut proto_init =
+            WeightInit::new(config.seed.wrapping_add(index as u64 * 7919)).with_sparsity(0.0);
+        // Shared "filter family" component: channels of the same family have
+        // correlated sign patterns, as trained filters do.
+        let prototypes = Matrix::from_fn(reduction, families, |_, _| proto_init.weight(reduction));
+        let mut init = WeightInit::new(config.seed.wrapping_add(index as u64 * 7919 + 1))
+            .with_sparsity(config.weight_sparsity);
+        let weights = Matrix::from_fn(reduction, shape.k, |r, k| {
+            let idio = f64::from(init.weight(reduction));
+            if idio == 0.0 {
+                // Preserve the configured exact-zero sparsity.
+                return 0;
+            }
+            let proto = f64::from(prototypes[(r, k % families)]);
+            let mixed = rho.sqrt() * proto + (1.0 - rho).sqrt() * idio;
+            mixed.round().clamp(-127.0, 127.0) as i8
+        });
+        let acts = synthetic_activations(
+            reduction * config.pixels_per_layer,
+            config.activation_sparsity,
+            config.seed.wrapping_add(0x5A17 + index as u64),
+        );
+        let activations = Matrix::from_fn(reduction, config.pixels_per_layer, |r, p| {
+            acts[r * config.pixels_per_layer + p]
+        });
+        LayerWorkload {
+            name: name.to_string(),
+            shape,
+            weights,
+            activations,
+        }
+    }
+
+    /// The GEMM problem of this workload.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for workloads produced by [`LayerWorkload::generate`]
+    /// (the matrices are consistent by construction).
+    pub fn problem(&self) -> GemmProblem {
+        GemmProblem::new(self.weights.clone(), self.activations.clone())
+            .expect("workload matrices are consistent by construction")
+    }
+
+    /// MAC operations per output activation (the `N` of Eq. (1)).
+    pub fn macs_per_output(&self) -> usize {
+        self.shape.macs_per_output()
+    }
+}
+
+/// Workloads for every convolution layer of VGG-16 on CIFAR-sized inputs.
+pub fn vgg16_workloads(config: &WorkloadConfig) -> Vec<LayerWorkload> {
+    models::vgg16_cifar_conv_shapes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, i))
+        .collect()
+}
+
+/// Workloads for every main-path convolution layer of ResNet-18 on
+/// CIFAR-sized inputs.
+pub fn resnet18_workloads(config: &WorkloadConfig) -> Vec<LayerWorkload> {
+    models::resnet18_cifar_conv_shapes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, 100 + i))
+        .collect()
+}
+
+/// Workloads for every main-path convolution layer of ResNet-34 on
+/// ImageNet-sized inputs.
+pub fn resnet34_workloads(config: &WorkloadConfig) -> Vec<LayerWorkload> {
+    models::resnet34_imagenet_conv_shapes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, 200 + i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_workloads_cover_all_layers() {
+        let config = WorkloadConfig {
+            pixels_per_layer: 2,
+            ..WorkloadConfig::default()
+        };
+        let w = vgg16_workloads(&config);
+        assert_eq!(w.len(), 13);
+        for layer in &w {
+            assert_eq!(layer.weights.rows(), layer.shape.reduction_len());
+            assert_eq!(layer.activations.cols(), 2);
+            assert!(layer.activations.as_slice().iter().all(|&a| a >= 0));
+        }
+    }
+
+    #[test]
+    fn resnet_workloads_have_expected_counts() {
+        let config = WorkloadConfig {
+            pixels_per_layer: 1,
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(resnet18_workloads(&config).len(), 17);
+        assert_eq!(resnet34_workloads(&config).len(), 33);
+    }
+
+    #[test]
+    fn workload_problem_is_consistent() {
+        let config = WorkloadConfig {
+            pixels_per_layer: 3,
+            ..WorkloadConfig::default()
+        };
+        let layer = &vgg16_workloads(&config)[1];
+        let p = layer.problem();
+        assert_eq!(p.reduction_len(), layer.shape.reduction_len());
+        assert_eq!(p.num_pixels(), 3);
+        assert_eq!(layer.macs_per_output(), layer.shape.reduction_len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = WorkloadConfig::default();
+        let a = vgg16_workloads(&config);
+        let b = vgg16_workloads(&config);
+        assert_eq!(a[3].weights, b[3].weights);
+        assert_eq!(a[3].activations, b[3].activations);
+    }
+}

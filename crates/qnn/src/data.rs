@@ -165,7 +165,7 @@ impl SyntheticDatasetBuilder {
                 "need at least one class and one sample per class",
             ));
         }
-        if self.shape.iter().any(|&d| d == 0) {
+        if self.shape.contains(&0) {
             return Err(QnnError::dataset("image shape must be non-empty"));
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -196,9 +196,7 @@ impl SyntheticDatasetBuilder {
                     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);
                     let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                    (f64::from(p) + n * self.noise)
-                        .round()
-                        .clamp(-127.0, 127.0) as i8
+                    (f64::from(p) + n * self.noise).round().clamp(-127.0, 127.0) as i8
                 });
                 images.push(noisy);
                 labels.push(class);
@@ -284,8 +282,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = SyntheticDatasetBuilder::new(3, [1, 6, 6]).seed(9).build().unwrap();
-        let b = SyntheticDatasetBuilder::new(3, [1, 6, 6]).seed(9).build().unwrap();
+        let a = SyntheticDatasetBuilder::new(3, [1, 6, 6])
+            .seed(9)
+            .build()
+            .unwrap();
+        let b = SyntheticDatasetBuilder::new(3, [1, 6, 6])
+            .seed(9)
+            .build()
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -66,7 +66,9 @@ mod tests {
     #[test]
     fn constructors_and_display() {
         assert!(QnnError::shape("got 3 dims").to_string().contains("3 dims"));
-        assert!(QnnError::config("bad stride").to_string().contains("bad stride"));
+        assert!(QnnError::config("bad stride")
+            .to_string()
+            .contains("bad stride"));
         assert!(QnnError::dataset("empty").to_string().contains("empty"));
     }
 

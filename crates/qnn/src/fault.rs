@@ -89,7 +89,8 @@ impl FaultConfig {
     /// Panics if any BER is not a finite value in `[0, 1]`.
     pub fn per_layer(bers: Vec<f64>, seed: u64) -> Self {
         assert!(
-            bers.iter().all(|b| b.is_finite() && (0.0..=1.0).contains(b)),
+            bers.iter()
+                .all(|b| b.is_finite() && (0.0..=1.0).contains(b)),
             "all BERs must be in [0, 1]"
         );
         FaultConfig {
@@ -206,7 +207,11 @@ pub struct Accuracy {
 ///
 /// Returns [`QnnError::InvalidDataset`] for an empty dataset and propagates
 /// forward-pass errors.
-pub fn evaluate(model: &Model, dataset: &Dataset, config: &FaultConfig) -> Result<Accuracy, QnnError> {
+pub fn evaluate(
+    model: &Model,
+    dataset: &Dataset,
+    config: &FaultConfig,
+) -> Result<Accuracy, QnnError> {
     evaluate_topk(model, dataset, config, 3)
 }
 

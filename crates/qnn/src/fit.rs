@@ -96,8 +96,7 @@ pub fn fit_classifier_head(model: &mut Model, dataset: &Dataset) -> Result<f64, 
     let in_features = classifier.in_features();
     let mut bias = vec![0i32; num_classes];
     for (class, centroid) in centroids.iter().enumerate() {
-        let row =
-            &mut classifier.weights_mut()[class * in_features..(class + 1) * in_features];
+        let row = &mut classifier.weights_mut()[class * in_features..(class + 1) * in_features];
         let mut norm_sq = 0f64;
         let mut dot_mean = 0f64;
         for ((w, v), m) in row.iter_mut().zip(centroid).zip(&mean) {

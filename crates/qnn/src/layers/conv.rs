@@ -273,8 +273,7 @@ impl Conv2d {
                                 if ix < 0 || ix >= input.width() as isize {
                                     continue;
                                 }
-                                let w = self.weights
-                                    [w_base + c * k_area + dy * self.kernel + dx];
+                                let w = self.weights[w_base + c * k_area + dy * self.kernel + dx];
                                 let a = input.get(c, iy as usize, ix as usize);
                                 acc += i32::from(w) * i32::from(a);
                             }
@@ -328,8 +327,7 @@ impl Conv2d {
                                 if ix < 0 || ix >= input.width() as isize {
                                     continue;
                                 }
-                                let w = self.weights
-                                    [w_base + c * k_area + dy * self.kernel + dx];
+                                let w = self.weights[w_base + c * k_area + dy * self.kernel + dx];
                                 let a = input.get(c, iy as usize, ix as usize);
                                 acc += i32::from(w) * i32::from(a);
                             }

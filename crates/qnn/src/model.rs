@@ -18,6 +18,9 @@ pub struct ResidualBlock {
 }
 
 /// One stage of a [`Model`].
+// Residual blocks dwarf the pooling variants by design; models hold few
+// layers, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum LayerKind {
@@ -255,9 +258,7 @@ impl Model {
     /// Returns [`QnnError::ShapeMismatch`] when the input does not match the
     /// model.
     pub fn penultimate_features(&self, input: &Tensor<i8>) -> Result<Vec<i8>, QnnError> {
-        Ok(self
-            .run_feature_stages(input, &mut NoFaults)?
-            .into_vector())
+        Ok(self.run_feature_stages(input, &mut NoFaults)?.into_vector())
     }
 
     /// Predicted class (arg-max of the logits).
@@ -399,9 +400,7 @@ impl Model {
                         Features::Map(max_pool2(map)?)
                     }
                 }
-                LayerKind::GlobalAvgPool => {
-                    Features::Vector(global_avg_pool(features.as_map()?)?)
-                }
+                LayerKind::GlobalAvgPool => Features::Vector(global_avg_pool(features.as_map()?)?),
                 LayerKind::Residual(block) => {
                     let map = features.as_map()?;
                     let idx1 = conv_index;

@@ -163,8 +163,18 @@ fn conv_shapes(
             if include_downsample && (stride != 1 || in_channels != width) {
                 shapes.push((
                     format!("{prefix}_down"),
-                    ConvShape::new(1, in_channels, hw * stride, hw * stride, width, 1, 1, stride, 0)
-                        .expect("static plan is valid"),
+                    ConvShape::new(
+                        1,
+                        in_channels,
+                        hw * stride,
+                        hw * stride,
+                        width,
+                        1,
+                        1,
+                        stride,
+                        0,
+                    )
+                    .expect("static plan is valid"),
                 ));
             }
             in_channels = width;

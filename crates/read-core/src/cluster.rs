@@ -181,9 +181,7 @@ impl BalancedKMeans {
         }
         let k = weights.cols();
         let n_clusters = k.div_ceil(self.cluster_size);
-        let features: Vec<Vec<f64>> = (0..k)
-            .map(|c| self.feature_vector(weights, c))
-            .collect();
+        let features: Vec<Vec<f64>> = (0..k).map(|c| self.feature_vector(weights, c)).collect();
 
         // Initialise centroids from a random sample of channels.
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
@@ -256,9 +254,7 @@ impl BalancedKMeans {
 
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         match self.metric {
-            DistanceMetric::SignManhattan => {
-                a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-            }
+            DistanceMetric::SignManhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
             DistanceMetric::Euclidean => a
                 .iter()
                 .zip(b)
@@ -377,7 +373,7 @@ mod tests {
             .with_seed(9)
             .run(&w)
             .unwrap();
-        let mut seen = vec![false; 23];
+        let mut seen = [false; 23];
         for cluster in &result.clusters {
             assert!(cluster.len() <= size);
             for &c in cluster {

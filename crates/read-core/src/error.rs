@@ -41,7 +41,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(ReadError::EmptyWeights.to_string(), "weight matrix has no elements");
+        assert_eq!(
+            ReadError::EmptyWeights.to_string(),
+            "weight matrix has no elements"
+        );
         assert!(ReadError::InvalidGrouping {
             reason: "zero columns".into()
         }

@@ -258,9 +258,27 @@ mod tests {
     fn channel_stats_counts() {
         let w = Matrix::from_vec(3, 2, vec![1i8, -1, 0, 5, -3, -2]).unwrap();
         let stats = channel_stats(&w, &[0, 1]).unwrap();
-        assert_eq!(stats[0], WeightColumnStats { nonneg_count: 1, weight_sum: 0 });
-        assert_eq!(stats[1], WeightColumnStats { nonneg_count: 2, weight_sum: 5 });
-        assert_eq!(stats[2], WeightColumnStats { nonneg_count: 0, weight_sum: -5 });
+        assert_eq!(
+            stats[0],
+            WeightColumnStats {
+                nonneg_count: 1,
+                weight_sum: 0
+            }
+        );
+        assert_eq!(
+            stats[1],
+            WeightColumnStats {
+                nonneg_count: 2,
+                weight_sum: 5
+            }
+        );
+        assert_eq!(
+            stats[2],
+            WeightColumnStats {
+                nonneg_count: 0,
+                weight_sum: -5
+            }
+        );
     }
 
     #[test]
@@ -277,9 +295,9 @@ mod tests {
         // [3, 3, 2, 1].  The natural order repeatedly crosses zero; the
         // non-negative-first order never goes negative because the final
         // output is positive, so it produces zero sign flips.
-        let products: Vec<i64> = vec![-1 * 3, 7 * 3, -5 * 2, 4 * 1];
+        let products: Vec<i64> = vec![-3, 7 * 3, -5 * 2, 4];
         assert_eq!(count_sign_flips(products), 2);
-        let reordered: Vec<i64> = vec![7 * 3, 4 * 1, -5 * 2, -1 * 3];
+        let reordered: Vec<i64> = vec![7 * 3, 4, -5 * 2, -3];
         assert_eq!(count_sign_flips(reordered), 0);
     }
 

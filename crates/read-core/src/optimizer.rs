@@ -419,9 +419,7 @@ mod tests {
         let w = demo_weights(8, 4, 0);
         let opt = ReadOptimizer::new(ReadConfig::default());
         assert!(opt.optimize(&w, 0).is_err());
-        assert!(opt
-            .optimize(&Matrix::<i8>::zeros(0, 0), 4)
-            .is_err());
+        assert!(opt.optimize(&Matrix::<i8>::zeros(0, 0), 4).is_err());
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
             let baseline = sign_flips_for_order(&w, &[0], &natural, None).unwrap();
             let order = sort_input_channels(&w, &[0], SortCriterion::SignFirst).unwrap();
             let optimized = sign_flips_for_order(&w, &[0], &order, None).unwrap();
-            assert!(optimized <= baseline, "seed {seed}: {optimized} > {baseline}");
+            assert!(
+                optimized <= baseline,
+                "seed {seed}: {optimized} > {baseline}"
+            );
         }
     }
 

@@ -74,7 +74,7 @@ pub fn permute_input_channels(
     prev_output_order: &[usize],
     taps_per_channel: usize,
 ) -> Result<Matrix<i8>, ReadError> {
-    if taps_per_channel == 0 || weights.rows() % taps_per_channel != 0 {
+    if taps_per_channel == 0 || !weights.rows().is_multiple_of(taps_per_channel) {
         return Err(ReadError::InvalidOrder {
             reason: format!(
                 "reduction length {} is not a multiple of taps {}",
@@ -93,9 +93,11 @@ pub fn permute_input_channels(
         });
     }
     let rows = expand_channel_order_to_rows(prev_output_order, taps_per_channel)?;
-    weights.permute_rows(&rows).map_err(|e| ReadError::InvalidOrder {
-        reason: e.to_string(),
-    })
+    weights
+        .permute_rows(&rows)
+        .map_err(|e| ReadError::InvalidOrder {
+            reason: e.to_string(),
+        })
 }
 
 /// Per-layer inputs to the network scheduler.
@@ -181,7 +183,9 @@ impl NetworkScheduler {
         let mut prev_output_order: Option<Vec<usize>> = None;
         for layer in layers {
             let weights = match &prev_output_order {
-                Some(order) if order.len() == layer.weights.rows() / layer.taps_per_channel.max(1) => {
+                Some(order)
+                    if order.len() == layer.weights.rows() / layer.taps_per_channel.max(1) =>
+                {
                     permute_input_channels(&layer.weights, order, layer.taps_per_channel)?
                 }
                 Some(_) | None => layer.weights.clone(),
@@ -252,8 +256,7 @@ mod tests {
                 taps_per_channel: 1,
             },
         ];
-        let scheduler =
-            NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 2);
+        let scheduler = NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 2);
         let scheduled = scheduler.schedule_network(&layers).unwrap();
         assert_eq!(scheduled.len(), 2);
         // Layer 2's weights are the original rows permuted by layer 1's
@@ -282,8 +285,7 @@ mod tests {
                 taps_per_channel: 1,
             },
         ];
-        let scheduler =
-            NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 2);
+        let scheduler = NetworkScheduler::new(ReadOptimizer::new(ReadConfig::default()), 2);
         let scheduled = scheduler.schedule_network(&layers).unwrap();
         assert_eq!(scheduled[1].weights, layers[1].weights);
     }

@@ -264,7 +264,9 @@ mod tests {
         let mut mac2 = MacUnit::new();
         mac2.load(1000);
         let benign = mac2.mac(2, 3); // small increment, no flip
-        assert!(m.error_probability(&flip, &c, 0.0) > 100.0 * m.error_probability(&benign, &c, 0.0));
+        assert!(
+            m.error_probability(&flip, &c, 0.0) > 100.0 * m.error_probability(&benign, &c, 0.0)
+        );
     }
 
     #[test]
@@ -289,9 +291,6 @@ mod tests {
             0.0
         );
         let extreme = OperatingCondition::aging_vt(10.0, 0.25);
-        assert_eq!(
-            m.error_probability_for_depth(MAX_DEPTH, &extreme, 0.0),
-            1.0
-        );
+        assert_eq!(m.error_probability_for_depth(MAX_DEPTH, &extreme, 0.0), 1.0);
     }
 }

@@ -203,7 +203,11 @@ impl DynamicTimingAnalyzer {
             condition: self.condition.name,
             total_cycles: self.total_cycles,
             errors,
-            ter: if self.total_cycles == 0 { 0.0 } else { errors / total },
+            ter: if self.total_cycles == 0 {
+                0.0
+            } else {
+                errors / total
+            },
             sign_flips: self.sign_flips,
             sign_flip_rate: if self.total_cycles == 0 {
                 0.0
@@ -403,8 +407,7 @@ mod tests {
         // Use an extreme corner so the Monte-Carlo run sees enough events.
         let condition = OperatingCondition::aging_vt(10.0, 0.10);
         let problem = demo_problem();
-        let mut analytic =
-            DynamicTimingAnalyzer::new(DelayModel::nangate15_like(), condition);
+        let mut analytic = DynamicTimingAnalyzer::new(DelayModel::nangate15_like(), condition);
         let mut sampled = DynamicTimingAnalyzer::with_mode(
             DelayModel::nangate15_like(),
             condition,
@@ -412,10 +415,20 @@ mod tests {
         );
         let array = ArrayConfig::paper_default();
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut analytic)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut analytic,
+            )
             .unwrap();
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut sampled)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut sampled,
+            )
             .unwrap();
         let a = analytic.report().ter;
         let s = sampled.report().ter;
@@ -435,10 +448,20 @@ mod tests {
         let mut with_pv = DynamicTimingAnalyzer::new(DelayModel::nangate15_like(), condition)
             .with_process_variation(array, 3);
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut plain)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut plain,
+            )
             .unwrap();
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut with_pv)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut with_pv,
+            )
             .unwrap();
         let p = plain.report().ter;
         let v = with_pv.report().ter;
@@ -469,10 +492,8 @@ mod tests {
 
     #[test]
     fn empty_report_is_well_formed() {
-        let dta = DynamicTimingAnalyzer::new(
-            DelayModel::nangate15_like(),
-            OperatingCondition::ideal(),
-        );
+        let dta =
+            DynamicTimingAnalyzer::new(DelayModel::nangate15_like(), OperatingCondition::ideal());
         let r = dta.report();
         assert_eq!(r.total_cycles, 0);
         assert_eq!(r.ter, 0.0);
@@ -496,10 +517,20 @@ mod tests {
         let mut hist = DepthHistogram::new();
         let mut dta = DynamicTimingAnalyzer::new(delay, condition);
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut hist)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut hist,
+            )
             .unwrap();
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut dta)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut dta,
+            )
             .unwrap();
         let from_hist = hist.ter(&delay, &condition);
         let from_dta = dta.report().ter;
@@ -518,18 +549,29 @@ mod tests {
         let problem = demo_problem();
         let array = ArrayConfig::paper_default();
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::sampled(4, 1), &mut a)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::sampled(4, 1),
+                &mut a,
+            )
             .unwrap();
         problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::sampled(4, 2), &mut b)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::sampled(4, 2),
+                &mut b,
+            )
             .unwrap();
         let total = a.total() + b.total();
         a.merge(&b);
         assert_eq!(a.total(), total);
         assert!(a.sign_flip_rate() >= 0.0);
-        assert_eq!(DepthHistogram::default().ter(
-            &DelayModel::nangate15_like(),
-            &OperatingCondition::ideal()
-        ), 0.0);
+        assert_eq!(
+            DepthHistogram::default()
+                .ter(&DelayModel::nangate15_like(), &OperatingCondition::ideal()),
+            0.0
+        );
     }
 }

@@ -165,7 +165,10 @@ mod tests {
     fn msb_flip_of_positive_value_goes_negative() {
         let mut inj = FaultInjector::new(1.0, BitFlipModel::MostSignificant, 7);
         let corrupted = inj.corrupt(5);
-        assert!(corrupted < 0, "MSB flip of a small positive value must go negative, got {corrupted}");
+        assert!(
+            corrupted < 0,
+            "MSB flip of a small positive value must go negative, got {corrupted}"
+        );
         // Flipping the MSB twice restores the original value.
         let mut inj2 = FaultInjector::new(1.0, BitFlipModel::MostSignificant, 7);
         assert_eq!(inj2.corrupt(corrupted), 5);

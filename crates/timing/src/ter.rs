@@ -197,7 +197,10 @@ mod tests {
     fn ber_matches_direct_formula() {
         for &(ter, n) in &[(1e-3f64, 100usize), (1e-5, 4608), (0.2, 7)] {
             let direct = 1.0 - (1.0 - ter).powi(n as i32);
-            assert!((ber_from_ter(ter, n) - direct).abs() < 1e-12, "ter={ter} n={n}");
+            assert!(
+                (ber_from_ter(ter, n) - direct).abs() < 1e-12,
+                "ter={ter} n={n}"
+            );
         }
     }
 

@@ -1,60 +1,56 @@
 //! Layer reliability: map one VGG-16 layer onto the paper's 16x4
 //! output-stationary systolic array and estimate its timing error rate under
-//! every PVTA corner, with and without READ.
+//! every PVTA corner, with and without READ — all through the pipeline API.
 //!
 //! Run with: `cargo run --release --example layer_reliability`
 
-use accel_sim::{ArrayConfig, Matrix};
-use qnn::init::{synthetic_activations, WeightInit};
-use qnn::models;
-use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{ber_from_ter, paper_conditions, TerEstimator};
+use read_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Take a middle VGG-16 layer (256 -> 256 channels, 3x3 filters).
-    let (name, shape) = models::vgg16_cifar_conv_shapes()
+    // Take a middle VGG-16 layer (256 -> 256 channels, 3x3 filters) as a
+    // synthetic trained workload with 8 output pixels.
+    let config = WorkloadConfig {
+        pixels_per_layer: 8,
+        ..WorkloadConfig::default()
+    };
+    let workload = vgg16_workloads(&config)
         .into_iter()
-        .find(|(n, _)| n == "conv3_6")
+        .find(|w| w.name == "conv3_6")
         .expect("VGG-16 plan contains conv3_6");
-    println!("layer {name}: {shape}");
+    println!("layer {}: {}", workload.name, workload.shape);
 
-    // Synthetic trained weights and post-ReLU activations (8 output pixels).
-    let reduction = shape.reduction_len();
-    let mut init = WeightInit::new(3);
-    let weights = Matrix::from_fn(reduction, shape.k, |_, _| init.weight(reduction));
-    let pixels = 8;
-    let acts = synthetic_activations(reduction * pixels, 0.45, 11);
-    let activations = Matrix::from_fn(reduction, pixels, |r, p| acts[r * pixels + p]);
-    let problem = accel_sim::GemmProblem::new(weights.clone(), activations)?;
+    // Baseline vs READ over all six paper corners from one simulation pass
+    // per schedule.
+    let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
+    let pipeline = ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(read)
+        .conditions(paper_conditions())
+        .build()?;
+    let report = pipeline.run_ter("conv3_6", std::slice::from_ref(&workload))?;
 
-    // READ schedule for a 4-column array.
-    let array = ArrayConfig::paper_default();
-    let schedule = ReadOptimizer::new(ReadConfig {
-        criterion: SortCriterion::SignFirst,
-        clustering: ClusteringMode::ClusterThenReorder,
-        ..ReadConfig::default()
-    })
-    .optimize(&weights, array.cols())?
-    .to_compute_schedule();
-
-    let estimator = TerEstimator::new().with_array(array);
     println!();
     println!(
         "{:<14} {:>12} {:>12} {:>10}  {:>12} {:>12}",
         "corner", "baseline TER", "READ TER", "reduction", "baseline BER", "READ BER"
     );
     for condition in paper_conditions() {
-        let base = estimator.analyze(&problem, &condition)?;
-        let read = estimator.analyze_with_schedule(&problem, &schedule, &condition)?;
-        let reduction = if read.ter > 0.0 { base.ter / read.ter } else { f64::INFINITY };
+        let base = report
+            .rows_at(condition.name)
+            .find(|r| r.algorithm == "baseline")
+            .expect("baseline row");
+        let opt = report
+            .rows_at(condition.name)
+            .find(|r| r.algorithm != "baseline")
+            .expect("READ row");
+        let reduction = if opt.ter > 0.0 {
+            base.ter / opt.ter
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{:<14} {:>12.3e} {:>12.3e} {:>9.1}x  {:>12.3e} {:>12.3e}",
-            condition.name,
-            base.ter,
-            read.ter,
-            reduction,
-            ber_from_ter(base.ter, shape.macs_per_output()),
-            ber_from_ter(read.ter, shape.macs_per_output()),
+            condition.name, base.ter, opt.ter, reduction, base.ber, opt.ber,
         );
     }
     println!();

@@ -1,5 +1,5 @@
 //! Network accuracy under timing errors: an end-to-end miniature of the
-//! paper's Fig. 10 pipeline.
+//! paper's Fig. 10 pipeline, driven entirely by `ReadPipeline`.
 //!
 //! 1. Build a (width-scaled) VGG-16 with synthetic weights and fit its
 //!    classifier head on a synthetic 10-class dataset.
@@ -10,13 +10,9 @@
 //!
 //! Run with: `cargo run --release --example network_accuracy`
 
-use accel_sim::{ArrayConfig, Matrix};
-use qnn::fault::{evaluate, FaultConfig};
 use qnn::fit::fit_classifier_head;
-use qnn::init::{synthetic_activations, WeightInit};
-use qnn::{models, SyntheticDatasetBuilder};
-use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{ber_from_ter, OperatingCondition, TerEstimator};
+use qnn::models;
+use read_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scaled executable model + synthetic dataset.
@@ -29,57 +25,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clean = fit_classifier_head(&mut model, &dataset)?;
     println!("clean accuracy of the fitted model: {:.1}%", clean * 100.0);
 
-    // Per-layer BERs from the full-size layer shapes under a stressed corner.
+    // Full-size layer workloads whose names match the scaled model's conv
+    // layers (the pipeline matches BERs to layers by name).
+    let config = WorkloadConfig {
+        pixels_per_layer: 3,
+        ..WorkloadConfig::default()
+    };
+    let workloads = vgg16_workloads(&config);
+
     let condition = OperatingCondition::aging_vt(10.0, 0.05);
-    let array = ArrayConfig::paper_default();
-    let estimator = TerEstimator::new().with_array(array);
-    let optimizer = ReadOptimizer::new(ReadConfig {
-        criterion: SortCriterion::SignFirst,
-        clustering: ClusteringMode::ClusterThenReorder,
-        ..ReadConfig::default()
-    });
+    let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
+    let pipeline = ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(read)
+        .condition(condition)
+        .model(model)
+        .top_k(3)
+        .parallel()
+        .build()?;
 
-    let conv_names: Vec<String> = model.conv_layers().iter().map(|c| c.name().to_string()).collect();
-    let mut baseline_bers = vec![0.0; conv_names.len()];
-    let mut read_bers = vec![0.0; conv_names.len()];
-    for (i, (name, shape)) in models::vgg16_cifar_conv_shapes().into_iter().enumerate() {
-        let reduction = shape.reduction_len();
-        let mut init = WeightInit::new(1000 + i as u64);
-        let weights = Matrix::from_fn(reduction, shape.k, |_, _| init.weight(reduction));
-        let pixels = 3;
-        let acts = synthetic_activations(reduction * pixels, 0.45, 2000 + i as u64);
-        let activations = Matrix::from_fn(reduction, pixels, |r, p| acts[r * pixels + p]);
-        let problem = accel_sim::GemmProblem::new(weights.clone(), activations)?;
-
-        let base = estimator.analyze(&problem, &condition)?;
-        let schedule = optimizer.optimize(&weights, array.cols())?.to_compute_schedule();
-        let read = estimator.analyze_with_schedule(&problem, &schedule, &condition)?;
-        if let Some(idx) = conv_names.iter().position(|n| *n == name) {
-            baseline_bers[idx] = ber_from_ter(base.ter, shape.macs_per_output());
-            read_bers[idx] = ber_from_ter(read.ter, shape.macs_per_output());
-        }
+    // Per-layer TER/BER table (one simulation pass per schedule).
+    let ter_report = pipeline.run_ter("vgg16", &workloads)?;
+    for workload in &workloads {
+        let rows: Vec<_> = ter_report
+            .rows
+            .iter()
+            .filter(|r| r.layer == workload.name)
+            .collect();
+        let base = rows.iter().find(|r| r.algorithm == "baseline").unwrap();
+        let opt = rows.iter().find(|r| r.algorithm != "baseline").unwrap();
         println!(
-            "  {name:<10} baseline TER {:.2e} -> BER {:.2e} | READ TER {:.2e} -> BER {:.2e}",
-            base.ter,
-            ber_from_ter(base.ter, shape.macs_per_output()),
-            read.ter,
-            ber_from_ter(read.ter, shape.macs_per_output())
+            "  {:<10} baseline TER {:.2e} -> BER {:.2e} | READ TER {:.2e} -> BER {:.2e}",
+            workload.name, base.ter, base.ber, opt.ter, opt.ber
         );
     }
 
     // Error-injection evaluation (paper protocol: random flips at the BER,
     // averaged over seeds).
-    let mut base_acc = 0.0;
-    let mut read_acc = 0.0;
-    let seeds = 3;
-    for seed in 0..seeds {
-        base_acc += evaluate(&model, &dataset, &FaultConfig::per_layer(baseline_bers.clone(), seed))?.top1;
-        read_acc += evaluate(&model, &dataset, &FaultConfig::per_layer(read_bers.clone(), seed))?.top1;
-    }
+    let accuracy = pipeline.run_accuracy("vgg16", &dataset, &workloads, 3)?;
+    let base = accuracy
+        .point(condition.name, "baseline")
+        .expect("baseline point");
+    let opt = accuracy
+        .point(condition.name, &read.name())
+        .expect("READ point");
     println!();
-    println!("accuracy under {condition} (mean of {seeds} seeds):");
-    println!("  baseline dataflow : {:.1}%", base_acc / seeds as f64 * 100.0);
-    println!("  READ dataflow     : {:.1}%", read_acc / seeds as f64 * 100.0);
+    println!("accuracy under {condition} (mean of {} seeds):", base.seeds);
+    println!("  baseline dataflow : {:.1}%", base.top1 * 100.0);
+    println!("  READ dataflow     : {:.1}%", opt.top1 * 100.0);
     println!("  (clean reference  : {:.1}%)", clean * 100.0);
     Ok(())
 }

@@ -1,47 +1,66 @@
 //! Quickstart: optimize the computation order of one convolution layer with
-//! READ and inspect what it buys.
+//! READ through the unified pipeline API and inspect what it buys.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use accel_sim::Matrix;
-use qnn::init::WeightInit;
-use read_core::{
-    ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
-};
+use read_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A synthetic "trained" weight matrix: 576 reduction rows (64 input
-    // channels x 3x3 filter) by 128 output channels.
-    let mut init = WeightInit::new(7);
-    let weights = Matrix::from_fn(576, 128, |_, _| init.weight(576));
+    // A synthetic "trained" 576x128 layer (64 input channels x 3x3 filter by
+    // 128 output channels) with a few activation pixels.
+    let config = WorkloadConfig {
+        pixels_per_layer: 2,
+        ..WorkloadConfig::default()
+    };
+    let workload = LayerWorkload::generate(
+        "demo_conv",
+        ConvShape::new(1, 64, 16, 16, 128, 3, 3, 1, 1)?,
+        &config,
+        0,
+    );
 
-    // The accelerator processes 4 output channels at a time (a 16x4 array).
-    let columns_per_pass = 4;
+    // The whole flow as one object: baseline vs READ on the paper's 16x4
+    // array, evaluated at the worst PVTA corner.
+    let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
+    let pipeline = ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(read)
+        .condition(OperatingCondition::aging_vt(10.0, 0.05))
+        .build()?;
 
-    // Baseline: natural order, consecutive channel tiles.
-    let baseline = LayerSchedule::baseline(weights.rows(), weights.cols(), columns_per_pass);
-    let baseline_flips = baseline.total_sign_flips(&weights, None)?;
-
-    // READ: cluster output channels by sign similarity, then reorder the
-    // input channels of every cluster so non-negative weights come first.
-    let optimizer = ReadOptimizer::new(ReadConfig {
-        criterion: SortCriterion::SignFirst,
-        clustering: ClusteringMode::ClusterThenReorder,
-        ..ReadConfig::default()
-    });
-    let schedule = optimizer.optimize(&weights, columns_per_pass)?;
-    let optimized_flips = schedule.total_sign_flips(&weights, None)?;
+    let report = pipeline.run_ter("quickstart", std::slice::from_ref(&workload))?;
+    let base = &report.rows[0];
+    let opt = &report.rows[1];
 
     println!("partial-sum sign flips (the critical input pattern):");
-    println!("  baseline schedule : {baseline_flips}");
-    println!("  READ schedule     : {optimized_flips}");
     println!(
-        "  reduction         : {:.1}x",
-        baseline_flips as f64 / optimized_flips.max(1) as f64
+        "  baseline schedule : {} of {} cycles ({:.1}%)",
+        base.sign_flips,
+        base.total_cycles,
+        base.sign_flip_rate * 100.0
+    );
+    println!(
+        "  READ schedule     : {} of {} cycles ({:.1}%)",
+        opt.sign_flips,
+        opt.total_cycles,
+        opt.sign_flip_rate * 100.0
+    );
+    println!(
+        "  TER at the worst corner: {:.3e} -> {:.3e} ({:.1}x lower)",
+        base.ter,
+        opt.ter,
+        base.ter / opt.ter.max(1e-300)
     );
 
     // The hardware cost is a small address LUT in front of the activation
-    // buffer.
+    // buffer; the LayerSchedule (the pipeline's schedule source output in
+    // schedule form) describes it.
+    let schedule = ReadOptimizer::new(ReadConfig {
+        criterion: SortCriterion::SignFirst,
+        clustering: ClusteringMode::ClusterThenReorder,
+        ..ReadConfig::default()
+    })
+    .optimize(&workload.weights, pipeline.array().cols())?;
     let lut = schedule.lut()?;
     println!();
     println!(
@@ -56,11 +75,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lut.overhead_fraction(2 * 1024 * 1024) * 100.0
     );
 
-    // Changing the order never changes the result: the schedule is only a
-    // permutation of the reduction.
-    let compute = schedule.to_compute_schedule();
-    compute.validate(weights.rows(), weights.cols())?;
+    // Changing the order never changes the result.
+    let baseline_out = pipeline.layer_outputs(&workload, &Algorithm::Baseline)?;
+    let read_out = pipeline.layer_outputs(&workload, &read)?;
+    assert_eq!(baseline_out, read_out);
     println!();
-    println!("schedule validated: covers all {} output channels", weights.cols());
+    println!(
+        "outputs verified bit-exact across schedules for all {} output channels",
+        workload.weights.cols()
+    );
     Ok(())
 }

@@ -5,56 +5,66 @@
 //! the timing error rate, so the energy-optimal supply voltage sits where
 //! the TER starts to explode.  READ lowers the TER at every derate, which
 //! moves that point to a larger derate (lower voltage).  This example sweeps
-//! an increasing VT derate and reports, for a fixed TER budget, how much
-//! further READ lets the supply droop.
+//! an increasing VT derate — all 13 corners evaluated from a single
+//! simulation pass per schedule via the pipeline — and reports, for a fixed
+//! TER budget, how much further READ lets the supply droop.
 //!
 //! Run with: `cargo run --release --example voltage_scaling`
 
-use accel_sim::{ArrayConfig, Matrix};
-use qnn::init::{synthetic_activations, WeightInit};
-use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{OperatingCondition, TerEstimator};
+use read_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One representative layer (256 x 3x3 -> 256).
-    let reduction = 256 * 9;
-    let k = 256;
-    let mut init = WeightInit::new(13);
-    let weights = Matrix::from_fn(reduction, k, |_, _| init.weight(reduction));
-    let pixels = 4;
-    let acts = synthetic_activations(reduction * pixels, 0.45, 17);
-    let activations = Matrix::from_fn(reduction, pixels, |r, p| acts[r * pixels + p]);
-    let problem = accel_sim::GemmProblem::new(weights.clone(), activations)?;
+    let config = WorkloadConfig {
+        pixels_per_layer: 4,
+        ..WorkloadConfig::default()
+    };
+    let workload = LayerWorkload::generate(
+        "repr_conv",
+        ConvShape::new(1, 256, 16, 16, 256, 3, 3, 1, 1)?,
+        &config,
+        13,
+    );
 
-    let array = ArrayConfig::paper_default();
-    let estimator = TerEstimator::new().with_array(array);
-    let schedule = ReadOptimizer::new(ReadConfig {
-        criterion: SortCriterion::SignFirst,
-        clustering: ClusteringMode::ClusterThenReorder,
-        ..ReadConfig::default()
-    })
-    .optimize(&weights, array.cols())?
-    .to_compute_schedule();
+    // A custom VT-derate sweep as the pipeline's condition set.  Most of
+    // these corners share the generic "VT" name, so the report rows are
+    // consumed positionally below — never by name-keyed lookups like
+    // `rows_at`, which need distinct condition names.
+    let droops: Vec<f64> = (0..=12).map(|step| step as f64 * 0.01).collect();
+    let conditions: Vec<OperatingCondition> = droops
+        .iter()
+        .map(|&droop| OperatingCondition::vt(droop))
+        .collect();
+
+    let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
+    let pipeline = ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(read)
+        .conditions(conditions.iter().copied())
+        .build()?;
+    let report = pipeline.run_ter("voltage-scaling", std::slice::from_ref(&workload))?;
 
     let budget = 1e-5; // tolerable MAC-level TER for the speculation hardware
     println!("TER vs supply/temperature derate (fresh silicon):");
-    println!("{:>10} {:>14} {:>14}", "VT droop", "baseline TER", "READ TER");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "VT droop", "baseline TER", "READ TER"
+    );
     let mut base_limit = 0.0f64;
     let mut read_limit = 0.0f64;
-    for step in 0..=12 {
-        let droop = step as f64 * 0.01;
-        let condition = OperatingCondition::vt(droop);
-        let base = estimator.analyze(&problem, &condition)?.ter;
-        let read = estimator
-            .analyze_with_schedule(&problem, &schedule, &condition)?
-            .ter;
+    // Row order is (layer-major,) source-major, condition-minor: rows
+    // alternate [baseline@c0..cN, read@c0..cN].
+    let n = conditions.len();
+    for (i, &droop) in droops.iter().enumerate() {
+        let base = report.rows[i].ter;
+        let opt = report.rows[n + i].ter;
         if base <= budget {
             base_limit = droop;
         }
-        if read <= budget {
+        if opt <= budget {
             read_limit = droop;
         }
-        println!("{:>9.0}% {:>14.3e} {:>14.3e}", droop * 100.0, base, read);
+        println!("{:>9.0}% {:>14.3e} {:>14.3e}", droop * 100.0, base, opt);
     }
     println!();
     println!(

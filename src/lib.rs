@@ -1,9 +1,13 @@
 //! # read-repro — READ: Reliability-Enhanced Accelerator Dataflow Optimization
 //!
-//! Workspace facade crate: re-exports the four substrate crates of the READ
+//! Workspace facade crate: re-exports the substrate crates of the READ
 //! reproduction so that examples and downstream users can depend on a single
 //! crate.
 //!
+//! * [`read_pipeline`] — **start here**: the unified [`ReadPipeline`]
+//!   builder that composes the whole flow from trait-based stages
+//!   (`ScheduleSource` → simulator → `ErrorModel` → `Evaluator`) with
+//!   schedule caching and parallel per-layer execution.
 //! * [`read_core`] — the READ optimizer (input-channel reordering,
 //!   output-channel clustering, schedules, LUT hardware model).
 //! * [`accel_sim`] — cycle-level systolic-array simulator (MAC datapath,
@@ -15,45 +19,80 @@
 //!
 //! # Quickstart
 //!
+//! Build a pipeline once, then run the paper's experiments against it:
+//!
 //! ```
 //! use read_repro::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A small weight matrix: 32 input channels x 8 output channels.
-//! let weights = Matrix::from_fn(32, 8, |r, c| ((r * 37 + c * 11) % 19) as i8 - 9);
+//! // The paper's comparison set (baseline vs reorder vs
+//! // cluster-then-reorder) on the 16x4 output-stationary array, evaluated
+//! // at the worst corner, with parallel per-layer execution.
+//! let pipeline = ReadPipeline::builder()
+//!     .source(Algorithm::Baseline)
+//!     .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+//!     .condition(OperatingCondition::aging_vt(10.0, 0.05))
+//!     .parallel()
+//!     .build()?;
 //!
-//! // Optimize the computation order with the READ cluster-then-reorder flow.
-//! let optimizer = ReadOptimizer::new(ReadConfig {
-//!     criterion: SortCriterion::SignFirst,
-//!     clustering: ClusteringMode::ClusterThenReorder,
-//!     ..ReadConfig::default()
-//! });
-//! let schedule = optimizer.optimize(&weights, 4)?;
-//! assert_eq!(schedule.clusters().len(), 2);
+//! // One small synthetic VGG-16 layer.
+//! let config = WorkloadConfig { pixels_per_layer: 1, ..Default::default() };
+//! let workloads: Vec<_> = vgg16_workloads(&config).into_iter().take(1).collect();
+//!
+//! // Layer-wise TER (the Fig. 8 experiment shape).
+//! let report = pipeline.run_ter("vgg16", &workloads)?;
+//! let (geo, _max) = report.ter_reduction("cluster-then-reorder[sign_first]", "baseline");
+//! assert!(geo > 1.0, "READ reduces the timing error rate");
+//!
+//! // Changing the order never changes the layer's outputs.
+//! let base = pipeline.layer_outputs(&workloads[0], &Algorithm::Baseline)?;
+//! let read = pipeline.layer_outputs(
+//!     &workloads[0],
+//!     &Algorithm::ClusterThenReorder(SortCriterion::SignFirst),
+//! )?;
+//! assert_eq!(base, read);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The lower-level crates remain fully usable for custom flows; the
+//! [`prelude`] exports the common items from all of them.
 
 #![forbid(unsafe_code)]
 
 pub use accel_sim;
 pub use qnn;
 pub use read_core;
+pub use read_pipeline;
 pub use timing;
+
+#[doc(inline)]
+pub use read_pipeline::ReadPipeline;
 
 /// Commonly used items from all substrate crates.
 pub mod prelude {
     pub use accel_sim::{
-        im2col, weights_to_matrix, ArrayConfig, ComputeSchedule, ConvShape, Dataflow, GemmProblem,
-        MacUnit, Matrix, PsumTraceRecorder, SignFlipStats, SimOptions,
+        im2col, weights_to_matrix, ArrayConfig, ColumnGroup, ComputeSchedule, ConvShape,
+        CycleObserver, Dataflow, GemmProblem, MacUnit, Matrix, NullObserver, PsumTraceRecorder,
+        SignFlipStats, SimOptions, SimResult,
     };
     pub use qnn::{
-        Dataset, FaultConfig, Model, QuantParams, SyntheticDatasetBuilder, Tensor,
+        fault::{evaluate, evaluate_topk},
+        Accuracy, Dataset, FaultConfig, FlipModel, Model, QuantParams, SyntheticDatasetBuilder,
+        Tensor,
     };
     pub use read_core::{
-        ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
+        ClusterSchedule, ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
+    };
+    pub use read_pipeline::{resnet18_workloads, resnet34_workloads, vgg16_workloads};
+    pub use read_pipeline::{AccuracyPoint, AccuracyReport};
+    pub use read_pipeline::{
+        Algorithm, Baseline, CacheStats, DelayErrorModel, ErrorModel, Evaluator, ExecMode,
+        LayerReport, LayerWorkload, NetworkReport, PipelineError, ReadPipeline,
+        ReadPipelineBuilder, ScheduleSource, TopKEvaluator, WorkloadConfig,
     };
     pub use timing::{
-        ber_from_ter, DelayModel, DynamicTimingAnalyzer, OperatingCondition, TerEstimator,
+        ber_from_ter, paper_conditions, DelayModel, DepthHistogram, DynamicTimingAnalyzer,
+        OperatingCondition, TerEstimator,
     };
 }

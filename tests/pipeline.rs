@@ -1,96 +1,99 @@
 //! Cross-crate integration tests: the full READ pipeline from a network
 //! layer, through the optimizer, onto the simulated array, into the timing
-//! model and the error-injection accuracy evaluation.
+//! model and the error-injection accuracy evaluation — all driven through
+//! the unified `ReadPipeline` API.
 
-use accel_sim::{ArrayConfig, Dataflow, GemmProblem, Matrix, NullObserver, SimOptions};
 use qnn::init::{synthetic_activations, WeightInit};
 use qnn::models;
-use read_core::{ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{ber_from_ter, paper_conditions, OperatingCondition, TerEstimator};
+use read_repro::prelude::*;
 
-fn synthetic_layer(reduction: usize, channels: usize, pixels: usize, seed: u64) -> GemmProblem {
+fn synthetic_layer(reduction: usize, channels: usize, pixels: usize, seed: u64) -> LayerWorkload {
     let mut init = WeightInit::new(seed);
     let weights = Matrix::from_fn(reduction, channels, |_, _| init.weight(reduction));
     let acts = synthetic_activations(reduction * pixels, 0.45, seed + 1);
     let activations = Matrix::from_fn(reduction, pixels, |r, p| acts[r * pixels + p]);
-    GemmProblem::new(weights, activations).expect("consistent matrices")
+    LayerWorkload::from_matrices("synthetic", weights, activations).expect("consistent matrices")
 }
 
-fn read_schedule(problem: &GemmProblem, cols: usize) -> read_core::LayerSchedule {
-    ReadOptimizer::new(ReadConfig {
-        criterion: SortCriterion::SignFirst,
-        clustering: ClusteringMode::ClusterThenReorder,
-        ..ReadConfig::default()
-    })
-    .optimize(problem.weights(), cols)
-    .expect("optimizable")
+fn read_algorithm() -> Algorithm {
+    Algorithm::ClusterThenReorder(SortCriterion::SignFirst)
+}
+
+fn paper_pipeline() -> ReadPipeline {
+    ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(read_algorithm())
+        .conditions(paper_conditions())
+        .build()
+        .expect("valid pipeline")
 }
 
 #[test]
 fn read_schedule_preserves_layer_outputs_bit_exactly() {
-    let problem = synthetic_layer(288, 32, 6, 1);
-    let array = ArrayConfig::paper_default();
-    let schedule = read_schedule(&problem, array.cols());
-    let mut obs = NullObserver;
-    let baseline = problem
-        .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut obs)
+    let workload = synthetic_layer(288, 32, 6, 1);
+    let pipeline = paper_pipeline();
+    let baseline = pipeline
+        .layer_outputs(&workload, &Algorithm::Baseline)
         .unwrap();
-    let optimized = problem
-        .simulate_with_schedule(
-            &array,
-            Dataflow::OutputStationary,
-            &schedule.to_compute_schedule(),
-            &SimOptions::exhaustive(),
-            &mut obs,
-        )
+    let optimized = pipeline
+        .layer_outputs(&workload, &read_algorithm())
         .unwrap();
-    assert_eq!(baseline.outputs, optimized.outputs);
-    assert_eq!(baseline.outputs, problem.reference_output().unwrap());
+    assert_eq!(baseline, optimized);
+    assert_eq!(baseline, workload.problem().reference_output().unwrap());
 }
 
 #[test]
 fn read_reduces_ter_under_stress_and_never_hurts_at_nominal() {
-    let problem = synthetic_layer(576, 16, 4, 3);
-    let array = ArrayConfig::paper_default();
-    let schedule = read_schedule(&problem, array.cols()).to_compute_schedule();
-    let estimator = TerEstimator::new().with_array(array);
+    let workload = synthetic_layer(576, 16, 4, 3);
+    let pipeline = paper_pipeline();
 
     let stressed = OperatingCondition::aging_vt(10.0, 0.05);
-    let base = estimator.analyze(&problem, &stressed).unwrap();
-    let read = estimator
-        .analyze_with_schedule(&problem, &schedule, &stressed)
+    let base = pipeline
+        .layer_ter(&workload, &Algorithm::Baseline, &stressed)
         .unwrap();
-    assert!(base.ter > 0.0);
+    let read = pipeline
+        .layer_ter(&workload, &read_algorithm(), &stressed)
+        .unwrap();
+    assert!(base > 0.0);
     assert!(
-        read.ter < base.ter / 2.0,
-        "READ should reduce TER by well over 2x, got {} vs {}",
-        read.ter,
-        base.ter
+        read < base / 2.0,
+        "READ should reduce TER by well over 2x, got {read} vs {base}"
     );
-    assert!(read.sign_flip_rate < base.sign_flip_rate);
+
+    // The sign-flip rate (schedule property) drops too.
+    let base_hist = pipeline
+        .layer_histogram(&workload, &Algorithm::Baseline)
+        .unwrap();
+    let read_hist = pipeline
+        .layer_histogram(&workload, &read_algorithm())
+        .unwrap();
+    assert!(read_hist.sign_flip_rate() < base_hist.sign_flip_rate());
 
     let ideal = OperatingCondition::ideal();
-    let base_ideal = estimator.analyze(&problem, &ideal).unwrap();
-    let read_ideal = estimator
-        .analyze_with_schedule(&problem, &schedule, &ideal)
+    let base_ideal = pipeline
+        .layer_ter(&workload, &Algorithm::Baseline, &ideal)
         .unwrap();
-    assert!(read_ideal.ter <= base_ideal.ter * 1.01 + 1e-12);
+    let read_ideal = pipeline
+        .layer_ter(&workload, &read_algorithm(), &ideal)
+        .unwrap();
+    assert!(read_ideal <= base_ideal * 1.01 + 1e-12);
 }
 
 #[test]
 fn ter_ordering_follows_pvta_stress_for_both_schedules() {
-    let problem = synthetic_layer(288, 8, 3, 9);
-    let array = ArrayConfig::paper_default();
-    let schedule = read_schedule(&problem, array.cols()).to_compute_schedule();
-    let estimator = TerEstimator::new().with_array(array);
-    for schedule in [None, Some(&schedule)] {
-        let ters: Vec<f64> = paper_conditions()
+    let workload = synthetic_layer(288, 8, 3, 9);
+    let pipeline = paper_pipeline();
+    let report = pipeline
+        .run_ter("pvta-ordering", std::slice::from_ref(&workload))
+        .unwrap();
+    for algorithm in ["baseline", &read_algorithm().name()] {
+        let ters: Vec<f64> = report
+            .rows
             .iter()
-            .map(|c| match schedule {
-                None => estimator.analyze(&problem, c).unwrap().ter,
-                Some(s) => estimator.analyze_with_schedule(&problem, s, c).unwrap().ter,
-            })
+            .filter(|r| r.algorithm == algorithm)
+            .map(|r| r.ter)
             .collect();
+        assert_eq!(ters.len(), 6, "one row per paper corner");
         // Ideal is the most benign corner; the combined aging + 5% corner is
         // the worst.
         assert!(ters[0] <= ters.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-18);
@@ -116,31 +119,44 @@ fn vgg_layer_matrices_flow_through_the_whole_stack() {
             assert_eq!(lut.lookup(ci, pos), Some(row));
         }
     }
-    // The schedule is valid for the layer's GEMM dimensions.
-    assert!(schedule
-        .to_compute_schedule()
-        .validate(weights.rows(), weights.cols())
-        .is_ok());
+    // The same optimizer used as a pipeline schedule source produces exactly
+    // the schedule the LUT describes.
+    let optimizer = ReadOptimizer::new(ReadConfig::default());
+    let from_source = ScheduleSource::schedule(&optimizer, &weights, 4).unwrap();
+    assert_eq!(from_source, schedule.to_compute_schedule());
+    assert!(from_source.validate(weights.rows(), weights.cols()).is_ok());
 }
 
 #[test]
 fn ber_formula_connects_layer_ter_to_activation_error_rate() {
-    let problem = synthetic_layer(1152, 8, 2, 21);
-    let estimator = TerEstimator::new();
-    let report = estimator
-        .analyze(&problem, &OperatingCondition::aging_vt(10.0, 0.05))
+    let workload = synthetic_layer(1152, 8, 2, 21);
+    let pipeline = paper_pipeline();
+    let report = pipeline
+        .run_ter("ber-formula", std::slice::from_ref(&workload))
         .unwrap();
-    let ber = ber_from_ter(report.ter, 1152);
-    assert!(ber >= report.ter);
-    assert!(ber <= 1.0);
-    assert!((report.ber(1152) - ber).abs() < 1e-15);
+    let row = report
+        .rows
+        .iter()
+        .find(|r| r.algorithm == "baseline" && r.condition == "Aging&VT-5%")
+        .expect("worst-corner baseline row");
+    assert!(row.ber >= row.ter);
+    assert!(row.ber <= 1.0);
+    assert!((ber_from_ter(row.ter, row.macs_per_output) - row.ber).abs() < 1e-15);
+    assert_eq!(row.macs_per_output, 1152);
 }
 
 #[test]
 fn baseline_layer_schedule_matches_compute_schedule_baseline() {
     let schedule = LayerSchedule::baseline(32, 12, 4);
     let compute = schedule.to_compute_schedule();
-    let direct = accel_sim::ComputeSchedule::baseline(32, 12, 4);
-    assert_eq!(compute.output_channel_order(), direct.output_channel_order());
+    let direct = ComputeSchedule::baseline(32, 12, 4);
+    assert_eq!(
+        compute.output_channel_order(),
+        direct.output_channel_order()
+    );
     assert_eq!(compute.groups().len(), direct.groups().len());
+    // The pipeline's Baseline source produces the same schedule.
+    let weights = Matrix::from_fn(32, 12, |r, c| ((r * 3 + c) % 7) as i8 - 3);
+    let from_source = ScheduleSource::schedule(&Baseline, &weights, 4).unwrap();
+    assert_eq!(from_source, direct);
 }

@@ -2,167 +2,232 @@
 //! on: order-independence of the arithmetic, optimality of the reorder for a
 //! single output channel, balance of the clustering, monotonicity of the
 //! error models, and round-tripping of the hardware LUT.
+//!
+//! `proptest` is not available offline, so this uses a small deterministic
+//! case generator over the workspace's seeded RNG (the `rand` shim) —
+//! every case set is fixed across runs, which also makes failures
+//! trivially reproducible.
 
-use proptest::prelude::*;
-
-use accel_sim::{carry_chain_length, ArrayConfig, Dataflow, GemmProblem, Matrix, MacUnit, NullObserver, SimOptions, ACC_BITS};
+use accel_sim::{
+    carry_chain_length, ArrayConfig, Dataflow, GemmProblem, MacUnit, Matrix, NullObserver,
+    SimOptions, ACC_BITS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use read_core::{
     count_sign_flips, sign_flips_for_order, sort_input_channels, AddressLut, BalancedKMeans,
     ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer, SortCriterion,
 };
 use timing::{ber_from_ter, ter_for_target_ber, DelayModel, OperatingCondition};
 
-/// Strategy: a small weight matrix with the given maximum dimensions,
-/// returned as (rows, cols, data).
-fn weight_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix<i8>> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(any::<i8>(), r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized correctly"))
-    })
+/// Deterministic case generator: convenience draws over the shared shim RNG.
+struct Gen(StdRng);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(StdRng::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn i8(&mut self) -> i8 {
+        self.next_u64() as i8
+    }
+
+    fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn weight_matrix(&mut self, max_rows: usize, max_cols: usize) -> Matrix<i8> {
+        let rows = self.range(1, max_rows + 1);
+        let cols = self.range(1, max_cols + 1);
+        Matrix::from_fn(rows, cols, |_, _| self.i8())
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The MAC unit's 24-bit accumulation matches wide integer arithmetic as
-    /// long as the true sum stays inside the 24-bit range.
-    #[test]
-    fn mac_accumulation_matches_wide_arithmetic(
-        pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 1..64)
-    ) {
-        let wide: i64 = pairs.iter().map(|(w, a)| i64::from(*w) * i64::from(*a)).sum();
-        prop_assume!(wide.abs() < (1 << 23));
+/// The MAC unit's 24-bit accumulation matches wide integer arithmetic as
+/// long as the true sum stays inside the 24-bit range.
+#[test]
+fn mac_accumulation_matches_wide_arithmetic() {
+    let mut gen = Gen::new(0xA11CE);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = gen.range(1, 64);
+        let pairs: Vec<(i8, i8)> = (0..n).map(|_| (gen.i8(), gen.i8())).collect();
+        let wide: i64 = pairs
+            .iter()
+            .map(|(w, a)| i64::from(*w) * i64::from(*a))
+            .sum();
+        if wide.abs() >= (1 << 23) {
+            continue; // outside the accumulator's representable range
+        }
+        checked += 1;
         let mut mac = MacUnit::new();
         for (w, a) in &pairs {
             mac.mac(*w, *a);
         }
-        prop_assert_eq!(i64::from(mac.psum()), wide);
+        assert_eq!(i64::from(mac.psum()), wide);
     }
+}
 
-    /// The carry-chain length never exceeds the accumulator width.
-    #[test]
-    fn carry_chain_is_bounded(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert!(carry_chain_length(a, b) <= ACC_BITS);
+/// The carry-chain length never exceeds the accumulator width.
+#[test]
+fn carry_chain_is_bounded() {
+    let mut gen = Gen::new(0xCA44);
+    for _ in 0..4096 {
+        let a = gen.next_u64() as u32;
+        let b = gen.next_u64() as u32;
+        assert!(carry_chain_length(a, b) <= ACC_BITS);
     }
+}
 
-    /// Any reordering produced by any criterion is a permutation, and the
-    /// simulated outputs are bit-identical to the baseline (compute
-    /// correctness of Section IV-A).
-    #[test]
-    fn reordering_preserves_gemm_results(
-        weights in weight_matrix(24, 8),
-        seed in 0u64..1000,
-    ) {
-        let acts_rows = weights.rows();
-        let mut next = seed;
-        let activations = Matrix::from_fn(acts_rows, 3, |_, _| {
-            next = next.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((next >> 33) % 100) as i8
-        });
-        let problem = GemmProblem::new(weights.clone(), activations).unwrap();
-        let schedule = ReadOptimizer::new(ReadConfig {
+/// Any reordering produced by any criterion is a permutation, and the
+/// simulated outputs are bit-identical to the baseline (compute
+/// correctness of Section IV-A).
+#[test]
+fn reordering_preserves_gemm_results() {
+    let pipeline = read_pipeline::ReadPipeline::builder()
+        .array(ArrayConfig::new(4, 3))
+        .optimizer(ReadConfig {
             criterion: SortCriterion::SignFirst,
             clustering: ClusteringMode::ClusterThenReorder,
             ..ReadConfig::default()
         })
-        .optimize(&weights, 3)
+        .condition(OperatingCondition::ideal())
+        .build()
         .unwrap();
-        let mut obs = NullObserver;
-        let array = ArrayConfig::new(4, 3);
-        let reference = problem.reference_output().unwrap();
-        let optimized = problem
-            .simulate_with_schedule(
-                &array,
-                Dataflow::OutputStationary,
-                &schedule.to_compute_schedule(),
-                &SimOptions::exhaustive(),
-                &mut obs,
-            )
-            .unwrap();
-        prop_assert_eq!(optimized.outputs, reference);
+    let optimizer = ReadOptimizer::new(ReadConfig {
+        criterion: SortCriterion::SignFirst,
+        clustering: ClusteringMode::ClusterThenReorder,
+        ..ReadConfig::default()
+    });
+    let mut gen = Gen::new(0x6E44);
+    for case in 0..CASES {
+        let weights = gen.weight_matrix(24, 8);
+        let activations = Matrix::from_fn(weights.rows(), 3, |_, _| (gen.range(0, 100)) as i8);
+        let workload = read_pipeline::LayerWorkload::from_matrices(
+            &format!("case{case}"),
+            weights,
+            activations,
+        )
+        .unwrap();
+        let reference = workload.problem().reference_output().unwrap();
+        let optimized = pipeline.layer_outputs(&workload, &optimizer).unwrap();
+        assert_eq!(optimized, reference);
     }
+}
 
-    /// Both dataflows compute the same result for any operands.
-    #[test]
-    fn dataflows_agree(
-        weights in weight_matrix(16, 6),
-    ) {
+/// Both dataflows compute the same result for any operands.
+#[test]
+fn dataflows_agree() {
+    let mut gen = Gen::new(0xDA7A);
+    for _ in 0..CASES {
+        let weights = gen.weight_matrix(16, 6);
         let activations = Matrix::from_fn(weights.rows(), 4, |r, c| ((r * 7 + c * 3) % 100) as i8);
         let problem = GemmProblem::new(weights, activations).unwrap();
         let array = ArrayConfig::new(4, 2);
         let mut obs = NullObserver;
         let os = problem
-            .simulate(&array, Dataflow::OutputStationary, &SimOptions::exhaustive(), &mut obs)
+            .simulate(
+                &array,
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut obs,
+            )
             .unwrap();
         let ws = problem
-            .simulate(&array, Dataflow::WeightStationary, &SimOptions::exhaustive(), &mut obs)
+            .simulate(
+                &array,
+                Dataflow::WeightStationary,
+                &SimOptions::exhaustive(),
+                &mut obs,
+            )
             .unwrap();
-        prop_assert_eq!(os.outputs, ws.outputs);
+        assert_eq!(os.outputs, ws.outputs);
     }
+}
 
-    /// For a single output channel and non-negative activations the
-    /// sign_first order achieves the provable minimum number of sign flips
-    /// (0 for a non-negative result, 1 for a negative result) and never
-    /// exceeds the natural order.
-    #[test]
-    fn sign_first_is_optimal_for_single_channel(
-        column in proptest::collection::vec(any::<i8>(), 1..64),
-    ) {
+/// For a single output channel and non-negative activations the sign_first
+/// order achieves the provable minimum number of sign flips (0 for a
+/// non-negative result, 1 for a negative result) and never exceeds the
+/// natural order.
+#[test]
+fn sign_first_is_optimal_for_single_channel() {
+    let mut gen = Gen::new(0x516F);
+    for _ in 0..CASES {
+        let len = gen.range(1, 64);
+        let column: Vec<i8> = (0..len).map(|_| gen.i8()).collect();
         let weights = Matrix::from_vec(column.len(), 1, column.clone()).unwrap();
         let order = sort_input_channels(&weights, &[0], SortCriterion::SignFirst).unwrap();
         let flips = sign_flips_for_order(&weights, &[0], &order, None).unwrap();
         let total: i64 = column.iter().map(|&w| i64::from(w)).sum();
-        prop_assert_eq!(flips, u64::from(total < 0));
+        assert_eq!(flips, u64::from(total < 0));
         let natural: Vec<usize> = (0..column.len()).collect();
         let baseline = sign_flips_for_order(&weights, &[0], &natural, None).unwrap();
-        prop_assert!(flips <= baseline);
+        assert!(flips <= baseline);
     }
+}
 
-    /// Accumulating the products in any order leaves the final sum
-    /// unchanged, and the sign-flip count is never negative in either order.
-    #[test]
-    fn sign_flip_counter_is_order_sum_invariant(
-        addends in proptest::collection::vec(-1000i64..1000, 0..40),
-    ) {
+/// Accumulating the products in any order leaves the final sum unchanged,
+/// and the sign-flip counter accepts both orders.
+#[test]
+fn sign_flip_counter_is_order_sum_invariant() {
+    let mut gen = Gen::new(0x0DD5);
+    for _ in 0..CASES {
+        let len = gen.range(0, 40);
+        let addends: Vec<i64> = (0..len).map(|_| gen.range(0, 2000) as i64 - 1000).collect();
         let forward_sum: i64 = addends.iter().sum();
         let mut reversed = addends.clone();
         reversed.reverse();
         let reversed_sum: i64 = reversed.iter().sum();
-        prop_assert_eq!(forward_sum, reversed_sum);
+        assert_eq!(forward_sum, reversed_sum);
         let _ = count_sign_flips(addends.iter().copied());
-        let _ = count_sign_flips(reversed.into_iter());
+        let _ = count_sign_flips(reversed);
     }
+}
 
-    /// Balanced clustering always partitions the channel set into disjoint
-    /// clusters no larger than the requested size.
-    #[test]
-    fn clustering_is_a_balanced_partition(
-        weights in weight_matrix(16, 24),
-        size in 1usize..6,
-    ) {
+/// Balanced clustering always partitions the channel set into disjoint
+/// clusters no larger than the requested size.
+#[test]
+fn clustering_is_a_balanced_partition() {
+    let mut gen = Gen::new(0xC105);
+    for _ in 0..CASES {
+        let weights = gen.weight_matrix(16, 24);
+        let size = gen.range(1, 6);
         let result = BalancedKMeans::new(size, DistanceMetric::SignManhattan)
             .run(&weights)
             .unwrap();
         let mut seen = vec![false; weights.cols()];
         for cluster in &result.clusters {
-            prop_assert!(cluster.len() <= size);
+            assert!(cluster.len() <= size);
             for &c in cluster {
-                prop_assert!(!seen[c]);
+                assert!(!seen[c]);
                 seen[c] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    /// With one output channel per pass (the provable case of Section IV-A)
-    /// the READ optimizer never increases the sign-flip objective relative
-    /// to the baseline schedule; with wider groups the schedule must still
-    /// be valid and cover every channel.
-    #[test]
-    fn optimizer_never_increases_sign_flips(
-        weights in weight_matrix(32, 12),
-        cols in 1usize..5,
-    ) {
+/// With one output channel per pass (the provable case of Section IV-A) the
+/// READ optimizer never increases the sign-flip objective relative to the
+/// baseline schedule; with wider groups the schedule must still be valid and
+/// cover every channel.
+#[test]
+fn optimizer_never_increases_sign_flips() {
+    let mut gen = Gen::new(0x0071);
+    for _ in 0..CASES {
+        let weights = gen.weight_matrix(32, 12);
+        let cols = gen.range(1, 5);
         let baseline = read_core::LayerSchedule::baseline(weights.rows(), weights.cols(), cols);
         let optimized = ReadOptimizer::new(ReadConfig {
             clustering: ClusteringMode::Direct,
@@ -170,86 +235,95 @@ proptest! {
         })
         .optimize(&weights, cols)
         .unwrap();
-        prop_assert!(optimized
+        assert!(optimized
             .to_compute_schedule()
             .validate(weights.rows(), weights.cols())
             .is_ok());
         if cols == 1 {
             let base = baseline.total_sign_flips(&weights, None).unwrap();
             let opt = optimized.total_sign_flips(&weights, None).unwrap();
-            prop_assert!(opt <= base);
+            assert!(opt <= base);
         }
     }
+}
 
-    /// Eq. (1) is monotone in both arguments and inverts cleanly.
-    #[test]
-    fn ber_is_monotone_and_invertible(
-        ter in 1e-9f64..1e-2,
-        n in 1usize..10_000,
-    ) {
+/// Eq. (1) is monotone in both arguments and inverts cleanly.
+#[test]
+fn ber_is_monotone_and_invertible() {
+    let mut gen = Gen::new(0xBE12);
+    for _ in 0..CASES {
+        // Log-uniform TER in [1e-9, 1e-2).
+        let ter = 10f64.powf(gen.f64_range(-9.0, -2.0));
+        let n = gen.range(1, 10_000);
         let ber = ber_from_ter(ter, n);
-        prop_assert!(ber >= ter * 0.99);
-        prop_assert!(ber <= 1.0);
-        prop_assert!(ber_from_ter(ter * 2.0, n) >= ber);
-        prop_assert!(ber_from_ter(ter, n + 1) >= ber);
+        assert!(ber >= ter * 0.99);
+        assert!(ber <= 1.0);
+        assert!(ber_from_ter(ter * 2.0, n) >= ber);
+        assert!(ber_from_ter(ter, n + 1) >= ber);
         // The inversion loses precision once the BER saturates toward 1, so
         // only check the round trip away from saturation.
         if ber < 0.99 {
             let back = ter_for_target_ber(ber, n);
-            prop_assert!((back - ter).abs() <= ter * 1e-6 + 1e-15);
+            assert!((back - ter).abs() <= ter * 1e-6 + 1e-15);
         }
     }
+}
 
-    /// The timing model's error probability is monotone in triggered depth
-    /// and in PVTA stress, and is a probability.
-    #[test]
-    fn error_probability_is_a_monotone_probability(
-        depth in 1u32..=24,
-        vt in 0.0f64..0.08,
-    ) {
+/// The timing model's error probability is monotone in triggered depth and
+/// in PVTA stress, and is a probability.
+#[test]
+fn error_probability_is_a_monotone_probability() {
+    let mut gen = Gen::new(0xE4A0);
+    for _ in 0..CASES {
+        let depth = gen.range(1, 25) as u32;
+        let vt = gen.f64_range(0.0, 0.08);
         let delay = DelayModel::nangate15_like();
         let condition = OperatingCondition::vt(vt);
         let p = delay.error_probability_for_depth(depth, &condition, 0.0);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
         if depth < 24 {
-            prop_assert!(delay.error_probability_for_depth(depth + 1, &condition, 0.0) >= p);
+            assert!(delay.error_probability_for_depth(depth + 1, &condition, 0.0) >= p);
         }
         let harsher = OperatingCondition::vt(vt + 0.01);
-        prop_assert!(delay.error_probability_for_depth(depth, &harsher, 0.0) >= p);
+        assert!(delay.error_probability_for_depth(depth, &harsher, 0.0) >= p);
     }
+}
 
-    /// The address LUT reproduces every cluster order exactly.
-    #[test]
-    fn lut_round_trips_orders(
-        weights in weight_matrix(24, 16),
-        cols in 1usize..5,
-    ) {
+/// The address LUT reproduces every cluster order exactly.
+#[test]
+fn lut_round_trips_orders() {
+    let mut gen = Gen::new(0x1007);
+    for _ in 0..CASES {
+        let weights = gen.weight_matrix(24, 16);
+        let cols = gen.range(1, 5);
         let schedule = ReadOptimizer::new(ReadConfig::default())
             .optimize(&weights, cols)
             .unwrap();
         let lut = AddressLut::from_orders(
-            schedule.clusters().iter().map(|c| c.order.clone()).collect(),
+            schedule
+                .clusters()
+                .iter()
+                .map(|c| c.order.clone())
+                .collect(),
         )
         .unwrap();
         for (ci, cluster) in schedule.clusters().iter().enumerate() {
             let got: Vec<usize> = (0..cluster.order.len())
                 .map(|i| lut.lookup(ci, i).unwrap())
                 .collect();
-            prop_assert_eq!(&got, &cluster.order);
+            assert_eq!(&got, &cluster.order);
         }
-        prop_assert!(lut.size_bytes() > 0);
+        assert!(lut.size_bytes() > 0);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Simulated sign-flip statistics match the analytic per-column count
-    /// when the activations are all ones (the optimizer's surrogate).
-    #[test]
-    fn simulator_and_analytic_sign_flips_agree_on_unit_activations(
-        weights in weight_matrix(20, 6),
-    ) {
+/// Simulated sign-flip statistics match the analytic per-column count when
+/// the activations are all ones (the optimizer's surrogate).
+#[test]
+fn simulator_and_analytic_sign_flips_agree_on_unit_activations() {
+    let mut gen = Gen::new(0x51F1);
+    for _ in 0..32 {
+        let weights = gen.weight_matrix(20, 6);
         let activations = Matrix::from_fn(weights.rows(), 1, |_, _| 1i8);
         let problem = GemmProblem::new(weights.clone(), activations).unwrap();
         let mut stats = accel_sim::SignFlipStats::new();
@@ -264,6 +338,6 @@ proptest! {
             .unwrap();
         let natural: Vec<usize> = (0..weights.rows()).collect();
         let analytic = sign_flips_for_order(&weights, &all_cols, &natural, None).unwrap();
-        prop_assert_eq!(stats.sign_flips, analytic);
+        assert_eq!(stats.sign_flips, analytic);
     }
 }
