@@ -5,9 +5,12 @@
 //! 37.9x for cluster-then-reorder).
 
 use accel_sim::ArrayConfig;
-use read_bench::experiments::{layerwise_ter, ter_reduction, Algorithm};
+use read_bench::experiments::{
+    figure_pipeline_with_model, layerwise_ter, layerwise_ter_with, ter_reduction, Algorithm,
+};
 use read_bench::report;
 use read_bench::workloads::{resnet18_workloads, vgg16_workloads, WorkloadConfig};
+use read_pipeline::MonteCarloErrorModel;
 use timing::{DelayModel, OperatingCondition};
 
 fn main() {
@@ -77,4 +80,34 @@ fn main() {
             "(paper averages across both networks: reorder 4.9x, cluster-then-reorder 7.8x, max 37.9x)"
         );
     }
+
+    // Monte-Carlo cross-check: the sampled TER (mean ± stddev over seeded
+    // trials) brackets the analytic estimate on a representative layer —
+    // the same schedule/simulation path, only the error-model stage swaps.
+    let workloads: Vec<_> = vgg16_workloads(&config).into_iter().take(3).collect();
+    let analytic = layerwise_ter(&workloads, &[algorithms[0]], &array, &delay, &condition);
+    let mc_pipeline = figure_pipeline_with_model(
+        &[algorithms[0]],
+        &array,
+        MonteCarloErrorModel::with_delay(delay, 32, 0xF168),
+        &[condition],
+    );
+    let sampled = layerwise_ter_with(&mc_pipeline, &workloads);
+    report::section("Monte-Carlo validation of the analytic TER (baseline schedule, 32 trials)");
+    let rows: Vec<Vec<String>> = workloads
+        .iter()
+        .zip(analytic.iter().zip(&sampled))
+        .map(|(w, (a, s))| {
+            vec![
+                w.name.clone(),
+                report::sci(a.ter),
+                report::sci(s.ter),
+                report::sci(s.ter_stddev.unwrap_or(0.0)),
+            ]
+        })
+        .collect();
+    report::table(
+        &["layer", "analytic TER", "MC mean TER", "MC stddev"],
+        &rows,
+    );
 }

@@ -8,14 +8,14 @@
 use accel_sim::ArrayConfig;
 use qnn::{Dataset, Model};
 pub use read_pipeline::Algorithm;
-use read_pipeline::{DelayErrorModel, ReadPipeline, TopKEvaluator};
+use read_pipeline::{DelayErrorModel, ErrorModel, ReadPipeline, TopKEvaluator};
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
 use crate::workloads::LayerWorkload;
 
 /// Builds the standard figure pipeline: the given algorithms as schedule
-/// sources, the given delay model, the given corners, parallel per-layer
-/// execution.
+/// sources, the analytic error model over the given delay model, the given
+/// corners, parallel per-layer execution.
 ///
 /// # Panics
 ///
@@ -28,9 +28,26 @@ pub fn figure_pipeline(
     delay: &DelayModel,
     conditions: &[OperatingCondition],
 ) -> ReadPipeline {
+    figure_pipeline_with_model(algorithms, array, DelayErrorModel::new(*delay), conditions)
+}
+
+/// Like [`figure_pipeline`], but with an explicit [`ErrorModel`] stage —
+/// the seam the Monte-Carlo and per-PE-variation figure variants plug into.
+///
+/// # Panics
+///
+/// Panics if the combination is invalid (e.g. duplicate algorithm names),
+/// which indicates a bug in the bench harness rather than a recoverable
+/// condition.
+pub fn figure_pipeline_with_model(
+    algorithms: &[Algorithm],
+    array: &ArrayConfig,
+    error_model: impl ErrorModel + 'static,
+    conditions: &[OperatingCondition],
+) -> ReadPipeline {
     let mut builder = ReadPipeline::builder()
         .array(*array)
-        .error_model(DelayErrorModel::new(*delay))
+        .error_model(error_model)
         .conditions(conditions.iter().copied())
         .parallel();
     for &algorithm in algorithms {
@@ -73,6 +90,9 @@ pub struct LayerTerRow {
     pub algorithm: String,
     /// Timing error rate at the evaluated corner.
     pub ter: f64,
+    /// Spread of the TER estimate (Monte-Carlo trial stddev or PE-to-PE
+    /// spread), when the error model produces one.
+    pub ter_stddev: Option<f64>,
     /// Sign-flip rate of the schedule.
     pub sign_flip_rate: f64,
     /// MAC operations per output activation.
@@ -91,6 +111,15 @@ pub fn layerwise_ter(
     condition: &OperatingCondition,
 ) -> Vec<LayerTerRow> {
     let pipeline = figure_pipeline(algorithms, array, delay, &[*condition]);
+    layerwise_ter_with(&pipeline, workloads)
+}
+
+/// Runs the layer-wise TER experiment on an already-built pipeline (any
+/// error-model stage: analytic, Monte-Carlo, per-PE variation).
+pub fn layerwise_ter_with(
+    pipeline: &ReadPipeline,
+    workloads: &[LayerWorkload],
+) -> Vec<LayerTerRow> {
     pipeline
         .run_ter("layerwise-ter", workloads)
         .expect("generated workloads always simulate")
@@ -100,6 +129,7 @@ pub fn layerwise_ter(
             layer: row.layer,
             algorithm: row.algorithm,
             ter: row.ter,
+            ter_stddev: row.ter_stddev,
             sign_flip_rate: row.sign_flip_rate,
             macs_per_output: row.macs_per_output,
             ber: row.ber,
@@ -259,5 +289,29 @@ mod tests {
     fn ter_reduction_handles_missing_algorithm() {
         let rows = vec![];
         assert_eq!(ter_reduction(&rows, "reorder[sign_first]"), (1.0, 1.0));
+    }
+
+    #[test]
+    fn monte_carlo_figure_pipeline_reports_spread() {
+        use read_pipeline::MonteCarloErrorModel;
+        let workloads = tiny_workloads();
+        let pipeline = figure_pipeline_with_model(
+            &[Algorithm::Baseline],
+            &ArrayConfig::paper_default(),
+            MonteCarloErrorModel::new(16, 3),
+            &[OperatingCondition::aging_vt(10.0, 0.05)],
+        );
+        let rows = layerwise_ter_with(&pipeline, &workloads);
+        assert_eq!(rows.len(), workloads.len());
+        assert!(rows.iter().all(|r| r.ter_stddev.is_some()));
+        // Analytic rows carry no spread.
+        let analytic = layerwise_ter(
+            &workloads,
+            &[Algorithm::Baseline],
+            &ArrayConfig::paper_default(),
+            &DelayModel::nangate15_like(),
+            &OperatingCondition::aging_vt(10.0, 0.05),
+        );
+        assert!(analytic.iter().all(|r| r.ter_stddev.is_none()));
     }
 }

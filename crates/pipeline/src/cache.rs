@@ -7,7 +7,14 @@
 //! source fingerprint (which includes [`read_core::ReadConfig::seed`]), a
 //! fingerprint of the weight matrix, and the array column count, so a
 //! repeated corner reuses its schedule while any configuration change
-//! recomputes it.
+//! recomputes it.  Because the fingerprints are 64-bit hashes, every entry
+//! also stores a [`KeyCheck`] (source name + weight dimensions) that
+//! lookups verify — a hash collision that differs in either is detected
+//! and bypassed rather than served (see [`CacheStats::collisions`]).  The
+//! check deliberately stops there: a collision between equal-dimension
+//! weight contents, or between same-named sources with different configs,
+//! would additionally need the 64-bit content/config hashes to collide
+//! (probability ~2^-64 per pair) and is accepted as residual risk.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +36,28 @@ pub struct ScheduleKey {
     pub array_cols: usize,
 }
 
+/// Full-key verification data stored beside every cache entry.
+///
+/// The `source`/`weights` components of a [`ScheduleKey`] are 64-bit FNV-1a
+/// hashes, so two distinct (source, layer) pairs can — however improbably —
+/// collide.  Serving a colliding entry would silently hand a layer the
+/// wrong schedule; storing the source name and the weight dimensions makes
+/// such a collision *detectable*: a lookup whose check disagrees with the
+/// stored one bypasses the cache (counted in [`CacheStats::collisions`])
+/// instead of returning a foreign schedule.  Collisions that agree on name
+/// and dimensions but differ only in weight contents or source
+/// configuration are not caught by the check — they require a simultaneous
+/// 64-bit content/config hash collision and are accepted as residual risk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyCheck {
+    /// [`crate::ScheduleSource::name`] of the producing source.
+    pub source: String,
+    /// Weight-matrix rows (reduction length).
+    pub rows: usize,
+    /// Weight-matrix columns (output channels).
+    pub cols: usize,
+}
+
 /// Fingerprint of a weight matrix: FNV-1a over its dimensions and bytes.
 pub fn weights_fingerprint(weights: &Matrix<i8>) -> u64 {
     let dims = [weights.rows() as u64, weights.cols() as u64];
@@ -46,6 +75,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute a schedule.
     pub misses: u64,
+    /// Lookups whose hash key matched a cached entry but whose full key
+    /// ([`KeyCheck`]) did not — a fingerprint collision, served by a fresh
+    /// computation instead of the cached schedule.
+    pub collisions: u64,
     /// Schedules currently cached.
     pub entries: usize,
 }
@@ -53,9 +86,10 @@ pub struct CacheStats {
 /// A thread-safe, in-memory schedule cache.
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    map: Mutex<HashMap<ScheduleKey, Arc<ComputeSchedule>>>,
+    map: Mutex<HashMap<ScheduleKey, (KeyCheck, Arc<ComputeSchedule>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl ScheduleCache {
@@ -65,7 +99,9 @@ impl ScheduleCache {
     }
 
     /// Returns the cached schedule for `key`, or computes, caches and
-    /// returns it.
+    /// returns it.  `check` is the full (name + dims) key verified against
+    /// the stored entry: a hash collision is detected rather than served,
+    /// and its lookup computes a fresh schedule without touching the cache.
     ///
     /// The compute closure runs outside the cache lock, so concurrent
     /// lookups of *different* keys never serialize on a slow optimization;
@@ -78,17 +114,45 @@ impl ScheduleCache {
     pub fn get_or_compute(
         &self,
         key: ScheduleKey,
+        check: KeyCheck,
         compute: impl FnOnce() -> Result<ComputeSchedule, PipelineError>,
     ) -> Result<Arc<ComputeSchedule>, PipelineError> {
-        if let Some(found) = self.map.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
+        // Look up under the lock, but release it before any compute() call
+        // (the if-let guard temporary would otherwise live to the end of the
+        // branch and serialize unrelated lookups on a slow optimization).
+        let cached = {
+            let map = self.map.lock().expect("cache lock");
+            map.get(&key)
+                .map(|(stored, found)| (*stored == check, Arc::clone(found)))
+        };
+        match cached {
+            Some((true, found)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(found);
+            }
+            Some((false, _)) => {
+                // Fingerprint collision: the 64-bit hashes matched but the
+                // full keys differ.  Serve a fresh computation and leave the
+                // cached entry alone (overwriting would just thrash both
+                // parties).
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::new(compute()?));
+            }
+            None => {}
         }
         let computed = Arc::new(compute()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&computed));
-        Ok(Arc::clone(entry))
+        let entry = map
+            .entry(key)
+            .or_insert_with(|| (check.clone(), Arc::clone(&computed)));
+        if entry.0 == check {
+            Ok(Arc::clone(&entry.1))
+        } else {
+            // A racing thread inserted a colliding full key first.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            Ok(computed)
+        }
     }
 
     /// Current counters.
@@ -96,6 +160,7 @@ impl ScheduleCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
             entries: self.map.lock().expect("cache lock").len(),
         }
     }
@@ -105,6 +170,7 @@ impl ScheduleCache {
         self.map.lock().expect("cache lock").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.collisions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -120,25 +186,38 @@ mod tests {
         }
     }
 
+    fn check(source: &str) -> KeyCheck {
+        KeyCheck {
+            source: source.to_string(),
+            rows: 8,
+            cols: 4,
+        }
+    }
+
     #[test]
     fn second_lookup_hits() {
         let cache = ScheduleCache::new();
         let make = || Ok(ComputeSchedule::baseline(8, 4, 2));
-        let a = cache.get_or_compute(key(1), make).unwrap();
-        let b = cache.get_or_compute(key(1), make).unwrap();
+        let a = cache.get_or_compute(key(1), check("a"), make).unwrap();
+        let b = cache.get_or_compute(key(1), check("a"), make).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.collisions, 0);
     }
 
     #[test]
     fn distinct_keys_compute_separately() {
         let cache = ScheduleCache::new();
         cache
-            .get_or_compute(key(1), || Ok(ComputeSchedule::baseline(8, 4, 2)))
+            .get_or_compute(key(1), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
             .unwrap();
         cache
-            .get_or_compute(key(2), || Ok(ComputeSchedule::baseline(8, 4, 4)))
+            .get_or_compute(key(2), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 4))
+            })
             .unwrap();
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().misses, 2);
@@ -147,14 +226,45 @@ mod tests {
     #[test]
     fn errors_are_not_cached() {
         let cache = ScheduleCache::new();
-        let err = cache.get_or_compute(key(3), || Err(PipelineError::builder("nope")));
+        let err = cache.get_or_compute(key(3), check("a"), || Err(PipelineError::builder("nope")));
         assert!(err.is_err());
         assert_eq!(cache.stats().entries, 0);
         // A later successful compute still works.
         cache
-            .get_or_compute(key(3), || Ok(ComputeSchedule::baseline(8, 4, 2)))
+            .get_or_compute(key(3), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
             .unwrap();
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn fingerprint_collisions_are_detected_not_served() {
+        let cache = ScheduleCache::new();
+        // Same 64-bit key, different full keys: a simulated FNV collision.
+        let first = cache
+            .get_or_compute(key(1), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
+            .unwrap();
+        let collided = cache
+            .get_or_compute(key(1), check("b"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 4))
+            })
+            .unwrap();
+        // The colliding lookup got its own fresh schedule, not the cached one.
+        assert!(!Arc::ptr_eq(&first, &collided));
+        assert_eq!(*collided, ComputeSchedule::baseline(8, 4, 4));
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(stats.entries, 1, "collisions never overwrite the entry");
+        // The original full key still hits.
+        cache
+            .get_or_compute(key(1), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
@@ -171,7 +281,14 @@ mod tests {
     fn clear_resets_everything() {
         let cache = ScheduleCache::new();
         cache
-            .get_or_compute(key(1), || Ok(ComputeSchedule::baseline(8, 4, 2)))
+            .get_or_compute(key(1), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
+            .unwrap();
+        cache
+            .get_or_compute(key(1), check("b"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 4))
+            })
             .unwrap();
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());

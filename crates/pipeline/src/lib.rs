@@ -10,9 +10,13 @@
 //!   Implemented by [`Baseline`], by [`read_core::ReadOptimizer`] itself,
 //!   and by the paper-set [`Algorithm`] enum; custom heuristics implement
 //!   the same trait.
-//! * [`ErrorModel`] — turns a triggered-depth histogram into a TER at an
-//!   operating condition ([`DelayErrorModel`] wraps
-//!   [`timing::DelayModel`]).
+//! * [`ErrorModel`] — turns a triggered-depth histogram into a TER estimate
+//!   at an operating condition.  The hierarchy covers the paper's three
+//!   error-analysis modes: [`DelayErrorModel`] (closed-form analytic, the
+//!   default), [`MonteCarloErrorModel`] (seeded sampling, mean/stddev
+//!   aggregation) and [`VariationErrorModel`] (per-PE process variation of
+//!   one die); reports carry the optional `ter_stddev`/`corner` fields they
+//!   produce.
 //! * [`Evaluator`] — measures accuracy under per-layer BERs
 //!   ([`TopKEvaluator`] wraps [`qnn::fault::evaluate_topk`]).
 //!
@@ -56,13 +60,14 @@ pub mod workload;
 
 mod pipeline;
 
-pub use cache::{CacheStats, ScheduleKey};
+pub use cache::{CacheStats, KeyCheck, ScheduleKey};
 pub use error::PipelineError;
 pub use exec::ExecMode;
 pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
 pub use report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
 pub use stage::{
-    Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, ScheduleSource, TopKEvaluator,
+    Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
+    ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
 pub use workload::{
     resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
@@ -76,11 +81,12 @@ pub mod prelude {
     pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
     pub use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
     pub use crate::stage::{
-        Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, ScheduleSource, TopKEvaluator,
+        Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
+        ScheduleSource, TopKEvaluator, VariationErrorModel,
     };
     pub use crate::workload::{
         resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
     };
     pub use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
-    pub use timing::OperatingCondition;
+    pub use timing::{OperatingCondition, OperatingCorner, TerEstimate, Variation};
 }

@@ -11,11 +11,14 @@ use qnn::{Dataset, Model};
 use read_core::{ReadConfig, ReadOptimizer};
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
-use crate::cache::{weights_fingerprint, CacheStats, ScheduleCache, ScheduleKey};
+use crate::cache::{weights_fingerprint, CacheStats, KeyCheck, ScheduleCache, ScheduleKey};
 use crate::error::PipelineError;
 use crate::exec::{run_indexed, ExecMode};
 use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
-use crate::stage::{DelayErrorModel, ErrorModel, Evaluator, ScheduleSource, TopKEvaluator};
+use crate::stage::{
+    DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel, ScheduleSource, TopKEvaluator,
+    VariationErrorModel,
+};
 use crate::workload::LayerWorkload;
 
 /// Builder for a [`ReadPipeline`].  Obtain with [`ReadPipeline::builder`].
@@ -26,6 +29,7 @@ pub struct ReadPipelineBuilder {
     sim_options: Option<SimOptions>,
     sources: Vec<Arc<dyn ScheduleSource>>,
     error_model: Option<Arc<dyn ErrorModel>>,
+    pe_variation_seed: Option<u64>,
     conditions: Vec<OperatingCondition>,
     evaluator: Option<Arc<dyn Evaluator>>,
     top_k: Option<usize>,
@@ -86,6 +90,21 @@ impl ReadPipelineBuilder {
     /// Shorthand: a [`DelayErrorModel`] wrapping `delay`.
     pub fn delay_model(self, delay: DelayModel) -> Self {
         self.error_model(DelayErrorModel::new(delay))
+    }
+
+    /// Shorthand: a [`MonteCarloErrorModel`] with the default delay model
+    /// and the given trials/seed — reports carry `ter_stddev`.
+    pub fn monte_carlo(self, trials: u32, seed: u64) -> Self {
+        self.error_model(MonteCarloErrorModel::new(trials, seed))
+    }
+
+    /// Shorthand: a [`VariationErrorModel`] for this pipeline's array (the
+    /// one configured with [`Self::array`], or the paper default) with the
+    /// given per-PE offset seed.  Resolved at [`Self::build`] time, so it
+    /// composes with `.array(..)` in any order.
+    pub fn pe_variation(mut self, seed: u64) -> Self {
+        self.pe_variation_seed = Some(seed);
+        self
     }
 
     /// Adds one operating condition.
@@ -171,14 +190,23 @@ impl ReadPipelineBuilder {
             }
             (None, k) => Arc::new(TopKEvaluator::new(k.unwrap_or(3))),
         };
+        let error_model = match (self.error_model, self.pe_variation_seed) {
+            (Some(_), Some(_)) => {
+                return Err(PipelineError::builder(
+                    "set either .error_model(..)/.delay_model(..)/.monte_carlo(..) or \
+                     .pe_variation(..), not both",
+                ))
+            }
+            (Some(model), None) => model,
+            (None, Some(seed)) => Arc::new(VariationErrorModel::new(&array, seed)),
+            (None, None) => Arc::new(DelayErrorModel::default()),
+        };
         Ok(ReadPipeline {
             array,
             dataflow: self.dataflow.unwrap_or(Dataflow::OutputStationary),
             sim_options: self.sim_options.unwrap_or_else(SimOptions::exhaustive),
             sources: self.sources,
-            error_model: self
-                .error_model
-                .unwrap_or_else(|| Arc::new(DelayErrorModel::default())),
+            error_model,
             conditions: self.conditions,
             evaluator,
             model: self.model,
@@ -299,8 +327,15 @@ impl ReadPipeline {
             weights: weights_fingerprint(weights),
             array_cols: self.array.cols(),
         };
+        // Full-key verification data: a fingerprint collision must be
+        // detected, never served as a foreign schedule.
+        let check = KeyCheck {
+            source: source.name(),
+            rows: weights.rows(),
+            cols: weights.cols(),
+        };
         self.cache
-            .get_or_compute(key, || source.schedule(weights, self.array.cols()))
+            .get_or_compute(key, check, || source.schedule(weights, self.array.cols()))
     }
 
     /// Simulates `workload` under `source`'s schedule, feeding every cycle
@@ -403,13 +438,17 @@ impl ReadPipeline {
             let workload = &workloads[index / self.sources.len()];
             let source = &self.sources[index % self.sources.len()];
             for condition in &self.conditions {
-                let ter = self.error_model.ter(hist, condition);
+                let estimate = self.error_model.estimate(hist, condition);
                 rows.push(LayerReport {
                     layer: workload.name.clone(),
                     algorithm: source.name(),
                     condition: condition.name.to_string(),
-                    ter,
-                    ber: self.error_model.ber(ter, workload.macs_per_output()),
+                    corner: self.error_model.corner(),
+                    ter: estimate.ter,
+                    ter_stddev: estimate.stddev,
+                    ber: self
+                        .error_model
+                        .ber(estimate.ter, workload.macs_per_output()),
                     sign_flip_rate: hist.sign_flip_rate(),
                     macs_per_output: workload.macs_per_output(),
                     total_cycles: hist.total(),
@@ -603,6 +642,57 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("top-k"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_conflicting_error_model_configuration() {
+        let err = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::ideal())
+            .monte_carlo(16, 0)
+            .pe_variation(1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("pe_variation"), "{err}");
+    }
+
+    #[test]
+    fn error_model_shorthands_flow_into_reports() {
+        let workloads = tiny_workloads(1);
+        let condition = OperatingCondition::aging_vt(10.0, 0.05);
+        let mc = ReadPipeline::builder()
+            .baseline()
+            .condition(condition)
+            .monte_carlo(16, 5)
+            .build()
+            .unwrap()
+            .run_ter("mc", &workloads)
+            .unwrap();
+        assert!(mc.rows[0].ter_stddev.is_some());
+        assert_eq!(mc.rows[0].corner, None);
+        let variation = ReadPipeline::builder()
+            .baseline()
+            .condition(condition)
+            .pe_variation(5)
+            .build()
+            .unwrap()
+            .run_ter("pe", &workloads)
+            .unwrap();
+        assert!(variation.rows[0].ter_stddev.is_some());
+        assert_eq!(
+            variation.rows[0].corner.as_deref(),
+            Some("pe-var[16x4,seed=5]")
+        );
+        // The analytic default leaves both optional fields empty.
+        let analytic = ReadPipeline::builder()
+            .baseline()
+            .condition(condition)
+            .build()
+            .unwrap()
+            .run_ter("analytic", &workloads)
+            .unwrap();
+        assert_eq!(analytic.rows[0].ter_stddev, None);
+        assert_eq!(analytic.rows[0].corner, None);
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! The structs here are plain-old-data with public fields in a documented,
 //! stable order; [`NetworkReport::to_json`] / [`AccuracyReport::to_json`]
 //! emit that shape deterministically (same input ⇒ byte-identical output),
-//! which the parallel-equals-serial tests rely on.  When a real serde
-//! becomes available the same field layout can be derived.
+//! which the parallel-equals-serial tests rely on.  Optional fields
+//! ([`LayerReport::corner`], [`LayerReport::ter_stddev`]) are emitted only
+//! when present, in their documented position, so a given report value
+//! always renders to the same bytes.  When a real serde becomes available
+//! the same field layout can be derived.
 
 /// One (layer, algorithm, condition) cell of a TER experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,8 +18,18 @@ pub struct LayerReport {
     pub algorithm: String,
     /// Operating-condition name (e.g. `"Aging&VT-5%"`).
     pub condition: String,
-    /// MAC-level timing error rate at the condition.
+    /// Silicon-variation corner of the producing error model (e.g.
+    /// `"pe-var[16x4,seed=3]"`), or `None` at typical silicon.
+    pub corner: Option<String>,
+    /// MAC-level timing error rate at the condition (the error model's
+    /// point estimate: expected value, Monte-Carlo trial mean, or per-PE
+    /// population mean).
     pub ter: f64,
+    /// Spread of the TER estimate when the error model produces one:
+    /// trial-to-trial sample stddev for Monte-Carlo models, PE-to-PE
+    /// spread for per-PE variation models, `None` for closed-form analytic
+    /// estimates.
+    pub ter_stddev: Option<f64>,
     /// Activation-level BER implied by the TER (Eq. (1)).
     pub ber: f64,
     /// Sign-flip rate of the schedule on this layer.
@@ -95,7 +108,14 @@ impl NetworkReport {
             push_json_str(&mut out, &row.algorithm);
             out.push_str(",\"condition\":");
             push_json_str(&mut out, &row.condition);
+            if let Some(corner) = &row.corner {
+                out.push_str(",\"corner\":");
+                push_json_str(&mut out, corner);
+            }
             push_json_f64(&mut out, ",\"ter\":", row.ter);
+            if let Some(stddev) = row.ter_stddev {
+                push_json_f64(&mut out, ",\"ter_stddev\":", stddev);
+            }
             push_json_f64(&mut out, ",\"ber\":", row.ber);
             push_json_f64(&mut out, ",\"sign_flip_rate\":", row.sign_flip_rate);
             out.push_str(",\"macs_per_output\":");
@@ -219,7 +239,9 @@ mod tests {
             layer: layer.into(),
             algorithm: algorithm.into(),
             condition: condition.into(),
+            corner: None,
             ter,
+            ter_stddev: None,
             ber: ter * 2.0,
             sign_flip_rate: 0.25,
             macs_per_output: 64,
@@ -278,6 +300,30 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"top1\":0.75"));
         assert!(json.contains("\"seeds\":3"));
+    }
+
+    #[test]
+    fn optional_fields_render_in_stable_positions() {
+        let mut with_optional = row("a", "baseline", "Ideal", 1e-6);
+        with_optional.corner = Some("pe-var[16x4,seed=3]".into());
+        with_optional.ter_stddev = Some(2.5e-7);
+        let report = NetworkReport {
+            network: "n".into(),
+            rows: vec![with_optional],
+        };
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"condition\":\"Ideal\",\"corner\":\"pe-var[16x4,seed=3]\",\"ter\":1e-6,\"ter_stddev\":2.5e-7,\"ber\":"
+        ));
+        assert_eq!(json, report.clone().to_json());
+        // Absent optional fields leave no trace.
+        let plain = NetworkReport {
+            network: "n".into(),
+            rows: vec![row("a", "baseline", "Ideal", 1e-6)],
+        };
+        let plain_json = plain.to_json();
+        assert!(!plain_json.contains("corner"));
+        assert!(!plain_json.contains("ter_stddev"));
     }
 
     #[test]

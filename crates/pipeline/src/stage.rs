@@ -3,20 +3,29 @@
 //! * [`ScheduleSource`] — produces a [`ComputeSchedule`] for a layer's
 //!   weight matrix (implemented by [`Baseline`], [`read_core::ReadOptimizer`]
 //!   and the paper-set [`Algorithm`] enum).
-//! * [`ErrorModel`] — turns a triggered-depth histogram into a TER at an
-//!   operating condition and a TER into an activation BER (implemented by
-//!   [`DelayErrorModel`] wrapping [`timing::DelayModel`]).
+//! * [`ErrorModel`] — turns a triggered-depth histogram into a TER estimate
+//!   at an operating condition and a TER into an activation BER.  Three
+//!   implementations cover the paper's error-analysis modes:
+//!   [`DelayErrorModel`] (closed-form analytic, the default),
+//!   [`MonteCarloErrorModel`] (seeded sampling with mean/stddev TER
+//!   aggregation) and [`VariationErrorModel`] (per-PE process variation of
+//!   one die).  All three delegate to the [`timing::TimingAnalysis`]
+//!   engines, so no consumer ever hand-wires a
+//!   [`timing::DynamicTimingAnalyzer`].
 //! * [`Evaluator`] — measures model accuracy under per-layer BERs
 //!   (implemented by [`TopKEvaluator`] wrapping
 //!   [`qnn::fault::evaluate_topk`]).
 //!
 //! Custom heuristics plug in by implementing the same traits.
 
-use accel_sim::{ComputeSchedule, Matrix};
+use accel_sim::{ArrayConfig, ComputeSchedule, Matrix};
 use qnn::fault::{evaluate_topk, Accuracy, FaultConfig, FlipModel};
 use qnn::{Dataset, Model};
 use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
-use timing::{ber_from_ter, DelayModel, DepthHistogram, OperatingCondition};
+use timing::{
+    ber_from_ter, AnalyticAnalysis, DelayModel, DepthHistogram, MonteCarloAnalysis,
+    OperatingCondition, OperatingCorner, PeOffsets, TerEstimate, TimingAnalysis, Variation,
+};
 
 use crate::error::PipelineError;
 
@@ -188,18 +197,45 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// Stage 2: turns a triggered-depth histogram into error rates.
+///
+/// The trait is the single seam every TER/BER derivation flows through:
+/// analytic, Monte-Carlo and per-PE-variation analysis are all `ErrorModel`
+/// implementations, so pipelines (and their reports) swap between them
+/// without touching schedule sources, simulation or evaluation.
 pub trait ErrorModel: Send + Sync {
     /// Display name of the model.
     fn name(&self) -> String;
 
+    /// Stable configuration fingerprint: must change whenever the estimates
+    /// this model produces could change (delay parameters, trial count,
+    /// seeds, variation geometry, ...).  Any cache keyed on derived error
+    /// rates must include it — the default hashes [`Self::name`], which is
+    /// only sufficient when the name encodes the full configuration.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_str(&self.name())
+    }
+
+    /// Full TER estimate (point value plus optional spread) of the recorded
+    /// cycles at the given operating condition.
+    fn estimate(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> TerEstimate;
+
     /// Expected MAC-level timing error rate of the recorded cycles at the
-    /// given operating condition.
-    fn ter(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> f64;
+    /// given operating condition (the point value of [`Self::estimate`]).
+    fn ter(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> f64 {
+        self.estimate(hist, condition).ter
+    }
 
     /// Activation-level bit error rate implied by a TER for outputs that
     /// accumulate `macs_per_output` MACs (the paper's Eq. (1)).
     fn ber(&self, ter: f64, macs_per_output: usize) -> f64 {
         ber_from_ter(ter, macs_per_output)
+    }
+
+    /// The silicon-variation corner this model evaluates, or `None` at
+    /// typical silicon.  Recorded in report rows so a die-specific result is
+    /// never mistaken for a population estimate.
+    fn corner(&self) -> Option<String> {
+        None
     }
 }
 
@@ -231,8 +267,163 @@ impl ErrorModel for DelayErrorModel {
         "delay-model".to_string()
     }
 
-    fn ter(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> f64 {
-        hist.ter(&self.delay, condition)
+    fn fingerprint(&self) -> u64 {
+        // Debug output covers every delay parameter.
+        fingerprint_str(&format!("{self:?}"))
+    }
+
+    fn estimate(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> TerEstimate {
+        AnalyticAnalysis::new(self.delay).estimate(hist, &OperatingCorner::nominal(*condition))
+    }
+}
+
+/// Monte-Carlo error model: `trials` seeded sampling realizations of the
+/// histogram's error count, aggregated to a mean TER and its sample
+/// standard deviation (surfaced as [`crate::LayerReport::ter_stddev`]).
+///
+/// Estimates are fully deterministic for a fixed `(trials, seed)` — trial
+/// `t` derives its RNG stream from `(seed, t)` only — so repeated pipeline
+/// runs (serial or parallel) produce byte-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloErrorModel {
+    /// The MAC datapath delay model.
+    pub delay: DelayModel,
+    /// Number of independent sampling trials per (histogram, condition).
+    pub trials: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl MonteCarloErrorModel {
+    /// Model with the default delay model and the given trials/seed.
+    pub fn new(trials: u32, seed: u64) -> Self {
+        Self::with_delay(DelayModel::nangate15_like(), trials, seed)
+    }
+
+    /// Model with an explicit delay model.
+    pub fn with_delay(delay: DelayModel, trials: u32, seed: u64) -> Self {
+        MonteCarloErrorModel {
+            delay,
+            trials,
+            seed,
+        }
+    }
+
+    fn engine(&self) -> MonteCarloAnalysis {
+        MonteCarloAnalysis::new(self.delay, self.trials, self.seed)
+    }
+}
+
+impl Default for MonteCarloErrorModel {
+    fn default() -> Self {
+        MonteCarloErrorModel::new(32, 0)
+    }
+}
+
+impl ErrorModel for MonteCarloErrorModel {
+    fn name(&self) -> String {
+        self.engine().name()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_str(&format!("{self:?}"))
+    }
+
+    fn estimate(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> TerEstimate {
+        self.engine()
+            .estimate(hist, &OperatingCorner::nominal(*condition))
+    }
+}
+
+/// Per-PE process-variation error model: evaluates every condition on one
+/// specific die whose PEs carry fixed Gaussian delay offsets (drawn with
+/// `seed` at the delay model's `sigma_process`), reporting the PE-population
+/// mean TER and the PE-to-PE spread as `ter_stddev`.
+///
+/// The die identity is recorded in every report row via
+/// [`ErrorModel::corner`] (e.g. `"pe-var[16x4,seed=3]"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationErrorModel {
+    /// The MAC datapath delay model.
+    pub delay: DelayModel,
+    /// Array rows of the die.
+    pub rows: usize,
+    /// Array columns of the die.
+    pub cols: usize,
+    /// Seed of the per-PE process-offset draw.
+    pub seed: u64,
+}
+
+impl VariationErrorModel {
+    /// Model for the given array geometry with the default delay model.
+    pub fn new(array: &ArrayConfig, seed: u64) -> Self {
+        Self::with_delay(DelayModel::nangate15_like(), array, seed)
+    }
+
+    /// Model with an explicit delay model.
+    pub fn with_delay(delay: DelayModel, array: &ArrayConfig, seed: u64) -> Self {
+        VariationErrorModel {
+            delay,
+            rows: array.rows(),
+            cols: array.cols(),
+            seed,
+        }
+    }
+
+    fn variation(&self) -> Variation {
+        Variation::PerPe {
+            rows: self.rows,
+            cols: self.cols,
+            seed: self.seed,
+        }
+    }
+
+    /// The die's per-PE offsets (row-major).
+    pub fn offsets(&self) -> PeOffsets {
+        PeOffsets::draw(self.rows * self.cols, self.delay.sigma_process, self.seed)
+    }
+
+    /// Per-PE TERs of `hist` at `condition`, row-major over the array.
+    pub fn per_pe_ters(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> Vec<f64> {
+        AnalyticAnalysis::new(self.delay).per_pe_ters(hist, condition, &self.offsets())
+    }
+
+    /// Per-PE activation BERs (Eq. (1)) of `hist` at `condition` for
+    /// outputs accumulating `macs_per_output` MACs.
+    pub fn per_pe_bers(
+        &self,
+        hist: &DepthHistogram,
+        condition: &OperatingCondition,
+        macs_per_output: usize,
+    ) -> Vec<f64> {
+        self.per_pe_ters(hist, condition)
+            .into_iter()
+            .map(|ter| ber_from_ter(ter, macs_per_output))
+            .collect()
+    }
+}
+
+impl ErrorModel for VariationErrorModel {
+    fn name(&self) -> String {
+        self.variation().label()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        fingerprint_str(&format!("{self:?}"))
+    }
+
+    fn estimate(&self, hist: &DepthHistogram, condition: &OperatingCondition) -> TerEstimate {
+        AnalyticAnalysis::new(self.delay).estimate(
+            hist,
+            &OperatingCorner {
+                condition: *condition,
+                variation: self.variation(),
+            },
+        )
+    }
+
+    fn corner(&self) -> Option<String> {
+        Some(self.variation().label())
     }
 }
 
@@ -345,5 +536,89 @@ mod tests {
             let schedule = algorithm.schedule(&weights, 4).unwrap();
             assert!(schedule.validate(24, 8).is_ok(), "{algorithm}");
         }
+    }
+
+    fn stress_histogram() -> DepthHistogram {
+        use accel_sim::{Dataflow, GemmProblem, SimOptions};
+        let w = Matrix::from_fn(48, 4, |r, c| (((r * 11 + c * 3) % 15) as i8) - 7);
+        let a = Matrix::from_fn(48, 8, |r, c| ((r + 2 * c) % 5) as i8);
+        let mut hist = DepthHistogram::new();
+        GemmProblem::new(w, a)
+            .unwrap()
+            .simulate(
+                &ArrayConfig::paper_default(),
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut hist,
+            )
+            .unwrap();
+        hist
+    }
+
+    #[test]
+    fn error_model_fingerprints_distinguish_configurations() {
+        let analytic = DelayErrorModel::default();
+        let mc_a = MonteCarloErrorModel::new(32, 0);
+        let mc_b = MonteCarloErrorModel::new(32, 1);
+        let mc_c = MonteCarloErrorModel::new(64, 0);
+        let var_a = VariationErrorModel::new(&ArrayConfig::paper_default(), 0);
+        let var_b = VariationErrorModel::new(&ArrayConfig::paper_default(), 1);
+        let prints = [
+            analytic.fingerprint(),
+            mc_a.fingerprint(),
+            mc_b.fingerprint(),
+            mc_c.fingerprint(),
+            var_a.fingerprint(),
+            var_b.fingerprint(),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b, "fingerprints must distinguish configurations");
+            }
+        }
+        assert_eq!(
+            mc_a.fingerprint(),
+            MonteCarloErrorModel::new(32, 0).fingerprint()
+        );
+    }
+
+    #[test]
+    fn delay_error_model_estimate_matches_legacy_ter() {
+        let hist = stress_histogram();
+        let model = DelayErrorModel::default();
+        let condition = OperatingCondition::aging_vt(10.0, 0.05);
+        let estimate = model.estimate(&hist, &condition);
+        assert_eq!(estimate.ter, hist.ter(&model.delay, &condition));
+        assert_eq!(estimate.stddev, None);
+        assert_eq!(model.ter(&hist, &condition), estimate.ter);
+        assert_eq!(model.corner(), None);
+    }
+
+    #[test]
+    fn monte_carlo_error_model_reports_spread_and_is_reproducible() {
+        let hist = stress_histogram();
+        let condition = OperatingCondition::aging_vt(10.0, 0.05);
+        let model = MonteCarloErrorModel::new(48, 7);
+        let a = model.estimate(&hist, &condition);
+        let b = model.estimate(&hist, &condition);
+        assert_eq!(a, b);
+        assert!(a.ter > 0.0);
+        assert!(a.stddev.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn variation_error_model_exposes_per_pe_bers_and_corner() {
+        let hist = stress_histogram();
+        let condition = OperatingCondition::aging_vt(10.0, 0.05);
+        let array = ArrayConfig::paper_default();
+        let model = VariationErrorModel::new(&array, 3);
+        let estimate = model.estimate(&hist, &condition);
+        assert!(estimate.ter > 0.0);
+        assert!(estimate.stddev.unwrap() > 0.0, "PEs of a die must differ");
+        let bers = model.per_pe_bers(&hist, &condition, 1000);
+        assert_eq!(bers.len(), array.pe_count());
+        assert!(bers.iter().all(|b| (0.0..=1.0).contains(b)));
+        assert_eq!(model.corner().unwrap(), "pe-var[16x4,seed=3]");
+        assert_eq!(model.name(), "pe-var[16x4,seed=3]");
     }
 }

@@ -17,6 +17,7 @@ use accel_sim::{ArrayConfig, CycleContext, CycleObserver, MacCycle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::analysis::{OperatingCorner, PeOffsets, Variation};
 use crate::delay::DelayModel;
 use crate::pvta::OperatingCondition;
 
@@ -31,6 +32,23 @@ pub enum AnalysisMode {
         /// Seed of the per-analyzer random number generator.
         seed: u64,
     },
+}
+
+impl AnalysisMode {
+    /// Placeholder seed for the analyzer's RNG in analytic mode, where the
+    /// generator is constructed but never consumed.  Kept as a named
+    /// constant so the "analytic mode has no sampling seed" decision lives
+    /// in exactly one documented place.
+    pub const ANALYTIC_PLACEHOLDER_SEED: u64 = 0;
+
+    /// The sampling seed of this mode: `Some` for Monte-Carlo, `None` for
+    /// analytic mode, which draws no random numbers.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            AnalysisMode::Analytic => None,
+            AnalysisMode::MonteCarlo { seed } => Some(*seed),
+        }
+    }
 }
 
 /// Summary of a dynamic-timing-analysis run.
@@ -114,10 +132,11 @@ impl DynamicTimingAnalyzer {
 
     /// Creates an analyzer with an explicit analysis mode.
     pub fn with_mode(delay: DelayModel, condition: OperatingCondition, mode: AnalysisMode) -> Self {
-        let seed = match mode {
-            AnalysisMode::MonteCarlo { seed } => seed,
-            AnalysisMode::Analytic => 0,
-        };
+        // Analytic mode never samples; its RNG only exists to keep the
+        // struct uniform across modes (see ANALYTIC_PLACEHOLDER_SEED).
+        let seed = mode
+            .seed()
+            .unwrap_or(AnalysisMode::ANALYTIC_PLACEHOLDER_SEED);
         DynamicTimingAnalyzer {
             delay,
             condition,
@@ -133,6 +152,23 @@ impl DynamicTimingAnalyzer {
         }
     }
 
+    /// Creates an analyzer for a full [`OperatingCorner`]: the corner's
+    /// condition drives the delay derate and a [`Variation::PerPe`] corner
+    /// enables per-PE process variation on the given array geometry.
+    ///
+    /// This is the cycle-level counterpart of the histogram-based
+    /// [`crate::TimingAnalysis`] engines — both draw the same per-PE
+    /// offsets ([`PeOffsets`]) for the same corner.
+    pub fn at_corner(delay: DelayModel, corner: OperatingCorner, mode: AnalysisMode) -> Self {
+        let analyzer = Self::with_mode(delay, corner.condition, mode);
+        match corner.variation {
+            Variation::Typical => analyzer,
+            Variation::PerPe { rows, cols, seed } => {
+                analyzer.with_process_variation(ArrayConfig::new(rows, cols), seed)
+            }
+        }
+    }
+
     /// Enables per-PE process variation: each processing element of `array`
     /// receives a fixed Gaussian delay offset drawn with `seed`.
     ///
@@ -140,17 +176,8 @@ impl DynamicTimingAnalyzer {
     /// -cycle environmental noise; the process component is attributed to
     /// the specific PE that executed the cycle.
     pub fn with_process_variation(mut self, array: ArrayConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let offsets = (0..array.pe_count())
-            .map(|_| {
-                // Box-Muller transform for a standard normal sample.
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                z * self.delay.sigma_process
-            })
-            .collect();
-        self.pe_offsets = Some((array, offsets));
+        let offsets = PeOffsets::draw(array.pe_count(), self.delay.sigma_process, seed);
+        self.pe_offsets = Some((array, offsets.as_slice().to_vec()));
         self
     }
 

@@ -15,6 +15,11 @@
 //!   converts every simulated MAC cycle into a timing-error probability (or
 //!   a sampled error event) by comparing the triggered path delay against
 //!   the clock period chosen by static timing analysis.
+//! * [`analysis`] — the unified [`TimingAnalysis`] interface: analytic,
+//!   Monte-Carlo and per-PE-variation TER derivation from one triggered
+//!   -depth histogram, at an [`OperatingCorner`] (condition + silicon
+//!   [`Variation`]).  This is the seam the pipeline crate's `ErrorModel`
+//!   stage builds on.
 //! * [`ter`] — timing-error-rate estimation helpers and the paper's
 //!   Eq. (1) conversion from MAC-level TER to activation-level BER.
 //! * [`error_inject`] — bit-flip fault models for accumulator words.
@@ -53,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod delay;
 pub mod dta;
 pub mod error_inject;
@@ -60,6 +66,10 @@ pub mod math;
 pub mod pvta;
 pub mod ter;
 
+pub use analysis::{
+    AnalyticAnalysis, MonteCarloAnalysis, OperatingCorner, PeOffsets, TerEstimate, TimingAnalysis,
+    Variation,
+};
 pub use delay::DelayModel;
 pub use dta::{AnalysisMode, DepthHistogram, DynamicTimingAnalyzer, TimingReport};
 pub use error_inject::{BitFlipModel, FaultInjector};

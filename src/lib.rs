@@ -88,11 +88,13 @@ pub mod prelude {
     pub use read_pipeline::{AccuracyPoint, AccuracyReport};
     pub use read_pipeline::{
         Algorithm, Baseline, CacheStats, DelayErrorModel, ErrorModel, Evaluator, ExecMode,
-        LayerReport, LayerWorkload, NetworkReport, PipelineError, ReadPipeline,
-        ReadPipelineBuilder, ScheduleSource, TopKEvaluator, WorkloadConfig,
+        LayerReport, LayerWorkload, MonteCarloErrorModel, NetworkReport, PipelineError,
+        ReadPipeline, ReadPipelineBuilder, ScheduleSource, TopKEvaluator, VariationErrorModel,
+        WorkloadConfig,
     };
     pub use timing::{
-        ber_from_ter, paper_conditions, DelayModel, DepthHistogram, DynamicTimingAnalyzer,
-        OperatingCondition, TerEstimator,
+        ber_from_ter, paper_conditions, AnalyticAnalysis, DelayModel, DepthHistogram,
+        DynamicTimingAnalyzer, MonteCarloAnalysis, OperatingCondition, OperatingCorner, PeOffsets,
+        TerEstimate, TerEstimator, TimingAnalysis, Variation,
     };
 }
