@@ -8,7 +8,9 @@
 use accel_sim::ArrayConfig;
 use qnn::{Dataset, Model};
 pub use read_pipeline::Algorithm;
-use read_pipeline::{DelayErrorModel, ErrorModel, ReadPipeline, TopKEvaluator};
+use read_pipeline::{
+    DelayErrorModel, ErrorModel, ReadPipeline, SweepPlan, SweepReport, TopKEvaluator,
+};
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
 use crate::workloads::LayerWorkload;
@@ -56,6 +58,31 @@ pub fn figure_pipeline_with_model(
     builder
         .build()
         .expect("figure pipeline configuration is valid")
+}
+
+/// Runs a corner/die sweep over the given algorithms: the plan's (die,
+/// condition) grid, parallel execution, shared schedule cache across cells.
+///
+/// # Panics
+///
+/// Panics if the combination is invalid (duplicate algorithm names, empty
+/// plan), which indicates a bug in the bench harness rather than a
+/// recoverable condition.
+pub fn corner_sweep(
+    algorithms: &[Algorithm],
+    array: &ArrayConfig,
+    plan: SweepPlan,
+    workloads: &[LayerWorkload],
+) -> SweepReport {
+    let mut builder = ReadPipeline::builder().array(*array).sweep(plan).parallel();
+    for &algorithm in algorithms {
+        builder = builder.source(algorithm);
+    }
+    builder
+        .build()
+        .expect("sweep pipeline configuration is valid")
+        .run_sweep("corner-sweep", workloads)
+        .expect("generated workloads always simulate")
 }
 
 /// Simulates one layer under one algorithm and returns the triggered-depth

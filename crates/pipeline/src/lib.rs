@@ -26,6 +26,12 @@
 //! re-optimize, and produces typed, deterministically-serializable
 //! [`LayerReport`]/[`NetworkReport`]/[`AccuracyReport`] results.
 //!
+//! The [`sweep`] subsystem evaluates one pipeline across a whole grid of
+//! operating corners and silicon dies in a single run: a [`SweepPlan`]
+//! (conditions × dies, plus a shardable Monte-Carlo trial budget) expands
+//! into in-order work units and produces a [`SweepReport`] whose per-cell
+//! rows are byte-identical to the equivalent single-condition runs.
+//!
 //! # Example
 //!
 //! ```
@@ -56,6 +62,7 @@ pub mod error;
 pub mod exec;
 pub mod report;
 pub mod stage;
+pub mod sweep;
 pub mod workload;
 
 mod pipeline;
@@ -69,6 +76,7 @@ pub use stage::{
     Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
     ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
+pub use sweep::{DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase};
 pub use workload::{
     resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
 };
@@ -83,6 +91,9 @@ pub mod prelude {
     pub use crate::stage::{
         Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
         ScheduleSource, TopKEvaluator, VariationErrorModel,
+    };
+    pub use crate::sweep::{
+        DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase,
     };
     pub use crate::workload::{
         resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,

@@ -19,6 +19,7 @@ use crate::stage::{
     DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel, ScheduleSource, TopKEvaluator,
     VariationErrorModel,
 };
+use crate::sweep::{SweepCell, SweepPlan, SweepReport, WorstCase};
 use crate::workload::LayerWorkload;
 
 /// Builder for a [`ReadPipeline`].  Obtain with [`ReadPipeline::builder`].
@@ -35,6 +36,7 @@ pub struct ReadPipelineBuilder {
     top_k: Option<usize>,
     model: Option<Model>,
     exec: ExecMode,
+    sweep_plan: Option<SweepPlan>,
 }
 
 impl ReadPipelineBuilder {
@@ -119,6 +121,14 @@ impl ReadPipelineBuilder {
         self
     }
 
+    /// Configures the corner/die sweep [`ReadPipeline::run_sweep`] executes.
+    /// The plan carries its own conditions (and error models per die), so a
+    /// sweep-only pipeline needs no [`Self::condition`] call.
+    pub fn sweep(mut self, plan: SweepPlan) -> Self {
+        self.sweep_plan = Some(plan);
+        self
+    }
+
     /// Sets the evaluator stage (default: [`TopKEvaluator`] with `k = 3`).
     pub fn evaluator(mut self, evaluator: impl Evaluator + 'static) -> Self {
         self.evaluator = Some(Arc::new(evaluator));
@@ -152,18 +162,23 @@ impl ReadPipelineBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::Builder`] when no schedule source or no
-    /// operating condition is configured, when two sources share a name,
-    /// when the array has no columns, or when `top_k(0)` was requested.
+    /// Returns [`PipelineError::Builder`] when no schedule source is
+    /// configured, when no operating condition is configured (unless a
+    /// sweep plan — which carries its own conditions — is), when the sweep
+    /// plan is invalid, when two sources share a name, when the array has
+    /// no columns, or when `top_k(0)` was requested.
     pub fn build(self) -> Result<ReadPipeline, PipelineError> {
         if self.sources.is_empty() {
             return Err(PipelineError::builder(
                 "at least one schedule source is required (use .baseline(), .optimizer(..) or .source(..))",
             ));
         }
-        if self.conditions.is_empty() {
+        if let Some(plan) = &self.sweep_plan {
+            plan.validate()?;
+        }
+        if self.conditions.is_empty() && self.sweep_plan.is_none() {
             return Err(PipelineError::builder(
-                "at least one operating condition is required (use .condition(..))",
+                "at least one operating condition is required (use .condition(..) or .sweep(..))",
             ));
         }
         let mut names: Vec<String> = self.sources.iter().map(|s| s.name()).collect();
@@ -211,6 +226,7 @@ impl ReadPipelineBuilder {
             evaluator,
             model: self.model,
             exec: self.exec,
+            sweep_plan: self.sweep_plan,
             cache: ScheduleCache::new(),
         })
     }
@@ -251,6 +267,7 @@ pub struct ReadPipeline {
     evaluator: Arc<dyn Evaluator>,
     model: Option<Model>,
     exec: ExecMode,
+    sweep_plan: Option<SweepPlan>,
     cache: ScheduleCache,
 }
 
@@ -271,6 +288,7 @@ impl std::fmt::Debug for ReadPipeline {
             .field("evaluator", &self.evaluator.name())
             .field("has_model", &self.model.is_some())
             .field("exec", &self.exec)
+            .field("has_sweep_plan", &self.sweep_plan.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -304,6 +322,11 @@ impl ReadPipeline {
     /// The configured model, when accuracy evaluation is set up.
     pub fn model(&self) -> Option<&Model> {
         self.model.as_ref()
+    }
+
+    /// The configured sweep plan, when one is set up.
+    pub fn sweep_plan(&self) -> Option<&SweepPlan> {
+        self.sweep_plan.as_ref()
     }
 
     /// Schedule-cache effectiveness counters.
@@ -420,12 +443,20 @@ impl ReadPipeline {
     ///
     /// # Errors
     ///
-    /// Propagates the first failure in (workload, source) order.
+    /// Returns [`PipelineError::Missing`] on a sweep-only pipeline (one
+    /// built without [`ReadPipelineBuilder::condition`] — its conditions
+    /// live in the plan, so this experiment has nothing to evaluate at);
+    /// otherwise propagates the first failure in (workload, source) order.
     pub fn run_ter(
         &self,
         network: &str,
         workloads: &[LayerWorkload],
     ) -> Result<NetworkReport, PipelineError> {
+        if self.conditions.is_empty() {
+            return Err(PipelineError::Missing {
+                what: "operating conditions",
+            });
+        }
         let pairs = workloads.len() * self.sources.len();
         let histograms = run_indexed(self.exec, pairs, |index| {
             let workload = &workloads[index / self.sources.len()];
@@ -459,6 +490,201 @@ impl ReadPipeline {
         Ok(NetworkReport {
             network: network.to_string(),
             rows,
+        })
+    }
+
+    /// Runs the configured corner/die sweep (see
+    /// [`ReadPipeline::run_sweep_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Missing`] when no sweep plan was configured
+    /// (use [`ReadPipelineBuilder::sweep`]); otherwise see
+    /// [`ReadPipeline::run_sweep_with`].
+    pub fn run_sweep(
+        &self,
+        network: &str,
+        workloads: &[LayerWorkload],
+    ) -> Result<SweepReport, PipelineError> {
+        let plan = self
+            .sweep_plan
+            .as_ref()
+            .ok_or(PipelineError::Missing { what: "sweep plan" })?;
+        self.run_sweep_with(network, workloads, plan)
+    }
+
+    /// Runs a corner/die sweep: every (die, condition) cell of `plan` over
+    /// every (workload, source) pair, in one pipeline run.
+    ///
+    /// The plan — not the pipeline's configured conditions or error model —
+    /// decides what each cell evaluates: typical-silicon cells use the
+    /// analytic [`DelayErrorModel`] (or [`MonteCarloErrorModel`] under a
+    /// trial budget, its trials sharded across work units and re-aggregated
+    /// bit-identically), per-PE die cells use [`VariationErrorModel`].
+    /// Each cell's rows are byte-identical to the report of an equivalent
+    /// single-condition pipeline run with that cell's error model; see
+    /// [`crate::sweep`] for the full contract.
+    ///
+    /// Every cell resolves its schedules through the shared cache, so the
+    /// optimizer runs once per (source, layer) and the remaining cells hit
+    /// ([`ReadPipeline::cache_stats`]); only the cycle simulation repeats
+    /// per cell.  Cells, rows and shard aggregation are all ordered
+    /// deterministically — a parallel sweep returns a byte-identical
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan validation failures and the first simulation failure
+    /// in (cell, workload, source) order.
+    pub fn run_sweep_with(
+        &self,
+        network: &str,
+        workloads: &[LayerWorkload],
+        plan: &SweepPlan,
+    ) -> Result<SweepReport, PipelineError> {
+        plan.validate()?;
+        // The grid is the single encoding of cell order (die-major); each
+        // cell's error model derives from its corner's variation, so the
+        // stage can never drift from the grid position.
+        let corners = plan.corners(&self.array);
+        let cell_models: Vec<crate::sweep::DieModel> = corners
+            .iter()
+            .map(|corner| plan.cell_model(corner))
+            .collect();
+        let cells = corners.len();
+        let pairs = workloads.len() * self.sources.len();
+
+        // Pass 1: one histogram per (cell, pair) work unit.  Histograms for
+        // repeated pairs re-simulate (cheap), but their schedules come from
+        // the shared cache (one optimization per pair, cells - 1 hits).
+        let histograms = run_indexed(self.exec, cells * pairs, |index| {
+            let pair = index % pairs;
+            let workload = &workloads[pair / self.sources.len()];
+            let source = &self.sources[pair % self.sources.len()];
+            self.layer_histogram(workload, source.as_ref())
+        })?;
+
+        // Pass 2: error evaluation, expanded into shardable work units —
+        // one unit per cell, except Monte-Carlo cells which split their
+        // trial range into one unit per shard.
+        struct Unit {
+            cell: usize,
+            trials: std::ops::Range<u32>,
+        }
+        enum Partial {
+            Estimate(timing::TerEstimate),
+            Trials(Vec<f64>),
+        }
+        let mut units = Vec::new();
+        for (cell, model) in cell_models.iter().enumerate() {
+            match model.monte_carlo() {
+                Some((_, mc)) => units.extend((0..mc.shards()).map(|shard| Unit {
+                    cell,
+                    trials: mc.shard_range(shard),
+                })),
+                None => units.push(Unit { cell, trials: 0..0 }),
+            }
+        }
+        let unit_results: Vec<Vec<Partial>> = run_indexed(self.exec, units.len(), |ui| {
+            let unit = &units[ui];
+            let condition = &corners[unit.cell].condition;
+            let model = &cell_models[unit.cell];
+            let partials = (0..pairs)
+                .map(|pair| {
+                    let hist = &histograms[unit.cell * pairs + pair];
+                    match model.monte_carlo() {
+                        Some((mc_model, _)) => Partial::Trials(mc_model.trial_ters(
+                            hist,
+                            condition,
+                            unit.trials.clone(),
+                        )),
+                        None => Partial::Estimate(model.as_error_model().estimate(hist, condition)),
+                    }
+                })
+                .collect();
+            Ok::<_, PipelineError>(partials)
+        })?;
+
+        // Aggregation: concatenate each Monte-Carlo cell's per-shard trial
+        // samples in trial order and reduce once — bit-identical to the
+        // unsharded estimate — then assemble rows exactly as run_ter would.
+        let mut unit_of_cell: Vec<Vec<usize>> = vec![Vec::new(); cells];
+        for (ui, unit) in units.iter().enumerate() {
+            unit_of_cell[unit.cell].push(ui);
+        }
+        let mut report_cells = Vec::with_capacity(cells);
+        for (ci, cell_units) in unit_of_cell.iter().enumerate() {
+            let corner = &corners[ci];
+            let condition = &corner.condition;
+            let model = &cell_models[ci];
+            let error_model = model.as_error_model();
+            let mut rows = Vec::with_capacity(pairs);
+            for pair in 0..pairs {
+                let workload = &workloads[pair / self.sources.len()];
+                let source = &self.sources[pair % self.sources.len()];
+                let hist = &histograms[ci * pairs + pair];
+                let estimate = match &unit_results[cell_units[0]][pair] {
+                    Partial::Estimate(estimate) => *estimate,
+                    Partial::Trials(_) => {
+                        let mut trials = Vec::new();
+                        for &ui in cell_units {
+                            match &unit_results[ui][pair] {
+                                Partial::Trials(t) => trials.extend_from_slice(t),
+                                Partial::Estimate(_) => unreachable!("mixed cell partials"),
+                            }
+                        }
+                        timing::TerEstimate::from_trials(&trials)
+                    }
+                };
+                rows.push(LayerReport {
+                    layer: workload.name.clone(),
+                    algorithm: source.name(),
+                    condition: condition.name.to_string(),
+                    corner: error_model.corner(),
+                    ter: estimate.ter,
+                    ter_stddev: estimate.stddev,
+                    ber: error_model.ber(estimate.ter, workload.macs_per_output()),
+                    sign_flip_rate: hist.sign_flip_rate(),
+                    macs_per_output: workload.macs_per_output(),
+                    total_cycles: hist.total(),
+                    sign_flips: hist.sign_flips(),
+                });
+            }
+            report_cells.push(SweepCell {
+                die: corner.variation.label(),
+                condition: condition.name.to_string(),
+                error_model: error_model.name(),
+                shards: model.shards(),
+                rows,
+            });
+        }
+
+        // Cross-corner summary: the worst row per algorithm, in source
+        // order (first occurrence wins ties, so the summary is stable).
+        let mut worst = Vec::with_capacity(self.sources.len());
+        for source in &self.sources {
+            let name = source.name();
+            let mut best: Option<WorstCase> = None;
+            for cell in &report_cells {
+                for row in cell.rows.iter().filter(|r| r.algorithm == name) {
+                    if best.as_ref().map(|b| row.ter > b.ter).unwrap_or(true) {
+                        best = Some(WorstCase {
+                            algorithm: name.clone(),
+                            ter: row.ter,
+                            layer: row.layer.clone(),
+                            condition: row.condition.clone(),
+                            die: cell.die.clone(),
+                        });
+                    }
+                }
+            }
+            worst.extend(best);
+        }
+
+        Ok(SweepReport {
+            network: network.to_string(),
+            cells: report_cells,
+            worst,
         })
     }
 
@@ -496,7 +722,9 @@ impl ReadPipeline {
     ///
     /// # Errors
     ///
-    /// Propagates simulation and evaluation failures.
+    /// Returns [`PipelineError::Missing`] on a sweep-only pipeline (see
+    /// [`ReadPipeline::run_ter`]); otherwise propagates simulation and
+    /// evaluation failures.
     pub fn run_accuracy_for(
         &self,
         model: &Model,
@@ -505,6 +733,11 @@ impl ReadPipeline {
         workloads: &[LayerWorkload],
         seeds: u64,
     ) -> Result<AccuracyReport, PipelineError> {
+        if self.conditions.is_empty() {
+            return Err(PipelineError::Missing {
+                what: "operating conditions",
+            });
+        }
         // One simulation pass per (workload, source); corners reuse the
         // histograms.
         let pairs = workloads.len() * self.sources.len();

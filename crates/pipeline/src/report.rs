@@ -98,36 +98,44 @@ impl NetworkReport {
         out.push_str("{\"network\":");
         push_json_str(&mut out, &self.network);
         out.push_str(",\"rows\":[");
-        for (i, row) in self.rows.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("{\"layer\":");
-            push_json_str(&mut out, &row.layer);
-            out.push_str(",\"algorithm\":");
-            push_json_str(&mut out, &row.algorithm);
-            out.push_str(",\"condition\":");
-            push_json_str(&mut out, &row.condition);
-            if let Some(corner) = &row.corner {
-                out.push_str(",\"corner\":");
-                push_json_str(&mut out, corner);
-            }
-            push_json_f64(&mut out, ",\"ter\":", row.ter);
-            if let Some(stddev) = row.ter_stddev {
-                push_json_f64(&mut out, ",\"ter_stddev\":", stddev);
-            }
-            push_json_f64(&mut out, ",\"ber\":", row.ber);
-            push_json_f64(&mut out, ",\"sign_flip_rate\":", row.sign_flip_rate);
-            out.push_str(",\"macs_per_output\":");
-            out.push_str(&row.macs_per_output.to_string());
-            out.push_str(",\"total_cycles\":");
-            out.push_str(&row.total_cycles.to_string());
-            out.push_str(",\"sign_flips\":");
-            out.push_str(&row.sign_flips.to_string());
-            out.push('}');
-        }
+        push_layer_rows(&mut out, &self.rows);
         out.push_str("]}");
         out
+    }
+}
+
+/// Renders a slice of [`LayerReport`]s as the body of a JSON array — the
+/// single row layout [`NetworkReport::to_json`] and
+/// [`crate::SweepReport::to_json`] share, so a sweep cell's rows are
+/// byte-identical to the equivalent single-condition run's rows.
+pub(crate) fn push_layer_rows(out: &mut String, rows: &[LayerReport]) {
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"layer\":");
+        push_json_str(out, &row.layer);
+        out.push_str(",\"algorithm\":");
+        push_json_str(out, &row.algorithm);
+        out.push_str(",\"condition\":");
+        push_json_str(out, &row.condition);
+        if let Some(corner) = &row.corner {
+            out.push_str(",\"corner\":");
+            push_json_str(out, corner);
+        }
+        push_json_f64(out, ",\"ter\":", row.ter);
+        if let Some(stddev) = row.ter_stddev {
+            push_json_f64(out, ",\"ter_stddev\":", stddev);
+        }
+        push_json_f64(out, ",\"ber\":", row.ber);
+        push_json_f64(out, ",\"sign_flip_rate\":", row.sign_flip_rate);
+        out.push_str(",\"macs_per_output\":");
+        out.push_str(&row.macs_per_output.to_string());
+        out.push_str(",\"total_cycles\":");
+        out.push_str(&row.total_cycles.to_string());
+        out.push_str(",\"sign_flips\":");
+        out.push_str(&row.sign_flips.to_string());
+        out.push('}');
     }
 }
 
@@ -199,7 +207,7 @@ impl AccuracyReport {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -217,7 +225,7 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn push_json_f64(out: &mut String, key_prefix: &str, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, key_prefix: &str, v: f64) {
     out.push_str(key_prefix);
     if v.is_finite() {
         // Shortest round-trip formatting; always a valid JSON number.

@@ -278,12 +278,17 @@ impl ErrorModel for DelayErrorModel {
 }
 
 /// Monte-Carlo error model: `trials` seeded sampling realizations of the
-/// histogram's error count, aggregated to a mean TER and its sample
-/// standard deviation (surfaced as [`crate::LayerReport::ter_stddev`]).
+/// histogram's error count, aggregated to a mean TER and its **sample**
+/// standard deviation (Bessel's `n - 1` correction — see
+/// [`TerEstimate::from_trials`] for the contract), surfaced as
+/// [`crate::LayerReport::ter_stddev`].
 ///
 /// Estimates are fully deterministic for a fixed `(trials, seed)` — trial
 /// `t` derives its RNG stream from `(seed, t)` only — so repeated pipeline
-/// runs (serial or parallel) produce byte-identical reports.
+/// runs (serial or parallel) produce byte-identical reports, and a sweep
+/// that shards the trial range across work units
+/// ([`MonteCarloErrorModel::trial_ters`]) re-aggregates to the exact same
+/// estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarloErrorModel {
     /// The MAC datapath delay model.
@@ -311,6 +316,22 @@ impl MonteCarloErrorModel {
 
     fn engine(&self) -> MonteCarloAnalysis {
         MonteCarloAnalysis::new(self.delay, self.trials, self.seed)
+    }
+
+    /// Per-trial TER samples for the global trial indices in `trials` (a
+    /// sub-range of `0..self.trials`) — the sharding hook of the sweep
+    /// subsystem.  Concatenating the slices of any partition of the full
+    /// range in index order and aggregating with
+    /// [`TerEstimate::from_trials`] reproduces [`ErrorModel::estimate`] bit
+    /// for bit (see [`timing::MonteCarloAnalysis::trial_ters`]).
+    pub fn trial_ters(
+        &self,
+        hist: &DepthHistogram,
+        condition: &OperatingCondition,
+        trials: std::ops::Range<u32>,
+    ) -> Vec<f64> {
+        self.engine()
+            .trial_ters(hist, &OperatingCorner::nominal(*condition), trials)
     }
 }
 

@@ -56,6 +56,15 @@ impl Variation {
         }
     }
 
+    /// One [`Variation::PerPe`] per seed, all on the same array geometry —
+    /// the die axis of a corner sweep.
+    pub fn dies(array: &accel_sim::ArrayConfig, seeds: impl IntoIterator<Item = u64>) -> Vec<Self> {
+        seeds
+            .into_iter()
+            .map(|seed| Variation::per_pe(array, seed))
+            .collect()
+    }
+
     /// Short stable label (`"typical"` / `"pe-var[16x4,seed=3]"`), used in
     /// report `corner` fields and cache fingerprints.
     pub fn label(&self) -> String {
@@ -104,6 +113,22 @@ impl OperatingCorner {
             condition,
             variation: Variation::per_pe(array, seed),
         }
+    }
+
+    /// The full corner grid of a sweep: every variation (die) crossed with
+    /// every condition, die-major — all conditions of the first die, then
+    /// all conditions of the next.  This is the cell order the pipeline
+    /// crate's sweep subsystem evaluates.
+    pub fn grid(conditions: &[OperatingCondition], variations: &[Variation]) -> Vec<Self> {
+        variations
+            .iter()
+            .flat_map(|&variation| {
+                conditions.iter().map(move |&condition| OperatingCorner {
+                    condition,
+                    variation,
+                })
+            })
+            .collect()
     }
 
     /// Stable label: the condition name alone at typical silicon, otherwise
@@ -196,6 +221,24 @@ impl TerEstimate {
     /// A spread-free point estimate.
     pub fn point(ter: f64) -> Self {
         TerEstimate { ter, stddev: None }
+    }
+
+    /// Aggregates per-trial TER samples into a mean and its **sample**
+    /// standard deviation (Bessel's `n - 1` correction, not the population
+    /// `n` divisor): the trials are a finite sample of the sampling
+    /// distribution, so the unbiased variance estimator is the right one.
+    /// Fewer than two samples yield a spread of `0.0`; the spread is always
+    /// `Some`, marking the estimate as sampled.
+    ///
+    /// This is the single aggregation every Monte-Carlo path uses —
+    /// [`MonteCarloAnalysis::estimate`] feeds it all trials at once, and a
+    /// sharded sweep feeds it the concatenation of per-shard
+    /// [`MonteCarloAnalysis::trial_ters`] slices, which is how sharded and
+    /// unsharded runs stay bit-identical.
+    pub fn from_trials(ters: &[f64]) -> Self {
+        let mut estimate = mean_and_spread(ters);
+        estimate.stddev = Some(estimate.stddev.unwrap_or(0.0));
+        estimate
     }
 }
 
@@ -298,6 +341,41 @@ impl MonteCarloAnalysis {
         }
     }
 
+    /// Per-trial TER samples for the *global* trial indices in `trials` (a
+    /// sub-range of `0..self.trials`).  Trial `t` derives its RNG stream
+    /// from `(seed, t)` alone, so a trial produces the same sample no matter
+    /// which range — or which shard of a sweep — computes it: concatenating
+    /// the slices of any partition of `0..self.trials` in index order
+    /// reproduces the unsharded sample vector exactly, and
+    /// [`TerEstimate::from_trials`] of that vector equals
+    /// [`MonteCarloAnalysis::estimate`] bit for bit.
+    ///
+    /// An empty histogram yields `0.0` for every requested trial.
+    pub fn trial_ters(
+        &self,
+        hist: &DepthHistogram,
+        corner: &OperatingCorner,
+        trials: std::ops::Range<u32>,
+    ) -> Vec<f64> {
+        if hist.total() == 0 {
+            return vec![0.0; trials.len()];
+        }
+        let probabilities = self.depth_probabilities(corner);
+        let total = hist.total() as f64;
+        trials
+            .map(|trial| {
+                let mut rng = StdRng::seed_from_u64(trial_seed(self.seed, trial));
+                let mut errors = 0u64;
+                for (depth, &count) in hist.counts().iter().enumerate() {
+                    if count > 0 {
+                        errors += binomial_sample(&mut rng, count, probabilities[depth]);
+                    }
+                }
+                errors as f64 / total
+            })
+            .collect()
+    }
+
     fn depth_probabilities(&self, corner: &OperatingCorner) -> Vec<f64> {
         let offsets = PeOffsets::for_variation(&corner.variation, &self.delay);
         (0..=crate::delay::MAX_DEPTH)
@@ -334,29 +412,7 @@ impl TimingAnalysis for MonteCarloAnalysis {
     }
 
     fn estimate(&self, hist: &DepthHistogram, corner: &OperatingCorner) -> TerEstimate {
-        if hist.total() == 0 || self.trials == 0 {
-            return TerEstimate {
-                ter: 0.0,
-                stddev: Some(0.0),
-            };
-        }
-        let probabilities = self.depth_probabilities(corner);
-        let total = hist.total() as f64;
-        let ters: Vec<f64> = (0..self.trials)
-            .map(|trial| {
-                let mut rng = StdRng::seed_from_u64(trial_seed(self.seed, trial));
-                let mut errors = 0u64;
-                for (depth, &count) in hist.counts().iter().enumerate() {
-                    if count > 0 {
-                        errors += binomial_sample(&mut rng, count, probabilities[depth]);
-                    }
-                }
-                errors as f64 / total
-            })
-            .collect();
-        let mut estimate = mean_and_spread(&ters);
-        estimate.stddev = Some(estimate.stddev.unwrap_or(0.0));
-        estimate
+        TerEstimate::from_trials(&self.trial_ters(hist, corner, 0..self.trials))
     }
 }
 
@@ -394,7 +450,9 @@ fn histogram_ter_with_offset(
     expected / hist.total() as f64
 }
 
-/// Mean and sample standard deviation of a set of TERs (PEs or trials).
+/// Mean and **sample** standard deviation (`n - 1` divisor) of a set of
+/// TERs (PEs or trials).  See [`TerEstimate::from_trials`] for why sample —
+/// not population — stddev is the contract.
 fn mean_and_spread(values: &[f64]) -> TerEstimate {
     if values.is_empty() {
         return TerEstimate::point(0.0);
@@ -606,6 +664,61 @@ mod tests {
         // Offsets are centred: with sigma 0.05 a gross bias would be a bug.
         let mean: f64 = offsets.as_slice().iter().sum::<f64>() / offsets.len() as f64;
         assert!(mean.abs() < 0.1);
+    }
+
+    #[test]
+    fn corner_grid_is_die_major() {
+        let conditions = [OperatingCondition::ideal(), stressed()];
+        let array = ArrayConfig::paper_default();
+        let mut variations = vec![Variation::Typical];
+        variations.extend(Variation::dies(&array, [1, 2]));
+        let grid = OperatingCorner::grid(&conditions, &variations);
+        assert_eq!(grid.len(), 6);
+        // All conditions of one die before the next die.
+        assert_eq!(grid[0].label(), "Ideal");
+        assert_eq!(grid[1].label(), "Aging&VT-5%");
+        assert_eq!(grid[2].label(), "Ideal+pe-var[16x4,seed=1]");
+        assert_eq!(grid[5].label(), "Aging&VT-5%+pe-var[16x4,seed=2]");
+        assert!(OperatingCorner::grid(&[], &variations).is_empty());
+    }
+
+    #[test]
+    fn trial_ters_shard_concatenation_matches_full_run() {
+        let hist = demo_histogram();
+        let corner = OperatingCorner::nominal(stressed());
+        let engine = MonteCarloAnalysis::new(DelayModel::nangate15_like(), 24, 5);
+        let full = engine.trial_ters(&hist, &corner, 0..24);
+        assert_eq!(full.len(), 24);
+        let mut sharded = engine.trial_ters(&hist, &corner, 0..7);
+        sharded.extend(engine.trial_ters(&hist, &corner, 7..8));
+        sharded.extend(engine.trial_ters(&hist, &corner, 8..24));
+        assert_eq!(full, sharded, "trial streams must not depend on the shard");
+        assert_eq!(
+            engine.estimate(&hist, &corner),
+            TerEstimate::from_trials(&full)
+        );
+    }
+
+    #[test]
+    fn from_trials_uses_the_sample_stddev() {
+        // Hand-computed three-trial case: mean 0.3; squared deviations
+        // 0.04 + 0.01 + 0.01 = 0.06; sample variance 0.06 / 2 = 0.03.
+        let estimate = TerEstimate::from_trials(&[0.1, 0.4, 0.4]);
+        assert!((estimate.ter - 0.3).abs() < 1e-15);
+        let sample = 0.03f64.sqrt();
+        let population = 0.02f64.sqrt();
+        let stddev = estimate.stddev.unwrap();
+        assert!((stddev - sample).abs() < 1e-15, "stddev {stddev}");
+        assert!((stddev - population).abs() > 1e-3, "must not be population");
+        // Degenerate sample sizes: spread present but zero.
+        assert_eq!(
+            TerEstimate::from_trials(&[0.5]),
+            TerEstimate {
+                ter: 0.5,
+                stddev: Some(0.0)
+            }
+        );
+        assert_eq!(TerEstimate::from_trials(&[]).stddev, Some(0.0));
     }
 
     #[test]

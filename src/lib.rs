@@ -87,10 +87,10 @@ pub mod prelude {
     pub use read_pipeline::{resnet18_workloads, resnet34_workloads, vgg16_workloads};
     pub use read_pipeline::{AccuracyPoint, AccuracyReport};
     pub use read_pipeline::{
-        Algorithm, Baseline, CacheStats, DelayErrorModel, ErrorModel, Evaluator, ExecMode,
-        LayerReport, LayerWorkload, MonteCarloErrorModel, NetworkReport, PipelineError,
-        ReadPipeline, ReadPipelineBuilder, ScheduleSource, TopKEvaluator, VariationErrorModel,
-        WorkloadConfig,
+        Algorithm, Baseline, CacheStats, DelayErrorModel, DieSpec, ErrorModel, Evaluator, ExecMode,
+        LayerReport, LayerWorkload, MonteCarloErrorModel, MonteCarloSweep, NetworkReport,
+        PipelineError, ReadPipeline, ReadPipelineBuilder, ScheduleSource, SweepCell, SweepPlan,
+        SweepReport, TopKEvaluator, VariationErrorModel, WorkloadConfig, WorstCase,
     };
     pub use timing::{
         ber_from_ter, paper_conditions, AnalyticAnalysis, DelayModel, DepthHistogram,

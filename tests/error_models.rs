@@ -66,6 +66,39 @@ fn monte_carlo_ter_converges_to_the_analytic_ter_as_trials_grow() {
     );
 }
 
+/// `ter_stddev` is the **sample** standard deviation of the trial TERs
+/// (Bessel's `n - 1` correction), as `TerEstimate::from_trials` documents —
+/// asserted numerically against a hand-computed three-trial case.
+#[test]
+fn monte_carlo_ter_stddev_is_the_sample_stddev_of_the_trials() {
+    // Hand-computed: trials [0.1, 0.4, 0.4] have mean 0.3, squared
+    // deviations 0.04 + 0.01 + 0.01 = 0.06, sample variance 0.06/2 = 0.03.
+    // The population divisor (n = 3) would give 0.02.
+    let hand = TerEstimate::from_trials(&[0.1, 0.4, 0.4]);
+    assert!((hand.ter - 0.3).abs() < 1e-15);
+    assert!((hand.stddev.unwrap() - 0.03f64.sqrt()).abs() < 1e-15);
+    assert!(
+        (hand.stddev.unwrap() - 0.02f64.sqrt()).abs() > 1e-3,
+        "the spread must not be the population stddev"
+    );
+
+    // The pipeline's Monte-Carlo model aggregates its own trials the same
+    // way: a 3-trial estimate equals the hand aggregation of its 3 trial
+    // samples, bit for bit.
+    let hist = baseline_histogram(&tiny_workloads(1)[0]);
+    let condition = worst_corner();
+    let model = MonteCarloErrorModel::new(3, 0xABCD);
+    let trials = model.trial_ters(&hist, &condition, 0..3);
+    assert_eq!(trials.len(), 3);
+    let estimate = model.estimate(&hist, &condition);
+    assert_eq!(estimate, TerEstimate::from_trials(&trials));
+    // Recompute the sample stddev by hand from the raw trials.
+    let mean = trials.iter().sum::<f64>() / 3.0;
+    let sample_var = trials.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / 2.0;
+    assert!((estimate.ter - mean).abs() < 1e-18);
+    assert!((estimate.stddev.unwrap() - sample_var.sqrt()).abs() < 1e-18);
+}
+
 // ---- per-PE variation stability -----------------------------------------
 
 #[test]

@@ -18,7 +18,11 @@ use read_core::{
     count_sign_flips, sign_flips_for_order, sort_input_channels, AddressLut, BalancedKMeans,
     ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer, SortCriterion,
 };
-use timing::{ber_from_ter, ter_for_target_ber, DelayModel, OperatingCondition};
+use read_pipeline::{SweepPlan, SweepReport};
+use timing::{
+    ber_from_ter, ter_for_target_ber, DelayModel, DepthHistogram, MonteCarloAnalysis,
+    OperatingCondition, OperatingCorner, TerEstimate, TimingAnalysis,
+};
 
 /// Deterministic case generator: convenience draws over the shared shim RNG.
 struct Gen(StdRng);
@@ -314,6 +318,143 @@ fn lut_round_trips_orders() {
             assert_eq!(&got, &cluster.order);
         }
         assert!(lut.size_bytes() > 0);
+    }
+}
+
+/// Sharded Monte-Carlo aggregation equals the unsharded estimate for any
+/// partition of the trial range: trial streams depend on the global trial
+/// index alone, and concatenating the per-shard samples in index order
+/// reproduces the full sample vector (and hence the estimate) exactly.
+#[test]
+fn sharded_mc_aggregation_equals_unsharded_for_arbitrary_splits() {
+    let mut hist = DepthHistogram::new();
+    {
+        let weights = Matrix::from_fn(48, 4, |r, c| (((r * 11 + c * 3) % 15) as i8) - 7);
+        let activations = Matrix::from_fn(48, 4, |r, c| ((r + 2 * c) % 5) as i8);
+        GemmProblem::new(weights, activations)
+            .unwrap()
+            .simulate(
+                &ArrayConfig::paper_default(),
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut hist,
+            )
+            .unwrap();
+    }
+    let corner = OperatingCorner::nominal(OperatingCondition::aging_vt(10.0, 0.05));
+    let mut gen = Gen::new(0x5AAD);
+    for _ in 0..24 {
+        let trials = gen.range(1, 48) as u32;
+        let engine = MonteCarloAnalysis::new(DelayModel::nangate15_like(), trials, gen.next_u64());
+        let full = engine.trial_ters(&hist, &corner, 0..trials);
+
+        // An arbitrary partition: random cut points over the trial range.
+        let mut sharded = Vec::new();
+        let mut lo = 0u32;
+        while lo < trials {
+            let hi = gen
+                .range(lo as usize + 1, trials as usize + 2)
+                .min(trials as usize) as u32;
+            sharded.extend(engine.trial_ters(&hist, &corner, lo..hi));
+            lo = hi;
+        }
+        assert_eq!(full, sharded, "trials={trials}");
+        assert_eq!(
+            engine.estimate(&hist, &corner),
+            TerEstimate::from_trials(&sharded)
+        );
+    }
+}
+
+/// Tiny sweep fixture shared by the sweep property tests: one layer, one
+/// source, serial execution.
+fn run_tiny_sweep(plan: SweepPlan) -> SweepReport {
+    let config = read_pipeline::WorkloadConfig {
+        pixels_per_layer: 1,
+        ..Default::default()
+    };
+    let workloads: Vec<_> = read_pipeline::vgg16_workloads(&config)
+        .into_iter()
+        .take(1)
+        .collect();
+    read_pipeline::ReadPipeline::builder()
+        .baseline()
+        .sweep(plan)
+        .build()
+        .unwrap()
+        .run_sweep("prop", &workloads)
+        .unwrap()
+}
+
+/// A sweep's per-cell rows do not depend on the shard layout: any
+/// `trials_per_shard` yields the same rows as the unsharded run.
+#[test]
+fn sweep_rows_are_invariant_under_arbitrary_shard_sizes() {
+    let mut gen = Gen::new(0x57A2);
+    let base = SweepPlan::new()
+        .condition(OperatingCondition::aging_vt(10.0, 0.05))
+        .monte_carlo(30, 0xFEED);
+    let unsharded = run_tiny_sweep(base.clone());
+    for _ in 0..6 {
+        let per_shard = gen.range(1, 40) as u32;
+        let sharded = run_tiny_sweep(base.clone().trials_per_shard(per_shard));
+        assert_eq!(
+            unsharded.cells[0].rows, sharded.cells[0].rows,
+            "trials_per_shard={per_shard}"
+        );
+        assert_eq!(unsharded.worst, sharded.worst);
+    }
+}
+
+/// Reordering the plan's conditions and dies permutes the sweep's cells but
+/// never changes any cell's content: cells are keyed by (die, condition)
+/// and each is derived independently of its grid position.
+#[test]
+fn sweep_cells_are_permutation_invariant_under_plan_reordering() {
+    let mut gen = Gen::new(0xD1CE);
+    let conditions = [
+        OperatingCondition::ideal(),
+        OperatingCondition::vt(0.05),
+        OperatingCondition::aging_vt(10.0, 0.05),
+    ];
+    let die_seeds = [1u64, 2];
+    let reference = run_tiny_sweep(
+        SweepPlan::new()
+            .conditions(conditions)
+            .typical()
+            .dies(die_seeds)
+            .monte_carlo(12, 5),
+    );
+    for _ in 0..4 {
+        // A random permutation of both axes (Fisher-Yates over the shim RNG).
+        let mut cond_order: Vec<usize> = (0..conditions.len()).collect();
+        let mut die_order: Vec<usize> = (0..3).collect(); // typical + 2 dies
+        for i in (1..cond_order.len()).rev() {
+            cond_order.swap(i, gen.range(0, i + 1));
+        }
+        for i in (1..die_order.len()).rev() {
+            die_order.swap(i, gen.range(0, i + 1));
+        }
+        let mut plan = SweepPlan::new().monte_carlo(12, 5);
+        for &ci in &cond_order {
+            plan = plan.condition(conditions[ci]);
+        }
+        for &di in &die_order {
+            plan = match di {
+                0 => plan.typical(),
+                di => plan.die(die_seeds[di - 1]),
+            };
+        }
+        let permuted = run_tiny_sweep(plan);
+        assert_eq!(permuted.cells.len(), reference.cells.len());
+        for cell in &reference.cells {
+            let twin = permuted
+                .cell(&cell.die, &cell.condition)
+                .unwrap_or_else(|| panic!("cell ({}, {}) missing", cell.die, cell.condition));
+            assert_eq!(cell, twin, "({}, {})", cell.die, cell.condition);
+        }
+        // The cross-corner worst case is position-independent too.
+        assert_eq!(reference.worst, permuted.worst);
     }
 }
 
