@@ -154,4 +154,10 @@ fn main() {
         "schedule cache after parallel runs: {} hits / {} misses / {} entries",
         stats.hits, stats.misses, stats.entries
     );
+    // Repeated runs are served from the histogram cache one level up, so
+    // schedule hits stay flat while histogram hits grow per iteration.
+    println!(
+        "histogram cache after parallel runs: {} hits / {} misses / {} entries",
+        stats.hist_hits, stats.hist_misses, stats.hist_entries
+    );
 }

@@ -9,7 +9,7 @@ use accel_sim::ArrayConfig;
 use qnn::{Dataset, Model};
 pub use read_pipeline::Algorithm;
 use read_pipeline::{
-    DelayErrorModel, ErrorModel, ReadPipeline, SweepPlan, SweepReport, TopKEvaluator,
+    DelayErrorModel, ErrorModel, Executor, ReadPipeline, SweepPlan, SweepReport, TopKEvaluator,
 };
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
@@ -74,7 +74,33 @@ pub fn corner_sweep(
     plan: SweepPlan,
     workloads: &[LayerWorkload],
 ) -> SweepReport {
-    let mut builder = ReadPipeline::builder().array(*array).sweep(plan).parallel();
+    corner_sweep_on(
+        read_pipeline::ThreadExecutor::machine(),
+        algorithms,
+        array,
+        plan,
+        workloads,
+    )
+}
+
+/// Like [`corner_sweep`], but on an explicit [`Executor`] — the seam for
+/// benchmarking a sweep across worker threads or processes (any strategy
+/// returns byte-identical reports, so only the wall clock changes).
+///
+/// # Panics
+///
+/// See [`corner_sweep`].
+pub fn corner_sweep_on(
+    executor: impl Executor + 'static,
+    algorithms: &[Algorithm],
+    array: &ArrayConfig,
+    plan: SweepPlan,
+    workloads: &[LayerWorkload],
+) -> SweepReport {
+    let mut builder = ReadPipeline::builder()
+        .array(*array)
+        .sweep(plan)
+        .executor(executor);
     for &algorithm in algorithms {
         builder = builder.source(algorithm);
     }

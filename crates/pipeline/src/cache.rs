@@ -1,29 +1,39 @@
-//! Seed-keyed schedule cache.
+//! Seed-keyed result caches: schedules and layer histograms.
 //!
 //! Optimizing a layer is the expensive part of a sweep (balanced k-means
 //! plus per-cluster sorting), and experiment grids revisit the same
 //! (source, layer, array) corner many times — e.g. every operating condition
-//! of an accuracy sweep, or repeated runs over seeds.  The cache keys on the
-//! source fingerprint (which includes [`read_core::ReadConfig::seed`]), a
-//! fingerprint of the weight matrix, and the array column count, so a
-//! repeated corner reuses its schedule while any configuration change
-//! recomputes it.  Because the fingerprints are 64-bit hashes, every entry
-//! also stores a [`KeyCheck`] (source name + weight dimensions) that
-//! lookups verify — a hash collision that differs in either is detected
-//! and bypassed rather than served (see [`CacheStats::collisions`]).  The
-//! check deliberately stops there: a collision between equal-dimension
-//! weight contents, or between same-named sources with different configs,
-//! would additionally need the 64-bit content/config hashes to collide
-//! (probability ~2^-64 per pair) and is accepted as residual risk.
+//! of an accuracy sweep, or repeated runs over seeds.  The schedule cache
+//! keys on the source fingerprint (which includes
+//! [`read_core::ReadConfig::seed`]), a fingerprint of the weight matrix, and
+//! the array column count, so a repeated corner reuses its schedule while
+//! any configuration change recomputes it.  The histogram cache is keyed the
+//! same way — source fingerprint plus a fingerprint of the full workload and
+//! the simulation context (array geometry, dataflow, options) — and
+//! amortizes the cycle simulation the same way the schedule cache amortizes
+//! the optimization: a sweep simulates each (workload, source) pair once,
+//! and every later corner, die or repeated run reuses the histogram.
+//!
+//! Because the fingerprints are 64-bit hashes, every entry also stores a
+//! verification check (names + dimensions) that lookups verify — a hash
+//! collision that differs in either is detected and bypassed rather than
+//! served (see [`CacheStats::collisions`]).  The check deliberately stops
+//! there: a collision between equal-dimension contents, or between
+//! same-named sources with different configs, would additionally need the
+//! 64-bit content/config hashes to collide (probability ~2^-64 per pair)
+//! and is accepted as residual risk.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use accel_sim::{ComputeSchedule, Matrix};
+use timing::DepthHistogram;
 
 use crate::error::PipelineError;
 use crate::stage::fnv1a;
+use crate::workload::LayerWorkload;
 
 /// Cache key: (source fingerprint, weights fingerprint, array columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +68,43 @@ pub struct KeyCheck {
     pub cols: usize,
 }
 
+/// Histogram-cache key: (source fingerprint, workload fingerprint,
+/// simulation-context fingerprint).
+///
+/// A triggered-depth histogram depends on the schedule (determined by the
+/// source and the weights), the activations, and the simulation context —
+/// the array geometry, the dataflow and the simulation options — but *not*
+/// on the operating corner, which is applied after the fact by the error
+/// model.  The key therefore covers exactly those inputs, so one cached
+/// histogram serves every corner, die and trial budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramKey {
+    /// [`crate::ScheduleSource::fingerprint`] of the producing source.
+    pub source: u64,
+    /// Fingerprint of the full workload (weights + activations, dims and
+    /// contents) — see [`workload_fingerprint`].
+    pub workload: u64,
+    /// Fingerprint of the simulation context (array geometry, dataflow,
+    /// simulation options).
+    pub context: u64,
+}
+
+/// Full-key verification data of a histogram-cache entry (the
+/// [`KeyCheck`] analogue: names + dimensions behind the 64-bit hashes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramCheck {
+    /// [`crate::ScheduleSource::name`] of the producing source.
+    pub source: String,
+    /// [`LayerWorkload`] name.
+    pub workload: String,
+    /// Weight-matrix rows (reduction length).
+    pub rows: usize,
+    /// Weight-matrix columns (output channels).
+    pub cols: usize,
+    /// Activation-matrix columns (pixels).
+    pub pixels: usize,
+}
+
 /// Fingerprint of a weight matrix: FNV-1a over its dimensions and bytes.
 pub fn weights_fingerprint(weights: &Matrix<i8>) -> u64 {
     let dims = [weights.rows() as u64, weights.cols() as u64];
@@ -68,58 +115,87 @@ pub fn weights_fingerprint(weights: &Matrix<i8>) -> u64 {
     fnv1a(bytes)
 }
 
-/// Cache effectiveness counters.
+/// Fingerprint of a full workload: FNV-1a over the weight and activation
+/// matrices (dimensions + contents).
+pub fn workload_fingerprint(workload: &LayerWorkload) -> u64 {
+    let dims = [
+        workload.weights.rows() as u64,
+        workload.weights.cols() as u64,
+        workload.activations.rows() as u64,
+        workload.activations.cols() as u64,
+    ];
+    let bytes = dims
+        .iter()
+        .flat_map(|d| d.to_le_bytes())
+        .chain(workload.weights.as_slice().iter().map(|&w| w as u8))
+        .chain(workload.activations.as_slice().iter().map(|&a| a as u8));
+    fnv1a(bytes)
+}
+
+/// Cache effectiveness counters of a pipeline's caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Schedule lookups served from the cache.
     pub hits: u64,
-    /// Lookups that had to compute a schedule.
+    /// Schedule lookups that had to compute a schedule.
     pub misses: u64,
-    /// Lookups whose hash key matched a cached entry but whose full key
-    /// ([`KeyCheck`]) did not — a fingerprint collision, served by a fresh
-    /// computation instead of the cached schedule.
+    /// Schedule lookups whose hash key matched a cached entry but whose
+    /// full key ([`KeyCheck`]) did not — a fingerprint collision, served by
+    /// a fresh computation instead of the cached schedule.
     pub collisions: u64,
     /// Schedules currently cached.
     pub entries: usize,
+    /// Histogram lookups served from the cache (a simulation pass saved).
+    pub hist_hits: u64,
+    /// Histogram lookups that had to simulate.
+    pub hist_misses: u64,
+    /// Histogram lookups whose hash key collided (see
+    /// [`CacheStats::collisions`]) — served by a fresh simulation.
+    pub hist_collisions: u64,
+    /// Histograms currently cached.
+    pub hist_entries: usize,
 }
 
-/// A thread-safe, in-memory schedule cache.
-#[derive(Debug, Default)]
-pub struct ScheduleCache {
-    map: Mutex<HashMap<ScheduleKey, (KeyCheck, Arc<ComputeSchedule>)>>,
+/// A thread-safe, in-memory cache with full-key collision verification —
+/// the shared machinery behind [`ScheduleCache`] and [`HistogramCache`].
+#[derive(Debug)]
+struct VerifiedCache<K, C, V> {
+    map: Mutex<HashMap<K, (C, Arc<V>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
 }
 
-impl ScheduleCache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
+impl<K, C, V> Default for VerifiedCache<K, C, V> {
+    fn default() -> Self {
+        VerifiedCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+        }
     }
+}
 
-    /// Returns the cached schedule for `key`, or computes, caches and
-    /// returns it.  `check` is the full (name + dims) key verified against
-    /// the stored entry: a hash collision is detected rather than served,
-    /// and its lookup computes a fresh schedule without touching the cache.
+impl<K: Eq + Hash + Copy, C: Eq + Clone, V> VerifiedCache<K, C, V> {
+    /// Returns the cached value for `key`, or computes, caches and returns
+    /// it.  `check` is the full key verified against the stored entry: a
+    /// hash collision is detected rather than served, and its lookup
+    /// computes a fresh value without touching the cache.
     ///
     /// The compute closure runs outside the cache lock, so concurrent
-    /// lookups of *different* keys never serialize on a slow optimization;
+    /// lookups of *different* keys never serialize on a slow computation;
     /// two racing computations of the same key are deterministic and
     /// idempotent, and the first insert wins.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the compute closure's error without caching anything.
-    pub fn get_or_compute(
+    fn get_or_compute(
         &self,
-        key: ScheduleKey,
-        check: KeyCheck,
-        compute: impl FnOnce() -> Result<ComputeSchedule, PipelineError>,
-    ) -> Result<Arc<ComputeSchedule>, PipelineError> {
+        key: K,
+        check: C,
+        compute: impl FnOnce() -> Result<V, PipelineError>,
+    ) -> Result<Arc<V>, PipelineError> {
         // Look up under the lock, but release it before any compute() call
         // (the if-let guard temporary would otherwise live to the end of the
-        // branch and serialize unrelated lookups on a slow optimization).
+        // branch and serialize unrelated lookups on a slow computation).
         let cached = {
             let map = self.map.lock().expect("cache lock");
             map.get(&key)
@@ -155,22 +231,115 @@ impl ScheduleCache {
         }
     }
 
-    /// Current counters.
+    /// Current counters: (hits, misses, collisions, entries).
+    fn counters(&self) -> (u64, u64, u64, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.collisions.load(Ordering::Relaxed),
+            self.map.lock().expect("cache lock").len(),
+        )
+    }
+
+    /// Drops every cached value and resets the counters.
+    fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.collisions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A thread-safe, in-memory schedule cache.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    inner: VerifiedCache<ScheduleKey, KeyCheck, ComputeSchedule>,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached schedule for `key`, or computes, caches and
+    /// returns it.  `check` is the full (name + dims) key verified against
+    /// the stored entry: a hash collision is detected rather than served,
+    /// and its lookup computes a fresh schedule without touching the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error without caching anything.
+    pub fn get_or_compute(
+        &self,
+        key: ScheduleKey,
+        check: KeyCheck,
+        compute: impl FnOnce() -> Result<ComputeSchedule, PipelineError>,
+    ) -> Result<Arc<ComputeSchedule>, PipelineError> {
+        self.inner.get_or_compute(key, check, compute)
+    }
+
+    /// Current counters (schedule fields only; the histogram fields of the
+    /// combined [`CacheStats`] are zero — [`crate::ReadPipeline::cache_stats`]
+    /// fills them from its histogram cache).
     pub fn stats(&self) -> CacheStats {
+        let (hits, misses, collisions, entries) = self.inner.counters();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            collisions: self.collisions.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").len(),
+            hits,
+            misses,
+            collisions,
+            entries,
+            ..CacheStats::default()
         }
     }
 
     /// Drops every cached schedule and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.collisions.store(0, Ordering::Relaxed);
+        self.inner.clear();
+    }
+}
+
+/// A thread-safe, in-memory triggered-depth-histogram cache.
+///
+/// Keyed like the schedule cache ([`HistogramKey`]), it amortizes the cycle
+/// simulation across the corners, dies and repeated runs of a sweep: the
+/// histogram of a (workload, source) pair is corner-independent, so one
+/// simulation pass serves the whole grid.
+#[derive(Debug, Default)]
+pub struct HistogramCache {
+    inner: VerifiedCache<HistogramKey, HistogramCheck, DepthHistogram>,
+}
+
+impl HistogramCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached histogram for `key`, or simulates, caches and
+    /// returns it.  `check` is the full (names + dims) key verified against
+    /// the stored entry — see [`ScheduleCache::get_or_compute`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error without caching anything.
+    pub fn get_or_compute(
+        &self,
+        key: HistogramKey,
+        check: HistogramCheck,
+        compute: impl FnOnce() -> Result<DepthHistogram, PipelineError>,
+    ) -> Result<Arc<DepthHistogram>, PipelineError> {
+        self.inner.get_or_compute(key, check, compute)
+    }
+
+    /// Current counters: (hits, misses, collisions, entries).
+    pub fn counters(&self) -> (u64, u64, u64, usize) {
+        self.inner.counters()
+    }
+
+    /// Drops every cached histogram and resets the counters.
+    pub fn clear(&self) {
+        self.inner.clear();
     }
 }
 
@@ -275,6 +444,47 @@ mod tests {
         assert_ne!(weights_fingerprint(&a), weights_fingerprint(&b));
         assert_ne!(weights_fingerprint(&a), weights_fingerprint(&c));
         assert_eq!(weights_fingerprint(&a), weights_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn workload_fingerprint_sees_weights_and_activations() {
+        let weights = Matrix::from_fn(6, 3, |r, c| (r + c) as i8);
+        let acts_a = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as i8);
+        let acts_b = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as i8 + 1);
+        let a = LayerWorkload::from_matrices("l", weights.clone(), acts_a.clone()).unwrap();
+        let b = LayerWorkload::from_matrices("l", weights, acts_b).unwrap();
+        assert_ne!(workload_fingerprint(&a), workload_fingerprint(&b));
+        let again = LayerWorkload::from_matrices("renamed", a.weights.clone(), acts_a).unwrap();
+        // The fingerprint covers contents, not the display name (the name is
+        // verified by the HistogramCheck instead).
+        assert_eq!(workload_fingerprint(&a), workload_fingerprint(&again));
+    }
+
+    #[test]
+    fn histogram_cache_hits_and_detects_collisions() {
+        let cache = HistogramCache::new();
+        let key = HistogramKey {
+            source: 1,
+            workload: 2,
+            context: 3,
+        };
+        let check_a = HistogramCheck {
+            source: "a".into(),
+            workload: "conv1".into(),
+            rows: 8,
+            cols: 4,
+            pixels: 1,
+        };
+        let mut check_b = check_a.clone();
+        check_b.workload = "conv2".into();
+        let make = || Ok(DepthHistogram::from_parts(&[3, 1], 1, 4).unwrap());
+        let first = cache.get_or_compute(key, check_a.clone(), make).unwrap();
+        let again = cache.get_or_compute(key, check_a, make).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        let collided = cache.get_or_compute(key, check_b, make).unwrap();
+        assert!(!Arc::ptr_eq(&first, &collided));
+        let (hits, misses, collisions, entries) = cache.counters();
+        assert_eq!((hits, misses, collisions, entries), (1, 1, 1, 1));
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub enum PipelineError {
         /// What was inconsistent.
         reason: String,
     },
+    /// A work-plan executor failed: a worker process died, a wire message
+    /// did not decode, or the returned unit results do not cover the plan.
+    Exec {
+        /// What went wrong.
+        reason: String,
+    },
     /// The schedule source rejected the layer.
     Schedule(ReadError),
     /// The simulator rejected the problem or schedule.
@@ -38,6 +44,13 @@ impl PipelineError {
             reason: reason.into(),
         }
     }
+
+    /// Executor error with the given reason.
+    pub fn exec(reason: impl Into<String>) -> Self {
+        PipelineError::Exec {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -50,6 +63,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Input { reason } => {
                 write!(f, "inconsistent experiment inputs: {reason}")
             }
+            PipelineError::Exec { reason } => write!(f, "executor failed: {reason}"),
             PipelineError::Schedule(e) => write!(f, "schedule source failed: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
             PipelineError::Eval(e) => write!(f, "evaluation failed: {e}"),

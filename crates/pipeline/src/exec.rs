@@ -1,50 +1,121 @@
-//! Execution strategy: serial or multi-threaded fan-out over independent
-//! work items.
+//! Legacy execution-mode shim plus the scoped-thread fan-out primitive.
 //!
 //! The build environment has no external crates, so the parallel path is a
 //! small scoped-thread work queue with the same contract rayon's
 //! `par_iter().map().collect()` would give: results come back in item order
 //! and the first error (by item index) wins, so serial and parallel runs of
 //! a deterministic job produce identical output.
+//!
+//! [`ExecMode`] predates the [`crate::executor`] layer and is kept as a
+//! deprecated back-compat shim: existing `.exec(ExecMode::..)` callers keep
+//! compiling and behave exactly as before (the builder converts the mode
+//! into the equivalent [`crate::SerialExecutor`] / [`crate::ThreadExecutor`]).
+//! New code should configure an [`crate::Executor`] directly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// How a pipeline fans out per-layer work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Deprecated: this enum predates the [`crate::Executor`] abstraction and
+/// only covers in-process execution.  Use
+/// [`crate::ReadPipelineBuilder::executor`] with [`crate::SerialExecutor`],
+/// [`crate::ThreadExecutor`] or [`crate::SubprocessExecutor`] instead; the
+/// shim maps `Serial` to `SerialExecutor` and `Parallel { threads }` to
+/// `ThreadExecutor { threads }` with identical results.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the Executor trait (SerialExecutor / ThreadExecutor / SubprocessExecutor) via ReadPipelineBuilder::executor"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// One item after another on the calling thread.
-    #[default]
     Serial,
     /// Scoped worker threads pulling items from a shared queue.
     Parallel {
         /// Worker count; `0` uses the machine's available parallelism.
+        /// Whatever the request, the resolved worker count is clamped to at
+        /// least one thread (and at most one per item), so
+        /// `Parallel { threads: 0 }` can never resolve to zero workers —
+        /// even when `available_parallelism` is unknown it degrades to a
+        /// single worker, never to a stalled run.
         threads: usize,
     },
 }
 
+// Not derived: the derive would reference the deprecated variant without an
+// `allow`, warning on every build.
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Serial
+    }
+}
+
+#[allow(deprecated)]
 impl ExecMode {
     /// Parallel execution sized to the machine.
     pub fn parallel() -> Self {
         ExecMode::Parallel { threads: 0 }
     }
 
+    /// The worker-thread count this mode requests (`None` for serial,
+    /// `Some(0)` for machine-sized) — the value the [`crate::ThreadExecutor`]
+    /// shim is built with.
+    pub fn requested_threads(self) -> Option<usize> {
+        match self {
+            ExecMode::Serial => None,
+            ExecMode::Parallel { threads } => Some(threads),
+        }
+    }
+
     fn resolved_threads(self, items: usize) -> usize {
         match self {
             ExecMode::Serial => 1,
-            ExecMode::Parallel { threads: 0 } => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(items.max(1)),
-            ExecMode::Parallel { threads } => threads.min(items.max(1)),
+            ExecMode::Parallel { threads } => resolve_threads(threads, items),
         }
     }
+}
+
+/// Resolves a requested worker count against an item count: `0` means the
+/// machine's available parallelism, and the result is clamped to
+/// `1..=items.max(1)` — never zero workers, never more workers than items.
+pub fn resolve_threads(requested: usize, items: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.min(items.max(1)).max(1)
 }
 
 /// Runs `job(0..items)` under the given mode and returns the results in item
 /// order.  On failure the error of the smallest failing index is returned,
 /// independent of thread timing.
+///
+/// Deprecated alongside [`ExecMode`]; use [`run_indexed_threads`] (or an
+/// [`crate::Executor`]) instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use run_indexed_threads or an Executor implementation"
+)]
+#[allow(deprecated)]
 pub fn run_indexed<T, E, F>(mode: ExecMode, items: usize, job: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    run_indexed_threads(mode.resolved_threads(items), items, job)
+}
+
+/// Runs `job(0..items)` on `threads` scoped worker threads (`0` = machine
+/// parallelism; the count is clamped to `1..=items`) and returns the results
+/// in item order.  On failure the error of the smallest failing index is
+/// returned, independent of thread timing.
+pub fn run_indexed_threads<T, E, F>(threads: usize, items: usize, job: F) -> Result<Vec<T>, E>
 where
     T: Send,
     E: Send,
@@ -53,7 +124,7 @@ where
     if items == 0 {
         return Ok(Vec::new());
     }
-    let threads = mode.resolved_threads(items);
+    let threads = resolve_threads(threads, items);
     if threads <= 1 {
         return (0..items).map(job).collect();
     }
@@ -87,6 +158,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -124,5 +196,39 @@ mod tests {
         let out: Vec<usize> =
             run_indexed(ExecMode::Parallel { threads: 16 }, 3, Ok::<_, ()>).unwrap();
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    /// Regression: `Parallel { threads: 0 }` is the documented machine-sized
+    /// request and must always resolve to at least one worker — it runs to
+    /// completion with results identical to serial, never zero workers.
+    #[test]
+    fn zero_thread_request_clamps_to_at_least_one_worker() {
+        assert!(resolve_threads(0, 8) >= 1);
+        assert_eq!(resolve_threads(0, 0), 1);
+        // The 0 sentinel means machine parallelism all the way down — it is
+        // resolved, never silently collapsed to a single worker.
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(resolve_threads(0, 100), machine.min(100));
+        assert_eq!(resolve_threads(5, 2), 2);
+        assert_eq!(resolve_threads(1, 100), 1);
+        let zero: Vec<usize> =
+            run_indexed(ExecMode::Parallel { threads: 0 }, 9, |i| Ok::<_, ()>(i + 1)).unwrap();
+        let serial: Vec<usize> = run_indexed(ExecMode::Serial, 9, |i| Ok::<_, ()>(i + 1)).unwrap();
+        assert_eq!(zero, serial);
+        // The same request through run_indexed_threads directly.
+        let direct: Vec<usize> = run_indexed_threads(0, 9, |i| Ok::<_, ()>(i + 1)).unwrap();
+        assert_eq!(direct, serial);
+    }
+
+    #[test]
+    fn requested_threads_reports_the_shim_mapping() {
+        assert_eq!(ExecMode::Serial.requested_threads(), None);
+        assert_eq!(ExecMode::parallel().requested_threads(), Some(0));
+        assert_eq!(
+            ExecMode::Parallel { threads: 3 }.requested_threads(),
+            Some(3)
+        );
     }
 }

@@ -1,0 +1,366 @@
+//! Execution strategies for a [`WorkPlan`]: the [`Executor`] trait and its
+//! in-process ([`SerialExecutor`], [`ThreadExecutor`]) and multi-process
+//! ([`SubprocessExecutor`]) implementations.
+//!
+//! An executor receives a plan plus a unit-index range and returns one
+//! [`UnitResult`] per unit.  Units are position-independent and results are
+//! self-identifying, so *how* the range is executed — one thread, a scoped
+//! thread pool, or worker processes speaking the wire protocol over
+//! stdin/stdout — never changes what the [`crate::Aggregator`] folds the
+//! results into: every executor produces byte-identical reports.  This
+//! trait is the seam later distribution backends (machines, job queues)
+//! plug into; they only need to return the same results for the same unit
+//! ids.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use crate::error::PipelineError;
+use crate::exec::{resolve_threads, run_indexed_threads};
+use crate::plan::{UnitResult, WorkPlan, WorkUnit};
+
+/// A strategy for executing a contiguous range of a [`WorkPlan`]'s units.
+pub trait Executor: Send + Sync {
+    /// Display name of the strategy (for logs and debugging).
+    fn name(&self) -> String;
+
+    /// Executes the units at `range` and returns their results in unit-index
+    /// order, one per unit.  On failure the error of the smallest failing
+    /// unit index is returned, independent of worker timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unit failures and executor-level failures
+    /// ([`PipelineError::Exec`]: dead workers, undecodable wire traffic,
+    /// missing results).
+    fn execute(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+    ) -> Result<Vec<UnitResult>, PipelineError>;
+}
+
+/// Runs every unit on the calling thread, in order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn name(&self) -> String {
+        "serial".to_string()
+    }
+
+    fn execute(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+    ) -> Result<Vec<UnitResult>, PipelineError> {
+        range.map(|index| plan.run_unit(index)).collect()
+    }
+}
+
+/// Runs units on scoped worker threads pulling from a shared queue
+/// (absorbing the legacy `ExecMode::Parallel` behavior).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadExecutor {
+    /// Worker count; `0` uses the machine's available parallelism.  The
+    /// resolved count is clamped to at least one thread and at most one per
+    /// unit.
+    pub threads: usize,
+}
+
+impl ThreadExecutor {
+    /// Executor with an explicit worker count (`0` = machine-sized).
+    pub fn new(threads: usize) -> Self {
+        ThreadExecutor { threads }
+    }
+
+    /// Executor sized to the machine's available parallelism.
+    pub fn machine() -> Self {
+        ThreadExecutor { threads: 0 }
+    }
+}
+
+impl Executor for ThreadExecutor {
+    fn name(&self) -> String {
+        match self.threads {
+            0 => "threads[machine]".to_string(),
+            n => format!("threads[{n}]"),
+        }
+    }
+
+    fn execute(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+    ) -> Result<Vec<UnitResult>, PipelineError> {
+        let start = range.start;
+        run_indexed_threads(
+            resolve_threads(self.threads, range.len()),
+            range.len(),
+            |i| plan.run_unit(start + i),
+        )
+    }
+}
+
+/// Distributes units across worker *processes* speaking the
+/// [`crate::plan`] wire protocol: each worker receives unit-id lines on
+/// stdin and answers one encoded [`UnitResult`] line per unit on stdout.
+///
+/// The driver splits the range into one contiguous chunk per worker,
+/// spawns every worker, feeds and drains them concurrently, and re-orders
+/// the self-identifying results by unit index — so the aggregate is
+/// byte-identical to a serial run regardless of worker count or scheduling.
+///
+/// A worker is any command that reconstructs the same pipeline and plan and
+/// calls [`WorkPlan::serve`] on its stdio — see `examples/shard_worker.rs`
+/// for the canonical self-spawning driver.  Lines a worker writes that are
+/// neither a decodable result nor a `!`-prefixed failure report are ignored
+/// (harness chatter); failure reports and missing results abort the run.
+#[derive(Debug, Clone)]
+pub struct SubprocessExecutor {
+    program: PathBuf,
+    args: Vec<String>,
+    envs: Vec<(String, String)>,
+    workers: usize,
+}
+
+impl SubprocessExecutor {
+    /// Executor spawning `program` as the worker command (2 workers by
+    /// default).
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        SubprocessExecutor {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+            workers: 2,
+        }
+    }
+
+    /// Adds one worker command-line argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Adds several worker command-line arguments.
+    pub fn args(mut self, args: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.args.extend(args.into_iter().map(Into::into));
+        self
+    }
+
+    /// Sets an environment variable for every worker process.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Sets the worker-process count (clamped to at least 1 at execution).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    fn spawn_worker(&self) -> Result<Child, PipelineError> {
+        let mut command = Command::new(&self.program);
+        command
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            // stderr is not part of the protocol; inherit it so worker
+            // panics and diagnostics reach the driver's terminal instead of
+            // vanishing behind an opaque exit status.
+            .stderr(Stdio::inherit());
+        for (key, value) in &self.envs {
+            command.env(key, value);
+        }
+        command.spawn().map_err(|e| {
+            PipelineError::exec(format!(
+                "failed to spawn worker {:?}: {e}",
+                self.program.display()
+            ))
+        })
+    }
+
+    /// Feeds `units` to one worker and returns its results matched back to
+    /// the request order.
+    fn drive_worker(&self, units: &[WorkUnit]) -> Result<Vec<UnitResult>, PipelineError> {
+        let mut child = self.spawn_worker()?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+
+        // Feed from a scoped thread while draining on this one, so neither
+        // pipe can fill up and deadlock the pair.
+        let feed_and_drain = std::thread::scope(|scope| {
+            let writer = scope.spawn(move || -> std::io::Result<()> {
+                for unit in units {
+                    writeln!(stdin, "{}", unit.encode())?;
+                }
+                stdin.flush()
+                // Dropping stdin closes the pipe: the worker sees EOF and
+                // exits its serve loop.
+            });
+
+            // Unit → request-index lookup: results self-identify, so each
+            // line is matched in O(1) rather than scanning the chunk.
+            let unit_index: HashMap<&WorkUnit, usize> = units
+                .iter()
+                .enumerate()
+                .map(|(index, unit)| (unit, index))
+                .collect();
+            let mut results: Vec<Option<UnitResult>> = vec![None; units.len()];
+            let drain = || -> Result<(), PipelineError> {
+                for line in BufReader::new(stdout).lines() {
+                    let line = line.map_err(|e| {
+                        PipelineError::exec(format!("worker stdout read failed: {e}"))
+                    })?;
+                    let line = line.trim();
+                    if let Some(failure) = line.strip_prefix('!') {
+                        return Err(PipelineError::exec(format!(
+                            "worker reported failure: {failure}"
+                        )));
+                    }
+                    // Non-protocol chatter (e.g. a test harness banner) is
+                    // skipped; only decodable results are collected.
+                    let Ok(result) = UnitResult::decode(line) else {
+                        continue;
+                    };
+                    let unit = result.unit();
+                    match unit_index.get(&unit).copied() {
+                        Some(index) if results[index].is_none() => {
+                            results[index] = Some(result);
+                        }
+                        Some(_) => {
+                            return Err(PipelineError::exec(format!(
+                                "worker returned unit {:?} twice",
+                                unit.encode()
+                            )));
+                        }
+                        None => {
+                            return Err(PipelineError::exec(format!(
+                                "worker returned unrequested unit {:?}",
+                                unit.encode()
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            // If drain aborted early, returning from it dropped the stdout
+            // reader and closed the pipe's read end: a worker blocked
+            // writing results gets EPIPE, its serve loop errors out and the
+            // process exits, which in turn unblocks the writer thread (its
+            // stdin writes fail) — so the join and the wait below cannot
+            // deadlock on a serve-based worker.
+            let drained = drain();
+            let written = writer.join().expect("writer thread");
+            drained.and(
+                written.map_err(|e| PipelineError::exec(format!("worker stdin write failed: {e}"))),
+            )?;
+            Ok::<_, PipelineError>(results)
+        });
+
+        let status = child
+            .wait()
+            .map_err(|e| PipelineError::exec(format!("worker wait failed: {e}")))?;
+        let results = feed_and_drain?;
+        if !status.success() {
+            return Err(PipelineError::exec(format!("worker exited with {status}")));
+        }
+        results
+            .into_iter()
+            .zip(units)
+            .map(|(slot, unit)| {
+                slot.ok_or_else(|| {
+                    PipelineError::exec(format!(
+                        "worker returned no result for unit {:?}",
+                        unit.encode()
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+impl Executor for SubprocessExecutor {
+    fn name(&self) -> String {
+        format!(
+            "subprocess[{}x {}]",
+            self.workers.max(1),
+            self.program.display()
+        )
+    }
+
+    fn execute(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+    ) -> Result<Vec<UnitResult>, PipelineError> {
+        let units: Vec<WorkUnit> = range
+            .map(|index| {
+                plan.units()
+                    .get(index)
+                    .cloned()
+                    .ok_or_else(|| PipelineError::exec(format!("unit index {index} out of range")))
+            })
+            .collect::<Result<_, _>>()?;
+        if units.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.max(1).min(units.len());
+        let per_chunk = units.len().div_ceil(workers);
+        let chunks: Vec<&[WorkUnit]> = units.chunks(per_chunk).collect();
+        // One driver thread per worker process; chunk order is preserved, so
+        // the concatenation is in unit-index order.
+        let chunk_results = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move || self.drive_worker(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker driver thread"))
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(units.len());
+        for chunk in chunk_results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_names_are_descriptive() {
+        assert_eq!(SerialExecutor.name(), "serial");
+        assert_eq!(ThreadExecutor::machine().name(), "threads[machine]");
+        assert_eq!(ThreadExecutor::new(4).name(), "threads[4]");
+        let sub = SubprocessExecutor::new("/bin/worker").workers(3);
+        assert!(sub.name().starts_with("subprocess[3x"));
+        assert_eq!(sub.worker_count(), 3);
+    }
+
+    #[test]
+    fn subprocess_builder_composes() {
+        let exec = SubprocessExecutor::new("prog")
+            .arg("--worker")
+            .args(["a", "b"])
+            .env("K", "V")
+            .workers(0);
+        // Zero workers clamps to one at execution time.
+        assert_eq!(exec.worker_count(), 0);
+        assert_eq!(exec.args.len(), 3);
+        assert_eq!(exec.envs.len(), 1);
+    }
+}

@@ -20,16 +20,22 @@
 //! * [`Evaluator`] — measures accuracy under per-layer BERs
 //!   ([`TopKEvaluator`] wraps [`qnn::fault::evaluate_topk`]).
 //!
-//! A pipeline runs every configured source over every workload (serially or
-//! on scoped worker threads — results are byte-identical either way),
-//! caches schedules under a seed-aware key so repeated corners never
-//! re-optimize, and produces typed, deterministically-serializable
-//! [`LayerReport`]/[`NetworkReport`]/[`AccuracyReport`] results.
+//! Every experiment first expands into a [`WorkPlan`] — a typed, enumerable
+//! list of position-independent [`WorkUnit`]s with a deterministic text
+//! wire encoding — and then runs on an [`Executor`]: [`SerialExecutor`],
+//! [`ThreadExecutor`] (scoped worker threads) or [`SubprocessExecutor`]
+//! (worker processes speaking the unit-id/unit-result protocol over
+//! stdin/stdout).  The [`Aggregator`] folds any permutation or partition of
+//! unit results back into typed, deterministically-serializable
+//! [`LayerReport`]/[`NetworkReport`]/[`AccuracyReport`]/[`SweepReport`]
+//! results, byte-identical across execution strategies.  Schedules and
+//! histograms are cached under seed-aware keys so repeated corners never
+//! re-optimize or re-simulate.
 //!
 //! The [`sweep`] subsystem evaluates one pipeline across a whole grid of
 //! operating corners and silicon dies in a single run: a [`SweepPlan`]
 //! (conditions × dies, plus a shardable Monte-Carlo trial budget) expands
-//! into in-order work units and produces a [`SweepReport`] whose per-cell
+//! into the same work units and produces a [`SweepReport`] whose per-cell
 //! rows are byte-identical to the equivalent single-condition runs.
 //!
 //! # Example
@@ -60,6 +66,8 @@
 pub mod cache;
 pub mod error;
 pub mod exec;
+pub mod executor;
+pub mod plan;
 pub mod report;
 pub mod stage;
 pub mod sweep;
@@ -67,10 +75,13 @@ pub mod workload;
 
 mod pipeline;
 
-pub use cache::{CacheStats, KeyCheck, ScheduleKey};
+pub use cache::{CacheStats, HistogramCheck, HistogramKey, KeyCheck, ScheduleKey};
 pub use error::PipelineError;
+#[allow(deprecated)]
 pub use exec::ExecMode;
+pub use executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor};
 pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
+pub use plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
 pub use report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
 pub use stage::{
     Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
@@ -85,8 +96,11 @@ pub use workload::{
 pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::error::PipelineError;
+    #[allow(deprecated)]
     pub use crate::exec::ExecMode;
+    pub use crate::executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor};
     pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
+    pub use crate::plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
     pub use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
     pub use crate::stage::{
         Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,

@@ -11,15 +11,21 @@ use qnn::{Dataset, Model};
 use read_core::{ReadConfig, ReadOptimizer};
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
-use crate::cache::{weights_fingerprint, CacheStats, KeyCheck, ScheduleCache, ScheduleKey};
-use crate::error::PipelineError;
-use crate::exec::{run_indexed, ExecMode};
-use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
-use crate::stage::{
-    DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel, ScheduleSource, TopKEvaluator,
-    VariationErrorModel,
+use crate::cache::{
+    weights_fingerprint, workload_fingerprint, CacheStats, HistogramCache, HistogramCheck,
+    HistogramKey, KeyCheck, ScheduleCache, ScheduleKey,
 };
-use crate::sweep::{SweepCell, SweepPlan, SweepReport, WorstCase};
+use crate::error::PipelineError;
+#[allow(deprecated)]
+use crate::exec::ExecMode;
+use crate::executor::{Executor, SerialExecutor, ThreadExecutor};
+use crate::plan::{PlanOutput, WorkPlan};
+use crate::report::{AccuracyReport, NetworkReport};
+use crate::stage::{
+    fnv1a, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel, ScheduleSource,
+    TopKEvaluator, VariationErrorModel,
+};
+use crate::sweep::{SweepPlan, SweepReport};
 use crate::workload::LayerWorkload;
 
 /// Builder for a [`ReadPipeline`].  Obtain with [`ReadPipeline::builder`].
@@ -35,7 +41,7 @@ pub struct ReadPipelineBuilder {
     evaluator: Option<Arc<dyn Evaluator>>,
     top_k: Option<usize>,
     model: Option<Model>,
-    exec: ExecMode,
+    executor: Option<Arc<dyn Executor>>,
     sweep_plan: Option<SweepPlan>,
 }
 
@@ -147,15 +153,36 @@ impl ReadPipelineBuilder {
         self
     }
 
-    /// Sets the execution mode (default: [`ExecMode::Serial`]).
-    pub fn exec(mut self, mode: ExecMode) -> Self {
-        self.exec = mode;
+    /// Sets the execution strategy every `run_*` experiment uses (default:
+    /// [`SerialExecutor`]).  See [`crate::executor`] for the in-process and
+    /// multi-process implementations.
+    pub fn executor(mut self, executor: impl Executor + 'static) -> Self {
+        self.executor = Some(Arc::new(executor));
         self
     }
 
-    /// Shorthand for [`ExecMode::parallel`] (worker count = machine).
+    /// Sets an already-shared execution strategy.
+    pub fn executor_arc(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Sets the execution mode (legacy shim; default serial).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ReadPipelineBuilder::executor with SerialExecutor / ThreadExecutor"
+    )]
+    #[allow(deprecated)]
+    pub fn exec(self, mode: ExecMode) -> Self {
+        match mode.requested_threads() {
+            None => self.executor(SerialExecutor),
+            Some(threads) => self.executor(ThreadExecutor::new(threads)),
+        }
+    }
+
+    /// Shorthand for a machine-sized [`ThreadExecutor`].
     pub fn parallel(self) -> Self {
-        self.exec(ExecMode::parallel())
+        self.executor(ThreadExecutor::machine())
     }
 
     /// Validates the configuration and builds the pipeline.
@@ -225,17 +252,24 @@ impl ReadPipelineBuilder {
             conditions: self.conditions,
             evaluator,
             model: self.model,
-            exec: self.exec,
+            executor: self.executor.unwrap_or_else(|| Arc::new(SerialExecutor)),
             sweep_plan: self.sweep_plan,
             cache: ScheduleCache::new(),
+            hist_cache: HistogramCache::new(),
         })
     }
 }
 
 /// The composed pipeline: schedule sources → simulator → error model →
 /// (optionally) fault-injection evaluation, over a set of operating
-/// conditions, with a seed-keyed schedule cache and serial or parallel
-/// per-layer execution.
+/// conditions, with seed-keyed schedule and histogram caches and a
+/// pluggable [`Executor`] strategy (serial, threaded or worker
+/// subprocesses — byte-identical reports either way).
+///
+/// Every experiment expands into a [`WorkPlan`] first
+/// ([`ReadPipeline::plan_ter`] / [`ReadPipeline::plan_sweep`] /
+/// [`ReadPipeline::plan_accuracy_for`]); the `run_*` methods are
+/// plan-execute-aggregate conveniences over the configured executor.
 ///
 /// # Example
 ///
@@ -266,9 +300,10 @@ pub struct ReadPipeline {
     conditions: Vec<OperatingCondition>,
     evaluator: Arc<dyn Evaluator>,
     model: Option<Model>,
-    exec: ExecMode,
+    executor: Arc<dyn Executor>,
     sweep_plan: Option<SweepPlan>,
     cache: ScheduleCache,
+    hist_cache: HistogramCache,
 }
 
 impl std::fmt::Debug for ReadPipeline {
@@ -287,7 +322,7 @@ impl std::fmt::Debug for ReadPipeline {
             )
             .field("evaluator", &self.evaluator.name())
             .field("has_model", &self.model.is_some())
-            .field("exec", &self.exec)
+            .field("executor", &self.executor.name())
             .field("has_sweep_plan", &self.sweep_plan.is_some())
             .finish_non_exhaustive()
     }
@@ -319,6 +354,21 @@ impl ReadPipeline {
         &self.conditions
     }
 
+    /// The configured error-model stage.
+    pub fn error_model(&self) -> &dyn ErrorModel {
+        self.error_model.as_ref()
+    }
+
+    /// The configured evaluator stage.
+    pub fn evaluator(&self) -> &dyn Evaluator {
+        self.evaluator.as_ref()
+    }
+
+    /// The configured execution strategy.
+    pub fn executor(&self) -> &dyn Executor {
+        self.executor.as_ref()
+    }
+
     /// The configured model, when accuracy evaluation is set up.
     pub fn model(&self) -> Option<&Model> {
         self.model.as_ref()
@@ -329,9 +379,16 @@ impl ReadPipeline {
         self.sweep_plan.as_ref()
     }
 
-    /// Schedule-cache effectiveness counters.
+    /// Cache-effectiveness counters of both pipeline caches (schedules and
+    /// histograms).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        let (hits, misses, collisions, entries) = self.hist_cache.counters();
+        stats.hist_hits = hits;
+        stats.hist_misses = misses;
+        stats.hist_collisions = collisions;
+        stats.hist_entries = entries;
+        stats
     }
 
     /// The (cached) schedule `source` produces for `weights` on this
@@ -364,6 +421,7 @@ impl ReadPipeline {
     /// Simulates `workload` under `source`'s schedule, feeding every cycle
     /// to `observer`.  This is the generic observation hook the specialised
     /// runs (`layer_histogram`, `layer_outputs`, psum traces, ...) build on.
+    /// It always simulates — only [`ReadPipeline::layer_histogram`] caches.
     ///
     /// # Errors
     ///
@@ -384,9 +442,31 @@ impl ReadPipeline {
         )?)
     }
 
+    /// Fingerprint of the simulation context a cached histogram depends on
+    /// (array geometry, dataflow, simulation options) — combined with the
+    /// source and workload fingerprints in the [`HistogramKey`].
+    fn sim_context_fingerprint(&self) -> u64 {
+        fnv1a(
+            format!(
+                "{}x{}/{:?}/{:?}",
+                self.array.rows(),
+                self.array.cols(),
+                self.dataflow,
+                self.sim_options
+            )
+            .bytes(),
+        )
+    }
+
     /// Simulates `workload` under `source` and returns the triggered-depth
     /// histogram (from which the TER at any corner follows without
     /// re-simulating).
+    ///
+    /// Histograms are cached like schedules: the key covers the source
+    /// fingerprint, the workload contents and the simulation context — see
+    /// [`HistogramCache`] — so a sweep simulates each (workload, source)
+    /// pair once and every further corner, die or repeated run reuses it
+    /// ([`CacheStats::hist_hits`]).
     ///
     /// # Errors
     ///
@@ -396,9 +476,24 @@ impl ReadPipeline {
         workload: &LayerWorkload,
         source: &dyn ScheduleSource,
     ) -> Result<DepthHistogram, PipelineError> {
-        let mut hist = DepthHistogram::new();
-        self.observe_layer(workload, source, &mut hist)?;
-        Ok(hist)
+        let key = HistogramKey {
+            source: source.fingerprint(),
+            workload: workload_fingerprint(workload),
+            context: self.sim_context_fingerprint(),
+        };
+        let check = HistogramCheck {
+            source: source.name(),
+            workload: workload.name.clone(),
+            rows: workload.weights.rows(),
+            cols: workload.weights.cols(),
+            pixels: workload.activations.cols(),
+        };
+        let hist = self.hist_cache.get_or_compute(key, check, || {
+            let mut hist = DepthHistogram::new();
+            self.observe_layer(workload, source, &mut hist)?;
+            Ok(hist)
+        })?;
+        Ok((*hist).clone())
     }
 
     /// Simulates `workload` under `source` and returns the layer outputs —
@@ -433,12 +528,115 @@ impl ReadPipeline {
             .ter(&self.layer_histogram(workload, source)?, condition))
     }
 
+    // ---- plan construction ------------------------------------------------
+
+    /// The [`WorkPlan`] of the layer-wise TER experiment
+    /// ([`ReadPipeline::run_ter`]): one histogram unit per
+    /// (workload, source) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Missing`] on a sweep-only pipeline.
+    pub fn plan_ter<'a>(
+        &'a self,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        WorkPlan::ter(self, network, workloads)
+    }
+
+    /// The [`WorkPlan`] of the configured corner/die sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Missing`] when no sweep plan was configured.
+    pub fn plan_sweep<'a>(
+        &'a self,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        let plan = self
+            .sweep_plan
+            .as_ref()
+            .ok_or(PipelineError::Missing { what: "sweep plan" })?;
+        self.plan_sweep_with(network, workloads, plan)
+    }
+
+    /// The [`WorkPlan`] of an explicit sweep plan: one histogram unit per
+    /// pair (histograms are corner-independent) plus one unit per
+    /// Monte-Carlo trial shard per sampling cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan validation failures.
+    pub fn plan_sweep_with<'a>(
+        &'a self,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+        plan: &SweepPlan,
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        WorkPlan::sweep(self, network, workloads, plan)
+    }
+
+    /// The [`WorkPlan`] of the accuracy experiment with the pipeline's
+    /// configured model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Missing`] when no model was configured; see
+    /// [`ReadPipeline::plan_accuracy_for`].
+    pub fn plan_accuracy<'a>(
+        &'a self,
+        network: &str,
+        dataset: &'a Dataset,
+        workloads: &'a [LayerWorkload],
+        seeds: u64,
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or(PipelineError::Missing { what: "model" })?;
+        self.plan_accuracy_for(model, network, dataset, workloads, seeds)
+    }
+
+    /// The [`WorkPlan`] of the accuracy experiment against an
+    /// externally-owned model: histogram units per pair plus one unit per
+    /// (condition, source) accuracy cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Missing`] on a sweep-only pipeline and
+    /// [`PipelineError::Input`] when no workload matches a model layer.
+    pub fn plan_accuracy_for<'a>(
+        &'a self,
+        model: &'a Model,
+        network: &str,
+        dataset: &'a Dataset,
+        workloads: &'a [LayerWorkload],
+        seeds: u64,
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        WorkPlan::accuracy(self, model, network, dataset, workloads, seeds)
+    }
+
+    /// Executes a [`WorkPlan`] on the configured executor and aggregates the
+    /// results.  The typed `run_*` methods are conveniences over this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unit, executor and aggregation failures.
+    pub fn run_plan(&self, plan: &WorkPlan<'_>) -> Result<PlanOutput, PipelineError> {
+        let results = self.executor.execute(plan, 0..plan.len())?;
+        plan.aggregate(results)
+    }
+
+    // ---- experiments ------------------------------------------------------
+
     /// Runs the layer-wise TER experiment (the paper's Figs. 7/8 shape):
     /// every workload under every source, evaluated at every condition from
     /// one simulation pass per (workload, source).
     ///
     /// Rows are ordered layer-major, then source, then condition,
-    /// independent of execution mode — a parallel run returns a
+    /// independent of the execution strategy — any [`Executor`] returns a
     /// byte-identical report.
     ///
     /// # Errors
@@ -452,45 +650,8 @@ impl ReadPipeline {
         network: &str,
         workloads: &[LayerWorkload],
     ) -> Result<NetworkReport, PipelineError> {
-        if self.conditions.is_empty() {
-            return Err(PipelineError::Missing {
-                what: "operating conditions",
-            });
-        }
-        let pairs = workloads.len() * self.sources.len();
-        let histograms = run_indexed(self.exec, pairs, |index| {
-            let workload = &workloads[index / self.sources.len()];
-            let source = &self.sources[index % self.sources.len()];
-            self.layer_histogram(workload, source.as_ref())
-        })?;
-
-        let mut rows = Vec::with_capacity(pairs * self.conditions.len());
-        for (index, hist) in histograms.iter().enumerate() {
-            let workload = &workloads[index / self.sources.len()];
-            let source = &self.sources[index % self.sources.len()];
-            for condition in &self.conditions {
-                let estimate = self.error_model.estimate(hist, condition);
-                rows.push(LayerReport {
-                    layer: workload.name.clone(),
-                    algorithm: source.name(),
-                    condition: condition.name.to_string(),
-                    corner: self.error_model.corner(),
-                    ter: estimate.ter,
-                    ter_stddev: estimate.stddev,
-                    ber: self
-                        .error_model
-                        .ber(estimate.ter, workload.macs_per_output()),
-                    sign_flip_rate: hist.sign_flip_rate(),
-                    macs_per_output: workload.macs_per_output(),
-                    total_cycles: hist.total(),
-                    sign_flips: hist.sign_flips(),
-                });
-            }
-        }
-        Ok(NetworkReport {
-            network: network.to_string(),
-            rows,
-        })
+        let plan = self.plan_ter(network, workloads)?;
+        self.run_plan(&plan)?.into_ter()
     }
 
     /// Runs the configured corner/die sweep (see
@@ -506,11 +667,8 @@ impl ReadPipeline {
         network: &str,
         workloads: &[LayerWorkload],
     ) -> Result<SweepReport, PipelineError> {
-        let plan = self
-            .sweep_plan
-            .as_ref()
-            .ok_or(PipelineError::Missing { what: "sweep plan" })?;
-        self.run_sweep_with(network, workloads, plan)
+        let plan = self.plan_sweep(network, workloads)?;
+        self.run_plan(&plan)?.into_sweep()
     }
 
     /// Runs a corner/die sweep: every (die, condition) cell of `plan` over
@@ -525,12 +683,13 @@ impl ReadPipeline {
     /// single-condition pipeline run with that cell's error model; see
     /// [`crate::sweep`] for the full contract.
     ///
-    /// Every cell resolves its schedules through the shared cache, so the
-    /// optimizer runs once per (source, layer) and the remaining cells hit
-    /// ([`ReadPipeline::cache_stats`]); only the cycle simulation repeats
-    /// per cell.  Cells, rows and shard aggregation are all ordered
-    /// deterministically — a parallel sweep returns a byte-identical
-    /// report.
+    /// Every cell resolves its schedules through the shared schedule cache
+    /// and its histograms through the histogram cache, so the optimizer and
+    /// the cycle simulation each run once per (source, layer)
+    /// ([`ReadPipeline::cache_stats`]).  Cells, rows and shard aggregation
+    /// are all ordered deterministically — any [`Executor`] (including
+    /// [`crate::SubprocessExecutor`] worker processes) returns a
+    /// byte-identical report.
     ///
     /// # Errors
     ///
@@ -542,150 +701,8 @@ impl ReadPipeline {
         workloads: &[LayerWorkload],
         plan: &SweepPlan,
     ) -> Result<SweepReport, PipelineError> {
-        plan.validate()?;
-        // The grid is the single encoding of cell order (die-major); each
-        // cell's error model derives from its corner's variation, so the
-        // stage can never drift from the grid position.
-        let corners = plan.corners(&self.array);
-        let cell_models: Vec<crate::sweep::DieModel> = corners
-            .iter()
-            .map(|corner| plan.cell_model(corner))
-            .collect();
-        let cells = corners.len();
-        let pairs = workloads.len() * self.sources.len();
-
-        // Pass 1: one histogram per (cell, pair) work unit.  Histograms for
-        // repeated pairs re-simulate (cheap), but their schedules come from
-        // the shared cache (one optimization per pair, cells - 1 hits).
-        let histograms = run_indexed(self.exec, cells * pairs, |index| {
-            let pair = index % pairs;
-            let workload = &workloads[pair / self.sources.len()];
-            let source = &self.sources[pair % self.sources.len()];
-            self.layer_histogram(workload, source.as_ref())
-        })?;
-
-        // Pass 2: error evaluation, expanded into shardable work units —
-        // one unit per cell, except Monte-Carlo cells which split their
-        // trial range into one unit per shard.
-        struct Unit {
-            cell: usize,
-            trials: std::ops::Range<u32>,
-        }
-        enum Partial {
-            Estimate(timing::TerEstimate),
-            Trials(Vec<f64>),
-        }
-        let mut units = Vec::new();
-        for (cell, model) in cell_models.iter().enumerate() {
-            match model.monte_carlo() {
-                Some((_, mc)) => units.extend((0..mc.shards()).map(|shard| Unit {
-                    cell,
-                    trials: mc.shard_range(shard),
-                })),
-                None => units.push(Unit { cell, trials: 0..0 }),
-            }
-        }
-        let unit_results: Vec<Vec<Partial>> = run_indexed(self.exec, units.len(), |ui| {
-            let unit = &units[ui];
-            let condition = &corners[unit.cell].condition;
-            let model = &cell_models[unit.cell];
-            let partials = (0..pairs)
-                .map(|pair| {
-                    let hist = &histograms[unit.cell * pairs + pair];
-                    match model.monte_carlo() {
-                        Some((mc_model, _)) => Partial::Trials(mc_model.trial_ters(
-                            hist,
-                            condition,
-                            unit.trials.clone(),
-                        )),
-                        None => Partial::Estimate(model.as_error_model().estimate(hist, condition)),
-                    }
-                })
-                .collect();
-            Ok::<_, PipelineError>(partials)
-        })?;
-
-        // Aggregation: concatenate each Monte-Carlo cell's per-shard trial
-        // samples in trial order and reduce once — bit-identical to the
-        // unsharded estimate — then assemble rows exactly as run_ter would.
-        let mut unit_of_cell: Vec<Vec<usize>> = vec![Vec::new(); cells];
-        for (ui, unit) in units.iter().enumerate() {
-            unit_of_cell[unit.cell].push(ui);
-        }
-        let mut report_cells = Vec::with_capacity(cells);
-        for (ci, cell_units) in unit_of_cell.iter().enumerate() {
-            let corner = &corners[ci];
-            let condition = &corner.condition;
-            let model = &cell_models[ci];
-            let error_model = model.as_error_model();
-            let mut rows = Vec::with_capacity(pairs);
-            for pair in 0..pairs {
-                let workload = &workloads[pair / self.sources.len()];
-                let source = &self.sources[pair % self.sources.len()];
-                let hist = &histograms[ci * pairs + pair];
-                let estimate = match &unit_results[cell_units[0]][pair] {
-                    Partial::Estimate(estimate) => *estimate,
-                    Partial::Trials(_) => {
-                        let mut trials = Vec::new();
-                        for &ui in cell_units {
-                            match &unit_results[ui][pair] {
-                                Partial::Trials(t) => trials.extend_from_slice(t),
-                                Partial::Estimate(_) => unreachable!("mixed cell partials"),
-                            }
-                        }
-                        timing::TerEstimate::from_trials(&trials)
-                    }
-                };
-                rows.push(LayerReport {
-                    layer: workload.name.clone(),
-                    algorithm: source.name(),
-                    condition: condition.name.to_string(),
-                    corner: error_model.corner(),
-                    ter: estimate.ter,
-                    ter_stddev: estimate.stddev,
-                    ber: error_model.ber(estimate.ter, workload.macs_per_output()),
-                    sign_flip_rate: hist.sign_flip_rate(),
-                    macs_per_output: workload.macs_per_output(),
-                    total_cycles: hist.total(),
-                    sign_flips: hist.sign_flips(),
-                });
-            }
-            report_cells.push(SweepCell {
-                die: corner.variation.label(),
-                condition: condition.name.to_string(),
-                error_model: error_model.name(),
-                shards: model.shards(),
-                rows,
-            });
-        }
-
-        // Cross-corner summary: the worst row per algorithm, in source
-        // order (first occurrence wins ties, so the summary is stable).
-        let mut worst = Vec::with_capacity(self.sources.len());
-        for source in &self.sources {
-            let name = source.name();
-            let mut best: Option<WorstCase> = None;
-            for cell in &report_cells {
-                for row in cell.rows.iter().filter(|r| r.algorithm == name) {
-                    if best.as_ref().map(|b| row.ter > b.ter).unwrap_or(true) {
-                        best = Some(WorstCase {
-                            algorithm: name.clone(),
-                            ter: row.ter,
-                            layer: row.layer.clone(),
-                            condition: row.condition.clone(),
-                            die: cell.die.clone(),
-                        });
-                    }
-                }
-            }
-            worst.extend(best);
-        }
-
-        Ok(SweepReport {
-            network: network.to_string(),
-            cells: report_cells,
-            worst,
-        })
+        let plan = self.plan_sweep_with(network, workloads, plan)?;
+        self.run_plan(&plan)?.into_sweep()
     }
 
     /// Runs the accuracy-under-PVTA experiment (the paper's Figs. 10/11
@@ -717,8 +734,8 @@ impl ReadPipeline {
     /// without a matching workload receive zero BER), and the dataset is
     /// evaluated under error injection with `seeds` different seeds.
     ///
-    /// Points are ordered condition-major, then source, independent of
-    /// execution mode.
+    /// Points are ordered condition-major, then source, independent of the
+    /// execution strategy.
     ///
     /// # Errors
     ///
@@ -733,95 +750,8 @@ impl ReadPipeline {
         workloads: &[LayerWorkload],
         seeds: u64,
     ) -> Result<AccuracyReport, PipelineError> {
-        if self.conditions.is_empty() {
-            return Err(PipelineError::Missing {
-                what: "operating conditions",
-            });
-        }
-        // One simulation pass per (workload, source); corners reuse the
-        // histograms.
-        let pairs = workloads.len() * self.sources.len();
-        let histograms = run_indexed(self.exec, pairs, |index| {
-            let workload = &workloads[index / self.sources.len()];
-            let source = &self.sources[index % self.sources.len()];
-            self.layer_histogram(workload, source.as_ref())
-        })?;
-
-        let conv_names: Vec<String> = model
-            .conv_layers()
-            .iter()
-            .map(|c| c.name().to_string())
-            .collect();
-        // BERs are matched to conv layers by name; a workload set from one
-        // network evaluated against a model of another would silently inject
-        // nothing, so refuse it outright.
-        if !workloads.is_empty() && !workloads.iter().any(|w| conv_names.contains(&w.name)) {
-            return Err(PipelineError::Input {
-                reason: format!(
-                    "no workload name matches any convolution layer of the model \
-                     (workloads: {:?}..., model layers: {:?}...)",
-                    workloads
-                        .iter()
-                        .map(|w| &w.name)
-                        .take(3)
-                        .collect::<Vec<_>>(),
-                    conv_names.iter().take(3).collect::<Vec<_>>(),
-                ),
-            });
-        }
-
-        let cells = self.conditions.len() * self.sources.len();
-        let points = run_indexed(self.exec, cells, |cell| {
-            let condition = &self.conditions[cell / self.sources.len()];
-            let si = cell % self.sources.len();
-            let source = &self.sources[si];
-
-            // Per-layer BERs for the model, matched by layer name.
-            let mut bers = vec![0.0f64; conv_names.len()];
-            let mut ber_sum = 0.0;
-            let mut ber_count = 0usize;
-            for (wi, workload) in workloads.iter().enumerate() {
-                let hist = &histograms[wi * self.sources.len() + si];
-                let ter = self.error_model.ter(hist, condition);
-                let ber = self.error_model.ber(ter, workload.macs_per_output());
-                ber_sum += ber;
-                ber_count += 1;
-                if let Some(idx) = conv_names.iter().position(|n| *n == workload.name) {
-                    bers[idx] = ber;
-                }
-            }
-
-            let runs = seeds.max(1);
-            let mut top1 = 0.0;
-            let mut topk = 0.0;
-            let mut k = 0usize;
-            for seed in 0..runs {
-                let acc = self
-                    .evaluator
-                    .evaluate(model, dataset, &bers, seed * 977 + 13)?;
-                top1 += acc.top1;
-                topk += acc.topk;
-                k = acc.k;
-            }
-            Ok::<_, PipelineError>(AccuracyPoint {
-                condition: condition.name.to_string(),
-                algorithm: source.name(),
-                top1: top1 / runs as f64,
-                topk: topk / runs as f64,
-                k,
-                mean_ber: if ber_count == 0 {
-                    0.0
-                } else {
-                    ber_sum / ber_count as f64
-                },
-                seeds: runs,
-            })
-        })?;
-
-        Ok(AccuracyReport {
-            network: network.to_string(),
-            points,
-        })
+        let plan = self.plan_accuracy_for(model, network, dataset, workloads, seeds)?;
+        self.run_plan(&plan)?.into_accuracy()
     }
 }
 
@@ -946,11 +876,14 @@ mod tests {
         assert_eq!(report.rows[0].condition, "Ideal");
         let first_stats = pipeline.cache_stats();
         assert_eq!(first_stats.misses, 4);
-        // Re-running hits the schedule cache for every (source, layer) pair.
+        assert_eq!(first_stats.hist_misses, 4);
+        // Re-running hits the histogram cache for every (source, layer)
+        // pair — neither the optimizer nor the simulator runs again.
         pipeline.run_ter("tiny", &workloads).unwrap();
         let second_stats = pipeline.cache_stats();
         assert_eq!(second_stats.misses, first_stats.misses);
-        assert!(second_stats.hits >= first_stats.hits + 4);
+        assert_eq!(second_stats.hist_misses, first_stats.hist_misses);
+        assert!(second_stats.hist_hits >= first_stats.hist_hits + 4);
     }
 
     #[test]
@@ -995,5 +928,30 @@ mod tests {
             .run_accuracy("net", &dataset, &tiny_workloads(1), 1)
             .unwrap_err();
         assert!(matches!(err, PipelineError::Missing { what: "model" }));
+    }
+
+    #[test]
+    fn legacy_exec_mode_shim_still_builds_and_runs() {
+        // Back-compat acceptance: `.exec(ExecMode::..)` callers compile and
+        // produce the same reports as the executor they now map to.
+        #[allow(deprecated)]
+        let shim = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::aging_vt(10.0, 0.05))
+            .exec(ExecMode::Parallel { threads: 2 })
+            .build()
+            .unwrap();
+        assert_eq!(shim.executor().name(), "threads[2]");
+        let direct = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::aging_vt(10.0, 0.05))
+            .executor(ThreadExecutor::new(2))
+            .build()
+            .unwrap();
+        let workloads = tiny_workloads(1);
+        assert_eq!(
+            shim.run_ter("shim", &workloads).unwrap().to_json(),
+            direct.run_ter("shim", &workloads).unwrap().to_json()
+        );
     }
 }

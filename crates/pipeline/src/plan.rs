@@ -1,0 +1,1343 @@
+//! The [`WorkPlan`]: a typed, enumerable description of every unit of work
+//! a pipeline run executes, with a deterministic text wire encoding.
+//!
+//! Every `ReadPipeline::run_*` experiment expands into a flat list of
+//! [`WorkUnit`]s before anything executes:
+//!
+//! * [`WorkUnit::Histogram`] — simulate one (workload, source) pair and
+//!   return its triggered-depth histogram.  Histograms are independent of
+//!   the operating corner, so a sweep emits one histogram unit per pair
+//!   (with `cell = 0`) and every grid cell reuses it.
+//! * [`WorkUnit::McShard`] — evaluate one Monte-Carlo trial sub-range of a
+//!   sweep cell across every pair.  Trial `t`'s RNG stream depends only on
+//!   `(seed, t)`, so any partition of the trial range re-aggregates bit for
+//!   bit.
+//! * [`WorkUnit::AccuracyPoint`] — evaluate one (condition, source) cell of
+//!   an accuracy experiment under error injection.
+//!
+//! Units are *position-independent*: a unit's result depends only on the
+//! unit identity and the pipeline configuration, never on which worker ran
+//! it or in what order.  That is what makes the plan the multi-process
+//! sharding seam — [`WorkUnit::encode`] / [`UnitResult::encode`] define a
+//! line-oriented wire format (hand-rolled, like the report `to_json()`s,
+//! since serde is unavailable offline) that [`crate::SubprocessExecutor`]
+//! speaks over worker stdin/stdout and [`WorkPlan::serve`] answers, and the
+//! [`Aggregator`] folds any permutation or partition of [`UnitResult`]s
+//! back into the exact report a serial in-process run produces.
+//!
+//! The wire format is a stable contract (pinned by a golden fixture in the
+//! integration tests): one unit or result per line, space-separated
+//! `key=value` fields in a fixed order, strings escaped with `\s`/`\n`/
+//! `\r`/`\\`, floats rendered with Rust's shortest round-trip formatting
+//! (exact `f64` round trips).
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, Write};
+use std::ops::Range;
+
+use qnn::{Dataset, Model};
+use timing::{DepthHistogram, OperatingCorner, TerEstimate};
+
+use crate::error::PipelineError;
+use crate::pipeline::ReadPipeline;
+use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+use crate::sweep::{DieModel, SweepCell, SweepPlan, SweepReport, WorstCase};
+use crate::workload::LayerWorkload;
+
+/// One unit of a [`WorkPlan`]: the smallest independently-executable,
+/// position-independent piece of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WorkUnit {
+    /// Simulate one (workload, source) pair and return its depth histogram.
+    /// `pair` indexes workload-major over the pipeline's sources
+    /// (`workload = pair / sources`, `source = pair % sources`).  `cell` is
+    /// the grid cell the unit was emitted for; histograms are
+    /// corner-independent, so plans emit `cell = 0` and every cell shares
+    /// the result.
+    Histogram {
+        /// Grid-cell index (always `0` in emitted plans).
+        cell: usize,
+        /// (workload, source) pair index.
+        pair: usize,
+    },
+    /// Evaluate the Monte-Carlo trials `trial_range` of sweep cell `cell`
+    /// for every pair.
+    McShard {
+        /// Sweep grid-cell index (die-major, the [`SweepPlan::corners`]
+        /// order).
+        cell: usize,
+        /// Global trial indices this shard evaluates.
+        trial_range: Range<u32>,
+    },
+    /// Evaluate one (condition, source) accuracy cell
+    /// (`condition = cell / sources`, `source = cell % sources`).
+    AccuracyPoint {
+        /// (condition, source) cell index.
+        cell: usize,
+    },
+}
+
+impl WorkUnit {
+    /// The unit's deterministic, single-line wire id.
+    pub fn encode(&self) -> String {
+        match self {
+            WorkUnit::Histogram { cell, pair } => format!("hist cell={cell} pair={pair}"),
+            WorkUnit::McShard { cell, trial_range } => {
+                format!(
+                    "mc cell={cell} trials={}..{}",
+                    trial_range.start, trial_range.end
+                )
+            }
+            WorkUnit::AccuracyPoint { cell } => format!("acc cell={cell}"),
+        }
+    }
+
+    /// Decodes a wire id produced by [`WorkUnit::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on any malformed line.
+    pub fn decode(line: &str) -> Result<WorkUnit, PipelineError> {
+        let mut tokens = line.split_whitespace();
+        let tag = tokens.next().ok_or_else(|| bad_wire(line, "empty unit"))?;
+        let unit = match tag {
+            "hist" => WorkUnit::Histogram {
+                cell: parse_field(&mut tokens, "cell", line)?,
+                pair: parse_field(&mut tokens, "pair", line)?,
+            },
+            "mc" => WorkUnit::McShard {
+                cell: parse_field(&mut tokens, "cell", line)?,
+                trial_range: parse_range(field(&mut tokens, "trials", line)?, line)?,
+            },
+            "acc" => WorkUnit::AccuracyPoint {
+                cell: parse_field(&mut tokens, "cell", line)?,
+            },
+            other => return Err(bad_wire(line, &format!("unknown unit tag {other:?}"))),
+        };
+        match tokens.next() {
+            None => Ok(unit),
+            Some(extra) => Err(bad_wire(line, &format!("trailing token {extra:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// The result of one [`WorkUnit`], self-identifying so results can arrive
+/// in any order from any worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitResult {
+    /// A [`WorkUnit::Histogram`] result.
+    Histogram {
+        /// Grid-cell index of the producing unit.
+        cell: usize,
+        /// (workload, source) pair index.
+        pair: usize,
+        /// The simulated triggered-depth histogram.
+        hist: DepthHistogram,
+    },
+    /// A [`WorkUnit::McShard`] result.
+    McShard {
+        /// Sweep grid-cell index.
+        cell: usize,
+        /// Global trial indices the shard evaluated.
+        trial_range: Range<u32>,
+        /// Per-pair trial TER samples (`ters[pair][trial - start]`), in
+        /// pair order then trial order.
+        ters: Vec<Vec<f64>>,
+    },
+    /// A [`WorkUnit::AccuracyPoint`] result.
+    Accuracy {
+        /// (condition, source) cell index.
+        cell: usize,
+        /// The evaluated accuracy point.
+        point: AccuracyPoint,
+    },
+}
+
+impl UnitResult {
+    /// The unit this result answers.
+    pub fn unit(&self) -> WorkUnit {
+        match self {
+            UnitResult::Histogram { cell, pair, .. } => WorkUnit::Histogram {
+                cell: *cell,
+                pair: *pair,
+            },
+            UnitResult::McShard {
+                cell, trial_range, ..
+            } => WorkUnit::McShard {
+                cell: *cell,
+                trial_range: trial_range.clone(),
+            },
+            UnitResult::Accuracy { cell, .. } => WorkUnit::AccuracyPoint { cell: *cell },
+        }
+    }
+
+    /// The result's deterministic, single-line wire encoding.
+    pub fn encode(&self) -> String {
+        match self {
+            UnitResult::Histogram { cell, pair, hist } => {
+                let mut out = format!(
+                    "hist cell={cell} pair={pair} total={} flips={} counts=",
+                    hist.total(),
+                    hist.sign_flips()
+                );
+                let mut first = true;
+                for (depth, &count) in hist.counts().iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("{depth}:{count}"));
+                }
+                out
+            }
+            UnitResult::McShard {
+                cell,
+                trial_range,
+                ters,
+            } => {
+                let mut out = format!(
+                    "mc cell={cell} trials={}..{} ters=",
+                    trial_range.start, trial_range.end
+                );
+                for (pi, pair_ters) in ters.iter().enumerate() {
+                    if pi > 0 {
+                        out.push('|');
+                    }
+                    for (ti, ter) in pair_ters.iter().enumerate() {
+                        if ti > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("{ter:?}"));
+                    }
+                }
+                out
+            }
+            UnitResult::Accuracy { cell, point } => format!(
+                "acc cell={cell} condition={} algorithm={} top1={:?} topk={:?} k={} mean_ber={:?} seeds={}",
+                escape(&point.condition),
+                escape(&point.algorithm),
+                point.top1,
+                point.topk,
+                point.k,
+                point.mean_ber,
+                point.seeds
+            ),
+        }
+    }
+
+    /// Decodes a wire line produced by [`UnitResult::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on any malformed line.
+    pub fn decode(line: &str) -> Result<UnitResult, PipelineError> {
+        let mut tokens = line.split_whitespace();
+        let tag = tokens
+            .next()
+            .ok_or_else(|| bad_wire(line, "empty result"))?;
+        let result = match tag {
+            "hist" => {
+                let cell = parse_field(&mut tokens, "cell", line)?;
+                let pair = parse_field(&mut tokens, "pair", line)?;
+                let total: u64 = parse_field(&mut tokens, "total", line)?;
+                let flips: u64 = parse_field(&mut tokens, "flips", line)?;
+                let counts_value = field(&mut tokens, "counts", line)?;
+                let mut dense: Vec<u64> = Vec::new();
+                if !counts_value.is_empty() {
+                    for pair_str in counts_value.split(',') {
+                        let (depth, count) = pair_str
+                            .split_once(':')
+                            .ok_or_else(|| bad_wire(line, "count without ':'"))?;
+                        let depth: usize =
+                            depth.parse().map_err(|_| bad_wire(line, "bad depth"))?;
+                        let count: u64 = count.parse().map_err(|_| bad_wire(line, "bad count"))?;
+                        if depth >= dense.len() {
+                            dense.resize(depth + 1, 0);
+                        }
+                        dense[depth] = count;
+                    }
+                }
+                let hist = DepthHistogram::from_parts(&dense, flips, total)
+                    .ok_or_else(|| bad_wire(line, "inconsistent histogram"))?;
+                UnitResult::Histogram { cell, pair, hist }
+            }
+            "mc" => {
+                let cell = parse_field(&mut tokens, "cell", line)?;
+                let trial_range = parse_range(field(&mut tokens, "trials", line)?, line)?;
+                let ters_value = field(&mut tokens, "ters", line)?;
+                let ters = if ters_value.is_empty() {
+                    Vec::new()
+                } else {
+                    ters_value
+                        .split('|')
+                        .map(|group| {
+                            if group.is_empty() {
+                                return Ok(Vec::new());
+                            }
+                            group
+                                .split(',')
+                                .map(|v| v.parse::<f64>().map_err(|_| bad_wire(line, "bad ter")))
+                                .collect()
+                        })
+                        .collect::<Result<Vec<Vec<f64>>, PipelineError>>()?
+                };
+                UnitResult::McShard {
+                    cell,
+                    trial_range,
+                    ters,
+                }
+            }
+            "acc" => {
+                let cell = parse_field(&mut tokens, "cell", line)?;
+                let condition = unescape(field(&mut tokens, "condition", line)?, line)?;
+                let algorithm = unescape(field(&mut tokens, "algorithm", line)?, line)?;
+                let top1 = parse_f64(field(&mut tokens, "top1", line)?, line)?;
+                let topk = parse_f64(field(&mut tokens, "topk", line)?, line)?;
+                let k = parse_field(&mut tokens, "k", line)?;
+                let mean_ber = parse_f64(field(&mut tokens, "mean_ber", line)?, line)?;
+                let seeds = parse_field(&mut tokens, "seeds", line)?;
+                UnitResult::Accuracy {
+                    cell,
+                    point: AccuracyPoint {
+                        condition,
+                        algorithm,
+                        top1,
+                        topk,
+                        k,
+                        mean_ber,
+                        seeds,
+                    },
+                }
+            }
+            other => return Err(bad_wire(line, &format!("unknown result tag {other:?}"))),
+        };
+        match tokens.next() {
+            None => Ok(result),
+            Some(extra) => Err(bad_wire(line, &format!("trailing token {extra:?}"))),
+        }
+    }
+}
+
+fn bad_wire(line: &str, reason: &str) -> PipelineError {
+    PipelineError::exec(format!("malformed wire line {line:?}: {reason}"))
+}
+
+/// Pulls the next token off `tokens` and returns its value, requiring the
+/// `key=` prefix (the wire format's fields come in a fixed order).
+fn field<'t>(
+    tokens: &mut impl Iterator<Item = &'t str>,
+    key: &str,
+    line: &str,
+) -> Result<&'t str, PipelineError> {
+    let token = tokens
+        .next()
+        .ok_or_else(|| bad_wire(line, &format!("missing field {key:?}")))?;
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| bad_wire(line, &format!("expected field {key:?}, got {token:?}")))
+}
+
+fn parse_field<'t, T: std::str::FromStr>(
+    tokens: &mut impl Iterator<Item = &'t str>,
+    key: &str,
+    line: &str,
+) -> Result<T, PipelineError> {
+    field(tokens, key, line)?
+        .parse()
+        .map_err(|_| bad_wire(line, &format!("bad value for {key:?}")))
+}
+
+fn parse_f64(value: &str, line: &str) -> Result<f64, PipelineError> {
+    value.parse().map_err(|_| bad_wire(line, "bad float value"))
+}
+
+fn parse_range(value: &str, line: &str) -> Result<Range<u32>, PipelineError> {
+    let (lo, hi) = value
+        .split_once("..")
+        .ok_or_else(|| bad_wire(line, "range without '..'"))?;
+    let lo: u32 = lo.parse().map_err(|_| bad_wire(line, "bad range start"))?;
+    let hi: u32 = hi.parse().map_err(|_| bad_wire(line, "bad range end"))?;
+    Ok(lo..hi)
+}
+
+/// Escapes a string field for the single-line, space-tokenized wire format.
+/// The decoder tokenizes with `split_whitespace`, so EVERY Unicode
+/// whitespace character must be escaped, not just ASCII space — the
+/// uncommon ones round-trip as `\uXXXX` (whitespace is BMP-only).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_whitespace() => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str, line: &str) -> Result<String, PipelineError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('s') => out.push(' '),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| bad_wire(line, "bad \\u escape"))?;
+                out.push(code);
+            }
+            _ => return Err(bad_wire(line, "bad escape sequence")),
+        }
+    }
+    Ok(out)
+}
+
+/// What a [`WorkPlan`] produces when aggregated.
+pub(crate) enum PlanKind<'a> {
+    /// A layer-wise TER experiment ([`ReadPipeline::run_ter`]).
+    Ter,
+    /// A corner/die sweep ([`ReadPipeline::run_sweep`]).
+    Sweep {
+        corners: Vec<OperatingCorner>,
+        models: Vec<DieModel>,
+    },
+    /// An accuracy-under-PVTA experiment ([`ReadPipeline::run_accuracy`]).
+    Accuracy {
+        model: &'a Model,
+        dataset: &'a Dataset,
+        conv_names: Vec<String>,
+        seeds: u64,
+    },
+}
+
+/// A typed, enumerable description of every unit a pipeline run executes.
+///
+/// Obtain one with [`ReadPipeline::plan_ter`], [`ReadPipeline::plan_sweep`]
+/// / [`ReadPipeline::plan_sweep_with`] or [`ReadPipeline::plan_accuracy_for`];
+/// execute it with any [`crate::Executor`]; fold the results back with
+/// [`WorkPlan::aggregate`] (or an explicit [`Aggregator`]).  Executing the
+/// same plan on any executor — serial, threaded, or worker subprocesses —
+/// and aggregating any permutation or partition of the results produces
+/// byte-identical reports.
+pub struct WorkPlan<'a> {
+    pub(crate) pipeline: &'a ReadPipeline,
+    pub(crate) workloads: &'a [LayerWorkload],
+    network: String,
+    kind: PlanKind<'a>,
+    units: Vec<WorkUnit>,
+    /// Unit → index lookup, so serving and result-matching stay O(1) per
+    /// unit instead of scanning the unit list (plans can carry thousands of
+    /// Monte-Carlo shards at paper scale).
+    unit_index: HashMap<WorkUnit, usize>,
+}
+
+impl<'a> WorkPlan<'a> {
+    fn assemble(
+        pipeline: &'a ReadPipeline,
+        workloads: &'a [LayerWorkload],
+        network: &str,
+        kind: PlanKind<'a>,
+        units: Vec<WorkUnit>,
+    ) -> Self {
+        let unit_index = units
+            .iter()
+            .enumerate()
+            .map(|(index, unit)| (unit.clone(), index))
+            .collect();
+        WorkPlan {
+            pipeline,
+            workloads,
+            network: network.to_string(),
+            kind,
+            units,
+            unit_index,
+        }
+    }
+    pub(crate) fn ter(
+        pipeline: &'a ReadPipeline,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+    ) -> Result<Self, PipelineError> {
+        if pipeline.conditions().is_empty() {
+            return Err(PipelineError::Missing {
+                what: "operating conditions",
+            });
+        }
+        let pairs = workloads.len() * pipeline.sources().len();
+        let units = (0..pairs)
+            .map(|pair| WorkUnit::Histogram { cell: 0, pair })
+            .collect();
+        Ok(WorkPlan::assemble(
+            pipeline,
+            workloads,
+            network,
+            PlanKind::Ter,
+            units,
+        ))
+    }
+
+    pub(crate) fn sweep(
+        pipeline: &'a ReadPipeline,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+        plan: &SweepPlan,
+    ) -> Result<Self, PipelineError> {
+        plan.validate()?;
+        // The grid is the single encoding of cell order (die-major); each
+        // cell's error model derives from its corner's variation, so the
+        // stage can never drift from the grid position.
+        let corners = plan.corners(pipeline.array());
+        let models: Vec<DieModel> = corners
+            .iter()
+            .map(|corner| plan.cell_model(corner))
+            .collect();
+        let pairs = workloads.len() * pipeline.sources().len();
+        // Histograms are corner-independent: one unit per pair serves every
+        // cell of the grid.  Monte-Carlo cells additionally expand their
+        // trial budget into one unit per shard; a shard re-reads the pair
+        // histograms through the cache, so the leading histogram units
+        // double as its warm-up (a thread that claims a shard while some
+        // pair is still mid-simulation may race a duplicate simulation —
+        // bounded by the in-flight pair count, deterministic, and accepted
+        // by the cache contract).  Analytic and per-PE cells
+        // emit no evaluation unit on purpose: their estimates are
+        // closed-form sums over the ~25 histogram buckets (× PEs for a
+        // die), computed during aggregation — orders of magnitude cheaper
+        // than the simulation/sampling units and far below the
+        // per-unit coordination cost of any distributed executor.
+        let mut units: Vec<WorkUnit> = (0..pairs)
+            .map(|pair| WorkUnit::Histogram { cell: 0, pair })
+            .collect();
+        for (cell, model) in models.iter().enumerate() {
+            if let Some((_, mc)) = model.monte_carlo() {
+                units.extend((0..mc.shards()).map(|shard| WorkUnit::McShard {
+                    cell,
+                    trial_range: mc.shard_range(shard),
+                }));
+            }
+        }
+        Ok(WorkPlan::assemble(
+            pipeline,
+            workloads,
+            network,
+            PlanKind::Sweep { corners, models },
+            units,
+        ))
+    }
+
+    pub(crate) fn accuracy(
+        pipeline: &'a ReadPipeline,
+        model: &'a Model,
+        network: &str,
+        dataset: &'a Dataset,
+        workloads: &'a [LayerWorkload],
+        seeds: u64,
+    ) -> Result<Self, PipelineError> {
+        if pipeline.conditions().is_empty() {
+            return Err(PipelineError::Missing {
+                what: "operating conditions",
+            });
+        }
+        let conv_names: Vec<String> = model
+            .conv_layers()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        // BERs are matched to conv layers by name; a workload set from one
+        // network evaluated against a model of another would silently inject
+        // nothing, so refuse it outright.
+        if !workloads.is_empty() && !workloads.iter().any(|w| conv_names.contains(&w.name)) {
+            return Err(PipelineError::Input {
+                reason: format!(
+                    "no workload name matches any convolution layer of the model \
+                     (workloads: {:?}..., model layers: {:?}...)",
+                    workloads
+                        .iter()
+                        .map(|w| &w.name)
+                        .take(3)
+                        .collect::<Vec<_>>(),
+                    conv_names.iter().take(3).collect::<Vec<_>>(),
+                ),
+            });
+        }
+        let pairs = workloads.len() * pipeline.sources().len();
+        let cells = pipeline.conditions().len() * pipeline.sources().len();
+        // Histogram units warm the shared cache (and give in-process
+        // executors per-pair parallelism); each accuracy cell then reuses
+        // them — or, in an isolated worker, recomputes them locally.
+        let mut units: Vec<WorkUnit> = (0..pairs)
+            .map(|pair| WorkUnit::Histogram { cell: 0, pair })
+            .collect();
+        units.extend((0..cells).map(|cell| WorkUnit::AccuracyPoint { cell }));
+        Ok(WorkPlan::assemble(
+            pipeline,
+            workloads,
+            network,
+            PlanKind::Accuracy {
+                model,
+                dataset,
+                conv_names,
+                seeds,
+            },
+            units,
+        ))
+    }
+
+    /// The network / experiment label the aggregated report carries.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// The plan's units, in deterministic emission order (histogram units
+    /// pair-ascending first, then Monte-Carlo shards cell-major, then
+    /// accuracy cells ascending).
+    pub fn units(&self) -> &[WorkUnit] {
+        &self.units
+    }
+
+    /// Number of units in the plan.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the plan has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Number of (workload, source) pairs the plan covers.
+    pub fn pairs(&self) -> usize {
+        self.workloads.len() * self.pipeline.sources().len()
+    }
+
+    /// The index of `unit` in [`WorkPlan::units`], if it belongs to this
+    /// plan (O(1)).
+    pub fn index_of(&self, unit: &WorkUnit) -> Option<usize> {
+        self.unit_index.get(unit).copied()
+    }
+
+    fn workload_of(&self, pair: usize) -> &LayerWorkload {
+        &self.workloads[pair / self.pipeline.sources().len()]
+    }
+
+    fn source_of(&self, pair: usize) -> &dyn crate::stage::ScheduleSource {
+        self.pipeline.sources()[pair % self.pipeline.sources().len()].as_ref()
+    }
+
+    /// Executes the unit at `index` and returns its self-identifying result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] for an out-of-range index; otherwise
+    /// propagates simulation/evaluation failures.
+    pub fn run_unit(&self, index: usize) -> Result<UnitResult, PipelineError> {
+        let unit = self
+            .units
+            .get(index)
+            .ok_or_else(|| PipelineError::exec(format!("unit index {index} out of range")))?;
+        self.run_unit_spec(unit)
+    }
+
+    /// Executes an explicit unit.  The unit must belong to this plan —
+    /// worker processes decode ids from the wire and run them against a
+    /// locally-reconstructed plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] when the unit is not part of the
+    /// plan; otherwise propagates simulation/evaluation failures.
+    pub fn run_unit_spec(&self, unit: &WorkUnit) -> Result<UnitResult, PipelineError> {
+        if self.index_of(unit).is_none() {
+            return Err(PipelineError::exec(format!(
+                "unit {:?} is not part of this plan",
+                unit.encode()
+            )));
+        }
+        match unit {
+            WorkUnit::Histogram { cell, pair } => {
+                let hist = self
+                    .pipeline
+                    .layer_histogram(self.workload_of(*pair), self.source_of(*pair))?;
+                Ok(UnitResult::Histogram {
+                    cell: *cell,
+                    pair: *pair,
+                    hist,
+                })
+            }
+            WorkUnit::McShard { cell, trial_range } => {
+                let PlanKind::Sweep { corners, models } = &self.kind else {
+                    return Err(PipelineError::exec("mc unit outside a sweep plan"));
+                };
+                let condition = &corners[*cell].condition;
+                let (mc_model, _) = models[*cell]
+                    .monte_carlo()
+                    .ok_or_else(|| PipelineError::exec("mc unit on a non-sampling cell"))?;
+                let ters = (0..self.pairs())
+                    .map(|pair| {
+                        let hist = self
+                            .pipeline
+                            .layer_histogram(self.workload_of(pair), self.source_of(pair))?;
+                        Ok(mc_model.trial_ters(&hist, condition, trial_range.clone()))
+                    })
+                    .collect::<Result<Vec<_>, PipelineError>>()?;
+                Ok(UnitResult::McShard {
+                    cell: *cell,
+                    trial_range: trial_range.clone(),
+                    ters,
+                })
+            }
+            WorkUnit::AccuracyPoint { cell } => {
+                let PlanKind::Accuracy {
+                    model,
+                    dataset,
+                    conv_names,
+                    seeds,
+                } = &self.kind
+                else {
+                    return Err(PipelineError::exec("acc unit outside an accuracy plan"));
+                };
+                let sources = self.pipeline.sources();
+                let condition = &self.pipeline.conditions()[cell / sources.len()];
+                let si = cell % sources.len();
+                let source = &sources[si];
+                let error_model = self.pipeline.error_model();
+
+                // Per-layer BERs for the model, matched by layer name.
+                let mut bers = vec![0.0f64; conv_names.len()];
+                let mut ber_sum = 0.0;
+                let mut ber_count = 0usize;
+                for workload in self.workloads.iter() {
+                    let hist = self.pipeline.layer_histogram(workload, source.as_ref())?;
+                    let ter = error_model.ter(&hist, condition);
+                    let ber = error_model.ber(ter, workload.macs_per_output());
+                    ber_sum += ber;
+                    ber_count += 1;
+                    if let Some(idx) = conv_names.iter().position(|n| *n == workload.name) {
+                        bers[idx] = ber;
+                    }
+                }
+
+                let runs = (*seeds).max(1);
+                let mut top1 = 0.0;
+                let mut topk = 0.0;
+                let mut k = 0usize;
+                for seed in 0..runs {
+                    let acc = self.pipeline.evaluator().evaluate(
+                        model,
+                        dataset,
+                        &bers,
+                        seed * 977 + 13,
+                    )?;
+                    top1 += acc.top1;
+                    topk += acc.topk;
+                    k = acc.k;
+                }
+                Ok(UnitResult::Accuracy {
+                    cell: *cell,
+                    point: AccuracyPoint {
+                        condition: condition.name.to_string(),
+                        algorithm: source.name(),
+                        top1: top1 / runs as f64,
+                        topk: topk / runs as f64,
+                        k,
+                        mean_ber: if ber_count == 0 {
+                            0.0
+                        } else {
+                            ber_sum / ber_count as f64
+                        },
+                        seeds: runs,
+                    },
+                })
+            }
+        }
+    }
+
+    /// Answers the wire protocol on a stream pair: reads one unit id per
+    /// line from `input`, executes it, and writes the encoded result line to
+    /// `output` (flushing after each).  This is the whole worker side of
+    /// [`crate::SubprocessExecutor`] — a worker process reconstructs the
+    /// same pipeline and plan, then calls `serve(stdin, stdout)`.
+    ///
+    /// Failures are reported in-band as `!`-prefixed lines (so the driver
+    /// can attribute them) and serving continues with the next unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error on the streams themselves.
+    pub fn serve(&self, input: impl BufRead, output: &mut impl Write) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = WorkUnit::decode(line)
+                .and_then(|unit| self.run_unit_spec(&unit))
+                .map(|result| result.encode());
+            match response {
+                Ok(encoded) => writeln!(output, "{encoded}")?,
+                Err(e) => writeln!(output, "!{e}")?,
+            }
+            output.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Folds unit results — in any order, from any partition of the plan
+    /// across executors or workers — into the run's report.  Convenience
+    /// over an explicit [`Aggregator`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Aggregator::finish`].
+    pub fn aggregate(
+        &self,
+        results: impl IntoIterator<Item = UnitResult>,
+    ) -> Result<PlanOutput, PipelineError> {
+        let mut agg = Aggregator::new(self);
+        for result in results {
+            agg.push(result)?;
+        }
+        agg.finish()
+    }
+}
+
+impl std::fmt::Debug for WorkPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            PlanKind::Ter => "ter",
+            PlanKind::Sweep { .. } => "sweep",
+            PlanKind::Accuracy { .. } => "accuracy",
+        };
+        f.debug_struct("WorkPlan")
+            .field("network", &self.network)
+            .field("kind", &kind)
+            .field("units", &self.units.len())
+            .field("pairs", &self.pairs())
+            .finish()
+    }
+}
+
+/// The typed report a [`WorkPlan`] aggregation produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOutput {
+    /// A [`ReadPipeline::run_ter`]-shaped report.
+    Ter(NetworkReport),
+    /// A [`ReadPipeline::run_sweep`]-shaped report.
+    Sweep(SweepReport),
+    /// A [`ReadPipeline::run_accuracy`]-shaped report.
+    Accuracy(AccuracyReport),
+}
+
+impl PlanOutput {
+    /// The network report, if this output is one.
+    pub fn into_ter(self) -> Result<NetworkReport, PipelineError> {
+        match self {
+            PlanOutput::Ter(report) => Ok(report),
+            other => Err(PipelineError::exec(format!(
+                "expected a TER report, aggregated {other:?}"
+            ))),
+        }
+    }
+
+    /// The sweep report, if this output is one.
+    pub fn into_sweep(self) -> Result<SweepReport, PipelineError> {
+        match self {
+            PlanOutput::Sweep(report) => Ok(report),
+            other => Err(PipelineError::exec(format!(
+                "expected a sweep report, aggregated {other:?}"
+            ))),
+        }
+    }
+
+    /// The accuracy report, if this output is one.
+    pub fn into_accuracy(self) -> Result<AccuracyReport, PipelineError> {
+        match self {
+            PlanOutput::Accuracy(report) => Ok(report),
+            other => Err(PipelineError::exec(format!(
+                "expected an accuracy report, aggregated {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Folds [`UnitResult`]s back into the plan's report.
+///
+/// Results may arrive in **any order** and from **any partition** of the
+/// plan across executors, threads or worker processes: every result is
+/// self-identifying, Monte-Carlo shards are re-assembled in trial order
+/// before the one aggregation ([`TerEstimate::from_trials`]), and rows are
+/// emitted in the canonical report order — so the aggregate is byte-
+/// identical to a serial in-process run.  Missing, duplicate or overlapping
+/// results are detected and rejected rather than silently misfolded.
+pub struct Aggregator<'p, 'a> {
+    plan: &'p WorkPlan<'a>,
+    hists: BTreeMap<usize, DepthHistogram>,
+    shards: BTreeMap<usize, Vec<McShardSamples>>,
+    points: BTreeMap<usize, AccuracyPoint>,
+}
+
+/// One Monte-Carlo shard's samples: the trial range plus the per-pair trial
+/// TER vectors.
+type McShardSamples = (Range<u32>, Vec<Vec<f64>>);
+
+impl<'p, 'a> Aggregator<'p, 'a> {
+    /// An empty aggregator for `plan`.
+    pub fn new(plan: &'p WorkPlan<'a>) -> Self {
+        Aggregator {
+            plan,
+            hists: BTreeMap::new(),
+            shards: BTreeMap::new(),
+            points: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] for a result that duplicates one
+    /// already folded or does not belong to the plan.
+    pub fn push(&mut self, result: UnitResult) -> Result<(), PipelineError> {
+        match result {
+            UnitResult::Histogram { cell, pair, hist } => {
+                if self
+                    .plan
+                    .index_of(&WorkUnit::Histogram { cell, pair })
+                    .is_none()
+                {
+                    return Err(PipelineError::exec(format!(
+                        "histogram result for cell {cell} pair {pair}, which is \
+                         not a unit of this plan"
+                    )));
+                }
+                if self.hists.insert(pair, hist).is_some() {
+                    return Err(PipelineError::exec(format!(
+                        "duplicate histogram result for pair {pair}"
+                    )));
+                }
+            }
+            UnitResult::McShard {
+                cell,
+                trial_range,
+                ters,
+            } => {
+                // A shard must belong to a Monte-Carlo cell of THIS plan —
+                // a mislabeled cell would otherwise be dropped silently at
+                // finish(), violating the "rejected, never misfolded"
+                // contract.
+                let is_mc_cell = matches!(
+                    &self.plan.kind,
+                    PlanKind::Sweep { models, .. }
+                        if models.get(cell).is_some_and(|m| m.monte_carlo().is_some())
+                );
+                if !is_mc_cell {
+                    return Err(PipelineError::exec(format!(
+                        "mc shard result for cell {cell}, which is not a \
+                         Monte-Carlo cell of this plan"
+                    )));
+                }
+                if ters.len() != self.plan.pairs() {
+                    return Err(PipelineError::exec(format!(
+                        "mc shard for cell {cell} carries {} pair groups, plan has {}",
+                        ters.len(),
+                        self.plan.pairs()
+                    )));
+                }
+                self.shards
+                    .entry(cell)
+                    .or_default()
+                    .push((trial_range, ters));
+            }
+            UnitResult::Accuracy { cell, point } => {
+                if self
+                    .plan
+                    .index_of(&WorkUnit::AccuracyPoint { cell })
+                    .is_none()
+                {
+                    return Err(PipelineError::exec(format!(
+                        "accuracy result for cell {cell}, which is not part of this plan"
+                    )));
+                }
+                if self.points.insert(cell, point).is_some() {
+                    return Err(PipelineError::exec(format!(
+                        "duplicate accuracy result for cell {cell}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-pair trial vectors of one Monte-Carlo cell, re-assembled in
+    /// global trial order and verified to cover `0..trials` exactly once.
+    fn cell_trials(&self, cell: usize, trials: u32) -> Result<Vec<Vec<f64>>, PipelineError> {
+        let mut shards: Vec<&McShardSamples> = self
+            .shards
+            .get(&cell)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default();
+        shards.sort_by_key(|(range, _)| range.start);
+        let mut out = vec![Vec::with_capacity(trials as usize); self.plan.pairs()];
+        let mut next = 0u32;
+        for (range, ters) in shards {
+            if range.start != next {
+                return Err(PipelineError::exec(format!(
+                    "mc cell {cell}: trial range gap or overlap at trial {next} (shard starts at {})",
+                    range.start
+                )));
+            }
+            for (pair, pair_ters) in ters.iter().enumerate() {
+                if pair_ters.len() != range.len() {
+                    return Err(PipelineError::exec(format!(
+                        "mc cell {cell} pair {pair}: shard {}..{} carries {} samples",
+                        range.start,
+                        range.end,
+                        pair_ters.len()
+                    )));
+                }
+                out[pair].extend_from_slice(pair_ters);
+            }
+            next = range.end;
+        }
+        if next != trials {
+            return Err(PipelineError::exec(format!(
+                "mc cell {cell}: trials {next}..{trials} missing"
+            )));
+        }
+        Ok(out)
+    }
+
+    fn pair_hist(&self, pair: usize) -> Result<&DepthHistogram, PipelineError> {
+        self.hists
+            .get(&pair)
+            .ok_or_else(|| PipelineError::exec(format!("histogram result for pair {pair} missing")))
+    }
+
+    /// Builds the canonical row set of one cell from the folded results.
+    fn cell_rows(
+        &self,
+        condition: &timing::OperatingCondition,
+        error_model: &dyn crate::stage::ErrorModel,
+        estimate_of_pair: impl Fn(usize, &DepthHistogram) -> TerEstimate,
+    ) -> Result<Vec<LayerReport>, PipelineError> {
+        let plan = self.plan;
+        let mut rows = Vec::with_capacity(plan.pairs());
+        for pair in 0..plan.pairs() {
+            let workload = plan.workload_of(pair);
+            let hist = self.pair_hist(pair)?;
+            let estimate = estimate_of_pair(pair, hist);
+            rows.push(LayerReport {
+                layer: workload.name.clone(),
+                algorithm: plan.source_of(pair).name(),
+                condition: condition.name.to_string(),
+                corner: error_model.corner(),
+                ter: estimate.ter,
+                ter_stddev: estimate.stddev,
+                ber: error_model.ber(estimate.ter, workload.macs_per_output()),
+                sign_flip_rate: hist.sign_flip_rate(),
+                macs_per_output: workload.macs_per_output(),
+                total_cycles: hist.total(),
+                sign_flips: hist.sign_flips(),
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Folds everything pushed so far into the plan's report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] when results are missing, duplicated
+    /// or inconsistent (e.g. a Monte-Carlo trial-range gap).
+    pub fn finish(self) -> Result<PlanOutput, PipelineError> {
+        let plan = self.plan;
+        match &plan.kind {
+            PlanKind::Ter => {
+                let error_model = plan.pipeline.error_model();
+                let mut rows = Vec::with_capacity(plan.pairs() * plan.pipeline.conditions().len());
+                for pair in 0..plan.pairs() {
+                    let workload = plan.workload_of(pair);
+                    let hist = self.pair_hist(pair)?;
+                    for condition in plan.pipeline.conditions() {
+                        let estimate = error_model.estimate(hist, condition);
+                        rows.push(LayerReport {
+                            layer: workload.name.clone(),
+                            algorithm: plan.source_of(pair).name(),
+                            condition: condition.name.to_string(),
+                            corner: error_model.corner(),
+                            ter: estimate.ter,
+                            ter_stddev: estimate.stddev,
+                            ber: error_model.ber(estimate.ter, workload.macs_per_output()),
+                            sign_flip_rate: hist.sign_flip_rate(),
+                            macs_per_output: workload.macs_per_output(),
+                            total_cycles: hist.total(),
+                            sign_flips: hist.sign_flips(),
+                        });
+                    }
+                }
+                Ok(PlanOutput::Ter(NetworkReport {
+                    network: plan.network.clone(),
+                    rows,
+                }))
+            }
+            PlanKind::Sweep { corners, models } => {
+                let mut report_cells = Vec::with_capacity(corners.len());
+                for (ci, corner) in corners.iter().enumerate() {
+                    let condition = &corner.condition;
+                    let model = &models[ci];
+                    let error_model = model.as_error_model();
+                    let rows = match model.monte_carlo() {
+                        Some((_, mc)) => {
+                            // Concatenate the cell's per-shard trial samples
+                            // in trial order and reduce once — bit-identical
+                            // to the unsharded estimate.
+                            let trials = self.cell_trials(ci, mc.trials)?;
+                            self.cell_rows(condition, error_model, |pair, _| {
+                                TerEstimate::from_trials(&trials[pair])
+                            })?
+                        }
+                        None => self.cell_rows(condition, error_model, |_, hist| {
+                            error_model.estimate(hist, condition)
+                        })?,
+                    };
+                    report_cells.push(SweepCell {
+                        die: corner.variation.label(),
+                        condition: condition.name.to_string(),
+                        error_model: error_model.name(),
+                        shards: model.shards(),
+                        rows,
+                    });
+                }
+
+                // Cross-corner summary: the worst row per algorithm, in
+                // source order (first occurrence wins ties, so the summary
+                // is stable).
+                let sources = plan.pipeline.sources();
+                let mut worst = Vec::with_capacity(sources.len());
+                for source in sources {
+                    let name = source.name();
+                    let mut best: Option<WorstCase> = None;
+                    for cell in &report_cells {
+                        for row in cell.rows.iter().filter(|r| r.algorithm == name) {
+                            if best.as_ref().map(|b| row.ter > b.ter).unwrap_or(true) {
+                                best = Some(WorstCase {
+                                    algorithm: name.clone(),
+                                    ter: row.ter,
+                                    layer: row.layer.clone(),
+                                    condition: row.condition.clone(),
+                                    die: cell.die.clone(),
+                                });
+                            }
+                        }
+                    }
+                    worst.extend(best);
+                }
+
+                Ok(PlanOutput::Sweep(SweepReport {
+                    network: plan.network.clone(),
+                    cells: report_cells,
+                    worst,
+                }))
+            }
+            PlanKind::Accuracy { .. } => {
+                let cells = plan.pipeline.conditions().len() * plan.pipeline.sources().len();
+                let mut points = Vec::with_capacity(cells);
+                for cell in 0..cells {
+                    points.push(self.points.get(&cell).cloned().ok_or_else(|| {
+                        PipelineError::exec(format!("accuracy result for cell {cell} missing"))
+                    })?);
+                }
+                Ok(PlanOutput::Accuracy(AccuracyReport {
+                    network: plan.network.clone(),
+                    points,
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_ids_round_trip() {
+        let units = [
+            WorkUnit::Histogram { cell: 0, pair: 7 },
+            WorkUnit::McShard {
+                cell: 3,
+                trial_range: 8..24,
+            },
+            WorkUnit::AccuracyPoint { cell: 5 },
+        ];
+        for unit in units {
+            let encoded = unit.encode();
+            assert_eq!(WorkUnit::decode(&encoded).unwrap(), unit, "{encoded}");
+        }
+        assert_eq!(
+            WorkUnit::Histogram { cell: 0, pair: 7 }.encode(),
+            "hist cell=0 pair=7"
+        );
+        assert_eq!(
+            WorkUnit::McShard {
+                cell: 3,
+                trial_range: 8..24
+            }
+            .encode(),
+            "mc cell=3 trials=8..24"
+        );
+    }
+
+    #[test]
+    fn malformed_unit_ids_are_rejected() {
+        for bad in [
+            "",
+            "zap cell=0",
+            "hist cell=0",
+            "hist pair=0 cell=0",
+            "hist cell=0 pair=1 extra=2",
+            "mc cell=1 trials=5",
+            "acc cell=x",
+        ] {
+            assert!(WorkUnit::decode(bad).is_err(), "{bad:?} should not decode");
+        }
+    }
+
+    #[test]
+    fn histogram_results_round_trip() {
+        let hist = DepthHistogram::from_parts(&[10, 0, 3, 0, 2], 4, 15).unwrap();
+        let result = UnitResult::Histogram {
+            cell: 0,
+            pair: 2,
+            hist: hist.clone(),
+        };
+        let encoded = result.encode();
+        assert_eq!(
+            encoded,
+            "hist cell=0 pair=2 total=15 flips=4 counts=0:10,2:3,4:2"
+        );
+        assert_eq!(UnitResult::decode(&encoded).unwrap(), result);
+        // Inconsistent counts are rejected, not silently accepted.
+        assert!(UnitResult::decode("hist cell=0 pair=2 total=2 flips=0 counts=0:10").is_err());
+    }
+
+    #[test]
+    fn mc_results_round_trip_exactly() {
+        let result = UnitResult::McShard {
+            cell: 1,
+            trial_range: 4..7,
+            ters: vec![
+                vec![1.25e-7, 0.0, 3.5e-4],
+                vec![f64::MIN_POSITIVE, 1.0, 0.125],
+            ],
+        };
+        let encoded = result.encode();
+        let decoded = UnitResult::decode(&encoded).unwrap();
+        // Bit-exact float round trip (shortest round-trip formatting).
+        assert_eq!(decoded, result);
+        let UnitResult::McShard { ters, .. } = decoded else {
+            unreachable!()
+        };
+        assert_eq!(ters[1][0].to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn accuracy_results_round_trip_with_escaping() {
+        let result = UnitResult::Accuracy {
+            cell: 9,
+            point: AccuracyPoint {
+                condition: "Aging&VT-5% plus margin".into(),
+                algorithm: "cluster\\then reorder".into(),
+                top1: 0.75,
+                topk: 0.9375,
+                k: 3,
+                mean_ber: 3.2e-5,
+                seeds: 4,
+            },
+        };
+        let encoded = result.encode();
+        assert!(!encoded.contains("5% plus"), "spaces must be escaped");
+        assert_eq!(UnitResult::decode(&encoded).unwrap(), result);
+    }
+
+    #[test]
+    fn every_whitespace_kind_escapes_and_round_trips() {
+        // The decoder splits on any Unicode whitespace, so tab, NBSP and
+        // friends must never appear raw in an encoded field.
+        let tricky = "a\tb\u{a0}c\u{2003}d e";
+        let escaped = escape(tricky);
+        assert!(
+            !escaped.chars().any(char::is_whitespace),
+            "escaped field must carry no raw whitespace: {escaped:?}"
+        );
+        assert_eq!(unescape(&escaped, "ctx").unwrap(), tricky);
+        let result = UnitResult::Accuracy {
+            cell: 0,
+            point: AccuracyPoint {
+                condition: tricky.into(),
+                algorithm: "alg".into(),
+                top1: 0.5,
+                topk: 0.5,
+                k: 1,
+                mean_ber: 0.0,
+                seeds: 1,
+            },
+        };
+        assert_eq!(UnitResult::decode(&result.encode()).unwrap(), result);
+    }
+
+    #[test]
+    fn results_identify_their_units() {
+        let hist = DepthHistogram::from_parts(&[1], 0, 1).unwrap();
+        assert_eq!(
+            UnitResult::Histogram {
+                cell: 0,
+                pair: 3,
+                hist
+            }
+            .unit(),
+            WorkUnit::Histogram { cell: 0, pair: 3 }
+        );
+        assert_eq!(
+            UnitResult::McShard {
+                cell: 2,
+                trial_range: 0..8,
+                ters: vec![]
+            }
+            .unit(),
+            WorkUnit::McShard {
+                cell: 2,
+                trial_range: 0..8
+            }
+        );
+    }
+}

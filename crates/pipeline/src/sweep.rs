@@ -5,9 +5,10 @@
 //! dies ([`DieSpec::Typical`] silicon or specific [`DieSpec::PerPe`] dies)
 //! — plus an optional Monte-Carlo trial budget
 //! ([`SweepPlan::monte_carlo`]).  [`crate::ReadPipeline::run_sweep`] expands
-//! the plan into work units executed through the crate's `run_indexed`
-//! contract (in-order results, first-error-by-index), so serial and
-//! parallel sweeps produce byte-identical reports.
+//! the plan into a typed [`crate::WorkPlan`] of position-independent work
+//! units executed by any [`crate::Executor`] (serial, threaded, or worker
+//! subprocesses), so every execution strategy produces byte-identical
+//! reports.
 //!
 //! The contract every consumer can rely on:
 //!
@@ -25,15 +26,18 @@
 //!   ([`timing::TerEstimate::from_trials`]), which reproduces the unsharded
 //!   estimate bit for bit because trial `t`'s RNG stream depends only on
 //!   `(seed, t)`.
-//! * **Schedules are optimized once.**  Every cell re-derives its histogram
-//!   through the pipeline's schedule cache, so the expensive stage — the
-//!   READ optimization — runs once per (source, layer) and every further
-//!   cell is a cache hit ([`crate::CacheStats`]); only the cheap cycle
-//!   simulation repeats per cell.
+//! * **Schedules and histograms are computed once.**  Histograms are
+//!   corner-independent, so a sweep emits one histogram work unit per
+//!   (workload, source) pair and every grid cell reuses it; the schedule
+//!   cache and the histogram cache ([`crate::CacheStats`]) additionally
+//!   amortize repeated runs on the same pipeline.
 //!
-//! The per-shard work-unit expansion is also the seam for distributing a
-//! sweep across processes or machines: a shard is identified by
-//! `(cell, trial range)` alone and its result is position-independent.
+//! The work-unit expansion is also the seam for distributing a sweep
+//! across processes or machines: a unit is identified by its
+//! [`crate::WorkUnit`] id alone (`(cell, pair)` for histograms,
+//! `(cell, trial range)` for Monte-Carlo shards), its result is
+//! position-independent, and [`crate::SubprocessExecutor`] already ships
+//! both over a line-oriented stdin/stdout wire protocol.
 
 use accel_sim::ArrayConfig;
 use timing::{DelayModel, OperatingCondition, OperatingCorner, Variation};
@@ -289,6 +293,7 @@ impl SweepPlan {
 /// The resolved error-model stage of one die of a sweep — the same stage
 /// types a standalone pipeline would be built with, which is what makes a
 /// cell byte-identical to the equivalent single-condition run.
+#[derive(Clone)]
 pub(crate) enum DieModel {
     /// Typical silicon, analytic expectation.
     Analytic(DelayErrorModel),

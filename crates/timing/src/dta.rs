@@ -335,6 +335,34 @@ impl DepthHistogram {
         &self.counts
     }
 
+    /// Reassembles a histogram from its observable parts — the inverse of
+    /// ([`DepthHistogram::counts`], [`DepthHistogram::sign_flips`],
+    /// [`DepthHistogram::total`]), used by wire decoders that ship
+    /// histograms between worker processes.  `counts` may be shorter than
+    /// the full depth range (missing tail depths count zero); entries beyond
+    /// [`crate::delay::MAX_DEPTH`] are rejected.
+    ///
+    /// Returns `None` when `counts` is longer than the depth range or when
+    /// the depth counts sum to more than `total` (a histogram records every
+    /// cycle exactly once).
+    pub fn from_parts(counts: &[u64], sign_flips: u64, total: u64) -> Option<Self> {
+        let mut hist = DepthHistogram::new();
+        if counts.len() > hist.counts.len() {
+            return None;
+        }
+        let mut sum = 0u64;
+        for (slot, &count) in hist.counts.iter_mut().zip(counts) {
+            *slot = count;
+            sum = sum.checked_add(count)?;
+        }
+        if sum != total || sign_flips > total {
+            return None;
+        }
+        hist.sign_flips = sign_flips;
+        hist.total = total;
+        Some(hist)
+    }
+
     /// Expected TER under the given delay model and operating condition.
     pub fn ter(&self, delay: &DelayModel, condition: &OperatingCondition) -> f64 {
         if self.total == 0 {

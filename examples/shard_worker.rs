@@ -1,0 +1,115 @@
+//! Multi-process sweep driver: run a corner/die sweep through
+//! `SubprocessExecutor` with two worker processes and assert that the
+//! resulting `SweepReport` JSON is byte-identical to the serial in-process
+//! run.
+//!
+//! The binary is its own worker: re-invoked with `--worker` it reconstructs
+//! the identical pipeline and plan, then answers the unit-id/unit-result
+//! wire protocol on stdin/stdout (`WorkPlan::serve`).  That is the whole
+//! pattern a real distribution backend needs — workers only ever see unit
+//! ids, and the driver's aggregator folds their self-identifying results
+//! back in canonical order.
+//!
+//! Run with: `cargo run --release --example shard_worker`
+
+use std::io::{self, BufReader};
+
+use read_repro::prelude::*;
+
+/// The experiment both the driver and every worker reconstruct: identical
+/// configuration ⇒ identical plans ⇒ interchangeable unit results.
+fn workloads() -> Vec<LayerWorkload> {
+    let config = WorkloadConfig {
+        pixels_per_layer: 1,
+        ..WorkloadConfig::default()
+    };
+    vgg16_workloads(&config)
+        .into_iter()
+        .filter(|w| ["conv1_2", "conv3_5"].contains(&w.name.as_str()))
+        .collect()
+}
+
+fn sweep_plan() -> SweepPlan {
+    SweepPlan::new()
+        .conditions([
+            OperatingCondition::vt(0.05),
+            OperatingCondition::aging_vt(10.0, 0.05),
+        ])
+        .typical()
+        .die(3)
+        .monte_carlo(32, 7)
+        .trials_per_shard(8)
+}
+
+fn builder() -> ReadPipelineBuilder {
+    ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+        .sweep(sweep_plan())
+}
+
+const NETWORK: &str = "vgg16-sharded";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--worker") {
+        return worker();
+    }
+    driver()
+}
+
+/// Worker mode: serve the wire protocol until the driver closes stdin.
+fn worker() -> Result<(), Box<dyn std::error::Error>> {
+    let pipeline = builder().build()?;
+    let workloads = workloads();
+    let plan = pipeline.plan_sweep(NETWORK, &workloads)?;
+    plan.serve(BufReader::new(io::stdin()), &mut io::stdout())?;
+    Ok(())
+}
+
+/// Driver mode: serial run, then the same plan across two worker processes.
+fn driver() -> Result<(), Box<dyn std::error::Error>> {
+    let workloads = workloads();
+
+    let serial_pipeline = builder().executor(SerialExecutor).build()?;
+    let serial = serial_pipeline.run_sweep(NETWORK, &workloads)?;
+
+    let workers = 2;
+    let distributed_pipeline = builder()
+        .executor(
+            SubprocessExecutor::new(std::env::current_exe()?)
+                .arg("--worker")
+                .workers(workers),
+        )
+        .build()?;
+    let plan = distributed_pipeline.plan_sweep(NETWORK, &workloads)?;
+    println!(
+        "plan: {} units over {} pairs ({} cells), executor {}",
+        plan.units().len(),
+        plan.pairs(),
+        sweep_plan().cell_count(),
+        distributed_pipeline.executor().name(),
+    );
+    let distributed = distributed_pipeline.run_plan(&plan)?.into_sweep()?;
+
+    let serial_json = serial.to_json();
+    let distributed_json = distributed.to_json();
+    assert_eq!(
+        serial_json, distributed_json,
+        "a sweep distributed across {workers} worker processes must render \
+         byte-identically to the serial run"
+    );
+
+    println!(
+        "{} cells x {} rows re-aggregated byte-identically across {workers} worker processes",
+        distributed.cells.len(),
+        distributed.cells[0].rows.len(),
+    );
+    for w in &distributed.worst {
+        println!(
+            "  worst {:<34} TER {:.3e}  ({} @ {} on {})",
+            w.algorithm, w.ter, w.layer, w.condition, w.die
+        );
+    }
+    println!("report: {} bytes of identical JSON", distributed_json.len());
+    Ok(())
+}

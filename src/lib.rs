@@ -6,8 +6,10 @@
 //!
 //! * [`read_pipeline`] — **start here**: the unified [`ReadPipeline`]
 //!   builder that composes the whole flow from trait-based stages
-//!   (`ScheduleSource` → simulator → `ErrorModel` → `Evaluator`) with
-//!   schedule caching and parallel per-layer execution.
+//!   (`ScheduleSource` → simulator → `ErrorModel` → `Evaluator`), expands
+//!   every run into a typed `WorkPlan` of position-independent work units,
+//!   and executes it on a pluggable `Executor` (serial, scoped threads, or
+//!   worker subprocesses) with schedule and histogram caching.
 //! * [`read_core`] — the READ optimizer (input-channel reordering,
 //!   output-channel clustering, schedules, LUT hardware model).
 //! * [`accel_sim`] — cycle-level systolic-array simulator (MAC datapath,
@@ -84,13 +86,17 @@ pub mod prelude {
     pub use read_core::{
         ClusterSchedule, ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
     };
+    #[allow(deprecated)]
+    pub use read_pipeline::ExecMode;
     pub use read_pipeline::{resnet18_workloads, resnet34_workloads, vgg16_workloads};
     pub use read_pipeline::{AccuracyPoint, AccuracyReport};
     pub use read_pipeline::{
-        Algorithm, Baseline, CacheStats, DelayErrorModel, DieSpec, ErrorModel, Evaluator, ExecMode,
-        LayerReport, LayerWorkload, MonteCarloErrorModel, MonteCarloSweep, NetworkReport,
-        PipelineError, ReadPipeline, ReadPipelineBuilder, ScheduleSource, SweepCell, SweepPlan,
-        SweepReport, TopKEvaluator, VariationErrorModel, WorkloadConfig, WorstCase,
+        Aggregator, Algorithm, Baseline, CacheStats, DelayErrorModel, DieSpec, ErrorModel,
+        Evaluator, Executor, LayerReport, LayerWorkload, MonteCarloErrorModel, MonteCarloSweep,
+        NetworkReport, PipelineError, PlanOutput, ReadPipeline, ReadPipelineBuilder,
+        ScheduleSource, SerialExecutor, SubprocessExecutor, SweepCell, SweepPlan, SweepReport,
+        ThreadExecutor, TopKEvaluator, UnitResult, VariationErrorModel, WorkPlan, WorkUnit,
+        WorkloadConfig, WorstCase,
     };
     pub use timing::{
         ber_from_ter, paper_conditions, AnalyticAnalysis, DelayModel, DepthHistogram,

@@ -2,6 +2,10 @@
 //! derivation flows through the `ErrorModel` stage, covering the analytic,
 //! Monte-Carlo and per-PE-variation models — convergence, permutation
 //! stability, and byte-identical seed-stable reports.
+//!
+//! Keeps using the deprecated `ExecMode` shim on purpose: back-compat
+//! coverage that `.exec(..)` callers compile and behave unchanged.
+#![allow(deprecated)]
 
 use read_repro::prelude::*;
 

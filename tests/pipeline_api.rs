@@ -2,6 +2,10 @@
 //! output preservation through every `ScheduleSource`, determinism of
 //! `NetworkReport` across runs with the same `ReadConfig::seed`, and
 //! byte-identical parallel-vs-serial execution.
+//!
+//! Keeps using the deprecated `ExecMode` shim on purpose: back-compat
+//! coverage that `.exec(..)` callers compile and behave unchanged.
+#![allow(deprecated)]
 
 use read_repro::prelude::*;
 
@@ -286,16 +290,22 @@ fn report_reductions_match_manual_computation() {
 }
 
 #[test]
-fn schedule_cache_is_shared_across_experiments() {
+fn caches_are_shared_across_experiments() {
     let workloads = tiny_workloads(2);
     let pipeline = paper_builder().build().unwrap();
     pipeline.run_ter("first", &workloads).unwrap();
     let after_first = pipeline.cache_stats();
-    // 2 layers x 3 sources.
+    // 2 layers x 3 sources: one optimization and one simulation pass each.
     assert_eq!(after_first.entries, 6);
     assert_eq!(after_first.misses, 6);
+    assert_eq!(after_first.hist_entries, 6);
+    assert_eq!(after_first.hist_misses, 6);
     pipeline.run_ter("second", &workloads).unwrap();
     let after_second = pipeline.cache_stats();
     assert_eq!(after_second.misses, 6, "schedules must not be recomputed");
-    assert!(after_second.hits >= after_first.hits + 6);
+    assert_eq!(
+        after_second.hist_misses, 6,
+        "histograms must not be re-simulated"
+    );
+    assert!(after_second.hist_hits >= after_first.hist_hits + 6);
 }

@@ -2,6 +2,11 @@
 //! is byte-identical to the equivalent sequence of single-corner unsharded
 //! pipeline runs, the schedule cache is reused across cells, and sweeps are
 //! deterministic across execution modes.
+//!
+//! Deliberately written against the deprecated `ExecMode` shim: these tests
+//! double as the back-compat guarantee that existing `.exec(..)` callers
+//! keep compiling and produce unchanged reports.
+#![allow(deprecated)]
 
 use read_repro::prelude::*;
 
@@ -144,12 +149,14 @@ fn parallel_sweep_equals_serial_sweep() {
     );
 }
 
-// ---- schedule-cache reuse across cells ----------------------------------
+// ---- schedule/histogram-cache reuse across cells -------------------------
 
-/// A sweep optimizes each (source, layer) pair once; every further cell is
-/// a cache hit, and distinct-dimension workloads never collide.
+/// A sweep optimizes *and simulates* each (source, layer) pair exactly once
+/// — histograms are corner-independent, so the whole grid reuses one
+/// simulation pass per pair — and distinct-dimension workloads never
+/// collide.
 #[test]
-fn sweep_reuses_the_schedule_cache_across_cells() {
+fn sweep_reuses_the_schedule_and_histogram_caches_across_cells() {
     // Two workloads with distinct dimensions (64->64 vs 128->128 channels).
     let all = vgg16_workloads(&WorkloadConfig {
         pixels_per_layer: 1,
@@ -176,24 +183,34 @@ fn sweep_reuses_the_schedule_cache_across_cells() {
         .die(1)
         .monte_carlo(8, 0);
     let pipeline = sweep_pipeline(plan, ExecMode::Serial);
-    let cells = 3 * 2; // conditions x dies
     let pairs = 2 * 2; // workloads x sources
+    let mc_cells = 3; // typical-die cells carry the Monte-Carlo budget
 
     pipeline.run_sweep("cache", &workloads).unwrap();
     let stats = pipeline.cache_stats();
-    // One optimization per (source, layer) group, N-1 hits for the other
-    // cells, zero collisions, and exactly one entry per group.
+    // One optimization and one simulation pass per (source, layer) group —
+    // regardless of the 6-cell grid — with zero collisions and exactly one
+    // entry per group in each cache.
     assert_eq!(stats.misses, pairs as u64);
-    assert_eq!(stats.hits, (pairs * (cells - 1)) as u64);
     assert_eq!(stats.collisions, 0);
     assert_eq!(stats.entries, pairs);
+    assert_eq!(stats.hist_misses, pairs as u64);
+    assert_eq!(stats.hist_collisions, 0);
+    assert_eq!(stats.hist_entries, pairs);
+    // Monte-Carlo shard units re-read every pair's histogram from the cache.
+    assert_eq!(stats.hist_hits, (mc_cells * pairs) as u64);
 
-    // A second sweep on the same pipeline is all hits.
+    // A second sweep on the same pipeline hits both caches for everything.
     pipeline.run_sweep("cache", &workloads).unwrap();
     let again = pipeline.cache_stats();
     assert_eq!(again.misses, stats.misses);
-    assert_eq!(again.hits, stats.hits + (pairs * cells) as u64);
+    assert_eq!(again.hist_misses, stats.hist_misses);
+    assert_eq!(
+        again.hist_hits,
+        stats.hist_hits + ((mc_cells + 1) * pairs) as u64
+    );
     assert_eq!(again.collisions, 0);
+    assert_eq!(again.hist_collisions, 0);
 }
 
 // ---- plan plumbing ------------------------------------------------------

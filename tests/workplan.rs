@@ -1,0 +1,365 @@
+//! Integration tests of the WorkPlan/Executor layer: the wire encoding is
+//! pinned by a golden fixture, any partition and permutation of unit
+//! results re-aggregates byte-identically, the serve loop answers the wire
+//! protocol, and — the acceptance criterion — a sweep executed across
+//! worker *processes* renders byte-identically to the serial in-process
+//! run.
+//!
+//! The worker side of the subprocess tests is this very test binary:
+//! re-invoked with `--exact shard_worker_entry` and the
+//! `READ_WORKPLAN_WORKER` environment variable set, the entry test
+//! reconstructs the same pipeline and plan and serves stdin/stdout.  The
+//! driver's wire parser skips the libtest harness banner lines, so the
+//! protocol runs cleanly inside the harness.
+
+use std::io::{BufReader, Cursor};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use read_repro::prelude::*;
+
+// ---- shared fixture -----------------------------------------------------
+
+fn tiny_workloads(n: usize) -> Vec<LayerWorkload> {
+    let config = WorkloadConfig {
+        pixels_per_layer: 1,
+        ..WorkloadConfig::default()
+    };
+    vgg16_workloads(&config).into_iter().take(n).collect()
+}
+
+/// The experiment the subprocess driver and its workers both reconstruct.
+fn worker_sweep_plan() -> SweepPlan {
+    SweepPlan::new()
+        .conditions([
+            OperatingCondition::vt(0.05),
+            OperatingCondition::aging_vt(10.0, 0.05),
+        ])
+        .typical()
+        .die(5)
+        .monte_carlo(24, 11)
+        .trials_per_shard(7)
+}
+
+fn worker_builder() -> ReadPipelineBuilder {
+    ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+        .sweep(worker_sweep_plan())
+}
+
+const WORKER_NETWORK: &str = "workplan-subprocess";
+const WORKER_ENV: &str = "READ_WORKPLAN_WORKER";
+
+/// Worker entry point: a no-op under a normal `cargo test` run; the wire
+/// server when the driver re-invokes this binary with `READ_WORKPLAN_WORKER`
+/// set.
+#[test]
+fn shard_worker_entry() {
+    if std::env::var(WORKER_ENV).is_err() {
+        return;
+    }
+    let pipeline = worker_builder().build().expect("worker pipeline");
+    let workloads = tiny_workloads(2);
+    let plan = pipeline
+        .plan_sweep(WORKER_NETWORK, &workloads)
+        .expect("worker plan");
+    let mut stdout = std::io::stdout().lock();
+    // The libtest banner (`test shard_worker_entry ... `) has no trailing
+    // newline; emit one so the first protocol line starts a fresh line.
+    use std::io::Write as _;
+    writeln!(stdout).expect("stdout newline");
+    plan.serve(BufReader::new(std::io::stdin()), &mut stdout)
+        .expect("serve stdio");
+}
+
+// ---- the acceptance criterion -------------------------------------------
+
+/// A sweep executed via `SubprocessExecutor` with two worker processes
+/// produces a `SweepReport::to_json()` byte-identical to the same plan run
+/// on `SerialExecutor`.
+#[test]
+fn subprocess_sweep_is_byte_identical_to_serial() {
+    let workloads = tiny_workloads(2);
+    let serial = worker_builder()
+        .executor(SerialExecutor)
+        .build()
+        .unwrap()
+        .run_sweep(WORKER_NETWORK, &workloads)
+        .unwrap();
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let subprocess = SubprocessExecutor::new(exe)
+        .args(["shard_worker_entry", "--exact", "--quiet"])
+        .env(WORKER_ENV, "1")
+        .workers(2);
+    assert_eq!(subprocess.worker_count(), 2);
+    let distributed = worker_builder()
+        .executor(subprocess)
+        .build()
+        .unwrap()
+        .run_sweep(WORKER_NETWORK, &workloads)
+        .unwrap();
+
+    assert_eq!(serial, distributed);
+    assert_eq!(
+        serial.to_json().into_bytes(),
+        distributed.to_json().into_bytes(),
+        "two worker processes must re-aggregate to the serial bytes"
+    );
+}
+
+// ---- golden wire-encoding snapshot --------------------------------------
+
+/// The units and results whose encodings the fixture pins.
+fn wire_examples() -> (Vec<WorkUnit>, Vec<UnitResult>) {
+    let units = vec![
+        WorkUnit::Histogram { cell: 0, pair: 7 },
+        WorkUnit::McShard {
+            cell: 3,
+            trial_range: 8..24,
+        },
+        WorkUnit::AccuracyPoint { cell: 5 },
+    ];
+    let results = vec![
+        UnitResult::Histogram {
+            cell: 0,
+            pair: 2,
+            hist: DepthHistogram::from_parts(&[10, 0, 3, 0, 2], 4, 15).unwrap(),
+        },
+        UnitResult::McShard {
+            cell: 1,
+            trial_range: 4..7,
+            ters: vec![
+                vec![1.25e-7, 0.0, 3.5e-4],
+                vec![2.220446049250313e-16, 1.0, 0.125],
+            ],
+        },
+        UnitResult::Accuracy {
+            cell: 9,
+            point: AccuracyPoint {
+                condition: "Aging&VT-5% margin".into(),
+                algorithm: "cluster-then-reorder[sign_first]".into(),
+                top1: 0.75,
+                topk: 0.9375,
+                k: 3,
+                mean_ber: 3.2e-5,
+                seeds: 4,
+            },
+        },
+    ];
+    (units, results)
+}
+
+/// The unit-id/unit-result wire encoding is a stable contract: every line
+/// of `tests/fixtures/work_units.txt` must match the current encoder byte
+/// for byte, and decode back to the same value.
+#[test]
+fn wire_encoding_matches_the_golden_fixture() {
+    let (units, results) = wire_examples();
+    let rendered: Vec<String> = units
+        .iter()
+        .map(WorkUnit::encode)
+        .chain(results.iter().map(UnitResult::encode))
+        .collect();
+    let actual = rendered.join("\n");
+    let expected = include_str!("fixtures/work_units.txt")
+        .trim_end_matches('\n')
+        .to_string();
+    assert_eq!(
+        actual, expected,
+        "\n--- wire-encoding fixture mismatch; actual encoding: ---\n{actual}\n---"
+    );
+
+    // Every fixture line decodes back to the exact original value.
+    let lines: Vec<&str> = expected.lines().collect();
+    for (unit, line) in units.iter().zip(&lines[..units.len()]) {
+        assert_eq!(&WorkUnit::decode(line).unwrap(), unit, "{line}");
+    }
+    for (result, line) in results.iter().zip(&lines[units.len()..]) {
+        assert_eq!(&UnitResult::decode(line).unwrap(), result, "{line}");
+    }
+}
+
+// ---- partition/permutation invariance (property test) --------------------
+
+/// Deterministic case generator over the workspace's seeded RNG shim.
+struct Gen(StdRng);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(StdRng::seed_from_u64(seed))
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.range(0, i + 1));
+        }
+    }
+}
+
+/// Any partition of a plan's unit range across executors, with the combined
+/// results arbitrarily permuted before aggregation, re-aggregates to a
+/// report byte-identical to the serial full-range run.
+#[test]
+fn any_partition_and_permutation_reaggregates_byte_identically() {
+    let workloads = tiny_workloads(2);
+    let pipeline = worker_builder().build().unwrap();
+    let plan = pipeline.plan_sweep("partition", &workloads).unwrap();
+    // 4 histogram pairs + 2 Monte-Carlo cells x 4 shards.
+    assert_eq!(plan.units().len(), 4 + 2 * 4);
+    let reference = pipeline
+        .run_plan(&plan)
+        .unwrap()
+        .into_sweep()
+        .unwrap()
+        .to_json();
+
+    let executors: [&dyn Executor; 2] = [&SerialExecutor, &ThreadExecutor { threads: 2 }];
+    let mut gen = Gen::new(0x9A27);
+    for case in 0..8 {
+        // Random partition of 0..len into contiguous chunks, each executed
+        // by a randomly-chosen executor.
+        let mut results = Vec::new();
+        let mut lo = 0usize;
+        while lo < plan.len() {
+            let hi = gen.range(lo + 1, plan.len() + 2).min(plan.len());
+            let executor = executors[gen.range(0, executors.len())];
+            results.extend(executor.execute(&plan, lo..hi).unwrap());
+            lo = hi;
+        }
+        // Arbitrary permutation of all results before aggregation.
+        gen.shuffle(&mut results);
+        let report = plan.aggregate(results).unwrap().into_sweep().unwrap();
+        assert_eq!(report.to_json(), reference, "case {case}");
+    }
+}
+
+/// TER and accuracy plans run through the thread executor aggregate to the
+/// serial bytes too (the sweep case is covered above).
+#[test]
+fn ter_plan_is_executor_invariant() {
+    let workloads = tiny_workloads(2);
+    let pipeline = ReadPipeline::builder()
+        .source(Algorithm::Baseline)
+        .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+        .conditions(paper_conditions())
+        .build()
+        .unwrap();
+    let plan = pipeline.plan_ter("exec-invariant", &workloads).unwrap();
+    assert_eq!(plan.units().len(), 4, "one histogram unit per pair");
+    let serial = SerialExecutor.execute(&plan, 0..plan.len()).unwrap();
+    let threaded = ThreadExecutor::machine()
+        .execute(&plan, 0..plan.len())
+        .unwrap();
+    let a = plan.aggregate(serial).unwrap().into_ter().unwrap();
+    let b = plan.aggregate(threaded).unwrap().into_ter().unwrap();
+    assert_eq!(a.to_json().into_bytes(), b.to_json().into_bytes());
+    // And the pipeline's own run_ter is the same plan-execute-aggregate.
+    assert_eq!(
+        pipeline
+            .run_ter("exec-invariant", &workloads)
+            .unwrap()
+            .to_json(),
+        a.to_json()
+    );
+}
+
+// ---- the serve loop ------------------------------------------------------
+
+/// `WorkPlan::serve` answers encoded unit ids with encoded results that
+/// aggregate to the serial report; unknown ids are answered in-band with a
+/// `!` failure line.
+#[test]
+fn serve_answers_the_wire_protocol_in_memory() {
+    let workloads = tiny_workloads(1);
+    let pipeline = worker_builder().build().unwrap();
+    let plan = pipeline.plan_sweep("serve", &workloads).unwrap();
+
+    // Request every unit, plus junk the server must answer with '!'.
+    let mut request = String::new();
+    for unit in plan.units() {
+        request.push_str(&unit.encode());
+        request.push('\n');
+    }
+    request.push_str("hist cell=0 pair=999\n"); // not part of the plan
+    request.push('\n'); // blank lines are skipped
+
+    let mut response = Vec::new();
+    plan.serve(Cursor::new(request), &mut response).unwrap();
+    let response = String::from_utf8(response).unwrap();
+
+    let mut results = Vec::new();
+    let mut failures = 0;
+    for line in response.lines() {
+        if line.starts_with('!') {
+            failures += 1;
+            continue;
+        }
+        results.push(UnitResult::decode(line).unwrap());
+    }
+    assert_eq!(failures, 1, "the out-of-plan unit is refused in-band");
+    assert_eq!(results.len(), plan.units().len());
+    let report = plan.aggregate(results).unwrap().into_sweep().unwrap();
+    let reference = pipeline.run_sweep("serve", &workloads).unwrap();
+    assert_eq!(report.to_json(), reference.to_json());
+}
+
+// ---- aggregation strictness ---------------------------------------------
+
+/// Missing, duplicate and gapped results are detected rather than misfolded.
+#[test]
+fn aggregator_rejects_missing_duplicate_and_gapped_results() {
+    let workloads = tiny_workloads(1);
+    let pipeline = worker_builder().build().unwrap();
+    let plan = pipeline.plan_sweep("strict", &workloads).unwrap();
+    let results = SerialExecutor.execute(&plan, 0..plan.len()).unwrap();
+
+    // Missing: drop the last Monte-Carlo shard.
+    let missing: Vec<UnitResult> = results[..results.len() - 1].to_vec();
+    let err = plan.aggregate(missing).unwrap_err();
+    assert!(matches!(err, PipelineError::Exec { .. }), "{err}");
+
+    // Duplicate: push a histogram result twice.
+    let mut duplicated = results.clone();
+    duplicated.push(results[0].clone());
+    let err = plan.aggregate(duplicated).unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+
+    // A shard labeled with a non-Monte-Carlo cell (the grid is die-major,
+    // so cell 2 is the per-PE die at the first condition) is refused at
+    // push, never silently dropped.
+    let mut mislabeled = results.clone();
+    mislabeled.push(UnitResult::McShard {
+        cell: 2,
+        trial_range: 0..1,
+        ters: vec![vec![0.0]; plan.pairs()],
+    });
+    let err = plan.aggregate(mislabeled).unwrap_err();
+    assert!(err.to_string().contains("not a"), "{err}");
+
+    // An accuracy result has no place in a sweep plan at all.
+    let mut foreign = results.clone();
+    foreign.push(UnitResult::Accuracy {
+        cell: 0,
+        point: AccuracyPoint {
+            condition: "Ideal".into(),
+            algorithm: "baseline".into(),
+            top1: 1.0,
+            topk: 1.0,
+            k: 3,
+            mean_ber: 0.0,
+            seeds: 1,
+        },
+    });
+    let err = plan.aggregate(foreign).unwrap_err();
+    assert!(err.to_string().contains("not part"), "{err}");
+
+    // A wrong-kind output conversion is refused.
+    let output = plan.aggregate(results).unwrap();
+    assert!(output.into_ter().is_err());
+}
