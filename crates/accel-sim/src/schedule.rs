@@ -95,6 +95,47 @@ impl ComputeSchedule {
             .collect()
     }
 
+    /// Deterministic single-line text encoding of the schedule, used to
+    /// persist cached schedules in content-addressed artifact stores (the
+    /// build environment has no serde).  Format:
+    /// `groups=<cols>@<order>[;<cols>@<order>...]` where `<cols>` and
+    /// `<order>` are comma-separated decimal indices — e.g. a two-channel
+    /// group visiting rows `2,0,1` encodes as `0,1@2,0,1`.
+    ///
+    /// [`ComputeSchedule::from_wire`] is the exact inverse: encoding and
+    /// decoding round-trips every schedule byte for byte.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::from("groups=");
+        for (gi, group) in self.groups.iter().enumerate() {
+            if gi > 0 {
+                out.push(';');
+            }
+            push_index_list(&mut out, &group.columns);
+            out.push('@');
+            push_index_list(&mut out, &group.row_order);
+        }
+        out
+    }
+
+    /// Decodes a [`ComputeSchedule::to_wire`] line.  Returns `None` on any
+    /// malformed input; structural validity against a concrete problem is
+    /// the caller's job ([`ComputeSchedule::validate`]).
+    pub fn from_wire(line: &str) -> Option<ComputeSchedule> {
+        let rest = line.strip_prefix("groups=")?;
+        if rest.is_empty() {
+            return Some(ComputeSchedule { groups: Vec::new() });
+        }
+        let mut groups = Vec::new();
+        for part in rest.split(';') {
+            let (cols, order) = part.split_once('@')?;
+            groups.push(ColumnGroup {
+                columns: parse_index_list(cols)?,
+                row_order: parse_index_list(order)?,
+            });
+        }
+        Some(ComputeSchedule { groups })
+    }
+
     /// Validates the schedule against a `reduction_len x num_channels`
     /// problem: every group's row order must be a permutation of the
     /// reduction indices, and the groups must partition the channel set.
@@ -139,9 +180,74 @@ impl ComputeSchedule {
     }
 }
 
+fn push_index_list(out: &mut String, indices: &[usize]) {
+    for (i, index) in indices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&index.to_string());
+    }
+}
+
+fn parse_index_list(s: &str) -> Option<Vec<usize>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|t| t.parse().ok()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_encoding_round_trips_exactly() {
+        let schedules = [
+            ComputeSchedule::baseline(3, 5, 2),
+            ComputeSchedule::new(vec![
+                ColumnGroup {
+                    columns: vec![4, 0],
+                    row_order: vec![2, 0, 1],
+                },
+                ColumnGroup {
+                    columns: vec![1],
+                    row_order: vec![0, 1, 2],
+                },
+            ]),
+            ComputeSchedule::default(),
+        ];
+        for schedule in schedules {
+            let wire = schedule.to_wire();
+            assert_eq!(ComputeSchedule::from_wire(&wire), Some(schedule), "{wire}");
+        }
+        assert_eq!(
+            ComputeSchedule::new(vec![ColumnGroup {
+                columns: vec![4, 0],
+                row_order: vec![2, 0, 1],
+            }])
+            .to_wire(),
+            "groups=4,0@2,0,1"
+        );
+        assert_eq!(ComputeSchedule::default().to_wire(), "groups=");
+    }
+
+    #[test]
+    fn malformed_wire_schedules_are_rejected() {
+        for bad in [
+            "",
+            "groups",
+            "groups=0,1",        // no '@'
+            "groups=0,x@0",      // non-numeric column
+            "groups=0@1,zap",    // non-numeric row
+            "groups=0@0;",       // empty trailing group
+            "schedule=groups=0", // wrong prefix
+        ] {
+            assert!(
+                ComputeSchedule::from_wire(bad).is_none(),
+                "{bad:?} should not decode"
+            );
+        }
+    }
 
     #[test]
     fn baseline_covers_all_channels() {

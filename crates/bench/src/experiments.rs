@@ -5,11 +5,14 @@
 //! live in `read-pipeline`; this module keeps the figure-oriented row types
 //! and the historical function signatures the benches are written against.
 
+use std::sync::Arc;
+
 use accel_sim::ArrayConfig;
 use qnn::{Dataset, Model};
 pub use read_pipeline::Algorithm;
 use read_pipeline::{
-    DelayErrorModel, ErrorModel, Executor, ReadPipeline, SweepPlan, SweepReport, TopKEvaluator,
+    ArtifactStore, CacheStats, DelayErrorModel, ErrorModel, Executor, ReadPipeline, SweepPlan,
+    SweepReport, TopKEvaluator,
 };
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
@@ -109,6 +112,42 @@ pub fn corner_sweep_on(
         .expect("sweep pipeline configuration is valid")
         .run_sweep("corner-sweep", workloads)
         .expect("generated workloads always simulate")
+}
+
+/// Like [`corner_sweep_on`], but over a shared content-addressed
+/// [`ArtifactStore`] (a `MemoryStore` shared between benches in one
+/// process, or a `DiskStore` persisting schedules, histograms and unit
+/// results across bench runs).  Returns the report together with the
+/// pipeline's [`CacheStats`], so a bench can print how much of the sweep
+/// was pure aggregation.
+///
+/// # Panics
+///
+/// See [`corner_sweep`].
+pub fn corner_sweep_stored(
+    executor: impl Executor + 'static,
+    store: Arc<dyn ArtifactStore>,
+    algorithms: &[Algorithm],
+    array: &ArrayConfig,
+    plan: SweepPlan,
+    workloads: &[LayerWorkload],
+) -> (SweepReport, CacheStats) {
+    let mut builder = ReadPipeline::builder()
+        .array(*array)
+        .sweep(plan)
+        .executor(executor)
+        .store_arc(store);
+    for &algorithm in algorithms {
+        builder = builder.source(algorithm);
+    }
+    let pipeline = builder
+        .build()
+        .expect("sweep pipeline configuration is valid");
+    let report = pipeline
+        .run_sweep("corner-sweep", workloads)
+        .expect("generated workloads always simulate");
+    let stats = pipeline.cache_stats();
+    (report, stats)
 }
 
 /// Simulates one layer under one algorithm and returns the triggered-depth
@@ -342,6 +381,39 @@ mod tests {
     fn ter_reduction_handles_missing_algorithm() {
         let rows = vec![];
         assert_eq!(ter_reduction(&rows, "reorder[sign_first]"), (1.0, 1.0));
+    }
+
+    #[test]
+    fn stored_corner_sweep_amortizes_repeat_runs() {
+        use read_pipeline::{MemoryStore, SerialExecutor};
+        let workloads = tiny_workloads();
+        let plan = SweepPlan::new()
+            .condition(OperatingCondition::aging_vt(10.0, 0.05))
+            .typical();
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+        let (cold, cold_stats) = corner_sweep_stored(
+            SerialExecutor,
+            Arc::clone(&store),
+            &[Algorithm::Baseline],
+            &ArrayConfig::paper_default(),
+            plan.clone(),
+            &workloads,
+        );
+        assert_eq!(cold_stats.misses as usize, workloads.len());
+        let (warm, warm_stats) = corner_sweep_stored(
+            SerialExecutor,
+            store,
+            &[Algorithm::Baseline],
+            &ArrayConfig::paper_default(),
+            plan,
+            &workloads,
+        );
+        assert_eq!(warm_stats.misses, 0, "schedules served from the store");
+        assert_eq!(
+            warm_stats.hist_misses, 0,
+            "histograms served from the store"
+        );
+        assert_eq!(cold.to_json(), warm.to_json());
     }
 
     #[test]

@@ -14,8 +14,8 @@ pub mod report;
 pub mod workloads;
 
 pub use experiments::{
-    accuracy_sweep, corner_sweep, corner_sweep_on, figure_pipeline, layer_report, layerwise_ter,
-    ter_reduction, AccuracyPoint, LayerTerRow,
+    accuracy_sweep, corner_sweep, corner_sweep_on, corner_sweep_stored, figure_pipeline,
+    layer_report, layerwise_ter, ter_reduction, AccuracyPoint, LayerTerRow,
 };
 pub use read_pipeline::Algorithm;
 pub use workloads::{resnet18_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig};

@@ -1,4 +1,5 @@
-//! Seed-keyed result caches: schedules and layer histograms.
+//! Fingerprint-keyed artifact caches: schedules, layer histograms, and
+//! memoized work-unit results.
 //!
 //! Optimizing a layer is the expensive part of a sweep (balanced k-means
 //! plus per-cluster sorting), and experiment grids revisit the same
@@ -11,8 +12,18 @@
 //! same way — source fingerprint plus a fingerprint of the full workload and
 //! the simulation context (array geometry, dataflow, options) — and
 //! amortizes the cycle simulation the same way the schedule cache amortizes
-//! the optimization: a sweep simulates each (workload, source) pair once,
-//! and every later corner, die or repeated run reuses the histogram.
+//! the optimization.  The unit cache memoizes whole
+//! [`crate::UnitResult`]s keyed on the unit's wire id plus a full signature
+//! of every stage fingerprint the result depends on, so a rerun of any
+//! [`crate::WorkPlan`] is pure aggregation.
+//!
+//! All three run on the same machinery: a [`VerifiedCache`] over an
+//! [`ArtifactKind`] codec, with an optional content-addressed
+//! [`ArtifactStore`] behind it ([`crate::MemoryStore`] for cross-pipeline
+//! sharing in one process, [`crate::DiskStore`] for persistence across
+//! processes and runs — see [`crate::store`]).  Artifacts decode bit-exactly,
+//! so reports are byte-identical whether an entry came from memory, disk or
+//! a fresh computation.
 //!
 //! Because the fingerprints are 64-bit hashes, every entry also stores a
 //! verification check (names + dimensions) that lookups verify — a hash
@@ -29,10 +40,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use accel_sim::{ComputeSchedule, Matrix};
+use qnn::{Dataset, Model};
 use timing::DepthHistogram;
 
 use crate::error::PipelineError;
+use crate::plan::{escape_wire, UnitResult};
 use crate::stage::fnv1a;
+use crate::store::ArtifactStore;
 use crate::workload::LayerWorkload;
 
 /// Cache key: (source fingerprint, weights fingerprint, array columns).
@@ -105,6 +119,29 @@ pub struct HistogramCheck {
     pub pixels: usize,
 }
 
+/// Unit-result cache key: (plan-signature fingerprint, unit-id
+/// fingerprint).  The signature covers every stage fingerprint the unit's
+/// result depends on — see [`crate::WorkPlan`]'s signature construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnitKey {
+    /// FNV-1a of the plan's full signature string.
+    pub plan: u64,
+    /// FNV-1a of the unit's wire id ([`crate::WorkUnit::encode`]).
+    pub unit: u64,
+}
+
+/// Full-key verification data of a unit-result cache entry: the complete
+/// signature and unit id behind the [`UnitKey`] hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitCheck {
+    /// The plan's full signature (stage fingerprints, workloads, grid) —
+    /// shared, since every unit of a plan carries the same signature and
+    /// plans can hold thousands of Monte-Carlo shards.
+    pub plan: Arc<str>,
+    /// The unit's wire id.
+    pub unit: String,
+}
+
 /// Fingerprint of a weight matrix: FNV-1a over its dimensions and bytes.
 pub fn weights_fingerprint(weights: &Matrix<i8>) -> u64 {
     let dims = [weights.rows() as u64, weights.cols() as u64];
@@ -132,10 +169,90 @@ pub fn workload_fingerprint(workload: &LayerWorkload) -> u64 {
     fnv1a(bytes)
 }
 
-/// Cache effectiveness counters of a pipeline's caches.
+/// Fingerprint of an executable model: FNV-1a over the architecture (layer
+/// sequence), every convolution's configuration, weights and bias, and the
+/// classifier — anything that can change a forward pass.  Used to key
+/// memoized accuracy-unit results.
+pub fn model_fingerprint(model: &Model) -> u64 {
+    let mut bytes: Vec<u8> = Vec::new();
+    let push_str = |bytes: &mut Vec<u8>, s: &str| {
+        bytes.extend((s.len() as u64).to_le_bytes());
+        bytes.extend(s.bytes());
+    };
+    push_str(&mut bytes, model.name());
+    bytes.extend((model.num_classes() as u64).to_le_bytes());
+    // Layer-sequence tags, so two architectures sharing conv layers but
+    // differing in pooling/residual structure fingerprint differently.
+    for layer in model.layers() {
+        let tag: &str = match layer {
+            qnn::LayerKind::Conv { relu, .. } => {
+                if *relu {
+                    "conv+relu"
+                } else {
+                    "conv"
+                }
+            }
+            qnn::LayerKind::MaxPool2 => "maxpool2",
+            qnn::LayerKind::GlobalAvgPool => "gap",
+            qnn::LayerKind::Residual(_) => "residual",
+            qnn::LayerKind::Classifier(_) => "classifier",
+            _ => "other",
+        };
+        push_str(&mut bytes, tag);
+    }
+    for conv in model.conv_layers() {
+        push_str(&mut bytes, conv.name());
+        for dim in [
+            conv.in_channels(),
+            conv.out_channels(),
+            conv.kernel(),
+            conv.stride(),
+            conv.padding(),
+        ] {
+            bytes.extend((dim as u64).to_le_bytes());
+        }
+        bytes.extend(conv.out_scale().to_bits().to_le_bytes());
+        bytes.extend(conv.weights().iter().map(|&w| w as u8));
+        for &b in conv.bias() {
+            bytes.extend(b.to_le_bytes());
+        }
+    }
+    let classifier = model.classifier();
+    bytes.extend((classifier.in_features() as u64).to_le_bytes());
+    bytes.extend((classifier.out_features() as u64).to_le_bytes());
+    bytes.extend(classifier.weights().iter().map(|&w| w as u8));
+    for &b in classifier.bias() {
+        bytes.extend(b.to_le_bytes());
+    }
+    fnv1a(bytes)
+}
+
+/// Fingerprint of a dataset: FNV-1a over every image's shape and contents
+/// plus the labels.  Used to key memoized accuracy-unit results.
+pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    let mut bytes: Vec<u8> = Vec::new();
+    bytes.extend((dataset.num_classes() as u64).to_le_bytes());
+    for (image, label) in dataset.iter() {
+        for dim in image.shape() {
+            bytes.extend((dim as u64).to_le_bytes());
+        }
+        bytes.extend(image.as_slice().iter().map(|&v| v as u8));
+        bytes.extend((label as u64).to_le_bytes());
+    }
+    fnv1a(bytes)
+}
+
+/// Cache effectiveness counters of a pipeline's caches and its artifact
+/// store.
+///
+/// The `misses` counters count *fresh computations* — a lookup served by
+/// the store (a `disk_hit`) is neither a hit nor a miss of the in-memory
+/// layer, so "`misses` unchanged" is exactly "the optimizer/simulator/
+/// evaluator did not run again", whether the artifact came from memory or
+/// from a shared store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Schedule lookups served from the cache.
+    /// Schedule lookups served from the in-memory cache.
     pub hits: u64,
     /// Schedule lookups that had to compute a schedule.
     pub misses: u64,
@@ -143,41 +260,284 @@ pub struct CacheStats {
     /// full key ([`KeyCheck`]) did not — a fingerprint collision, served by
     /// a fresh computation instead of the cached schedule.
     pub collisions: u64,
-    /// Schedules currently cached.
+    /// Schedules currently cached in memory.
     pub entries: usize,
-    /// Histogram lookups served from the cache (a simulation pass saved).
+    /// Histogram lookups served from the in-memory cache (a simulation pass
+    /// saved).
     pub hist_hits: u64,
     /// Histogram lookups that had to simulate.
     pub hist_misses: u64,
     /// Histogram lookups whose hash key collided (see
     /// [`CacheStats::collisions`]) — served by a fresh simulation.
     pub hist_collisions: u64,
-    /// Histograms currently cached.
+    /// Histograms currently cached in memory.
     pub hist_entries: usize,
+    /// Work-unit results served from the in-memory cache.
+    pub unit_hits: u64,
+    /// Work-unit results that had to execute fresh.
+    pub unit_misses: u64,
+    /// Work-unit lookups whose hash key collided — executed fresh.
+    pub unit_collisions: u64,
+    /// Work-unit results currently cached in memory.
+    pub unit_entries: usize,
+    /// Lookups (all artifact kinds) served from the configured
+    /// [`ArtifactStore`].
+    pub disk_hits: u64,
+    /// Store lookups that found nothing servable.
+    pub disk_misses: u64,
+    /// Store entries that failed to parse or decode — read as misses and
+    /// rewritten, never propagated as errors.
+    pub corrupt_entries: u64,
+    /// Artifacts written to the store.
+    pub store_writes: u64,
 }
 
-/// A thread-safe, in-memory cache with full-key collision verification —
-/// the shared machinery behind [`ScheduleCache`] and [`HistogramCache`].
+impl CacheStats {
+    /// Deterministic JSON rendering (stable key order, all counters),
+    /// golden-pinned by `tests/fixtures/cache_stats.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"collisions\":{},\"entries\":{},\
+             \"hist_hits\":{},\"hist_misses\":{},\"hist_collisions\":{},\"hist_entries\":{},\
+             \"unit_hits\":{},\"unit_misses\":{},\"unit_collisions\":{},\"unit_entries\":{},\
+             \"disk_hits\":{},\"disk_misses\":{},\"corrupt_entries\":{},\"store_writes\":{}}}",
+            self.hits,
+            self.misses,
+            self.collisions,
+            self.entries,
+            self.hist_hits,
+            self.hist_misses,
+            self.hist_collisions,
+            self.hist_entries,
+            self.unit_hits,
+            self.unit_misses,
+            self.unit_collisions,
+            self.unit_entries,
+            self.disk_hits,
+            self.disk_misses,
+            self.corrupt_entries,
+            self.store_writes,
+        )
+    }
+}
+
+/// One cacheable artifact class: how its keys hash, how its full key
+/// renders into a store check line, and how its values encode to and from
+/// the store's text payloads.
+///
+/// The three built-in kinds cover schedules, histograms and unit results;
+/// custom pipelines can define further kinds and run them through the same
+/// [`VerifiedCache`] + [`ArtifactStore`] machinery.
+pub trait ArtifactKind {
+    /// Store namespace of the kind (the entry subdirectory on disk).
+    const KIND: &'static str;
+    /// The 64-bit-fingerprint key type.
+    type Key: Eq + Hash + Copy;
+    /// The full-key verification data behind the hashes.
+    type Check: Eq + Clone;
+    /// The cached value type.
+    type Value;
+
+    /// Collapses a key into the store's 64-bit content address.
+    fn key_id(key: &Self::Key) -> u64;
+    /// Renders the full key — the verification data AND every component of
+    /// `key` the 64-bit [`ArtifactKind::key_id`] collapses — as a
+    /// single-line check (free-text fields must be escaped; see
+    /// [`crate::WorkUnit::encode`]'s escaping rules).  Including the key
+    /// components matters for *shared* stores: two pipelines whose distinct
+    /// keys collide in `key_id` must disagree on the check line, so the
+    /// foreign entry reads as a miss rather than a verified hit.
+    fn check_line(key: &Self::Key, check: &Self::Check) -> String;
+    /// Encodes a value as a store payload (must round-trip exactly through
+    /// [`ArtifactKind::decode`]).
+    fn encode(value: &Self::Value) -> String;
+    /// Decodes a store payload; `None` marks the entry corrupt (a counted
+    /// miss, recomputed and rewritten).
+    fn decode(payload: &str) -> Option<Self::Value>;
+}
+
+/// The schedule artifact class ([`ScheduleKey`] → [`ComputeSchedule`]).
 #[derive(Debug)]
-struct VerifiedCache<K, C, V> {
-    map: Mutex<HashMap<K, (C, Arc<V>)>>,
+pub struct ScheduleArtifact;
+
+impl ArtifactKind for ScheduleArtifact {
+    const KIND: &'static str = "schedule";
+    type Key = ScheduleKey;
+    type Check = KeyCheck;
+    type Value = ComputeSchedule;
+
+    fn key_id(key: &Self::Key) -> u64 {
+        fnv1a(
+            key.source
+                .to_le_bytes()
+                .into_iter()
+                .chain(key.weights.to_le_bytes())
+                .chain((key.array_cols as u64).to_le_bytes()),
+        )
+    }
+
+    fn check_line(key: &Self::Key, check: &Self::Check) -> String {
+        format!(
+            "source={} rows={} cols={} array_cols={} source_fp={:016x} weights_fp={:016x}",
+            escape_wire(&check.source),
+            check.rows,
+            check.cols,
+            key.array_cols,
+            key.source,
+            key.weights
+        )
+    }
+
+    fn encode(value: &Self::Value) -> String {
+        value.to_wire()
+    }
+
+    fn decode(payload: &str) -> Option<Self::Value> {
+        ComputeSchedule::from_wire(payload)
+    }
+}
+
+/// The histogram artifact class ([`HistogramKey`] → [`DepthHistogram`]).
+#[derive(Debug)]
+pub struct HistogramArtifact;
+
+impl ArtifactKind for HistogramArtifact {
+    const KIND: &'static str = "histogram";
+    type Key = HistogramKey;
+    type Check = HistogramCheck;
+    type Value = DepthHistogram;
+
+    fn key_id(key: &Self::Key) -> u64 {
+        fnv1a(
+            key.source
+                .to_le_bytes()
+                .into_iter()
+                .chain(key.workload.to_le_bytes())
+                .chain(key.context.to_le_bytes()),
+        )
+    }
+
+    fn check_line(key: &Self::Key, check: &Self::Check) -> String {
+        format!(
+            "source={} workload={} rows={} cols={} pixels={} \
+             source_fp={:016x} workload_fp={:016x} context_fp={:016x}",
+            escape_wire(&check.source),
+            escape_wire(&check.workload),
+            check.rows,
+            check.cols,
+            check.pixels,
+            key.source,
+            key.workload,
+            key.context
+        )
+    }
+
+    fn encode(value: &Self::Value) -> String {
+        value.to_wire()
+    }
+
+    fn decode(payload: &str) -> Option<Self::Value> {
+        DepthHistogram::from_wire(payload)
+    }
+}
+
+/// The memoized work-unit-result artifact class ([`UnitKey`] →
+/// [`UnitResult`]).
+#[derive(Debug)]
+pub struct UnitArtifact;
+
+impl ArtifactKind for UnitArtifact {
+    const KIND: &'static str = "unit";
+    type Key = UnitKey;
+    type Check = UnitCheck;
+    type Value = UnitResult;
+
+    fn key_id(key: &Self::Key) -> u64 {
+        fnv1a(
+            key.plan
+                .to_le_bytes()
+                .into_iter()
+                .chain(key.unit.to_le_bytes()),
+        )
+    }
+
+    fn check_line(_key: &Self::Key, check: &Self::Check) -> String {
+        // The check already carries the complete key preimages (the full
+        // signature and unit id the UnitKey hashes collapse), so a key_id
+        // collision between distinct units always disagrees here.
+        format!(
+            "unit={} plan={}",
+            escape_wire(&check.unit),
+            escape_wire(&check.plan)
+        )
+    }
+
+    fn encode(value: &Self::Value) -> String {
+        value.encode()
+    }
+
+    fn decode(payload: &str) -> Option<Self::Value> {
+        UnitResult::decode(payload).ok()
+    }
+}
+
+/// The in-memory layer of a [`VerifiedCache`]: full key + shared value,
+/// keyed by the 64-bit-fingerprint key.
+type CheckedMap<A> = HashMap<
+    <A as ArtifactKind>::Key,
+    (<A as ArtifactKind>::Check, Arc<<A as ArtifactKind>::Value>),
+>;
+
+/// A thread-safe verified cache over one [`ArtifactKind`]: an in-memory
+/// full-key-checked map (today's per-pipeline behavior) layered on an
+/// optional content-addressed [`ArtifactStore`] for sharing across
+/// pipelines, workers and processes.
+///
+/// Lookup order: memory, then store, then compute (counted in `misses`) —
+/// with every fresh computation written through to the store.  Collision
+/// verification applies at both layers: a fingerprint collision is
+/// detected via the stored full key and served by a fresh computation,
+/// never by a foreign artifact.
+pub struct VerifiedCache<A: ArtifactKind> {
+    map: Mutex<CheckedMap<A>>,
+    store: Option<Arc<dyn ArtifactStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
 }
 
-impl<K, C, V> Default for VerifiedCache<K, C, V> {
+impl<A: ArtifactKind> std::fmt::Debug for VerifiedCache<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedCache")
+            .field("kind", &A::KIND)
+            .field("store", &self.store.as_ref().map(|s| s.name()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: ArtifactKind> Default for VerifiedCache<A> {
     fn default() -> Self {
+        Self::with_store(None)
+    }
+}
+
+impl<A: ArtifactKind> VerifiedCache<A> {
+    /// An empty cache with no backing store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache over an optional backing store.
+    pub fn with_store(store: Option<Arc<dyn ArtifactStore>>) -> Self {
         VerifiedCache {
             map: Mutex::new(HashMap::new()),
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
         }
     }
-}
 
-impl<K: Eq + Hash + Copy, C: Eq + Clone, V> VerifiedCache<K, C, V> {
     /// Returns the cached value for `key`, or computes, caches and returns
     /// it.  `check` is the full key verified against the stored entry: a
     /// hash collision is detected rather than served, and its lookup
@@ -187,12 +547,16 @@ impl<K: Eq + Hash + Copy, C: Eq + Clone, V> VerifiedCache<K, C, V> {
     /// lookups of *different* keys never serialize on a slow computation;
     /// two racing computations of the same key are deterministic and
     /// idempotent, and the first insert wins.
-    fn get_or_compute(
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error without caching anything.
+    pub fn get_or_compute(
         &self,
-        key: K,
-        check: C,
-        compute: impl FnOnce() -> Result<V, PipelineError>,
-    ) -> Result<Arc<V>, PipelineError> {
+        key: A::Key,
+        check: A::Check,
+        compute: impl FnOnce() -> Result<A::Value, PipelineError>,
+    ) -> Result<Arc<A::Value>, PipelineError> {
         // Look up under the lock, but release it before any compute() call
         // (the if-let guard temporary would otherwise live to the end of the
         // branch and serialize unrelated lookups on a slow computation).
@@ -216,23 +580,71 @@ impl<K: Eq + Hash + Copy, C: Eq + Clone, V> VerifiedCache<K, C, V> {
             }
             None => {}
         }
+
+        // Memory miss: try the backing store before computing.  A store hit
+        // is neither a memory hit nor a miss — `misses` stays the count of
+        // fresh computations; the store's own counters record the rest.
+        if let Some(store) = &self.store {
+            let id = A::key_id(&key);
+            if let Some(payload) = store.load(A::KIND, id, &A::check_line(&key, &check)) {
+                match A::decode(&payload) {
+                    Some(value) => return Ok(self.admit(key, check, Arc::new(value), false)),
+                    None => store.note_corrupt(A::KIND, id),
+                }
+            }
+        }
+
         let computed = Arc::new(compute()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("cache lock");
-        let entry = map
-            .entry(key)
-            .or_insert_with(|| (check.clone(), Arc::clone(&computed)));
-        if entry.0 == check {
-            Ok(Arc::clone(&entry.1))
-        } else {
-            // A racing thread inserted a colliding full key first.
-            self.collisions.fetch_add(1, Ordering::Relaxed);
-            Ok(computed)
+        Ok(self.admit(key, check, computed, true))
+    }
+
+    /// Inserts a value into the memory layer (first insert wins; a racing
+    /// colliding full key is counted and bypassed) and — for freshly
+    /// computed values that won the insert — writes it through to the
+    /// store.
+    fn admit(
+        &self,
+        key: A::Key,
+        check: A::Check,
+        value: Arc<A::Value>,
+        write_through: bool,
+    ) -> Arc<A::Value> {
+        let admitted = {
+            let mut map = self.map.lock().expect("cache lock");
+            let entry = map
+                .entry(key)
+                .or_insert_with(|| (check.clone(), Arc::clone(&value)));
+            if entry.0 == check {
+                Some(Arc::clone(&entry.1))
+            } else {
+                None
+            }
+        };
+        match admitted {
+            Some(entry) => {
+                if write_through {
+                    if let Some(store) = &self.store {
+                        store.put(
+                            A::KIND,
+                            A::key_id(&key),
+                            &A::check_line(&key, &check),
+                            &A::encode(&entry),
+                        );
+                    }
+                }
+                entry
+            }
+            None => {
+                // A racing thread inserted a colliding full key first.
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                value
+            }
         }
     }
 
     /// Current counters: (hits, misses, collisions, entries).
-    fn counters(&self) -> (u64, u64, u64, usize) {
+    pub fn counters(&self) -> (u64, u64, u64, usize) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
@@ -241,8 +653,9 @@ impl<K: Eq + Hash + Copy, C: Eq + Clone, V> VerifiedCache<K, C, V> {
         )
     }
 
-    /// Drops every cached value and resets the counters.
-    fn clear(&self) {
+    /// Drops every cached value and resets the counters.  The backing
+    /// store (and its counters) is untouched.
+    pub fn clear(&self) {
         self.map.lock().expect("cache lock").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -250,16 +663,23 @@ impl<K: Eq + Hash + Copy, C: Eq + Clone, V> VerifiedCache<K, C, V> {
     }
 }
 
-/// A thread-safe, in-memory schedule cache.
+/// A thread-safe schedule cache (see [`VerifiedCache`]).
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    inner: VerifiedCache<ScheduleKey, KeyCheck, ComputeSchedule>,
+    inner: VerifiedCache<ScheduleArtifact>,
 }
 
 impl ScheduleCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with no backing store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache over an optional backing store.
+    pub fn with_store(store: Option<Arc<dyn ArtifactStore>>) -> Self {
+        ScheduleCache {
+            inner: VerifiedCache::with_store(store),
+        }
     }
 
     /// Returns the cached schedule for `key`, or computes, caches and
@@ -279,9 +699,10 @@ impl ScheduleCache {
         self.inner.get_or_compute(key, check, compute)
     }
 
-    /// Current counters (schedule fields only; the histogram fields of the
-    /// combined [`CacheStats`] are zero — [`crate::ReadPipeline::cache_stats`]
-    /// fills them from its histogram cache).
+    /// Current counters (schedule fields only; the histogram/unit/store
+    /// fields of the combined [`CacheStats`] are zero —
+    /// [`crate::ReadPipeline::cache_stats`] fills them from the other
+    /// caches and the store).
     pub fn stats(&self) -> CacheStats {
         let (hits, misses, collisions, entries) = self.inner.counters();
         CacheStats {
@@ -299,7 +720,7 @@ impl ScheduleCache {
     }
 }
 
-/// A thread-safe, in-memory triggered-depth-histogram cache.
+/// A thread-safe triggered-depth-histogram cache (see [`VerifiedCache`]).
 ///
 /// Keyed like the schedule cache ([`HistogramKey`]), it amortizes the cycle
 /// simulation across the corners, dies and repeated runs of a sweep: the
@@ -307,13 +728,20 @@ impl ScheduleCache {
 /// simulation pass serves the whole grid.
 #[derive(Debug, Default)]
 pub struct HistogramCache {
-    inner: VerifiedCache<HistogramKey, HistogramCheck, DepthHistogram>,
+    inner: VerifiedCache<HistogramArtifact>,
 }
 
 impl HistogramCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with no backing store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache over an optional backing store.
+    pub fn with_store(store: Option<Arc<dyn ArtifactStore>>) -> Self {
+        HistogramCache {
+            inner: VerifiedCache::with_store(store),
+        }
     }
 
     /// Returns the cached histogram for `key`, or simulates, caches and
@@ -343,9 +771,60 @@ impl HistogramCache {
     }
 }
 
+/// A thread-safe memoized work-unit-result cache (see [`VerifiedCache`]).
+///
+/// Histogram units flow through the [`HistogramCache`] instead (their
+/// payload *is* the histogram); this cache memoizes the remaining unit
+/// classes — Monte-Carlo shards and accuracy points — so a rerun of any
+/// [`crate::WorkPlan`] executes zero units fresh.
+#[derive(Debug, Default)]
+pub struct UnitCache {
+    inner: VerifiedCache<UnitArtifact>,
+}
+
+impl UnitCache {
+    /// Creates an empty cache with no backing store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty cache over an optional backing store.
+    pub fn with_store(store: Option<Arc<dyn ArtifactStore>>) -> Self {
+        UnitCache {
+            inner: VerifiedCache::with_store(store),
+        }
+    }
+
+    /// Returns the memoized result for `key`, or executes, caches and
+    /// returns it — see [`ScheduleCache::get_or_compute`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error without caching anything.
+    pub fn get_or_compute(
+        &self,
+        key: UnitKey,
+        check: UnitCheck,
+        compute: impl FnOnce() -> Result<UnitResult, PipelineError>,
+    ) -> Result<Arc<UnitResult>, PipelineError> {
+        self.inner.get_or_compute(key, check, compute)
+    }
+
+    /// Current counters: (hits, misses, collisions, entries).
+    pub fn counters(&self) -> (u64, u64, u64, usize) {
+        self.inner.counters()
+    }
+
+    /// Drops every memoized result and resets the counters.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::{DiskStore, MemoryStore};
 
     fn key(n: u64) -> ScheduleKey {
         ScheduleKey {
@@ -461,6 +940,29 @@ mod tests {
     }
 
     #[test]
+    fn model_and_dataset_fingerprints_see_contents() {
+        let model_a = qnn::models::vgg11_cifar_scaled(8, 2, 1).unwrap();
+        let model_b = qnn::models::vgg11_cifar_scaled(8, 2, 2).unwrap();
+        assert_ne!(model_fingerprint(&model_a), model_fingerprint(&model_b));
+        assert_eq!(
+            model_fingerprint(&model_a),
+            model_fingerprint(&qnn::models::vgg11_cifar_scaled(8, 2, 1).unwrap())
+        );
+        let data_a = qnn::SyntheticDatasetBuilder::new(2, [3, 8, 8])
+            .samples_per_class(1)
+            .seed(1)
+            .build()
+            .unwrap();
+        let data_b = qnn::SyntheticDatasetBuilder::new(2, [3, 8, 8])
+            .samples_per_class(1)
+            .seed(2)
+            .build()
+            .unwrap();
+        assert_ne!(dataset_fingerprint(&data_a), dataset_fingerprint(&data_b));
+        assert_eq!(dataset_fingerprint(&data_a), dataset_fingerprint(&data_a));
+    }
+
+    #[test]
     fn histogram_cache_hits_and_detects_collisions() {
         let cache = HistogramCache::new();
         let key = HistogramKey {
@@ -502,5 +1004,170 @@ mod tests {
             .unwrap();
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn store_backed_cache_serves_across_instances_without_recompute() {
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+        let first = ScheduleCache::with_store(Some(Arc::clone(&store)));
+        first
+            .get_or_compute(key(1), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
+            .unwrap();
+        assert_eq!(first.stats().misses, 1);
+        assert_eq!(store.stats().writes, 1);
+
+        // A second cache over the same store: no fresh computation at all.
+        let second = ScheduleCache::with_store(Some(Arc::clone(&store)));
+        let served = second
+            .get_or_compute(key(1), check("a"), || {
+                panic!("must be served from the store")
+            })
+            .unwrap();
+        assert_eq!(*served, ComputeSchedule::baseline(8, 4, 2));
+        let stats = second.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "store hit, not a miss");
+        assert_eq!(store.stats().hits, 1);
+        // The store-served value is admitted to memory: a further lookup is
+        // a plain memory hit.
+        second
+            .get_or_compute(key(1), check("a"), || panic!("must be served from memory"))
+            .unwrap();
+        assert_eq!(second.stats().hits, 1);
+    }
+
+    #[test]
+    fn corrupt_store_payloads_recompute_and_rewrite() {
+        let store = Arc::new(MemoryStore::new());
+        store.put(
+            "schedule",
+            ScheduleArtifact::key_id(&key(9)),
+            &ScheduleArtifact::check_line(&key(9), &check("a")),
+            "not a schedule",
+        );
+        let cache = ScheduleCache::with_store(Some(Arc::clone(&store) as Arc<dyn ArtifactStore>));
+        let value = cache
+            .get_or_compute(key(9), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
+            .unwrap();
+        assert_eq!(*value, ComputeSchedule::baseline(8, 4, 2));
+        assert_eq!(cache.stats().misses, 1, "corrupt payload → fresh compute");
+        assert_eq!(store.stats().corrupt, 1);
+        // The recomputed artifact was rewritten: a fresh cache now loads it.
+        let fresh = ScheduleCache::with_store(Some(Arc::clone(&store) as Arc<dyn ArtifactStore>));
+        fresh
+            .get_or_compute(key(9), check("a"), || panic!("rewritten entry expected"))
+            .unwrap();
+    }
+
+    #[test]
+    fn disk_backed_cache_round_trips_all_three_kinds() {
+        let dir = std::env::temp_dir().join(format!("read-cache-kinds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn ArtifactStore> = Arc::new(DiskStore::new(&dir).unwrap());
+
+        let schedules = ScheduleCache::with_store(Some(Arc::clone(&store)));
+        let schedule = schedules
+            .get_or_compute(key(1), check("a"), || {
+                Ok(ComputeSchedule::baseline(8, 4, 2))
+            })
+            .unwrap();
+
+        let hists = HistogramCache::with_store(Some(Arc::clone(&store)));
+        let hkey = HistogramKey {
+            source: 1,
+            workload: 2,
+            context: 3,
+        };
+        let hcheck = HistogramCheck {
+            source: "a".into(),
+            workload: "conv1".into(),
+            rows: 8,
+            cols: 4,
+            pixels: 1,
+        };
+        let hist = hists
+            .get_or_compute(hkey, hcheck.clone(), || {
+                Ok(DepthHistogram::from_parts(&[3, 1], 1, 4).unwrap())
+            })
+            .unwrap();
+
+        let units = UnitCache::with_store(Some(Arc::clone(&store)));
+        let ukey = UnitKey { plan: 5, unit: 6 };
+        let ucheck = UnitCheck {
+            plan: "sig".into(),
+            unit: "mc cell=0 trials=0..2".into(),
+        };
+        let unit = units
+            .get_or_compute(ukey, ucheck.clone(), || {
+                Ok(UnitResult::McShard {
+                    cell: 0,
+                    trial_range: 0..2,
+                    ters: vec![vec![0.5, 0.25]],
+                })
+            })
+            .unwrap();
+
+        // Fresh caches over the same directory serve every kind bit-exactly
+        // without recomputing.
+        let store2: Arc<dyn ArtifactStore> = Arc::new(DiskStore::new(&dir).unwrap());
+        let s2 = ScheduleCache::with_store(Some(Arc::clone(&store2)));
+        assert_eq!(
+            *s2.get_or_compute(key(1), check("a"), || panic!("persisted"))
+                .unwrap(),
+            *schedule
+        );
+        let h2 = HistogramCache::with_store(Some(Arc::clone(&store2)));
+        assert_eq!(
+            *h2.get_or_compute(hkey, hcheck, || panic!("persisted"))
+                .unwrap(),
+            *hist
+        );
+        let u2 = UnitCache::with_store(Some(Arc::clone(&store2)));
+        assert_eq!(
+            *u2.get_or_compute(ukey, ucheck, || panic!("persisted"))
+                .unwrap(),
+            *unit
+        );
+        assert_eq!(store2.stats().hits, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Check lines must disagree between keys that collide in `key_id` but
+    /// differ in any key component — the shared-store analogue of the
+    /// in-memory collision verification (array width for schedules, the
+    /// simulation context for histograms).
+    #[test]
+    fn check_lines_cover_every_key_component() {
+        let base = key(1);
+        let narrower = ScheduleKey {
+            array_cols: 8,
+            ..base
+        };
+        assert_ne!(
+            ScheduleArtifact::check_line(&base, &check("a")),
+            ScheduleArtifact::check_line(&narrower, &check("a")),
+            "array width must be part of the schedule check line"
+        );
+        let hkey = HistogramKey {
+            source: 1,
+            workload: 2,
+            context: 3,
+        };
+        let other_context = HistogramKey { context: 4, ..hkey };
+        let hcheck = HistogramCheck {
+            source: "a".into(),
+            workload: "conv1".into(),
+            rows: 8,
+            cols: 4,
+            pixels: 1,
+        };
+        assert_ne!(
+            HistogramArtifact::check_line(&hkey, &hcheck),
+            HistogramArtifact::check_line(&other_context, &hcheck),
+            "the simulation context must be part of the histogram check line"
+        );
     }
 }

@@ -7,10 +7,13 @@
 //! a deterministic job produce identical output.
 //!
 //! [`ExecMode`] predates the [`crate::executor`] layer and is kept as a
-//! deprecated back-compat shim: existing `.exec(ExecMode::..)` callers keep
-//! compiling and behave exactly as before (the builder converts the mode
-//! into the equivalent [`crate::SerialExecutor`] / [`crate::ThreadExecutor`]).
-//! New code should configure an [`crate::Executor`] directly.
+//! deprecated back-compat shim, **confined to this module**: it is no
+//! longer re-exported from the crate root or the preludes, and the one
+//! `#[allow(deprecated)]` test module below pins its behavior (the
+//! [`ExecMode::requested_threads`] mapping onto the equivalent
+//! [`crate::SerialExecutor`] / [`crate::ThreadExecutor`], and
+//! [`run_indexed`]'s contract).  New code should configure an
+//! [`crate::Executor`] directly via [`crate::ReadPipelineBuilder::executor`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -230,5 +233,22 @@ mod tests {
             ExecMode::Parallel { threads: 3 }.requested_threads(),
             Some(3)
         );
+    }
+
+    /// Pins the shim's executor mapping: the mode a legacy caller held maps
+    /// onto exactly one modern [`crate::Executor`] with the same observable
+    /// configuration.
+    #[test]
+    fn exec_mode_maps_onto_equivalent_executors() {
+        use crate::executor::{Executor, SerialExecutor, ThreadExecutor};
+        let map = |mode: ExecMode| -> String {
+            match mode.requested_threads() {
+                None => SerialExecutor.name(),
+                Some(threads) => ThreadExecutor::new(threads).name(),
+            }
+        };
+        assert_eq!(map(ExecMode::Serial), "serial");
+        assert_eq!(map(ExecMode::parallel()), "threads[machine]");
+        assert_eq!(map(ExecMode::Parallel { threads: 2 }), "threads[2]");
     }
 }

@@ -30,7 +30,11 @@
 //! [`LayerReport`]/[`NetworkReport`]/[`AccuracyReport`]/[`SweepReport`]
 //! results, byte-identical across execution strategies.  Schedules and
 //! histograms are cached under seed-aware keys so repeated corners never
-//! re-optimize or re-simulate.
+//! re-optimize or re-simulate — and the caches can be backed by a
+//! content-addressed [`ArtifactStore`] ([`MemoryStore`] for cross-pipeline
+//! sharing, [`DiskStore`] for persistence across processes and runs), which
+//! also memoizes whole work-unit results so a rerun of any plan is pure
+//! aggregation (see [`store`]).
 //!
 //! The [`sweep`] subsystem evaluates one pipeline across a whole grid of
 //! operating corners and silicon dies in a single run: a [`SweepPlan`]
@@ -70,15 +74,16 @@ pub mod executor;
 pub mod plan;
 pub mod report;
 pub mod stage;
+pub mod store;
 pub mod sweep;
 pub mod workload;
 
 mod pipeline;
 
-pub use cache::{CacheStats, HistogramCheck, HistogramKey, KeyCheck, ScheduleKey};
+pub use cache::{
+    CacheStats, HistogramCheck, HistogramKey, KeyCheck, ScheduleKey, UnitCheck, UnitKey,
+};
 pub use error::PipelineError;
-#[allow(deprecated)]
-pub use exec::ExecMode;
 pub use executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor};
 pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
 pub use plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
@@ -87,6 +92,7 @@ pub use stage::{
     Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
     ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
+pub use store::{ArtifactStore, DiskStore, MemoryStore, StoreStats};
 pub use sweep::{DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase};
 pub use workload::{
     resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
@@ -96,8 +102,6 @@ pub use workload::{
 pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::error::PipelineError;
-    #[allow(deprecated)]
-    pub use crate::exec::ExecMode;
     pub use crate::executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor};
     pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
     pub use crate::plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
@@ -106,6 +110,7 @@ pub mod prelude {
         Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
         ScheduleSource, TopKEvaluator, VariationErrorModel,
     };
+    pub use crate::store::{ArtifactStore, DiskStore, MemoryStore, StoreStats};
     pub use crate::sweep::{
         DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase,
     };

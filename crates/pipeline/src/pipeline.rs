@@ -13,18 +13,17 @@ use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
 use crate::cache::{
     weights_fingerprint, workload_fingerprint, CacheStats, HistogramCache, HistogramCheck,
-    HistogramKey, KeyCheck, ScheduleCache, ScheduleKey,
+    HistogramKey, KeyCheck, ScheduleCache, ScheduleKey, UnitCache,
 };
 use crate::error::PipelineError;
-#[allow(deprecated)]
-use crate::exec::ExecMode;
 use crate::executor::{Executor, SerialExecutor, ThreadExecutor};
-use crate::plan::{PlanOutput, WorkPlan};
+use crate::plan::{escape_wire, PlanOutput, WorkPlan};
 use crate::report::{AccuracyReport, NetworkReport};
 use crate::stage::{
     fnv1a, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel, ScheduleSource,
     TopKEvaluator, VariationErrorModel,
 };
+use crate::store::ArtifactStore;
 use crate::sweep::{SweepPlan, SweepReport};
 use crate::workload::LayerWorkload;
 
@@ -43,6 +42,7 @@ pub struct ReadPipelineBuilder {
     model: Option<Model>,
     executor: Option<Arc<dyn Executor>>,
     sweep_plan: Option<SweepPlan>,
+    store: Option<Arc<dyn ArtifactStore>>,
 }
 
 impl ReadPipelineBuilder {
@@ -167,22 +167,28 @@ impl ReadPipelineBuilder {
         self
     }
 
-    /// Sets the execution mode (legacy shim; default serial).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ReadPipelineBuilder::executor with SerialExecutor / ThreadExecutor"
-    )]
-    #[allow(deprecated)]
-    pub fn exec(self, mode: ExecMode) -> Self {
-        match mode.requested_threads() {
-            None => self.executor(SerialExecutor),
-            Some(threads) => self.executor(ThreadExecutor::new(threads)),
-        }
-    }
-
     /// Shorthand for a machine-sized [`ThreadExecutor`].
     pub fn parallel(self) -> Self {
         self.executor(ThreadExecutor::machine())
+    }
+
+    /// Attaches a content-addressed artifact store the pipeline's caches
+    /// persist to and load from: schedules, histograms and memoized unit
+    /// results.  Use a [`crate::MemoryStore`] to share artifacts between
+    /// pipelines in one process, or a [`crate::DiskStore`] to persist them
+    /// across processes and runs — worker processes pointed at the same
+    /// store directory stop duplicating optimization and simulation
+    /// entirely.  Reports are byte-identical whether an artifact comes from
+    /// memory, disk or a fresh computation.
+    pub fn store(self, store: impl ArtifactStore + 'static) -> Self {
+        self.store_arc(Arc::new(store))
+    }
+
+    /// Attaches an already-shared artifact store (see
+    /// [`ReadPipelineBuilder::store`]).
+    pub fn store_arc(mut self, store: Arc<dyn ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Validates the configuration and builds the pipeline.
@@ -254,8 +260,10 @@ impl ReadPipelineBuilder {
             model: self.model,
             executor: self.executor.unwrap_or_else(|| Arc::new(SerialExecutor)),
             sweep_plan: self.sweep_plan,
-            cache: ScheduleCache::new(),
-            hist_cache: HistogramCache::new(),
+            cache: ScheduleCache::with_store(self.store.clone()),
+            hist_cache: HistogramCache::with_store(self.store.clone()),
+            unit_cache: UnitCache::with_store(self.store.clone()),
+            store: self.store,
         })
     }
 }
@@ -304,6 +312,8 @@ pub struct ReadPipeline {
     sweep_plan: Option<SweepPlan>,
     cache: ScheduleCache,
     hist_cache: HistogramCache,
+    unit_cache: UnitCache,
+    store: Option<Arc<dyn ArtifactStore>>,
 }
 
 impl std::fmt::Debug for ReadPipeline {
@@ -324,6 +334,7 @@ impl std::fmt::Debug for ReadPipeline {
             .field("has_model", &self.model.is_some())
             .field("executor", &self.executor.name())
             .field("has_sweep_plan", &self.sweep_plan.is_some())
+            .field("store", &self.store.as_ref().map(|s| s.name()))
             .finish_non_exhaustive()
     }
 }
@@ -379,8 +390,21 @@ impl ReadPipeline {
         self.sweep_plan.as_ref()
     }
 
-    /// Cache-effectiveness counters of both pipeline caches (schedules and
-    /// histograms).
+    /// The attached artifact store, when one is configured
+    /// ([`ReadPipelineBuilder::store`]).
+    pub fn artifact_store(&self) -> Option<&Arc<dyn ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    /// The memoized unit-result cache (shared by every [`WorkPlan`] of this
+    /// pipeline).
+    pub(crate) fn unit_cache(&self) -> &UnitCache {
+        &self.unit_cache
+    }
+
+    /// Cache-effectiveness counters of all three pipeline caches
+    /// (schedules, histograms, memoized unit results) plus the attached
+    /// artifact store's counters, when one is configured.
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.cache.stats();
         let (hits, misses, collisions, entries) = self.hist_cache.counters();
@@ -388,7 +412,64 @@ impl ReadPipeline {
         stats.hist_misses = misses;
         stats.hist_collisions = collisions;
         stats.hist_entries = entries;
+        let (hits, misses, collisions, entries) = self.unit_cache.counters();
+        stats.unit_hits = hits;
+        stats.unit_misses = misses;
+        stats.unit_collisions = collisions;
+        stats.unit_entries = entries;
+        if let Some(store) = &self.store {
+            let store_stats = store.stats();
+            stats.disk_hits = store_stats.hits;
+            stats.disk_misses = store_stats.misses;
+            stats.corrupt_entries = store_stats.corrupt;
+            stats.store_writes = store_stats.writes;
+        }
         stats
+    }
+
+    /// Drops everything the pipeline's in-memory caches hold — schedules,
+    /// histograms and memoized unit results — and resets their counters.
+    /// An attached artifact store is untouched (its entries still serve
+    /// later lookups), so this is the bound on in-process retention: a
+    /// long-lived pipeline that has run many large Monte-Carlo sweeps can
+    /// release their raw trial samples without losing store-backed reuse.
+    pub fn clear_caches(&self) {
+        self.cache.clear();
+        self.hist_cache.clear();
+        self.unit_cache.clear();
+    }
+
+    /// Deterministic signature of the pipeline's configured stages — the
+    /// pipeline half of every [`WorkPlan`]'s memoization signature.
+    pub(crate) fn stage_signature(&self) -> String {
+        use std::fmt::Write as _;
+        let mut sig = format!(
+            "array={}x{} dataflow={:?} sim={:?} sources=",
+            self.array.rows(),
+            self.array.cols(),
+            self.dataflow,
+            self.sim_options
+        );
+        for (i, source) in self.sources.iter().enumerate() {
+            if i > 0 {
+                sig.push(';');
+            }
+            let _ = write!(
+                sig,
+                "{}:{:016x}",
+                escape_wire(&source.name()),
+                source.fingerprint()
+            );
+        }
+        let _ = write!(
+            sig,
+            " error={}:{:016x} eval={}:{:016x}",
+            escape_wire(&self.error_model.name()),
+            self.error_model.fingerprint(),
+            escape_wire(&self.evaluator.name()),
+            self.evaluator.fingerprint()
+        );
+        sig
     }
 
     /// The (cached) schedule `source` produces for `weights` on this
@@ -931,27 +1012,102 @@ mod tests {
     }
 
     #[test]
-    fn legacy_exec_mode_shim_still_builds_and_runs() {
-        // Back-compat acceptance: `.exec(ExecMode::..)` callers compile and
-        // produce the same reports as the executor they now map to.
-        #[allow(deprecated)]
-        let shim = ReadPipeline::builder()
+    fn threaded_executor_matches_serial_reports() {
+        let build = |executor: Arc<dyn Executor>| {
+            ReadPipeline::builder()
+                .baseline()
+                .condition(OperatingCondition::aging_vt(10.0, 0.05))
+                .executor_arc(executor)
+                .build()
+                .unwrap()
+        };
+        let threaded = build(Arc::new(ThreadExecutor::new(2)));
+        assert_eq!(threaded.executor().name(), "threads[2]");
+        let serial = build(Arc::new(SerialExecutor));
+        let workloads = tiny_workloads(1);
+        assert_eq!(
+            threaded.run_ter("exec", &workloads).unwrap().to_json(),
+            serial.run_ter("exec", &workloads).unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn shared_memory_store_amortizes_across_pipelines() {
+        use crate::store::MemoryStore;
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+        let build = || {
+            ReadPipeline::builder()
+                .baseline()
+                .condition(OperatingCondition::aging_vt(10.0, 0.05))
+                .store_arc(Arc::clone(&store))
+                .build()
+                .unwrap()
+        };
+        let workloads = tiny_workloads(1);
+        let first = build();
+        let cold = first.run_ter("stored", &workloads).unwrap();
+        let cold_stats = first.cache_stats();
+        assert_eq!(cold_stats.misses, 1);
+        assert_eq!(cold_stats.hist_misses, 1);
+        assert_eq!(cold_stats.store_writes, 2, "schedule + histogram");
+
+        // A second pipeline over the same store computes nothing fresh.
+        let second = build();
+        let warm = second.run_ter("stored", &workloads).unwrap();
+        let warm_stats = second.cache_stats();
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm_stats.hist_misses, 0);
+        assert!(warm_stats.disk_hits >= 1);
+        assert_eq!(cold.to_json(), warm.to_json(), "byte-identical from store");
+    }
+
+    #[test]
+    fn clear_caches_releases_memory_but_not_the_store() {
+        use crate::store::MemoryStore;
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+        let pipeline = ReadPipeline::builder()
             .baseline()
             .condition(OperatingCondition::aging_vt(10.0, 0.05))
-            .exec(ExecMode::Parallel { threads: 2 })
-            .build()
-            .unwrap();
-        assert_eq!(shim.executor().name(), "threads[2]");
-        let direct = ReadPipeline::builder()
-            .baseline()
-            .condition(OperatingCondition::aging_vt(10.0, 0.05))
-            .executor(ThreadExecutor::new(2))
+            .store_arc(Arc::clone(&store))
             .build()
             .unwrap();
         let workloads = tiny_workloads(1);
+        let report = pipeline.run_ter("clear", &workloads).unwrap();
+        assert!(pipeline.cache_stats().entries > 0);
+
+        pipeline.clear_caches();
+        let cleared = pipeline.cache_stats();
+        assert_eq!(cleared.entries, 0);
+        assert_eq!(cleared.hist_entries, 0);
+        assert_eq!(cleared.unit_entries, 0);
+        assert_eq!(cleared.misses, 0, "counters reset too");
+
+        // The store survives: the rerun recomputes nothing and matches.
+        let again = pipeline.run_ter("clear", &workloads).unwrap();
+        let stats = pipeline.cache_stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hist_misses, 0);
+        assert_eq!(again.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn store_accessor_and_debug_expose_the_backend() {
+        let pipeline = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::ideal())
+            .store(crate::store::MemoryStore::new())
+            .build()
+            .unwrap();
         assert_eq!(
-            shim.run_ter("shim", &workloads).unwrap().to_json(),
-            direct.run_ter("shim", &workloads).unwrap().to_json()
+            pipeline.artifact_store().map(|s| s.name()).as_deref(),
+            Some("memory")
         );
+        assert!(format!("{pipeline:?}").contains("memory"));
+        let bare = ReadPipeline::builder()
+            .baseline()
+            .condition(OperatingCondition::ideal())
+            .build()
+            .unwrap();
+        assert!(bare.artifact_store().is_none());
     }
 }

@@ -34,13 +34,18 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, Write};
 use std::ops::Range;
+use std::sync::Arc;
 
 use qnn::{Dataset, Model};
 use timing::{DepthHistogram, OperatingCorner, TerEstimate};
 
+use crate::cache::{
+    dataset_fingerprint, model_fingerprint, workload_fingerprint, UnitCheck, UnitKey,
+};
 use crate::error::PipelineError;
 use crate::pipeline::ReadPipeline;
 use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+use crate::stage::fnv1a;
 use crate::sweep::{DieModel, SweepCell, SweepPlan, SweepReport, WorstCase};
 use crate::workload::LayerWorkload;
 
@@ -181,23 +186,10 @@ impl UnitResult {
     pub fn encode(&self) -> String {
         match self {
             UnitResult::Histogram { cell, pair, hist } => {
-                let mut out = format!(
-                    "hist cell={cell} pair={pair} total={} flips={} counts=",
-                    hist.total(),
-                    hist.sign_flips()
-                );
-                let mut first = true;
-                for (depth, &count) in hist.counts().iter().enumerate() {
-                    if count == 0 {
-                        continue;
-                    }
-                    if !first {
-                        out.push(',');
-                    }
-                    first = false;
-                    out.push_str(&format!("{depth}:{count}"));
-                }
-                out
+                // The histogram body is the timing crate's wire rendering
+                // (`total=.. flips=.. counts=..`), shared with the artifact
+                // store so both persist byte-identical payloads.
+                format!("hist cell={cell} pair={pair} {}", hist.to_wire())
             }
             UnitResult::McShard {
                 cell,
@@ -223,8 +215,8 @@ impl UnitResult {
             }
             UnitResult::Accuracy { cell, point } => format!(
                 "acc cell={cell} condition={} algorithm={} top1={:?} topk={:?} k={} mean_ber={:?} seeds={}",
-                escape(&point.condition),
-                escape(&point.algorithm),
+                escape_wire(&point.condition),
+                escape_wire(&point.algorithm),
                 point.top1,
                 point.topk,
                 point.k,
@@ -248,26 +240,11 @@ impl UnitResult {
             "hist" => {
                 let cell = parse_field(&mut tokens, "cell", line)?;
                 let pair = parse_field(&mut tokens, "pair", line)?;
-                let total: u64 = parse_field(&mut tokens, "total", line)?;
-                let flips: u64 = parse_field(&mut tokens, "flips", line)?;
-                let counts_value = field(&mut tokens, "counts", line)?;
-                let mut dense: Vec<u64> = Vec::new();
-                if !counts_value.is_empty() {
-                    for pair_str in counts_value.split(',') {
-                        let (depth, count) = pair_str
-                            .split_once(':')
-                            .ok_or_else(|| bad_wire(line, "count without ':'"))?;
-                        let depth: usize =
-                            depth.parse().map_err(|_| bad_wire(line, "bad depth"))?;
-                        let count: u64 = count.parse().map_err(|_| bad_wire(line, "bad count"))?;
-                        if depth >= dense.len() {
-                            dense.resize(depth + 1, 0);
-                        }
-                        dense[depth] = count;
-                    }
-                }
-                let hist = DepthHistogram::from_parts(&dense, flips, total)
-                    .ok_or_else(|| bad_wire(line, "inconsistent histogram"))?;
+                // The remaining tokens are the timing crate's histogram
+                // wire rendering, which rejects trailing tokens itself.
+                let body: Vec<&str> = tokens.by_ref().collect();
+                let hist = DepthHistogram::from_wire(&body.join(" "))
+                    .ok_or_else(|| bad_wire(line, "malformed or inconsistent histogram"))?;
                 UnitResult::Histogram { cell, pair, hist }
             }
             "mc" => {
@@ -374,7 +351,9 @@ fn parse_range(value: &str, line: &str) -> Result<Range<u32>, PipelineError> {
 /// The decoder tokenizes with `split_whitespace`, so EVERY Unicode
 /// whitespace character must be escaped, not just ASCII space — the
 /// uncommon ones round-trip as `\uXXXX` (whitespace is BMP-only).
-fn escape(s: &str) -> String {
+/// Shared with the artifact-store check lines ([`crate::cache`]), which
+/// reuse the same single-line framing.
+pub(crate) fn escape_wire(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -438,6 +417,71 @@ pub(crate) enum PlanKind<'a> {
     },
 }
 
+/// The full content signature of a plan: every stage fingerprint, workload
+/// content hash and grid parameter a unit's result can depend on, rendered
+/// deterministically.  Two plans with equal signatures produce identical
+/// results for identical unit ids — which is exactly the contract the
+/// memoized unit-result cache ([`crate::cache::UnitCache`]) keys on.  The
+/// network label is deliberately excluded: it names reports, it never
+/// changes a unit's result.
+fn plan_signature(
+    pipeline: &ReadPipeline,
+    workloads: &[LayerWorkload],
+    kind: &PlanKind<'_>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut sig = pipeline.stage_signature();
+    sig.push_str(" workloads=");
+    for (i, workload) in workloads.iter().enumerate() {
+        if i > 0 {
+            sig.push(';');
+        }
+        let _ = write!(
+            sig,
+            "{}:{:016x}",
+            escape_wire(&workload.name),
+            workload_fingerprint(workload)
+        );
+    }
+    match kind {
+        PlanKind::Ter => sig.push_str(" kind=ter"),
+        PlanKind::Sweep { corners, models } => {
+            sig.push_str(" kind=sweep grid=");
+            for (i, (corner, model)) in corners.iter().zip(models).enumerate() {
+                if i > 0 {
+                    sig.push(';');
+                }
+                let _ = write!(
+                    sig,
+                    "{:?}|{:016x}",
+                    corner,
+                    model.as_error_model().fingerprint()
+                );
+            }
+        }
+        PlanKind::Accuracy {
+            model,
+            dataset,
+            seeds,
+            ..
+        } => {
+            let _ = write!(
+                sig,
+                " kind=acc model={:016x} dataset={:016x} seeds={seeds} conds=",
+                model_fingerprint(model),
+                dataset_fingerprint(dataset)
+            );
+            for (i, condition) in pipeline.conditions().iter().enumerate() {
+                if i > 0 {
+                    sig.push(';');
+                }
+                let _ = write!(sig, "{condition:?}");
+            }
+        }
+    }
+    sig
+}
+
 /// A typed, enumerable description of every unit a pipeline run executes.
 ///
 /// Obtain one with [`ReadPipeline::plan_ter`], [`ReadPipeline::plan_sweep`]
@@ -457,6 +501,13 @@ pub struct WorkPlan<'a> {
     /// unit instead of scanning the unit list (plans can carry thousands of
     /// Monte-Carlo shards at paper scale).
     unit_index: HashMap<WorkUnit, usize>,
+    /// Full content signature of everything a unit result depends on —
+    /// stage fingerprints, workload contents, the evaluation grid — used to
+    /// key memoized [`UnitResult`]s (see [`WorkPlan::signature`]).
+    signature: Arc<str>,
+    /// FNV-1a of [`WorkPlan::signature`], the `plan` half of a
+    /// [`UnitKey`].
+    signature_hash: u64,
 }
 
 impl<'a> WorkPlan<'a> {
@@ -472,6 +523,8 @@ impl<'a> WorkPlan<'a> {
             .enumerate()
             .map(|(index, unit)| (unit.clone(), index))
             .collect();
+        let signature: Arc<str> = plan_signature(pipeline, workloads, &kind).into();
+        let signature_hash = fnv1a(signature.bytes());
         WorkPlan {
             pipeline,
             workloads,
@@ -479,6 +532,8 @@ impl<'a> WorkPlan<'a> {
             kind,
             units,
             unit_index,
+            signature,
+            signature_hash,
         }
     }
     pub(crate) fn ter(
@@ -666,9 +721,32 @@ impl<'a> WorkPlan<'a> {
         self.run_unit_spec(unit)
     }
 
+    /// The plan's full content signature: every stage fingerprint, workload
+    /// content hash and grid parameter a unit result depends on.  Plans
+    /// with equal signatures are interchangeable for unit execution — the
+    /// key contract of the memoized unit-result cache.
+    pub fn signature(&self) -> &str {
+        &self.signature
+    }
+
     /// Executes an explicit unit.  The unit must belong to this plan —
     /// worker processes decode ids from the wire and run them against a
     /// locally-reconstructed plan.
+    ///
+    /// Monte-Carlo-shard and accuracy units are memoized through the
+    /// pipeline's unit-result cache, keyed on
+    /// `(`[`WorkPlan::signature`]`, `[`WorkUnit::encode`]`)` — with an
+    /// artifact store attached ([`crate::ReadPipelineBuilder::store`]),
+    /// reruns across pipelines, workers and processes serve them without
+    /// re-executing.  Histogram units are not double-stored: their payload
+    /// *is* the histogram, already cached (and persisted) by the histogram
+    /// cache inside [`ReadPipeline::layer_histogram`].
+    ///
+    /// Memoized results live in the pipeline's memory for its lifetime —
+    /// that is what makes a same-pipeline rerun free even without a store.
+    /// A long-lived pipeline cycling through many large Monte-Carlo sweeps
+    /// can release the retained trial samples with
+    /// [`ReadPipeline::clear_caches`].
     ///
     /// # Errors
     ///
@@ -681,6 +759,28 @@ impl<'a> WorkPlan<'a> {
                 unit.encode()
             )));
         }
+        if matches!(unit, WorkUnit::Histogram { .. }) {
+            return self.compute_unit(unit);
+        }
+        let encoded = unit.encode();
+        let key = UnitKey {
+            plan: self.signature_hash,
+            unit: fnv1a(encoded.bytes()),
+        };
+        let check = UnitCheck {
+            plan: Arc::clone(&self.signature),
+            unit: encoded,
+        };
+        let result = self
+            .pipeline
+            .unit_cache()
+            .get_or_compute(key, check, || self.compute_unit(unit))?;
+        Ok((*result).clone())
+    }
+
+    /// Executes a unit unconditionally (the memoization layer's compute
+    /// path).
+    fn compute_unit(&self, unit: &WorkUnit) -> Result<UnitResult, PipelineError> {
         match unit {
             WorkUnit::Histogram { cell, pair } => {
                 let hist = self
@@ -1294,7 +1394,7 @@ mod tests {
         // The decoder splits on any Unicode whitespace, so tab, NBSP and
         // friends must never appear raw in an encoded field.
         let tricky = "a\tb\u{a0}c\u{2003}d e";
-        let escaped = escape(tricky);
+        let escaped = escape_wire(tricky);
         assert!(
             !escaped.chars().any(char::is_whitespace),
             "escaped field must carry no raw whitespace: {escaped:?}"

@@ -29,8 +29,11 @@ use timing::{
 
 use crate::error::PipelineError;
 
-/// FNV-1a over a byte stream: the stable fingerprint hash used for the
-/// schedule cache (never persisted, but deterministic across runs).
+/// FNV-1a over a byte stream: the stable fingerprint hash behind every
+/// cache key and content-addressed store entry.  Deterministic across runs
+/// and processes — on-disk artifact stores ([`crate::DiskStore`]) persist
+/// keys derived from it, so the function is part of the store-format
+/// contract.
 pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for b in bytes {
@@ -453,6 +456,15 @@ pub trait Evaluator: Send + Sync {
     /// Display name of the evaluator.
     fn name(&self) -> String;
 
+    /// Stable configuration fingerprint: must change whenever the
+    /// accuracies this evaluator produces could change (`k`, flip model,
+    /// ...).  Memoized accuracy-unit results are keyed on it — the default
+    /// hashes [`Self::name`], which is only sufficient when the name
+    /// encodes the full configuration.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_str(&self.name())
+    }
+
     /// Evaluates `model` on `dataset` with the given per-layer BERs (one per
     /// convolution layer, execution order) and RNG seed.
     ///
@@ -498,6 +510,11 @@ impl Default for TopKEvaluator {
 impl Evaluator for TopKEvaluator {
     fn name(&self) -> String {
         format!("top-{}", self.k)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Debug output covers k and the flip model.
+        fingerprint_str(&format!("{self:?}"))
     }
 
     fn evaluate(

@@ -1,0 +1,514 @@
+//! Content-addressed artifact stores: the persistence layer behind the
+//! pipeline caches.
+//!
+//! A pipeline produces three classes of expensive, fully deterministic
+//! artifacts — optimized schedules, simulated depth histograms, and
+//! memoized work-unit results.  Each is identified by a 64-bit content
+//! fingerprint plus a human-readable full-key *check line* (the
+//! [`crate::cache`] machinery verifies the check behind the hash, so a
+//! fingerprint collision is detected rather than served).  An
+//! [`ArtifactStore`] holds the text-encoded payloads behind those keys:
+//!
+//! * [`MemoryStore`] — a process-local map.  Attach one store to several
+//!   pipelines ([`crate::ReadPipelineBuilder::store_arc`]) and they share
+//!   schedules, histograms and unit results without recomputing.
+//! * [`DiskStore`] — an on-disk, versioned, concurrency-safe directory of
+//!   fingerprint-keyed entries.  Writes go to a unique temporary file and
+//!   are published with an atomic rename, so concurrent writers (threads
+//!   *or* processes) always leave a decodable entry; corrupt or
+//!   version-mismatched entries read as misses (counted in
+//!   [`StoreStats::corrupt`]) and are rewritten by the next computation.
+//!   Point worker processes ([`crate::SubprocessExecutor`],
+//!   [`crate::WorkPlan::serve`]) at a shared directory and optimization and
+//!   simulation stop being duplicated across processes and runs entirely.
+//!
+//! Reports are byte-identical whether an artifact came from memory, disk or
+//! a fresh computation: every payload codec round-trips exactly (integer
+//! counts, shortest-round-trip floats).
+//!
+//! # On-disk entry format
+//!
+//! One entry per file, `<root>/<kind>/<key as 16 hex digits>.entry`:
+//!
+//! ```text
+//! read-artifact v1
+//! kind=<artifact kind>
+//! check=<full-key check line>
+//! ---
+//! <payload>
+//! ```
+//!
+//! The format is a stable contract pinned by the
+//! `tests/fixtures/artifact_entry.txt` golden fixture; bumping
+//! [`ENTRY_VERSION`] makes every existing entry read as a (counted) miss,
+//! never an error.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::PipelineError;
+
+/// Version tag of the on-disk entry format.  Stored in every entry header;
+/// entries carrying any other version read as misses and are counted in
+/// [`StoreStats::corrupt`], so a format change invalidates old store
+/// directories without erroring on them.
+pub const ENTRY_VERSION: &str = "v1";
+
+const ENTRY_MAGIC: &str = "read-artifact";
+
+/// Effectiveness counters of an [`ArtifactStore`], across all artifact
+/// kinds.  Surfaced per pipeline as the `disk_*`/`store_*` fields of
+/// [`crate::CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups served from the store (a computation saved).
+    pub hits: u64,
+    /// Lookups the store could not serve (absent key or mismatched check).
+    pub misses: u64,
+    /// Entries that failed to parse or decode — version mismatches,
+    /// truncated writes, garbage payloads.  Each also counts as a miss and
+    /// is recomputed and rewritten rather than propagated as an error.
+    pub corrupt: u64,
+    /// Entries written to the store.
+    pub writes: u64,
+}
+
+/// A content-addressed, concurrency-safe store of text-encoded artifacts.
+///
+/// Keys are `(kind, 64-bit fingerprint)` pairs; every entry additionally
+/// carries the full-key `check` line it was stored under, and a lookup
+/// whose check disagrees is a miss (a fingerprint collision, detected
+/// rather than served — the same contract as the in-memory caches).
+///
+/// Implementations must be safe under concurrent `load`/`put` from several
+/// threads *and* — for persistent backends — several processes: a racing
+/// `put` of the same key may publish either writer's entry (artifacts are
+/// deterministic, so both encode the same value), but a reader must never
+/// observe a torn entry.
+pub trait ArtifactStore: Send + Sync {
+    /// Display name of the backend (for logs and debugging).
+    fn name(&self) -> String;
+
+    /// Returns the payload stored under `(kind, key)` when its check line
+    /// matches `check`, counting a hit; otherwise counts a miss (plus
+    /// [`StoreStats::corrupt`] for undecodable entries) and returns `None`.
+    fn load(&self, kind: &str, key: u64, check: &str) -> Option<String>;
+
+    /// Stores `payload` under `(kind, key)` with the given check line,
+    /// replacing any previous entry.  Best-effort: an I/O failure leaves
+    /// the store unchanged (and uncounted) rather than failing the
+    /// computation that produced the artifact.
+    fn put(&self, kind: &str, key: u64, check: &str, payload: &str);
+
+    /// Reports that the payload `load` returned for `(kind, key)` failed to
+    /// decode: evicts the entry so the next computation rewrites it, and
+    /// reclassifies the hit `load` counted as a corrupt miss — so
+    /// [`StoreStats::hits`] stays "computations actually saved".
+    fn note_corrupt(&self, kind: &str, key: u64);
+
+    /// Current counters.
+    fn stats(&self) -> StoreStats;
+}
+
+#[derive(Debug, Default)]
+struct StoreCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl StoreCounters {
+    /// The [`ArtifactStore::note_corrupt`] accounting: the load that
+    /// returned the undecodable payload counted a hit, which was wrong in
+    /// hindsight — take it back and count a corrupt miss instead.
+    fn reclassify_hit_as_corrupt(&self) {
+        let _ = self
+            .hits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |h| {
+                Some(h.saturating_sub(1))
+            });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A process-local [`ArtifactStore`]: today's in-memory caching behavior,
+/// made shareable — attach one `MemoryStore` to several pipelines via
+/// [`crate::ReadPipelineBuilder::store_arc`] and they stop duplicating
+/// optimization and simulation against each other.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    entries: Mutex<HashMap<(String, u64), (String, String)>>,
+    counters: StoreCounters,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries currently stored (all kinds).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock").len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ArtifactStore for MemoryStore {
+    fn name(&self) -> String {
+        "memory".to_string()
+    }
+
+    fn load(&self, kind: &str, key: u64, check: &str) -> Option<String> {
+        let entries = self.entries.lock().expect("store lock");
+        match entries.get(&(kind.to_string(), key)) {
+            Some((stored_check, payload)) if stored_check == check => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload.clone())
+            }
+            _ => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, kind: &str, key: u64, check: &str, payload: &str) {
+        self.entries.lock().expect("store lock").insert(
+            (kind.to_string(), key),
+            (check.to_string(), payload.to_string()),
+        );
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_corrupt(&self, kind: &str, key: u64) {
+        self.entries
+            .lock()
+            .expect("store lock")
+            .remove(&(kind.to_string(), key));
+        self.counters.reclassify_hit_as_corrupt();
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+/// An on-disk [`ArtifactStore`]: one versioned entry file per artifact
+/// under `<root>/<kind>/`, published with atomic tmp-file + rename writes.
+///
+/// Safe to share between threads and between *processes* (workers pointed
+/// at the same directory): a reader sees either a complete previous entry
+/// or a complete new one, never a torn write.  Unparseable and
+/// version-mismatched entries read as misses — counted in
+/// [`StoreStats::corrupt`] — and are replaced by the next computation, so a
+/// stale or damaged store directory degrades to a cold cache instead of an
+/// error.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    counters: StoreCounters,
+}
+
+/// Process-global sequence for temp-file names.  Deliberately NOT
+/// per-instance: several `DiskStore`s over one directory in one process
+/// (one per pipeline is the normal usage) share the same pid, so a
+/// per-instance counter would let two of them derive the same tmp name and
+/// stomp each other's half-written file — exactly the torn write the
+/// tmp+rename scheme exists to rule out.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl DiskStore {
+    /// Opens (creating if necessary) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] when the directory cannot be
+    /// created.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, PipelineError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| {
+            PipelineError::exec(format!(
+                "failed to create artifact store {:?}: {e}",
+                root.display()
+            ))
+        })?;
+        Ok(DiskStore {
+            root,
+            counters: StoreCounters::default(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry path of `(kind, key)` — exposed for tests pinning the
+    /// on-disk layout.
+    pub fn entry_path(&self, kind: &str, key: u64) -> PathBuf {
+        self.root.join(kind).join(format!("{key:016x}.entry"))
+    }
+}
+
+impl ArtifactStore for DiskStore {
+    fn name(&self) -> String {
+        format!("disk[{}]", self.root.display())
+    }
+
+    fn load(&self, kind: &str, key: u64, check: &str) -> Option<String> {
+        let path = self.entry_path(kind, key);
+        let content = match fs::read_to_string(&path) {
+            Ok(content) => content,
+            Err(_) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse_entry(&content) {
+            Some((entry_kind, entry_check, payload)) if entry_kind == kind => {
+                if entry_check == escape_check(check) {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(payload.to_string())
+                } else {
+                    // A fingerprint collision with a foreign full key: the
+                    // entry is healthy, it just is not ours.
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+            _ => {
+                // Version mismatch, truncated write, or garbage: a counted
+                // miss, never an error.  The entry is left in place; the
+                // recomputed artifact's put() replaces it atomically.
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, kind: &str, key: u64, check: &str, payload: &str) {
+        let path = self.entry_path(kind, key);
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        // Unique tmp name per (process, write): concurrent writers never
+        // stomp each other's half-written file, and the rename publishes a
+        // complete entry atomically.
+        let tmp = dir.join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, render_entry(kind, check, payload)).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_corrupt(&self, kind: &str, key: u64) {
+        let _ = fs::remove_file(self.entry_path(kind, key));
+        self.counters.reclassify_hit_as_corrupt();
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+/// Minimal injective escaping that keeps a check line on one line (the
+/// entry header is line-oriented).  Check lines come pre-escaped by the
+/// artifact kinds for their free-text fields; this guards the framing.
+fn escape_check(check: &str) -> String {
+    check
+        .replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Renders a complete entry file — the byte layout pinned by the
+/// `tests/fixtures/artifact_entry.txt` golden fixture.
+pub(crate) fn render_entry(kind: &str, check: &str, payload: &str) -> String {
+    format!(
+        "{ENTRY_MAGIC} {ENTRY_VERSION}\nkind={kind}\ncheck={}\n---\n{payload}\n",
+        escape_check(check)
+    )
+}
+
+/// Parses an entry file into `(kind, escaped check, payload)`; `None` for
+/// anything that is not a well-formed current-version entry.
+fn parse_entry(content: &str) -> Option<(&str, &str, &str)> {
+    let rest = content.strip_prefix(ENTRY_MAGIC)?;
+    let rest = rest.strip_prefix(' ')?;
+    let (version, rest) = rest.split_once('\n')?;
+    if version != ENTRY_VERSION {
+        return None;
+    }
+    let rest = rest.strip_prefix("kind=")?;
+    let (kind, rest) = rest.split_once('\n')?;
+    let rest = rest.strip_prefix("check=")?;
+    let (check, rest) = rest.split_once('\n')?;
+    let payload = rest.strip_prefix("---\n")?;
+    let payload = payload.strip_suffix('\n')?;
+    Some((kind, check, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "read-store-test-{tag}-{}-{:p}",
+            std::process::id(),
+            &tag
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_counts() {
+        let store = MemoryStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.load("schedule", 7, "check-a"), None);
+        store.put("schedule", 7, "check-a", "groups=0@0");
+        assert_eq!(
+            store.load("schedule", 7, "check-a").as_deref(),
+            Some("groups=0@0")
+        );
+        // A mismatched check is a miss, not the foreign payload.
+        assert_eq!(store.load("schedule", 7, "check-b"), None);
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                hits: 1,
+                misses: 2,
+                corrupt: 0,
+                writes: 1
+            }
+        );
+        store.note_corrupt("schedule", 7);
+        assert!(store.is_empty());
+        // The hit that preceded note_corrupt is reclassified: hits count
+        // computations actually saved, the bad load becomes a corrupt miss.
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                hits: 0,
+                misses: 3,
+                corrupt: 1,
+                writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_persists() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskStore::new(&dir).unwrap();
+        assert!(store.name().starts_with("disk["));
+        store.put("histogram", 0xABCD, "src rows=4", "total=0 flips=0 counts=");
+        assert_eq!(
+            store.load("histogram", 0xABCD, "src rows=4").as_deref(),
+            Some("total=0 flips=0 counts=")
+        );
+        assert_eq!(store.load("histogram", 0xABCD, "other"), None);
+        assert_eq!(store.load("histogram", 0x1234, "src rows=4"), None);
+
+        // A second store instance over the same directory sees the entry —
+        // the cross-process persistence contract.
+        let reopened = DiskStore::new(&dir).unwrap();
+        assert_eq!(
+            reopened.load("histogram", 0xABCD, "src rows=4").as_deref(),
+            Some("total=0 flips=0 counts=")
+        );
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                hits: 1,
+                misses: 2,
+                corrupt: 0,
+                writes: 1
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_read_as_counted_misses() {
+        let dir = temp_dir("versions");
+        let store = DiskStore::new(&dir).unwrap();
+        let path = store.entry_path("schedule", 5);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+
+        // A future-versioned entry: miss + corrupt, never an error.
+        fs::write(
+            &path,
+            "read-artifact v2\nkind=schedule\ncheck=c\n---\npayload\n",
+        )
+        .unwrap();
+        assert_eq!(store.load("schedule", 5, "c"), None);
+        assert_eq!(store.stats().corrupt, 1);
+
+        // Garbage: same.
+        fs::write(&path, "not an entry at all").unwrap();
+        assert_eq!(store.load("schedule", 5, "c"), None);
+        assert_eq!(store.stats().corrupt, 2);
+
+        // A put() replaces the damaged entry and the next load hits.
+        store.put("schedule", 5, "c", "groups=");
+        assert_eq!(store.load("schedule", 5, "c").as_deref(), Some("groups="));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_survive_multiline_payloads_and_tricky_checks() {
+        let dir = temp_dir("payloads");
+        let store = DiskStore::new(&dir).unwrap();
+        let check = "line\nbreak \\ and spaces";
+        let payload = "first line\nsecond line";
+        store.put("unit", 1, check, payload);
+        assert_eq!(store.load("unit", 1, check).as_deref(), Some(payload));
+        assert_eq!(store.load("unit", 1, "line\nbreak"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_render_and_parse_invert() {
+        let rendered = render_entry("histogram", "a b", "total=0 flips=0 counts=");
+        let (kind, check, payload) = parse_entry(&rendered).unwrap();
+        assert_eq!(kind, "histogram");
+        assert_eq!(check, "a b");
+        assert_eq!(payload, "total=0 flips=0 counts=");
+        assert!(parse_entry("").is_none());
+        assert!(parse_entry("read-artifact v1\nkind=x\n").is_none());
+    }
+}

@@ -165,6 +165,11 @@ impl Conv2d {
         Ok(())
     }
 
+    /// Borrow the per-output-channel bias.
+    pub fn bias(&self) -> &[i32] {
+        &self.bias
+    }
+
     /// Borrow the KCHW weight storage.
     pub fn weights(&self) -> &[i8] {
         &self.weights

@@ -103,6 +103,11 @@ impl Linear {
         Ok(())
     }
 
+    /// Borrow the per-output bias.
+    pub fn bias(&self) -> &[i32] {
+        &self.bias
+    }
+
     /// Computes the i32 logits for an int8 feature vector.
     ///
     /// # Errors

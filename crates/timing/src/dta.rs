@@ -363,6 +363,58 @@ impl DepthHistogram {
         Some(hist)
     }
 
+    /// Deterministic single-line text encoding of the histogram's
+    /// observable parts: `total=<N> flips=<F> counts=<d>:<c>[,...]` with
+    /// zero-count depths omitted — the same sparse rendering the pipeline's
+    /// unit-result wire protocol ships between worker processes, also used
+    /// to persist cached histograms in content-addressed artifact stores.
+    ///
+    /// [`DepthHistogram::from_wire`] is the exact inverse (the counts are
+    /// integers, so the round trip is trivially lossless).
+    pub fn to_wire(&self) -> String {
+        let mut out = format!("total={} flips={} counts=", self.total, self.sign_flips);
+        let mut first = true;
+        for (depth, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{depth}:{count}"));
+        }
+        out
+    }
+
+    /// Decodes a [`DepthHistogram::to_wire`] line.  Returns `None` on any
+    /// malformed input, including inconsistent totals and out-of-range
+    /// depths (the same checks as [`DepthHistogram::from_parts`]).
+    pub fn from_wire(line: &str) -> Option<DepthHistogram> {
+        let mut tokens = line.split_whitespace();
+        let total: u64 = tokens.next()?.strip_prefix("total=")?.parse().ok()?;
+        let flips: u64 = tokens.next()?.strip_prefix("flips=")?.parse().ok()?;
+        // An empty counts list renders as a bare "counts=" token, which
+        // `split_whitespace` still yields (the line never ends in a space).
+        let counts_value = tokens.next()?.strip_prefix("counts=")?;
+        if tokens.next().is_some() {
+            return None;
+        }
+        let mut dense: Vec<u64> = Vec::new();
+        if !counts_value.is_empty() {
+            for entry in counts_value.split(',') {
+                let (depth, count) = entry.split_once(':')?;
+                let depth: usize = depth.parse().ok()?;
+                let count: u64 = count.parse().ok()?;
+                if depth >= dense.len() {
+                    dense.resize(depth + 1, 0);
+                }
+                dense[depth] = count;
+            }
+        }
+        DepthHistogram::from_parts(&dense, flips, total)
+    }
+
     /// Expected TER under the given delay model and operating condition.
     pub fn ter(&self, delay: &DelayModel, condition: &OperatingCondition) -> f64 {
         if self.total == 0 {
@@ -628,5 +680,36 @@ mod tests {
                 .ter(&DelayModel::nangate15_like(), &OperatingCondition::ideal()),
             0.0
         );
+    }
+
+    #[test]
+    fn depth_histogram_wire_round_trips_exactly() {
+        let hist = DepthHistogram::from_parts(&[10, 0, 3, 0, 2], 4, 15).unwrap();
+        let wire = hist.to_wire();
+        assert_eq!(wire, "total=15 flips=4 counts=0:10,2:3,4:2");
+        assert_eq!(DepthHistogram::from_wire(&wire), Some(hist));
+        // The empty histogram round-trips through the bare counts token.
+        let empty = DepthHistogram::new();
+        assert_eq!(empty.to_wire(), "total=0 flips=0 counts=");
+        assert_eq!(DepthHistogram::from_wire(&empty.to_wire()), Some(empty));
+    }
+
+    #[test]
+    fn malformed_wire_histograms_are_rejected() {
+        for bad in [
+            "",
+            "total=1 flips=0",                    // missing counts
+            "total=1 flips=0 counts=0:2",         // counts exceed total
+            "total=2 flips=3 counts=0:2",         // flips exceed total
+            "total=x flips=0 counts=",            // bad total
+            "total=1 flips=0 counts=0:1 extra=1", // trailing token
+            "total=1 flips=0 counts=99999:1",     // depth out of range
+            "flips=0 total=1 counts=",            // wrong field order
+        ] {
+            assert!(
+                DepthHistogram::from_wire(bad).is_none(),
+                "{bad:?} should not decode"
+            );
+        }
     }
 }

@@ -4,6 +4,13 @@
 //! and read the cross-corner worst case off the typed `SweepReport`.
 //!
 //! Run with: `cargo run --release --example corner_sweep`
+//!
+//! Set `READ_STORE_DIR=<dir>` to attach a persistent on-disk artifact
+//! store: the first run writes every schedule, histogram and unit result
+//! (plus the report JSON for comparison); any further run over the same
+//! directory asserts that it performed **zero** optimizer and simulator
+//! invocations and produced byte-identical JSON — the CI cold/warm smoke
+//! step runs the example twice exactly this way.
 
 use read_repro::prelude::*;
 
@@ -29,12 +36,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .trials_per_shard(12);
 
     let read = Algorithm::ClusterThenReorder(SortCriterion::SignFirst);
-    let pipeline = ReadPipeline::builder()
+    let mut builder = ReadPipeline::builder()
         .source(Algorithm::Baseline)
         .source(read)
         .sweep(plan)
-        .parallel()
-        .build()?;
+        .parallel();
+
+    // Optional persistent artifact store (the cold/warm smoke contract).
+    let store_dir = std::env::var_os("READ_STORE_DIR").map(std::path::PathBuf::from);
+    let report_path = store_dir.as_ref().map(|dir| dir.join("report.json"));
+    let warm = report_path.as_ref().is_some_and(|p| p.exists());
+    if let Some(dir) = &store_dir {
+        builder = builder.store(DiskStore::new(dir)?);
+        println!(
+            "artifact store: {} ({})",
+            dir.display(),
+            if warm { "warm" } else { "cold" }
+        );
+    }
+
+    let pipeline = builder.build()?;
     let sweep = pipeline.run_sweep("vgg16-sweep", &workloads)?;
 
     println!(
@@ -83,6 +104,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "schedule cache: {} optimizations, {} hits, {} collisions",
         stats.misses, stats.hits, stats.collisions
     );
+    println!("cache stats: {}", stats.to_json());
+
+    // The cold/warm smoke contract: against a warm store the whole sweep is
+    // pure aggregation — zero optimizer and zero simulator invocations —
+    // and the JSON is byte-identical to the cold run's.
+    if let Some(path) = &report_path {
+        let json = sweep.to_json();
+        if warm {
+            assert_eq!(
+                stats.misses, 0,
+                "warm store run must perform zero schedule optimizations"
+            );
+            assert_eq!(
+                stats.hist_misses, 0,
+                "warm store run must perform zero histogram simulations"
+            );
+            assert_eq!(
+                stats.unit_misses, 0,
+                "warm store run must execute zero work units fresh"
+            );
+            assert_eq!(stats.corrupt_entries, 0);
+            let cold_json = std::fs::read_to_string(path)?;
+            assert_eq!(
+                json, cold_json,
+                "warm-run JSON must be byte-identical to the cold run"
+            );
+            println!("warm run: zero fresh computations, byte-identical JSON — OK");
+        } else {
+            std::fs::write(path, &json)?;
+            println!("cold run: report JSON recorded at {}", path.display());
+        }
+    }
 
     let (geo, max) = sweep.ter_reduction(&read.name(), "baseline");
     println!("READ reduction across the whole grid: geo-mean {geo:.1}x (max {max:.1}x)");

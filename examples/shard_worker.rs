@@ -1,7 +1,7 @@
 //! Multi-process sweep driver: run a corner/die sweep through
-//! `SubprocessExecutor` with two worker processes and assert that the
-//! resulting `SweepReport` JSON is byte-identical to the serial in-process
-//! run.
+//! `SubprocessExecutor` with two worker processes sharing an on-disk
+//! artifact store, and assert that the resulting `SweepReport` JSON is
+//! byte-identical to the serial in-process run.
 //!
 //! The binary is its own worker: re-invoked with `--worker` it reconstructs
 //! the identical pipeline and plan, then answers the unit-id/unit-result
@@ -10,14 +10,21 @@
 //! ids, and the driver's aggregator folds their self-identifying results
 //! back in canonical order.
 //!
+//! The shared `DiskStore` closes the cold-worker gap: the driver's serial
+//! run warms the store, so neither worker optimizes a single schedule or
+//! simulates a single histogram — each worker asserts that itself via
+//! `CacheStats` before exiting.
+//!
 //! Run with: `cargo run --release --example shard_worker`
 
 use std::io::{self, BufReader};
+use std::path::PathBuf;
 
 use read_repro::prelude::*;
 
 /// The experiment both the driver and every worker reconstruct: identical
-/// configuration ⇒ identical plans ⇒ interchangeable unit results.
+/// configuration ⇒ identical plans ⇒ interchangeable unit results (and
+/// identical artifact-store keys).
 fn workloads() -> Vec<LayerWorkload> {
     let config = WorkloadConfig {
         pixels_per_layer: 1,
@@ -49,6 +56,8 @@ fn builder() -> ReadPipelineBuilder {
 }
 
 const NETWORK: &str = "vgg16-sharded";
+/// Environment variable carrying the shared store directory to workers.
+const STORE_DIR_ENV: &str = "READ_SHARD_STORE_DIR";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     if std::env::args().any(|a| a == "--worker") {
@@ -57,29 +66,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     driver()
 }
 
-/// Worker mode: serve the wire protocol until the driver closes stdin.
+/// Worker mode: serve the wire protocol over the shared store until the
+/// driver closes stdin, then prove the store made this worker's caches
+/// warm from the first unit on.
 fn worker() -> Result<(), Box<dyn std::error::Error>> {
-    let pipeline = builder().build()?;
+    let store_dir = std::env::var(STORE_DIR_ENV)?;
+    let pipeline = builder().store(DiskStore::new(store_dir)?).build()?;
     let workloads = workloads();
     let plan = pipeline.plan_sweep(NETWORK, &workloads)?;
     plan.serve(BufReader::new(io::stdin()), &mut io::stdout())?;
+    // The driver warmed the store: this worker must have computed nothing
+    // fresh — the duplicated-optimization-across-workers gap is closed.
+    let stats = pipeline.cache_stats();
+    assert_eq!(
+        stats.misses, 0,
+        "worker optimized a schedule despite the store"
+    );
+    assert_eq!(
+        stats.hist_misses, 0,
+        "worker simulated a histogram despite the store"
+    );
+    assert_eq!(
+        stats.unit_misses, 0,
+        "worker executed a unit fresh despite the store"
+    );
     Ok(())
 }
 
-/// Driver mode: serial run, then the same plan across two worker processes.
+/// Driver mode: serial run warming the shared store, then the same plan
+/// across two worker processes pointed at it.
 fn driver() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = workloads();
+    let store_dir: PathBuf =
+        std::env::temp_dir().join(format!("read-shard-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
 
-    let serial_pipeline = builder().executor(SerialExecutor).build()?;
+    let serial_pipeline = builder()
+        .executor(SerialExecutor)
+        .store(DiskStore::new(&store_dir)?)
+        .build()?;
     let serial = serial_pipeline.run_sweep(NETWORK, &workloads)?;
+    let serial_stats = serial_pipeline.cache_stats();
+    println!(
+        "serial warm-up: {} optimizations, {} simulations, {} store writes -> {}",
+        serial_stats.misses,
+        serial_stats.hist_misses,
+        serial_stats.store_writes,
+        store_dir.display(),
+    );
 
     let workers = 2;
     let distributed_pipeline = builder()
         .executor(
             SubprocessExecutor::new(std::env::current_exe()?)
                 .arg("--worker")
+                .env(STORE_DIR_ENV, store_dir.display().to_string())
                 .workers(workers),
         )
+        .store(DiskStore::new(&store_dir)?)
         .build()?;
     let plan = distributed_pipeline.plan_sweep(NETWORK, &workloads)?;
     println!(
@@ -100,7 +144,8 @@ fn driver() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!(
-        "{} cells x {} rows re-aggregated byte-identically across {workers} worker processes",
+        "{} cells x {} rows re-aggregated byte-identically across {workers} worker \
+         processes, each serving purely from the shared store",
         distributed.cells.len(),
         distributed.cells[0].rows.len(),
     );
@@ -111,5 +156,6 @@ fn driver() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("report: {} bytes of identical JSON", distributed_json.len());
+    let _ = std::fs::remove_dir_all(&store_dir);
     Ok(())
 }

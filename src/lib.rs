@@ -86,17 +86,15 @@ pub mod prelude {
     pub use read_core::{
         ClusterSchedule, ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
     };
-    #[allow(deprecated)]
-    pub use read_pipeline::ExecMode;
     pub use read_pipeline::{resnet18_workloads, resnet34_workloads, vgg16_workloads};
     pub use read_pipeline::{AccuracyPoint, AccuracyReport};
     pub use read_pipeline::{
-        Aggregator, Algorithm, Baseline, CacheStats, DelayErrorModel, DieSpec, ErrorModel,
-        Evaluator, Executor, LayerReport, LayerWorkload, MonteCarloErrorModel, MonteCarloSweep,
-        NetworkReport, PipelineError, PlanOutput, ReadPipeline, ReadPipelineBuilder,
-        ScheduleSource, SerialExecutor, SubprocessExecutor, SweepCell, SweepPlan, SweepReport,
-        ThreadExecutor, TopKEvaluator, UnitResult, VariationErrorModel, WorkPlan, WorkUnit,
-        WorkloadConfig, WorstCase,
+        Aggregator, Algorithm, ArtifactStore, Baseline, CacheStats, DelayErrorModel, DieSpec,
+        DiskStore, ErrorModel, Evaluator, Executor, LayerReport, LayerWorkload, MemoryStore,
+        MonteCarloErrorModel, MonteCarloSweep, NetworkReport, PipelineError, PlanOutput,
+        ReadPipeline, ReadPipelineBuilder, ScheduleSource, SerialExecutor, StoreStats,
+        SubprocessExecutor, SweepCell, SweepPlan, SweepReport, ThreadExecutor, TopKEvaluator,
+        UnitResult, VariationErrorModel, WorkPlan, WorkUnit, WorkloadConfig, WorstCase,
     };
     pub use timing::{
         ber_from_ter, paper_conditions, AnalyticAnalysis, DelayModel, DepthHistogram,

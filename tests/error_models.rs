@@ -3,9 +3,9 @@
 //! Monte-Carlo and per-PE-variation models — convergence, permutation
 //! stability, and byte-identical seed-stable reports.
 //!
-//! Keeps using the deprecated `ExecMode` shim on purpose: back-compat
-//! coverage that `.exec(..)` callers compile and behave unchanged.
-#![allow(deprecated)]
+//! Executor-invariance is asserted against the modern `Executor`
+//! strategies; the deprecated `ExecMode` shim is confined to
+//! `read_pipeline::exec` with its own pinning tests.
 
 use read_repro::prelude::*;
 
@@ -156,21 +156,21 @@ fn per_pe_bers_are_permutation_stable_and_seed_deterministic() {
 #[test]
 fn monte_carlo_pipeline_reports_are_byte_identical_across_runs() {
     let workloads = tiny_workloads(2);
-    let run = |mode: ExecMode| {
+    let run = |executor: ThreadExecutor| {
         ReadPipeline::builder()
             .source(Algorithm::Baseline)
             .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
             .conditions(paper_conditions())
             .monte_carlo(24, 11)
-            .exec(mode)
+            .executor(executor)
             .build()
             .unwrap()
             .run_ter("mc-determinism", &workloads)
             .unwrap()
     };
-    let first = run(ExecMode::Serial);
-    let second = run(ExecMode::Serial);
-    let parallel = run(ExecMode::parallel());
+    let first = run(ThreadExecutor::new(1));
+    let second = run(ThreadExecutor::new(1));
+    let parallel = run(ThreadExecutor::machine());
     assert_eq!(first, second);
     assert_eq!(first.to_json().into_bytes(), second.to_json().into_bytes());
     assert_eq!(

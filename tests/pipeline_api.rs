@@ -3,9 +3,9 @@
 //! `NetworkReport` across runs with the same `ReadConfig::seed`, and
 //! byte-identical parallel-vs-serial execution.
 //!
-//! Keeps using the deprecated `ExecMode` shim on purpose: back-compat
-//! coverage that `.exec(..)` callers compile and behave unchanged.
-#![allow(deprecated)]
+//! Executor-invariance is asserted against the modern `Executor`
+//! strategies; the deprecated `ExecMode` shim is confined to
+//! `read_pipeline::exec` with its own pinning tests.
 
 use read_repro::prelude::*;
 
@@ -205,13 +205,13 @@ fn parallel_ter_run_is_byte_identical_to_serial() {
     // The Fig. 8 experiment shape: paper algorithms at the worst corner.
     let workloads = tiny_workloads(3);
     let serial = paper_builder()
-        .exec(ExecMode::Serial)
+        .executor(ThreadExecutor::new(1))
         .build()
         .unwrap()
         .run_ter("fig8", &workloads)
         .unwrap();
     let parallel = paper_builder()
-        .exec(ExecMode::parallel())
+        .executor(ThreadExecutor::machine())
         .build()
         .unwrap()
         .run_ter("fig8", &workloads)
@@ -235,21 +235,21 @@ fn parallel_accuracy_run_matches_serial() {
     qnn::fit::fit_classifier_head(&mut model, &dataset).unwrap();
     let workloads = tiny_workloads(2);
 
-    let run = |mode: ExecMode| {
+    let run = |executor: ThreadExecutor| {
         ReadPipeline::builder()
             .source(Algorithm::Baseline)
             .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
             .condition(OperatingCondition::ideal())
             .condition(OperatingCondition::aging_vt(10.0, 0.05))
             .model(model.clone())
-            .exec(mode)
+            .executor(executor)
             .build()
             .unwrap()
             .run_accuracy("acc", &dataset, &workloads, 2)
             .unwrap()
     };
-    let serial = run(ExecMode::Serial);
-    let parallel = run(ExecMode::parallel());
+    let serial = run(ThreadExecutor::new(1));
+    let parallel = run(ThreadExecutor::machine());
     assert_eq!(serial, parallel);
     assert_eq!(serial.to_json(), parallel.to_json());
     // Points cover the full (condition x algorithm) grid in order.

@@ -3,10 +3,9 @@
 //! pipeline runs, the schedule cache is reused across cells, and sweeps are
 //! deterministic across execution modes.
 //!
-//! Deliberately written against the deprecated `ExecMode` shim: these tests
-//! double as the back-compat guarantee that existing `.exec(..)` callers
-//! keep compiling and produce unchanged reports.
-#![allow(deprecated)]
+//! Executor-invariance is asserted against the modern `Executor` strategies
+//! (`SerialExecutor` / `ThreadExecutor`); the deprecated `ExecMode` shim is
+//! confined to `read_pipeline::exec` with its own pinning tests.
 
 use read_repro::prelude::*;
 
@@ -25,12 +24,12 @@ fn sweep_sources() -> [Algorithm; 2] {
     ]
 }
 
-fn sweep_pipeline(plan: SweepPlan, exec: ExecMode) -> ReadPipeline {
+fn sweep_pipeline(plan: SweepPlan, executor: impl Executor + 'static) -> ReadPipeline {
     ReadPipeline::builder()
         .source(sweep_sources()[0])
         .source(sweep_sources()[1])
         .sweep(plan)
-        .exec(exec)
+        .executor(executor)
         .build()
         .unwrap()
 }
@@ -58,7 +57,7 @@ fn sharded_sweep_is_byte_identical_to_single_corner_unsharded_runs() {
         .dies(dies)
         .monte_carlo(trials, seed)
         .trials_per_shard(7);
-    let sweep = sweep_pipeline(plan, ExecMode::Serial)
+    let sweep = sweep_pipeline(plan, SerialExecutor)
         .run_sweep("sweep", &workloads)
         .unwrap();
     assert_eq!(sweep.cells.len(), 6);
@@ -104,11 +103,11 @@ fn shard_layout_does_not_change_the_report() {
     let base = SweepPlan::new()
         .condition(OperatingCondition::aging_vt(10.0, 0.05))
         .monte_carlo(20, 3);
-    let unsharded = sweep_pipeline(base.clone(), ExecMode::Serial)
+    let unsharded = sweep_pipeline(base.clone(), SerialExecutor)
         .run_sweep("shards", &workloads)
         .unwrap();
     for per_shard in [1u32, 3, 7, 20, 64] {
-        let sharded = sweep_pipeline(base.clone().trials_per_shard(per_shard), ExecMode::Serial)
+        let sharded = sweep_pipeline(base.clone().trials_per_shard(per_shard), SerialExecutor)
             .run_sweep("shards", &workloads)
             .unwrap();
         // Rows and their rendering are identical; only the recorded shard
@@ -136,10 +135,10 @@ fn parallel_sweep_equals_serial_sweep() {
         .die(9)
         .monte_carlo(16, 2)
         .trials_per_shard(5);
-    let serial = sweep_pipeline(plan.clone(), ExecMode::Serial)
+    let serial = sweep_pipeline(plan.clone(), SerialExecutor)
         .run_sweep("exec", &workloads)
         .unwrap();
-    let parallel = sweep_pipeline(plan, ExecMode::parallel())
+    let parallel = sweep_pipeline(plan, ThreadExecutor::machine())
         .run_sweep("exec", &workloads)
         .unwrap();
     assert_eq!(serial, parallel);
@@ -182,7 +181,7 @@ fn sweep_reuses_the_schedule_and_histogram_caches_across_cells() {
         .typical()
         .die(1)
         .monte_carlo(8, 0);
-    let pipeline = sweep_pipeline(plan, ExecMode::Serial);
+    let pipeline = sweep_pipeline(plan, SerialExecutor);
     let pairs = 2 * 2; // workloads x sources
     let mc_cells = 3; // typical-die cells carry the Monte-Carlo budget
 
@@ -199,18 +198,25 @@ fn sweep_reuses_the_schedule_and_histogram_caches_across_cells() {
     assert_eq!(stats.hist_entries, pairs);
     // Monte-Carlo shard units re-read every pair's histogram from the cache.
     assert_eq!(stats.hist_hits, (mc_cells * pairs) as u64);
+    // Each Monte-Carlo cell's single shard was executed fresh and memoized.
+    assert_eq!(stats.unit_misses, mc_cells as u64);
+    assert_eq!(stats.unit_hits, 0);
+    assert_eq!(stats.unit_entries, mc_cells);
 
-    // A second sweep on the same pipeline hits both caches for everything.
+    // A second sweep on the same pipeline computes nothing fresh: histogram
+    // units hit the histogram cache, and the Monte-Carlo shards are served
+    // whole from the unit cache (so they no longer even re-read the
+    // per-pair histograms).
     pipeline.run_sweep("cache", &workloads).unwrap();
     let again = pipeline.cache_stats();
     assert_eq!(again.misses, stats.misses);
     assert_eq!(again.hist_misses, stats.hist_misses);
-    assert_eq!(
-        again.hist_hits,
-        stats.hist_hits + ((mc_cells + 1) * pairs) as u64
-    );
+    assert_eq!(again.unit_misses, stats.unit_misses);
+    assert_eq!(again.hist_hits, stats.hist_hits + pairs as u64);
+    assert_eq!(again.unit_hits, mc_cells as u64);
     assert_eq!(again.collisions, 0);
     assert_eq!(again.hist_collisions, 0);
+    assert_eq!(again.unit_collisions, 0);
 }
 
 // ---- plan plumbing ------------------------------------------------------
@@ -307,7 +313,7 @@ fn sweep_only_pipelines_reject_condition_experiments() {
 fn sweep_summary_and_curves_read_off_the_grid() {
     let workloads = tiny_workloads(1);
     let plan = SweepPlan::new().conditions(paper_conditions());
-    let sweep = sweep_pipeline(plan, ExecMode::Serial)
+    let sweep = sweep_pipeline(plan, SerialExecutor)
         .run_sweep("summary", &workloads)
         .unwrap();
 
