@@ -280,6 +280,11 @@ pub struct CacheStats {
     pub unit_collisions: u64,
     /// Work-unit results currently cached in memory.
     pub unit_entries: usize,
+    /// Work-unit results served by joining an identical *in-flight*
+    /// computation instead of starting one — the serve layer's single-flight
+    /// dedup (see [`crate::serve`]).  Always zero for a plain pipeline: only
+    /// a daemon coalescing concurrent requests produces in-flight joins.
+    pub inflight_hits: u64,
     /// Lookups (all artifact kinds) served from the configured
     /// [`ArtifactStore`].
     pub disk_hits: u64,
@@ -300,6 +305,7 @@ impl CacheStats {
             "{{\"hits\":{},\"misses\":{},\"collisions\":{},\"entries\":{},\
              \"hist_hits\":{},\"hist_misses\":{},\"hist_collisions\":{},\"hist_entries\":{},\
              \"unit_hits\":{},\"unit_misses\":{},\"unit_collisions\":{},\"unit_entries\":{},\
+             \"inflight_hits\":{},\
              \"disk_hits\":{},\"disk_misses\":{},\"corrupt_entries\":{},\"store_writes\":{}}}",
             self.hits,
             self.misses,
@@ -313,11 +319,62 @@ impl CacheStats {
             self.unit_misses,
             self.unit_collisions,
             self.unit_entries,
+            self.inflight_hits,
             self.disk_hits,
             self.disk_misses,
             self.corrupt_entries,
             self.store_writes,
         )
+    }
+
+    /// Parses the flat-object JSON produced by [`CacheStats::to_json`]
+    /// (unknown keys are ignored, absent keys stay zero) — the decoder the
+    /// serve protocol uses to carry per-request stats over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed key/value pair.
+    pub fn from_json(json: &str) -> Result<CacheStats, String> {
+        let body = json
+            .trim()
+            .strip_prefix('{')
+            .and_then(|rest| rest.strip_suffix('}'))
+            .ok_or_else(|| format!("cache stats JSON is not an object: {json:?}"))?;
+        let mut stats = CacheStats::default();
+        if body.trim().is_empty() {
+            return Ok(stats);
+        }
+        for pair in body.split(',') {
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("malformed cache stats pair {pair:?}"))?;
+            let key = key.trim().trim_matches('"');
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad cache stats value for {key:?}: {e}"))?;
+            match key {
+                "hits" => stats.hits = value,
+                "misses" => stats.misses = value,
+                "collisions" => stats.collisions = value,
+                "entries" => stats.entries = value as usize,
+                "hist_hits" => stats.hist_hits = value,
+                "hist_misses" => stats.hist_misses = value,
+                "hist_collisions" => stats.hist_collisions = value,
+                "hist_entries" => stats.hist_entries = value as usize,
+                "unit_hits" => stats.unit_hits = value,
+                "unit_misses" => stats.unit_misses = value,
+                "unit_collisions" => stats.unit_collisions = value,
+                "unit_entries" => stats.unit_entries = value as usize,
+                "inflight_hits" => stats.inflight_hits = value,
+                "disk_hits" => stats.disk_hits = value,
+                "disk_misses" => stats.disk_misses = value,
+                "corrupt_entries" => stats.corrupt_entries = value,
+                "store_writes" => stats.store_writes = value,
+                _ => {}
+            }
+        }
+        Ok(stats)
     }
 }
 

@@ -73,6 +73,7 @@ pub mod exec;
 pub mod executor;
 pub mod plan;
 pub mod report;
+pub mod serve;
 pub mod stage;
 pub mod store;
 pub mod sweep;
@@ -88,6 +89,10 @@ pub use executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor}
 pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
 pub use plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
 pub use report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+pub use serve::{
+    AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient, ServeHandle,
+    ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec,
+};
 pub use stage::{
     Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
     ScheduleSource, TopKEvaluator, VariationErrorModel,
@@ -95,7 +100,8 @@ pub use stage::{
 pub use store::{ArtifactStore, DiskStore, MemoryStore, StoreStats};
 pub use sweep::{DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase};
 pub use workload::{
-    resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
+    resnet18_workloads, resnet18_workloads_prefix, resnet34_workloads, resnet34_workloads_prefix,
+    vgg16_workloads, vgg16_workloads_prefix, LayerWorkload, WorkloadConfig,
 };
 
 /// Everything a pipeline consumer usually needs.
@@ -106,6 +112,10 @@ pub mod prelude {
     pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
     pub use crate::plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
     pub use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+    pub use crate::serve::{
+        AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient,
+        ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec,
+    };
     pub use crate::stage::{
         Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
         ScheduleSource, TopKEvaluator, VariationErrorModel,
@@ -115,7 +125,9 @@ pub mod prelude {
         DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase,
     };
     pub use crate::workload::{
-        resnet18_workloads, resnet34_workloads, vgg16_workloads, LayerWorkload, WorkloadConfig,
+        resnet18_workloads, resnet18_workloads_prefix, resnet34_workloads,
+        resnet34_workloads_prefix, vgg16_workloads, vgg16_workloads_prefix, LayerWorkload,
+        WorkloadConfig,
     };
     pub use read_core::{ClusteringMode, ReadConfig, ReadOptimizer, SortCriterion};
     pub use timing::{OperatingCondition, OperatingCorner, TerEstimate, Variation};

@@ -12,8 +12,8 @@ use read_core::{ReadConfig, ReadOptimizer};
 use timing::{DelayModel, DepthHistogram, OperatingCondition};
 
 use crate::cache::{
-    weights_fingerprint, workload_fingerprint, CacheStats, HistogramCache, HistogramCheck,
-    HistogramKey, KeyCheck, ScheduleCache, ScheduleKey, UnitCache,
+    weights_fingerprint, workload_fingerprint, ArtifactKind, CacheStats, HistogramArtifact,
+    HistogramCache, HistogramCheck, HistogramKey, KeyCheck, ScheduleCache, ScheduleKey, UnitCache,
 };
 use crate::error::PipelineError;
 use crate::executor::{Executor, SerialExecutor, ThreadExecutor};
@@ -539,6 +539,45 @@ impl ReadPipeline {
         )
     }
 
+    /// The full cache key + verification check of `workload`'s histogram
+    /// under `source` — shared by [`ReadPipeline::layer_histogram`] and the
+    /// serve layer's content-addressed single-flight identity
+    /// ([`ReadPipeline::histogram_check_line`]).
+    fn histogram_key_check(
+        &self,
+        workload: &LayerWorkload,
+        source: &dyn ScheduleSource,
+    ) -> (HistogramKey, HistogramCheck) {
+        let key = HistogramKey {
+            source: source.fingerprint(),
+            workload: workload_fingerprint(workload),
+            context: self.sim_context_fingerprint(),
+        };
+        let check = HistogramCheck {
+            source: source.name(),
+            workload: workload.name.clone(),
+            rows: workload.weights.rows(),
+            cols: workload.weights.cols(),
+            pixels: workload.activations.cols(),
+        };
+        (key, check)
+    }
+
+    /// The store check line of `workload`'s histogram under `source`: the
+    /// complete content identity of the simulation (source and workload
+    /// fingerprints, dimensions, simulation context).  Pipelines that would
+    /// share this artifact through a common store render identical lines —
+    /// the serve layer keys its cross-request single-flight dedup of
+    /// histogram work on it (see [`crate::serve`]).
+    pub(crate) fn histogram_check_line(
+        &self,
+        workload: &LayerWorkload,
+        source: &dyn ScheduleSource,
+    ) -> String {
+        let (key, check) = self.histogram_key_check(workload, source);
+        HistogramArtifact::check_line(&key, &check)
+    }
+
     /// Simulates `workload` under `source` and returns the triggered-depth
     /// histogram (from which the TER at any corner follows without
     /// re-simulating).
@@ -557,18 +596,7 @@ impl ReadPipeline {
         workload: &LayerWorkload,
         source: &dyn ScheduleSource,
     ) -> Result<DepthHistogram, PipelineError> {
-        let key = HistogramKey {
-            source: source.fingerprint(),
-            workload: workload_fingerprint(workload),
-            context: self.sim_context_fingerprint(),
-        };
-        let check = HistogramCheck {
-            source: source.name(),
-            workload: workload.name.clone(),
-            rows: workload.weights.rows(),
-            cols: workload.weights.cols(),
-            pixels: workload.activations.cols(),
-        };
+        let (key, check) = self.histogram_key_check(workload, source);
         let hist = self.hist_cache.get_or_compute(key, check, || {
             let mut hist = DepthHistogram::new();
             self.observe_layer(workload, source, &mut hist)?;

@@ -371,7 +371,7 @@ pub(crate) fn escape_wire(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str, line: &str) -> Result<String, PipelineError> {
+pub(crate) fn unescape(s: &str, line: &str) -> Result<String, PipelineError> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(ch) = chars.next() {
@@ -727,6 +727,29 @@ impl<'a> WorkPlan<'a> {
     /// key contract of the memoized unit-result cache.
     pub fn signature(&self) -> &str {
         &self.signature
+    }
+
+    /// The serve layer's single-flight identity of `unit`: two in-flight
+    /// units with equal flight keys compute the same artifact, so one
+    /// computation can be fanned out to both (see [`crate::serve`]).
+    ///
+    /// Histogram units are keyed on the histogram's full *content* identity
+    /// (the store check line: source/workload fingerprints, dimensions,
+    /// simulation context) rather than on the plan signature — the result
+    /// is grid-independent, so concurrent TER, sweep and accuracy requests
+    /// over the same pairs coalesce even though their plan signatures
+    /// differ.  Every other unit is keyed on
+    /// `(`[`WorkPlan::signature`]`, `[`WorkUnit::encode`]`)`, the memoized
+    /// unit-result cache's own key contract.
+    pub(crate) fn flight_key(&self, unit: &WorkUnit) -> String {
+        match unit {
+            WorkUnit::Histogram { pair, .. } => format!(
+                "hist {}",
+                self.pipeline
+                    .histogram_check_line(self.workload_of(*pair), self.source_of(*pair))
+            ),
+            _ => format!("unit {} {}", self.signature(), unit.encode()),
+        }
     }
 
     /// Executes an explicit unit.  The unit must belong to this plan —

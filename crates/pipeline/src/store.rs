@@ -65,7 +65,10 @@ const ENTRY_MAGIC: &str = "read-artifact";
 /// [`crate::CacheStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
-    /// Lookups served from the store (a computation saved).
+    /// Lookups served from the store (a computation saved).  [`DiskStore`]
+    /// also counts *late* hits here: a `put` that found a racing writer's
+    /// identical entry already published keeps that entry (first writer
+    /// wins) and counts the redundant write it saved as a hit.
     pub hits: u64,
     /// Lookups the store could not serve (absent key or mismatched check).
     pub misses: u64,
@@ -325,6 +328,21 @@ impl ArtifactStore for DiskStore {
             let _ = fs::remove_file(&tmp);
             return;
         }
+        // First-writer-wins: a racing writer (thread or process) may have
+        // published this artifact while we computed and encoded ours.  The
+        // values are deterministic, so renaming over theirs would only burn
+        // a redundant write — re-check immediately before the rename and,
+        // when a healthy matching entry already exists, keep it and count a
+        // late hit instead of a write.
+        if let Ok(content) = fs::read_to_string(&path) {
+            if let Some((entry_kind, entry_check, _)) = parse_entry(&content) {
+                if entry_kind == kind && entry_check == escape_check(check) {
+                    let _ = fs::remove_file(&tmp);
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
         if fs::rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
             return;
@@ -486,6 +504,42 @@ mod tests {
         // A put() replaces the damaged entry and the next load hits.
         store.put("schedule", 5, "c", "groups=");
         assert_eq!(store.load("schedule", 5, "c").as_deref(), Some("groups="));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_identical_put_counts_a_late_hit_not_a_write() {
+        let dir = temp_dir("late-hit");
+        let store = DiskStore::new(&dir).unwrap();
+        store.put("unit", 9, "check", "payload");
+        // The "losing" writer of a same-artifact race: the entry is already
+        // published, so the second put keeps it and counts a late hit.
+        store.put("unit", 9, "check", "payload");
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                hits: 1,
+                misses: 0,
+                corrupt: 0,
+                writes: 1
+            }
+        );
+        // A *different* full key under the same fingerprint is not a late
+        // hit — the entry genuinely changes, so the rename goes through.
+        store.put("unit", 9, "other-check", "other-payload");
+        assert_eq!(store.stats().writes, 2);
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(
+            store.load("unit", 9, "other-check").as_deref(),
+            Some("other-payload")
+        );
+        // No stray tmp files survive the late-hit path.
+        let stray: Vec<_> = fs::read_dir(dir.join("unit"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(stray.is_empty(), "late-hit put must clean its tmp file");
         let _ = fs::remove_dir_all(&dir);
     }
 

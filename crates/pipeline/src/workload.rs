@@ -143,33 +143,82 @@ impl LayerWorkload {
     }
 }
 
+fn generate_prefix(
+    shapes: Vec<(String, ConvShape)>,
+    base_index: usize,
+    config: &WorkloadConfig,
+    take: usize,
+) -> Vec<LayerWorkload> {
+    let take = if take == 0 { shapes.len() } else { take };
+    shapes
+        .into_iter()
+        .take(take)
+        .enumerate()
+        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, base_index + i))
+        .collect()
+}
+
 /// Workloads for every convolution layer of VGG-16 on CIFAR-sized inputs.
 pub fn vgg16_workloads(config: &WorkloadConfig) -> Vec<LayerWorkload> {
-    models::vgg16_cifar_conv_shapes()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, i))
-        .collect()
+    vgg16_workloads_prefix(config, 0)
+}
+
+/// The first `take` layers of [`vgg16_workloads`] (0 = all) without
+/// generating the rest.  Deep-layer weight synthesis dominates generation
+/// cost, so a layer-prefix consumer — e.g. an interactive serve request —
+/// should never pay for conv5 it will not simulate.  Each generated layer
+/// is identical to its [`vgg16_workloads`] counterpart (per-layer seeds
+/// derive from the layer index alone).
+pub fn vgg16_workloads_prefix(config: &WorkloadConfig, take: usize) -> Vec<LayerWorkload> {
+    generate_prefix(models::vgg16_cifar_conv_shapes(), 0, config, take)
 }
 
 /// Workloads for every main-path convolution layer of ResNet-18 on
 /// CIFAR-sized inputs.
 pub fn resnet18_workloads(config: &WorkloadConfig) -> Vec<LayerWorkload> {
-    models::resnet18_cifar_conv_shapes()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, 100 + i))
-        .collect()
+    resnet18_workloads_prefix(config, 0)
+}
+
+/// The first `take` layers of [`resnet18_workloads`] (0 = all); see
+/// [`vgg16_workloads_prefix`].
+pub fn resnet18_workloads_prefix(config: &WorkloadConfig, take: usize) -> Vec<LayerWorkload> {
+    generate_prefix(models::resnet18_cifar_conv_shapes(), 100, config, take)
 }
 
 /// Workloads for every main-path convolution layer of ResNet-34 on
 /// ImageNet-sized inputs.
 pub fn resnet34_workloads(config: &WorkloadConfig) -> Vec<LayerWorkload> {
-    models::resnet34_imagenet_conv_shapes()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (name, shape))| LayerWorkload::generate(&name, shape, config, 200 + i))
-        .collect()
+    resnet34_workloads_prefix(config, 0)
+}
+
+/// The first `take` layers of [`resnet34_workloads`] (0 = all); see
+/// [`vgg16_workloads_prefix`].
+pub fn resnet34_workloads_prefix(config: &WorkloadConfig, take: usize) -> Vec<LayerWorkload> {
+    generate_prefix(models::resnet34_imagenet_conv_shapes(), 200, config, take)
+}
+
+#[cfg(test)]
+mod prefix_tests {
+    use super::*;
+
+    #[test]
+    fn prefix_generation_matches_truncated_full_generation() {
+        let config = WorkloadConfig {
+            pixels_per_layer: 1,
+            ..WorkloadConfig::default()
+        };
+        let full = vgg16_workloads(&config);
+        let prefix = vgg16_workloads_prefix(&config, 2);
+        assert_eq!(prefix.len(), 2);
+        for (p, f) in prefix.iter().zip(&full) {
+            assert_eq!(p.name, f.name);
+            assert_eq!(p.weights, f.weights);
+            assert_eq!(p.activations, f.activations);
+        }
+        // take = 0 and an oversized take both mean "all layers".
+        assert_eq!(vgg16_workloads_prefix(&config, 0).len(), full.len());
+        assert_eq!(vgg16_workloads_prefix(&config, 999).len(), full.len());
+    }
 }
 
 #[cfg(test)]

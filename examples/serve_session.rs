@@ -1,0 +1,167 @@
+//! A live serve-daemon session: two identical bulk corner sweeps race an
+//! interactive TER probe through one daemon, demonstrating
+//!
+//! * **in-flight dedup** — the second sweep joins the first one's
+//!   computations instead of redoing them (`inflight` column, and the two
+//!   bulk reports are byte-identical);
+//! * **priority preemption** — the interactive request, issued while the
+//!   bulk sweeps are mid-flight, finishes ahead of them because freed
+//!   executor slots go to interactive units first.
+//!
+//! By default the example spawns an in-process daemon.  Point it at an
+//! external `read-serve` with `READ_SERVE_ADDR=host:port` (and set
+//! `READ_SERVE_SHUTDOWN=1` to have it shut the daemon down at the end —
+//! that is how the CI smoke test drives the release binary).
+//!
+//! Run with: `cargo run --release --example serve_session`
+
+use std::time::{Duration, Instant};
+
+use read_repro::prelude::*;
+
+fn bulk_sweep() -> ServeRequest {
+    let mut request = ServeRequest::sweep("session-sweep");
+    request.layers = 5;
+    request.pixels = 3;
+    request.sources = vec![SourceSpec::Baseline, SourceSpec::Read];
+    request.corners = vec![
+        CornerSpec::ideal(),
+        CornerSpec {
+            aging_years: 0.0,
+            vt_fluctuation: 0.05,
+        },
+        CornerSpec::aging_vt(10.0, 0.05),
+    ];
+    request.typical = true;
+    request.dies = vec![3];
+    request.mc = Some(McSpec {
+        trials: 24,
+        seed: 7,
+        trials_per_shard: 8,
+    });
+    request.priority = Some(Priority::Bulk);
+    request
+}
+
+fn interactive_probe() -> ServeRequest {
+    let mut request = ServeRequest::ter("session-probe");
+    request.layers = 1;
+    request.pixels = 1;
+    request.workload_seed = 0x5EED;
+    request.sources = vec![SourceSpec::Baseline];
+    request.corners = vec![CornerSpec::aging_vt(10.0, 0.05)];
+    request.priority = Some(Priority::Interactive);
+    request
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let external = std::env::var("READ_SERVE_ADDR").ok();
+    let (addr, handle) = match &external {
+        Some(addr) => (addr.parse()?, None),
+        None => {
+            let handle = ServeServer::spawn(
+                "127.0.0.1:0",
+                ServerConfig {
+                    slots: 2,
+                    ..ServerConfig::default()
+                },
+            )?;
+            (handle.addr(), Some(handle))
+        }
+    };
+    let client = ServeClient::new(addr);
+    client.ping()?;
+    println!(
+        "daemon at {addr} ({})",
+        if handle.is_some() {
+            "in-process"
+        } else {
+            "external"
+        }
+    );
+
+    // label, wall-clock completion time, reply — for the session table and
+    // the ordering assertion.
+    let session_start = Instant::now();
+    let mut rows: Vec<(&str, Instant, ServeReply)> = std::thread::scope(|scope| {
+        // Launch the identical twins together: whichever worker registers a
+        // unit first leads it, the other request joins the in-flight
+        // computation instead of queueing its own.
+        let bulk_a = scope.spawn(move || {
+            let reply = ServeClient::new(addr).request(&bulk_sweep())?;
+            Ok::<_, PipelineError>(("bulk-sweep-a", Instant::now(), reply))
+        });
+        let bulk_b = scope.spawn(move || {
+            let reply = ServeClient::new(addr).request(&bulk_sweep())?;
+            Ok::<_, PipelineError>(("bulk-sweep-b", Instant::now(), reply))
+        });
+        // And an interactive probe while both sweeps are still running.
+        std::thread::sleep(Duration::from_millis(100));
+        let probe = scope.spawn(move || {
+            let reply = ServeClient::new(addr).request(&interactive_probe())?;
+            Ok::<_, PipelineError>(("interactive", Instant::now(), reply))
+        });
+        [bulk_a, bulk_b, probe]
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    rows.sort_by_key(|(_, done, _)| *done);
+
+    println!(
+        "\n{:<14} {:>9} {:>12} {:>6} {:>12} {:>9} {:>10} {:>10}",
+        "request", "kind", "priority", "units", "latency", "inflight", "hist_miss", "disk_hits"
+    );
+    for (label, done, reply) in &rows {
+        println!(
+            "{:<14} {:>9} {:>12} {:>6} {:>9.1}ms {:>9} {:>10} {:>10}  (done +{:.1}ms)",
+            label,
+            reply.kind.as_str(),
+            reply.priority.as_str(),
+            reply.units,
+            reply.latency.as_secs_f64() * 1e3,
+            reply.stats.inflight_hits,
+            reply.stats.hist_misses,
+            reply.stats.disk_hits,
+            done.duration_since(session_start).as_secs_f64() * 1e3,
+        );
+    }
+
+    let by_label = |label: &str| {
+        rows.iter()
+            .find(|(l, _, _)| *l == label)
+            .expect("row present")
+    };
+    let (_, done_a, reply_a) = by_label("bulk-sweep-a");
+    let (_, done_b, reply_b) = by_label("bulk-sweep-b");
+    let (_, done_probe, probe_reply) = by_label("interactive");
+
+    assert_eq!(
+        reply_a.report_json, reply_b.report_json,
+        "identical sweeps must produce byte-identical reports"
+    );
+    let joined =
+        reply_a.stats.inflight_hits + reply_b.stats.inflight_hits + probe_reply.stats.inflight_hits;
+    assert!(
+        joined > 0,
+        "the staggered twin sweep must join at least one in-flight unit"
+    );
+    assert!(
+        done_probe < done_a.max(done_b),
+        "the interactive probe must complete while bulk work is in flight"
+    );
+    println!(
+        "\n{joined} unit(s) served by joining in-flight computations; \
+         interactive probe preempted the bulk queue"
+    );
+
+    if let Some(handle) = handle {
+        client.shutdown()?;
+        handle.join()?;
+        println!("in-process daemon drained and shut down");
+    } else if std::env::var("READ_SERVE_SHUTDOWN").as_deref() == Ok("1") {
+        client.shutdown()?;
+        println!("external daemon asked to shut down");
+    }
+    Ok(())
+}

@@ -89,6 +89,10 @@ pub mod prelude {
     pub use read_pipeline::{resnet18_workloads, resnet34_workloads, vgg16_workloads};
     pub use read_pipeline::{AccuracyPoint, AccuracyReport};
     pub use read_pipeline::{
+        AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient,
+        ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec,
+    };
+    pub use read_pipeline::{
         Aggregator, Algorithm, ArtifactStore, Baseline, CacheStats, DelayErrorModel, DieSpec,
         DiskStore, ErrorModel, Evaluator, Executor, LayerReport, LayerWorkload, MemoryStore,
         MonteCarloErrorModel, MonteCarloSweep, NetworkReport, PipelineError, PlanOutput,

@@ -470,10 +470,11 @@ fn cache_stats_json_matches_the_golden_fixture() {
         unit_misses: 10,
         unit_collisions: 11,
         unit_entries: 12,
-        disk_hits: 13,
-        disk_misses: 14,
-        corrupt_entries: 15,
-        store_writes: 16,
+        inflight_hits: 13,
+        disk_hits: 14,
+        disk_misses: 15,
+        corrupt_entries: 16,
+        store_writes: 17,
     };
     let expected = include_str!("fixtures/cache_stats.json")
         .trim_end_matches('\n')
@@ -481,4 +482,11 @@ fn cache_stats_json_matches_the_golden_fixture() {
     assert_eq!(stats.to_json(), expected);
     // Default stats render all-zero in the same field order.
     assert!(CacheStats::default().to_json().starts_with("{\"hits\":0,"));
+    // The wire decoder inverts the rendering exactly.
+    assert_eq!(CacheStats::from_json(&stats.to_json()), Ok(stats));
+    assert_eq!(
+        CacheStats::from_json(&CacheStats::default().to_json()),
+        Ok(CacheStats::default())
+    );
+    assert!(CacheStats::from_json("not json").is_err());
 }
