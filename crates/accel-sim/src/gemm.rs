@@ -207,6 +207,36 @@ impl GemmProblem {
         let mut outputs = Matrix::zeros(self.num_channels(), self.num_pixels());
         let mut total_cycles = 0u64;
 
+        // Observers that only need depth/sign statistics opt into the
+        // word-parallel kernel (64 pixels per reduction step).  Both
+        // dataflows perform the same per-output additions in the same order
+        // (weight-stationary tiling only interleaves outputs and round-trips
+        // psums through the idempotent `MacUnit::load`), so the cycle
+        // multiset — and hence any order-insensitive tally — is identical to
+        // the scalar path below, for either dataflow.
+        let packed = match observer.depth_word_sink() {
+            Some(sink) => {
+                crate::kernels::run_depth_words(
+                    &self.weights,
+                    &self.activations,
+                    schedule,
+                    &pixels,
+                    sink,
+                    &mut outputs,
+                    &mut total_cycles,
+                );
+                true
+            }
+            None => false,
+        };
+        if packed {
+            return Ok(SimResult {
+                outputs,
+                simulated_pixels: pixels,
+                total_cycles,
+            });
+        }
+
         match dataflow {
             Dataflow::OutputStationary => {
                 self.run_output_stationary(

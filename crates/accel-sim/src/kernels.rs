@@ -1,0 +1,323 @@
+//! The word-parallel GEMM simulation kernel: 64 output pixels per step.
+//!
+//! When an observer only needs triggered-depth and sign-flip statistics (it
+//! returns a [`DepthWordSink`] from
+//! [`CycleObserver::depth_word_sink`](crate::trace::CycleObserver::depth_word_sink)),
+//! the simulator routes through this kernel instead of the scalar MAC loop.
+//! A word of output pixels shares one reduction step: the 64 products are
+//! packed into 16 bit planes ([`crate::bitplane`]) and a single bit-sliced
+//! pass over the 24 accumulator planes computes, for every lane at once,
+//!
+//! * the wrapped 24-bit partial sum (ripple-carry addition),
+//! * the longest carry-propagation run (the bit-sliced transcription of
+//!   [`carry_chain_length`](crate::mac::carry_chain_length)),
+//! * the most significant toggled accumulator bit, and
+//! * the partial-sum sign flip (sign-plane XOR),
+//!
+//! so one step costs `O(ACC_BITS)` word operations for 64 simulated MAC
+//! cycles, against ~10 operations *per accumulator bit per cycle* in the
+//! scalar path.  The per-lane triggered depths (`max(carry_run, msb)`) are
+//! handed to the sink as packed [`DepthWord`]s.
+//!
+//! # Equivalence with the scalar path
+//!
+//! Both dataflows perform, for every `(channel, pixel)` output, the same
+//! additions in the same `row_order` — weight-stationary tiling only
+//! interleaves outputs and round-trips partial sums through
+//! `MacUnit::load(psum)`, which is idempotent on already-wrapped values — so
+//! the multiset of simulated MAC cycles is dataflow-independent, and a
+//! single packed routine serves both.  Any observer whose aggregate is a
+//! cycle-order-insensitive integer tally therefore accumulates results
+//! byte-identical to the scalar path; the in-crate exhaustive tests and the
+//! cross-crate property tests pin this for every `(weight, activation)`
+//! pair and for random problems at lane-remainder widths.
+
+use crate::bitplane::{self, DEPTH_PLANES};
+use crate::mac::{sign_extend, ACC_BITS};
+use crate::matrix::Matrix;
+use crate::schedule::ComputeSchedule;
+use crate::trace::{DepthWord, DepthWordSink};
+
+const ACC_PLANES: usize = ACC_BITS as usize;
+
+/// Runs the full GEMM through the packed depth kernel, filling `outputs`
+/// and streaming one [`DepthWord`] per (group, channel, reduction step,
+/// pixel-word) to the sink.  `pixels` is the sorted list of simulated output
+/// pixels; partial trailing words run with a narrowed lane mask.
+pub(crate) fn run_depth_words(
+    weights: &Matrix<i8>,
+    activations: &Matrix<i8>,
+    schedule: &ComputeSchedule,
+    pixels: &[usize],
+    sink: &mut dyn DepthWordSink,
+    outputs: &mut Matrix<i32>,
+    total_cycles: &mut u64,
+) {
+    let mut products = [0i16; 64];
+    for chunk in pixels.chunks(64) {
+        let mask = bitplane::lane_mask(chunk.len());
+        for group in schedule.groups() {
+            for &channel in &group.columns {
+                let mut acc = [0u64; ACC_PLANES];
+                for &r in &group.row_order {
+                    let w = i32::from(weights[(r, channel)]);
+                    let act_row = activations.row(r);
+                    for (l, &pixel) in chunk.iter().enumerate() {
+                        // i8 x i8 products fit i16 exactly.
+                        products[l] = (w * i32::from(act_row[pixel])) as i16;
+                    }
+                    let addend = bitplane::planes_from_i16(&products[..chunk.len()]);
+                    let word = depth_step(&mut acc, &addend, mask);
+                    *total_cycles += chunk.len() as u64;
+                    sink.on_depth_word(&word);
+                }
+                for (l, &pixel) in chunk.iter().enumerate() {
+                    outputs[(channel, pixel)] = extract_psum(&acc, l);
+                }
+            }
+        }
+    }
+}
+
+/// One bit-sliced reduction step: accumulates the packed 16-bit products
+/// into the 24-plane accumulator and returns every lane's triggered depth
+/// and sign flip.
+fn depth_step(acc: &mut [u64; ACC_PLANES], addend: &[u64; 16], lane_mask: u64) -> DepthWord {
+    let sign_ext = addend[15];
+    let before_sign = acc[ACC_PLANES - 1];
+    let mut carry = 0u64;
+    // Packed per-lane counters: the current carry run, the best (longest)
+    // run so far, and the most significant toggled bit position.
+    let mut run = [0u64; DEPTH_PLANES];
+    let mut best = [0u64; DEPTH_PLANES];
+    let mut msb = [0u64; DEPTH_PLANES];
+    for (i, slot) in acc.iter_mut().enumerate() {
+        let a = *slot;
+        let b = if i < addend.len() {
+            addend[i]
+        } else {
+            sign_ext
+        };
+        let generate = a & b;
+        let propagate = a ^ b;
+        let sum = propagate ^ carry;
+
+        // Carry-run tracking, the bit-sliced transcription of
+        // `carry_chain_length`: lanes whose incoming carry propagates extend
+        // their run by one, lanes that freshly generate restart at 1
+        // (generate and extend are disjoint: `generate & propagate == 0`),
+        // every other lane resets to 0.
+        let extend = carry & propagate;
+        let mut inc_carry = !0u64;
+        for plane in run.iter_mut() {
+            let incremented = *plane ^ inc_carry;
+            inc_carry &= *plane;
+            *plane = incremented & extend;
+        }
+        run[0] |= generate;
+        let keep_run = bitplane::lanes_ge(&run, &best);
+        for (b_plane, r_plane) in best.iter_mut().zip(&run) {
+            *b_plane = (r_plane & keep_run) | (*b_plane & !keep_run);
+        }
+
+        // Lanes whose accumulator bit `i` toggled have their msb counter
+        // overwritten with the constant `i + 1` (one-based, like
+        // `MacCycle::msb_toggled`); ascending `i` leaves the highest.
+        let toggled = a ^ sum;
+        if toggled != 0 {
+            let position = (i + 1) as u64;
+            for (k, plane) in msb.iter_mut().enumerate() {
+                if (position >> k) & 1 == 1 {
+                    *plane |= toggled;
+                } else {
+                    *plane &= !toggled;
+                }
+            }
+        }
+
+        *slot = sum;
+        carry = generate | (carry & propagate);
+    }
+
+    // depth = max(best carry run, msb toggled), per lane.
+    let msb_wins = bitplane::lanes_ge(&msb, &best);
+    let mut depth_planes = [0u64; DEPTH_PLANES];
+    for (k, plane) in depth_planes.iter_mut().enumerate() {
+        *plane = (msb[k] & msb_wins) | (best[k] & !msb_wins);
+    }
+    DepthWord {
+        depth_planes,
+        sign_flips: (before_sign ^ acc[ACC_PLANES - 1]) & lane_mask,
+        lane_mask,
+    }
+}
+
+/// Reads back one lane's sign-extended 24-bit partial sum.
+fn extract_psum(acc: &[u64; ACC_PLANES], lane: usize) -> i32 {
+    sign_extend(bitplane::lane_value(acc, lane) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayConfig;
+    use crate::dataflow::Dataflow;
+    use crate::gemm::{GemmProblem, SimOptions};
+    use crate::mac::{MacCycle, MacUnit};
+    use crate::schedule::ColumnGroup;
+    use crate::trace::{CycleContext, CycleObserver, ScalarPath};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Packs 64 arbitrary 24-bit accumulator values into bit planes.
+    fn pack_psums(psums: &[i32]) -> [u64; ACC_PLANES] {
+        let mut acc = [0u64; ACC_PLANES];
+        for (l, &p) in psums.iter().enumerate() {
+            let raw = (p as u32) & 0xFF_FFFF;
+            for (k, plane) in acc.iter_mut().enumerate() {
+                *plane |= u64::from((raw >> k) & 1) << l;
+            }
+        }
+        acc
+    }
+
+    /// Order-insensitive depth/flip tally implementing both observer sides,
+    /// so the packed and scalar paths can be compared inside this crate
+    /// (the real histogram consumer lives in the `timing` crate).
+    #[derive(Debug, Default, PartialEq, Eq)]
+    struct DepthCounts {
+        by_depth: [u64; 32],
+        flips: u64,
+        total: u64,
+    }
+
+    impl CycleObserver for DepthCounts {
+        fn on_cycle(&mut self, _ctx: &CycleContext, cycle: &MacCycle) {
+            let depth = if cycle.is_idle() {
+                0
+            } else {
+                cycle.triggered_depth()
+            };
+            self.by_depth[depth as usize] += 1;
+            self.flips += u64::from(cycle.sign_flip);
+            self.total += 1;
+        }
+
+        fn depth_word_sink(&mut self) -> Option<&mut dyn DepthWordSink> {
+            Some(self)
+        }
+    }
+
+    impl DepthWordSink for DepthCounts {
+        fn on_depth_word(&mut self, word: &DepthWord) {
+            for lane in 0..64 {
+                if (word.lane_mask >> lane) & 1 == 1 {
+                    self.by_depth[word.depth(lane) as usize] += 1;
+                    self.flips += u64::from(word.sign_flip(lane));
+                    self.total += 1;
+                }
+            }
+        }
+    }
+
+    /// Every (weight, activation) pair, 64 lanes at a time with random
+    /// partial sums: the packed step reproduces the scalar MAC's psum,
+    /// triggered depth and sign flip exactly.
+    #[test]
+    fn packed_step_matches_mac_unit_exhaustively() {
+        let mut rng = StdRng::seed_from_u64(0x57E9);
+        let pairs: Vec<(i8, i8)> = (-128i32..=127)
+            .flat_map(|w| (-128i32..=127).map(move |a| (w as i8, a as i8)))
+            .collect();
+        for block in pairs.chunks(64) {
+            let psums: Vec<i32> = block
+                .iter()
+                .map(|_| super::sign_extend(rng.gen::<u32>()))
+                .collect();
+            let mut acc = pack_psums(&psums);
+            let products: Vec<i16> = block
+                .iter()
+                .map(|&(w, a)| (i32::from(w) * i32::from(a)) as i16)
+                .collect();
+            let addend = bitplane::planes_from_i16(&products);
+            let mask = bitplane::lane_mask(block.len());
+            let word = depth_step(&mut acc, &addend, mask);
+            for (l, (&(w, a), &psum)) in block.iter().zip(&psums).enumerate() {
+                let mut mac = MacUnit::new();
+                mac.load(psum);
+                let cycle = mac.mac(w, a);
+                let expected_depth = if cycle.is_idle() {
+                    0
+                } else {
+                    cycle.triggered_depth()
+                };
+                assert_eq!(extract_psum(&acc, l), cycle.psum_after, "psum w={w} a={a}");
+                assert_eq!(word.depth(l), expected_depth, "depth w={w} a={a} p={psum}");
+                assert_eq!(word.sign_flip(l), cycle.sign_flip, "flip w={w} a={a}");
+            }
+        }
+    }
+
+    /// Full simulations through the public API: the packed path produces the
+    /// same outputs, cycle counts and depth/flip tallies as the scalar path,
+    /// for both dataflows, reordered schedules, pixel sampling, and pixel
+    /// counts that are not multiples of the 64-lane word width.
+    #[test]
+    fn packed_simulation_matches_scalar_path() {
+        let mut rng = StdRng::seed_from_u64(0x90A7);
+        let array = ArrayConfig::new(4, 2);
+        for case in 0..12 {
+            let r = rng.gen_range(1..40);
+            let k = rng.gen_range(1..6);
+            let m = rng.gen_range(1..150); // covers <64, =64k and remainders
+            let weights = Matrix::from_fn(r, k, |_, _| rng.gen::<u64>() as i8);
+            let activations = Matrix::from_fn(r, m, |_, _| rng.gen::<u64>() as i8);
+            let problem = GemmProblem::new(weights, activations).unwrap();
+            let options = if case % 3 == 0 && m > 4 {
+                SimOptions::sampled(m / 2, case as u64)
+            } else {
+                SimOptions::exhaustive()
+            };
+            // A non-trivial schedule: reversed rows, reversed channels.
+            let schedule = ComputeSchedule::new(vec![ColumnGroup {
+                columns: (0..k).rev().collect(),
+                row_order: (0..r).rev().collect(),
+            }]);
+            for dataflow in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+                let mut packed = DepthCounts::default();
+                let mut scalar = ScalarPath(DepthCounts::default());
+                let fast = problem
+                    .simulate_with_schedule(&array, dataflow, &schedule, &options, &mut packed)
+                    .unwrap();
+                let slow = problem
+                    .simulate_with_schedule(&array, dataflow, &schedule, &options, &mut scalar)
+                    .unwrap();
+                assert_eq!(fast.outputs, slow.outputs, "case {case} {dataflow:?}");
+                assert_eq!(fast.total_cycles, slow.total_cycles);
+                assert_eq!(fast.simulated_pixels, slow.simulated_pixels);
+                assert_eq!(packed, scalar.0, "tallies case {case} {dataflow:?}");
+            }
+        }
+    }
+
+    /// The packed path also matches the problem's order-independent
+    /// reference output (functional correctness independent of the scalar
+    /// simulator).
+    #[test]
+    fn packed_outputs_match_reference_gemm() {
+        let weights = Matrix::from_fn(33, 5, |r, c| (((r * 7 + c * 13) % 19) as i8) - 9);
+        let activations = Matrix::from_fn(33, 70, |r, c| (((r * 3 + c) % 11) as i8) - 5);
+        let problem = GemmProblem::new(weights, activations).unwrap();
+        let mut counts = DepthCounts::default();
+        let result = problem
+            .simulate(
+                &ArrayConfig::new(4, 2),
+                Dataflow::OutputStationary,
+                &SimOptions::exhaustive(),
+                &mut counts,
+            )
+            .unwrap();
+        assert_eq!(result.outputs, problem.reference_output().unwrap());
+        assert_eq!(counts.total, 33 * 5 * 70);
+    }
+}

@@ -42,10 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod bitplane;
 pub mod conv;
 pub mod dataflow;
 pub mod error;
 pub mod gemm;
+pub mod kernels;
 pub mod mac;
 pub mod matrix;
 pub mod schedule;
@@ -60,5 +62,6 @@ pub use mac::{carry_chain_length, MacCycle, MacUnit, ACC_BITS};
 pub use matrix::Matrix;
 pub use schedule::{ColumnGroup, ComputeSchedule};
 pub use trace::{
-    CycleContext, CycleObserver, NullObserver, PsumTraceRecorder, SignFlipStats, TeeObserver,
+    CycleContext, CycleObserver, DepthWord, DepthWordSink, NullObserver, PsumTraceRecorder,
+    ScalarPath, SignFlipStats, TeeObserver,
 };

@@ -21,7 +21,7 @@ const ACC_MASK: u32 = (1 << ACC_BITS) - 1;
 
 /// Sign-extends a raw `ACC_BITS`-bit value to `i32`.
 #[inline]
-fn sign_extend(raw: u32) -> i32 {
+pub(crate) fn sign_extend(raw: u32) -> i32 {
     let shift = 32 - ACC_BITS;
     (((raw & ACC_MASK) << shift) as i32) >> shift
 }
@@ -71,6 +71,15 @@ impl MacCycle {
     /// (zero product and therefore no switching activity in the adder).
     pub fn is_idle(&self) -> bool {
         self.product == 0 && self.psum_before == self.psum_after
+    }
+
+    /// Structural depth triggered by this cycle: the longest carry chain or,
+    /// if higher, the most significant toggled accumulator bit (whose
+    /// settling requires the carry network to resolve up to that position).
+    /// This is the quantity the timing model maps to a path delay and the
+    /// packed kernels compute bit-sliced.
+    pub fn triggered_depth(&self) -> u32 {
+        self.carry_len.max(self.msb_toggled).min(ACC_BITS)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Observers that collect per-cycle statistics and traces from a simulation.
 
+use crate::bitplane::{self, DEPTH_PLANES};
 use crate::mac::MacCycle;
 
 /// Identifies where in the layer a MAC cycle occurred.
@@ -19,6 +20,53 @@ pub struct CycleContext {
     pub reduction_index: usize,
 }
 
+/// Up to 64 lanes' worth of per-cycle depth/sign statistics, produced by the
+/// word-parallel simulation kernel (one word of output pixels per reduction
+/// step).
+///
+/// Lane `l` of every field is bit `l`.  `depth_planes` is a packed per-lane
+/// counter (little-endian bit planes, see [`crate::bitplane`]) holding each
+/// lane's triggered depth ([`MacCycle::triggered_depth`], with idle cycles
+/// naturally reporting depth 0); `sign_flips` flags the lanes whose
+/// partial-sum sign bit flipped.  Only lanes set in `lane_mask` are valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthWord {
+    /// Packed per-lane triggered depths (bit plane `k` = bit `k` of every
+    /// lane's depth).
+    pub depth_planes: [u64; DEPTH_PLANES],
+    /// Lanes whose partial-sum sign flipped this step (already restricted to
+    /// `lane_mask`).
+    pub sign_flips: u64,
+    /// Mask of the valid (simulated) lanes of this word.
+    pub lane_mask: u64,
+}
+
+impl DepthWord {
+    /// Number of valid lanes in this word.
+    pub fn lanes(&self) -> u32 {
+        self.lane_mask.count_ones()
+    }
+
+    /// Unpacks one lane's triggered depth (scalar reference accessor; the
+    /// packed consumers never need per-lane extraction).
+    pub fn depth(&self, lane: usize) -> u32 {
+        bitplane::lane_value(&self.depth_planes, lane) as u32
+    }
+
+    /// Whether the given lane's partial-sum sign flipped this step.
+    pub fn sign_flip(&self, lane: usize) -> bool {
+        (self.sign_flips >> lane) & 1 == 1
+    }
+}
+
+/// Consumes packed depth/sign statistics from the word-parallel simulation
+/// kernel — the bulk counterpart of [`CycleObserver::on_cycle`] for
+/// observers that only need depth and sign-flip counts.
+pub trait DepthWordSink {
+    /// Called once per reduction step with up to 64 lanes of statistics.
+    fn on_depth_word(&mut self, word: &DepthWord);
+}
+
 /// Receives every simulated MAC cycle.
 ///
 /// Implementations range from cheap counters ([`SignFlipStats`]) to full
@@ -31,6 +79,20 @@ pub trait CycleObserver {
     /// Called when all cycles of one output activation have been issued.
     /// The default implementation does nothing.
     fn on_output_done(&mut self, _ctx: &CycleContext, _final_psum: i32) {}
+
+    /// Opt-in hook for the word-parallel simulation path: an observer that
+    /// only needs depth/sign statistics returns `Some(self)` here and the
+    /// simulator feeds it packed [`DepthWord`]s (64 output pixels per
+    /// reduction step) instead of scalar cycles.  The aggregate it
+    /// accumulates is byte-identical to the scalar path because depth and
+    /// sign-flip tallies are integer counts, insensitive to cycle order.
+    ///
+    /// The default returns `None`, keeping full-trace observers (and any
+    /// float-accumulating analyzer, where summation order matters) on the
+    /// exact scalar path.
+    fn depth_word_sink(&mut self) -> Option<&mut dyn DepthWordSink> {
+        None
+    }
 }
 
 /// A no-op observer for purely functional simulation.
@@ -251,6 +313,25 @@ impl<A: CycleObserver, B: CycleObserver> CycleObserver for TeeObserver<A, B> {
     fn on_output_done(&mut self, ctx: &CycleContext, final_psum: i32) {
         self.first.on_output_done(ctx, final_psum);
         self.second.on_output_done(ctx, final_psum);
+    }
+}
+
+/// Forces the exact scalar simulation path for an observer that would
+/// otherwise opt into the word-parallel kernel: `on_cycle`/`on_output_done`
+/// are forwarded, but [`CycleObserver::depth_word_sink`] stays `None`.
+///
+/// Used by the equivalence tests and benches to compare the packed path
+/// against the scalar reference on the *same* observer type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarPath<O>(pub O);
+
+impl<O: CycleObserver> CycleObserver for ScalarPath<O> {
+    fn on_cycle(&mut self, ctx: &CycleContext, cycle: &MacCycle) {
+        self.0.on_cycle(ctx, cycle);
+    }
+
+    fn on_output_done(&mut self, ctx: &CycleContext, final_psum: i32) {
+        self.0.on_output_done(ctx, final_psum);
     }
 }
 

@@ -1,24 +1,56 @@
-//! Micro-benchmarks of the computational kernels: input-channel reordering,
-//! balanced clustering, the cycle-level MAC simulation, and the end-to-end
-//! pipeline (serial vs parallel, cold vs warm schedule cache).
+//! Micro-benchmarks of the computational kernels: the word-parallel
+//! (bit-sliced) kernels against their scalar references, plus input-channel
+//! reordering, balanced clustering, the cycle-level MAC simulation, and the
+//! end-to-end pipeline (serial vs parallel, cold vs warm schedule cache).
 //!
 //! These measure the cost of deploying READ (an offline, per-layer
 //! optimization) and of the harness itself; they are not paper figures.
 //! Criterion is not available offline, so this uses a small built-in
 //! timing harness (median of repeated timed runs after warmup).
+//!
+//! The kernel A/B section times each packed kernel against the scalar
+//! reference it replaced *in the same run* and verifies byte-identical
+//! results while doing so.  Pass `--json <path>` to additionally write the
+//! measurements as a machine-readable record (the committed `BENCH_<pr>.json`
+//! perf trajectory), and `--kernels-only` to skip the legacy macro benches.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use accel_sim::{ArrayConfig, Dataflow, GemmProblem, Matrix, NullObserver, SimOptions};
+use accel_sim::{
+    bitplane, ArrayConfig, Dataflow, DepthWord, GemmProblem, Matrix, NullObserver, ScalarPath,
+    SimOptions,
+};
 use qnn::init::{synthetic_activations, WeightInit};
 use read_bench::experiments::{figure_pipeline, Algorithm};
 use read_bench::workloads::{vgg16_workloads, WorkloadConfig};
 use read_core::{
+    sign_flips_for_order_packed, sign_flips_for_order_scalar, sign_flips_for_order_with,
     sort_input_channels, BalancedKMeans, ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer,
-    SortCriterion,
+    SignFlipScratch, SortCriterion,
 };
-use timing::{DelayModel, OperatingCondition};
+use timing::{DelayModel, DepthHistogram, OperatingCondition};
+
+/// Times an A/B pair with interleaved samples (alternating before/after
+/// runs, so frequency drift and scheduler noise hit both sides equally)
+/// and returns each side's best observed time in seconds.  Minimum rather
+/// than median: for a deterministic compute kernel the fastest run is the
+/// least-interfered-with one.
+fn time_ab(runs: usize, mut before: impl FnMut(), mut after: impl FnMut()) -> (f64, f64) {
+    before();
+    after(); // warmup both sides
+    let mut best_before = f64::INFINITY;
+    let mut best_after = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        before();
+        best_before = best_before.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        after();
+        best_after = best_after.min(start.elapsed().as_secs_f64());
+    }
+    (best_before, best_after)
+}
 
 /// Times `f` (median of `runs` timed executions after one warmup) and
 /// prints a criterion-style line.
@@ -57,7 +89,308 @@ fn demo_weights(rows: usize, cols: usize) -> Matrix<i8> {
     Matrix::from_fn(rows, cols, |_, _| init.weight(rows))
 }
 
+/// One scalar-vs-packed kernel measurement.
+struct KernelRecord {
+    /// Kernel identifier, including the benchmarked shape.
+    kernel: String,
+    /// Elements (lanes/MACs) processed per run.
+    elems: u64,
+    /// Median seconds per run of the scalar reference.
+    before_s: f64,
+    /// Median seconds per run of the packed kernel.
+    after_s: f64,
+}
+
+impl KernelRecord {
+    fn ns_per_elem(&self, seconds: f64) -> f64 {
+        seconds * 1e9 / self.elems as f64
+    }
+
+    fn elems_per_sec(&self, seconds: f64) -> f64 {
+        self.elems as f64 / seconds
+    }
+
+    fn speedup(&self) -> f64 {
+        self.before_s / self.after_s
+    }
+
+    fn print(&self) {
+        println!(
+            "kernel {:<40} scalar {:>8.3} ns/elem  packed {:>8.3} ns/elem  speedup {:.2}x",
+            self.kernel,
+            self.ns_per_elem(self.before_s),
+            self.ns_per_elem(self.after_s),
+            self.speedup()
+        );
+    }
+}
+
+fn side_json(record: &KernelRecord, seconds: f64) -> String {
+    format!(
+        "{{ \"seconds\": {seconds:.9}, \"ns_per_elem\": {:.4}, \"elems_per_sec\": {:.4e} }}",
+        record.ns_per_elem(seconds),
+        record.elems_per_sec(seconds)
+    )
+}
+
+fn to_json(records: &[KernelRecord]) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"kernel\": \"{}\", \"elems\": {}, \"before\": {}, \"after\": {}, \"speedup\": {:.3} }}{}\n",
+            r.kernel,
+            r.elems,
+            side_json(r, r.before_s),
+            side_json(r, r.after_s),
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the scalar-vs-packed A/B benches, asserting byte-identical results.
+fn run_kernel_benches() -> Vec<KernelRecord> {
+    let mut records = Vec::new();
+
+    // Sign-flip scoring: the optimizer's objective over a VGG-16-sized
+    // layer (1152 reduction rows x 256 output channels).
+    let weights = demo_weights(1152, 256);
+    let columns: Vec<usize> = (0..weights.cols()).collect();
+    let order: Vec<usize> = (0..weights.rows()).rev().collect();
+    let elems = (weights.rows() * weights.cols()) as u64;
+    let mut scratch = SignFlipScratch::new();
+    let acts: Vec<i8> = {
+        let mut init = WeightInit::new(99);
+        (0..weights.rows()).map(|_| init.weight(64).abs()).collect()
+    };
+    for (name, activations) in [
+        ("signflip/packed_unit_1152x256", None),
+        ("signflip/packed_products_1152x256", Some(acts.as_slice())),
+    ] {
+        let expected =
+            sign_flips_for_order_scalar(&weights, &columns, &order, activations).expect("scores");
+        assert_eq!(
+            sign_flips_for_order_packed(&mut scratch, &weights, &columns, &order, activations)
+                .expect("scores"),
+            expected,
+            "packed scoring diverged from scalar"
+        );
+        let (before, after) = time_ab(
+            20,
+            || {
+                black_box(
+                    sign_flips_for_order_scalar(
+                        black_box(&weights),
+                        &columns,
+                        black_box(&order),
+                        activations,
+                    )
+                    .expect("scores"),
+                );
+            },
+            || {
+                black_box(
+                    sign_flips_for_order_packed(
+                        &mut scratch,
+                        black_box(&weights),
+                        &columns,
+                        black_box(&order),
+                        activations,
+                    )
+                    .expect("scores"),
+                );
+            },
+        );
+        records.push(KernelRecord {
+            kernel: name.into(),
+            elems,
+            before_s: before,
+            after_s: after,
+        });
+    }
+
+    // The routed scoring path: the allocation-free scalar kernel against
+    // the seed's allocating reference (this is what the optimizer calls).
+    let (before, after) = time_ab(
+        20,
+        || {
+            black_box(
+                sign_flips_for_order_scalar(black_box(&weights), &columns, black_box(&order), None)
+                    .expect("scores"),
+            );
+        },
+        || {
+            black_box(
+                sign_flips_for_order_with(
+                    &mut scratch,
+                    black_box(&weights),
+                    &columns,
+                    black_box(&order),
+                    None,
+                )
+                .expect("scores"),
+            );
+        },
+    );
+    records.push(KernelRecord {
+        kernel: "signflip/zero_alloc_unit_1152x256".into(),
+        elems,
+        before_s: before,
+        after_s: after,
+    });
+
+    // GEMM depth-histogram simulation: the packed bit-plane psum-depth
+    // kernel against the scalar MacUnit path, same problem, same observer
+    // semantics (`ScalarPath` pins the scalar route).
+    let sim_weights = demo_weights(576, 16);
+    let acts = synthetic_activations(576 * 64, 0.45, 7);
+    let activations = Matrix::from_fn(576, 64, |r, p| acts[r * 64 + p]);
+    let problem = GemmProblem::new(sim_weights, activations).expect("consistent");
+    let array = ArrayConfig::paper_default();
+    let options = SimOptions::exhaustive();
+    let mut scalar_hist = ScalarPath(DepthHistogram::new());
+    problem
+        .simulate(
+            &array,
+            Dataflow::OutputStationary,
+            &options,
+            &mut scalar_hist,
+        )
+        .expect("simulates");
+    let mut packed_hist = DepthHistogram::new();
+    problem
+        .simulate(
+            &array,
+            Dataflow::OutputStationary,
+            &options,
+            &mut packed_hist,
+        )
+        .expect("simulates");
+    assert_eq!(
+        packed_hist, scalar_hist.0,
+        "packed depth histogram diverged from scalar"
+    );
+    let (before, after) = time_ab(
+        10,
+        || {
+            let mut obs = ScalarPath(DepthHistogram::new());
+            problem
+                .simulate(&array, Dataflow::OutputStationary, &options, &mut obs)
+                .expect("simulates");
+            black_box(&obs);
+        },
+        || {
+            let mut obs = DepthHistogram::new();
+            problem
+                .simulate(&array, Dataflow::OutputStationary, &options, &mut obs)
+                .expect("simulates");
+            black_box(&obs);
+        },
+    );
+    records.push(KernelRecord {
+        kernel: "gemm/depth_histogram_576x16x64".into(),
+        elems: (576 * 16 * 64) as u64,
+        before_s: before,
+        after_s: after,
+    });
+
+    // Histogram accumulation: packed word-at-a-time recording against the
+    // per-lane scalar path over pre-generated depth words.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let words: Vec<DepthWord> = (0..4096)
+        .map(|_| {
+            let mut depth_planes = [0u64; bitplane::DEPTH_PLANES];
+            for plane in depth_planes.iter_mut() {
+                *plane = next();
+            }
+            DepthWord {
+                depth_planes,
+                sign_flips: next(),
+                lane_mask: !0,
+            }
+        })
+        .collect();
+    let lanes: Vec<(u32, bool)> = words
+        .iter()
+        .flat_map(|w| (0..64).map(move |l| (w.depth(l), w.sign_flip(l))))
+        .collect();
+    let mut scalar = DepthHistogram::new();
+    for &(d, f) in &lanes {
+        scalar.record_depth(d, f);
+    }
+    let mut packed = DepthHistogram::new();
+    for w in &words {
+        packed.record_word(w);
+    }
+    assert_eq!(packed, scalar, "packed histogram recording diverged");
+    let (before, after) = time_ab(
+        30,
+        || {
+            let mut h = DepthHistogram::new();
+            for &(d, f) in black_box(&lanes) {
+                h.record_depth(d, f);
+            }
+            black_box(&h);
+        },
+        || {
+            let mut h = DepthHistogram::new();
+            for w in black_box(&words) {
+                h.record_word(w);
+            }
+            black_box(&h);
+        },
+    );
+    records.push(KernelRecord {
+        kernel: "histogram/record_4096x64".into(),
+        elems: lanes.len() as u64,
+        before_s: before,
+        after_s: after,
+    });
+
+    for r in &records {
+        r.print();
+    }
+    records
+}
+
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut kernels_only = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(argv.next().expect("--json requires a path")),
+            "--kernels-only" => kernels_only = true,
+            "--bench" => {} // forwarded by `cargo bench`
+            other => eprintln!("ignoring unknown argument: {other}"),
+        }
+    }
+
+    let records = run_kernel_benches();
+    if let Some(path) = &json_path {
+        std::fs::write(path, to_json(&records)).expect("writable --json path");
+        println!("wrote kernel records to {path}");
+    }
+    if kernels_only {
+        return;
+    }
+
     let weights = demo_weights(1152, 256);
     let cols: Vec<usize> = (0..4).collect();
     bench("reorder/sign_first 1152x4", 20, || {

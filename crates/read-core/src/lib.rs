@@ -56,6 +56,7 @@
 
 pub mod cluster;
 pub mod error;
+pub mod kernels;
 pub mod lut;
 pub mod metrics;
 pub mod optimizer;
@@ -67,10 +68,14 @@ pub use cluster::{
     cluster_sign_difference, sign_difference, BalancedKMeans, ClusterResult, DistanceMetric,
 };
 pub use error::ReadError;
+pub use kernels::{
+    packed_count_sign_flips, sign_flips_for_order_packed, sign_flips_for_order_with,
+    SignFlipScratch,
+};
 pub use lut::AddressLut;
 pub use metrics::{
     channel_stats, count_sign_flips, nonneg_quantile_profile, nonneg_ratio_in_top,
-    sign_flips_for_order, weight_is_nonneg, WeightColumnStats,
+    sign_flips_for_order, sign_flips_for_order_scalar, weight_is_nonneg, WeightColumnStats,
 };
 pub use optimizer::{ClusterSchedule, ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer};
 pub use related_work::{technique_comparison, Technique};

@@ -84,7 +84,10 @@ where
     let mut psum: i64 = 0;
     let mut flips = 0;
     for a in addends {
-        let next = psum + a;
+        // Wrapping keeps the fold total over all i64 inputs (a hardware
+        // accumulator wraps too) and bit-exact with the word-parallel
+        // kernel; real weight/activation products never get near the range.
+        let next = psum.wrapping_add(a);
         if (psum < 0) != (next < 0) {
             flips += 1;
         }
@@ -107,7 +110,33 @@ where
 /// Returns [`ReadError::InvalidOrder`] if `order` is not a permutation of
 /// the row indices, if any column is out of range, or if the activation
 /// vector has the wrong length.
+///
+/// Internally this routes through
+/// [`crate::kernels::sign_flips_for_order_with`], which is bit-exact with
+/// the plain reference [`sign_flips_for_order_scalar`] but allocation-free
+/// once warm.  Hot loops that score many candidate orderings should call
+/// the `_with` variant directly and reuse its scratch buffers.
 pub fn sign_flips_for_order(
+    weights: &Matrix<i8>,
+    columns: &[usize],
+    order: &[usize],
+    activations: Option<&[i8]>,
+) -> Result<u64, ReadError> {
+    let mut scratch = crate::kernels::SignFlipScratch::new();
+    crate::kernels::sign_flips_for_order_with(&mut scratch, weights, columns, order, activations)
+}
+
+/// Scalar reference implementation of [`sign_flips_for_order`].
+///
+/// [`sign_flips_for_order`] routes through the allocation-free kernel in
+/// [`crate::kernels`]; this function keeps the straightforward one-column-
+/// at-a-time fold as the executable specification the kernel equivalence
+/// tests compare against.  Results and error messages are identical.
+///
+/// # Errors
+///
+/// Same conditions as [`sign_flips_for_order`].
+pub fn sign_flips_for_order_scalar(
     weights: &Matrix<i8>,
     columns: &[usize],
     order: &[usize],

@@ -6,8 +6,8 @@ use accel_sim::{ColumnGroup, ComputeSchedule, Matrix};
 
 use crate::cluster::{BalancedKMeans, DistanceMetric};
 use crate::error::ReadError;
+use crate::kernels::{sign_flips_for_order_with, SignFlipScratch};
 use crate::lut::AddressLut;
-use crate::metrics::sign_flips_for_order;
 use crate::reorder::{sort_input_channels, SortCriterion};
 
 /// How output channels are grouped before reordering.
@@ -187,9 +187,18 @@ impl LayerSchedule {
         weights: &Matrix<i8>,
         activations: Option<&[i8]>,
     ) -> Result<u64, ReadError> {
+        // One scratch serves every cluster: after the first cluster the
+        // scoring loop is allocation-free (see tests/alloc_regression.rs).
+        let mut scratch = SignFlipScratch::new();
         let mut total = 0;
         for cluster in &self.clusters {
-            total += sign_flips_for_order(weights, &cluster.columns, &cluster.order, activations)?;
+            total += sign_flips_for_order_with(
+                &mut scratch,
+                weights,
+                &cluster.columns,
+                &cluster.order,
+                activations,
+            )?;
         }
         Ok(total)
     }

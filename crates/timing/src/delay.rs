@@ -104,8 +104,11 @@ impl DelayModel {
     /// Structural depth triggered by one MAC cycle: the longest carry chain
     /// or, if higher, the most significant toggled accumulator bit (whose
     /// settling requires the carry network to resolve up to that position).
+    ///
+    /// Delegates to [`MacCycle::triggered_depth`], the single definition the
+    /// scalar path and the word-parallel kernels share.
     pub fn triggered_depth(cycle: &MacCycle) -> u32 {
-        cycle.carry_len.max(cycle.msb_toggled).min(MAX_DEPTH)
+        cycle.triggered_depth()
     }
 
     /// Combined standard deviation of the random delay components.

@@ -13,7 +13,9 @@
 //! * [`AnalysisMode::MonteCarlo`] — every cycle draws a Bernoulli sample, so
 //!   discrete error events (and their locations) can be observed.
 
-use accel_sim::{ArrayConfig, CycleContext, CycleObserver, MacCycle};
+use accel_sim::{
+    bitplane, ArrayConfig, CycleContext, CycleObserver, DepthWord, DepthWordSink, MacCycle,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -440,6 +442,48 @@ impl DepthHistogram {
         self.sign_flips += other.sign_flips;
         self.total += other.total;
     }
+
+    /// Records one cycle's triggered depth and sign flip — the scalar
+    /// reference path (also used by the [`CycleObserver::on_cycle`] impl).
+    /// Depths beyond the histogram range clamp into the top bucket.
+    pub fn record_depth(&mut self, depth: u32, sign_flip: bool) {
+        self.total += 1;
+        if sign_flip {
+            self.sign_flips += 1;
+        }
+        let idx = (depth as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Packed-lane accumulation: tallies up to 64 lanes of one
+    /// [`DepthWord`] at once.  Instead of 64 scalar bucket increments, each
+    /// occupied depth is extracted as an equality mask over the packed depth
+    /// counter and counted with `count_ones`; lanes at or beyond the top
+    /// bucket clamp there, mirroring [`DepthHistogram::record_depth`].
+    ///
+    /// Because every tally is an integer count, accumulating words in any
+    /// order produces exactly the counts of the equivalent
+    /// [`DepthHistogram::record_depth`] calls — the byte-identity invariant
+    /// the word-parallel simulation path relies on.
+    pub fn record_word(&mut self, word: &DepthWord) {
+        self.total += u64::from(word.lane_mask.count_ones());
+        self.sign_flips += u64::from((word.sign_flips & word.lane_mask).count_ones());
+        let top = self.counts.len() - 1;
+        let mut remaining = word.lane_mask;
+        let mut depth = 0usize;
+        while remaining != 0 && depth < top {
+            let at_depth = bitplane::lanes_eq(&word.depth_planes, depth as u64) & remaining;
+            if at_depth != 0 {
+                self.counts[depth] += u64::from(at_depth.count_ones());
+                remaining &= !at_depth;
+            }
+            depth += 1;
+        }
+        // Everything at or beyond the top depth clamps into the last bucket
+        // (for MAC cycles that is exactly depth == ACC_BITS, the sign-flip
+        // worst case).
+        self.counts[top] += u64::from(remaining.count_ones());
+    }
 }
 
 impl Default for DepthHistogram {
@@ -450,17 +494,25 @@ impl Default for DepthHistogram {
 
 impl CycleObserver for DepthHistogram {
     fn on_cycle(&mut self, _ctx: &CycleContext, cycle: &MacCycle) {
-        self.total += 1;
-        if cycle.sign_flip {
-            self.sign_flips += 1;
-        }
         let depth = if cycle.is_idle() {
             0
         } else {
-            DelayModel::triggered_depth(cycle) as usize
+            DelayModel::triggered_depth(cycle)
         };
-        let idx = depth.min(self.counts.len() - 1);
-        self.counts[idx] += 1;
+        self.record_depth(depth, cycle.sign_flip);
+    }
+
+    // The histogram is a pure integer tally, so it opts into the
+    // word-parallel simulation kernel; the accumulated counts are
+    // byte-identical to the scalar path (see `record_word`).
+    fn depth_word_sink(&mut self) -> Option<&mut dyn DepthWordSink> {
+        Some(self)
+    }
+}
+
+impl DepthWordSink for DepthHistogram {
+    fn on_depth_word(&mut self, word: &DepthWord) {
+        self.record_word(word);
     }
 }
 
@@ -680,6 +732,70 @@ mod tests {
                 .ter(&DelayModel::nangate15_like(), &OperatingCondition::ideal()),
             0.0
         );
+    }
+
+    /// The histogram accumulated through the word-parallel kernel is
+    /// byte-identical to the scalar per-cycle path, for both dataflows (a
+    /// `ScalarPath` wrapper forces the scalar route on the same type).
+    #[test]
+    fn packed_histogram_is_byte_identical_to_scalar_path() {
+        use accel_sim::ScalarPath;
+        let problem = {
+            // 70 pixels: one full 64-lane word plus a 6-lane remainder.
+            let w = Matrix::from_fn(48, 5, |r, c| (((r * 13 + c * 7) % 17) as i8) - 8);
+            let a = Matrix::from_fn(48, 70, |r, c| (((r * 3 + c) % 9) as i8) - 2);
+            GemmProblem::new(w, a).unwrap()
+        };
+        let array = ArrayConfig::paper_default();
+        for dataflow in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+            for options in [SimOptions::exhaustive(), SimOptions::sampled(33, 3)] {
+                let mut packed = DepthHistogram::new();
+                let mut scalar = ScalarPath(DepthHistogram::new());
+                let fast = problem
+                    .simulate(&array, dataflow, &options, &mut packed)
+                    .unwrap();
+                let slow = problem
+                    .simulate(&array, dataflow, &options, &mut scalar)
+                    .unwrap();
+                assert_eq!(packed, scalar.0, "{dataflow:?} {options:?}");
+                assert_eq!(packed.to_wire(), scalar.0.to_wire());
+                assert_eq!(fast.outputs, slow.outputs);
+                assert_eq!(fast.total_cycles, slow.total_cycles);
+                assert!(packed.total() > 0);
+            }
+        }
+    }
+
+    /// `record_word` equals per-lane `record_depth` calls, including the
+    /// top-bucket clamp for out-of-range depths.
+    #[test]
+    fn packed_record_word_equals_scalar_record_depth() {
+        use accel_sim::DepthWord;
+        let mut packed = DepthHistogram::new();
+        let mut scalar = DepthHistogram::new();
+        // 31 exceeds MAX_DEPTH: both paths must clamp into the top bucket.
+        let depths: Vec<u32> = (0..40).map(|l| [0u32, 3, 24, 31, 7][l % 5]).collect();
+        let mut depth_planes = [0u64; accel_sim::bitplane::DEPTH_PLANES];
+        let mut flips = 0u64;
+        for (lane, &d) in depths.iter().enumerate() {
+            for (k, plane) in depth_planes.iter_mut().enumerate() {
+                *plane |= u64::from((d >> k) & 1) << lane;
+            }
+            if lane % 3 == 0 {
+                flips |= 1 << lane;
+            }
+        }
+        let lane_mask = accel_sim::bitplane::lane_mask(depths.len());
+        packed.record_word(&DepthWord {
+            depth_planes,
+            sign_flips: flips,
+            lane_mask,
+        });
+        for (lane, &d) in depths.iter().enumerate() {
+            scalar.record_depth(d, lane % 3 == 0);
+        }
+        assert_eq!(packed, scalar);
+        assert_eq!(packed.total(), 40);
     }
 
     #[test]

@@ -9,14 +9,16 @@
 //! trivially reproducible.
 
 use accel_sim::{
-    carry_chain_length, ArrayConfig, Dataflow, GemmProblem, MacUnit, Matrix, NullObserver,
-    SimOptions, ACC_BITS,
+    bitplane, carry_chain_length, ArrayConfig, Dataflow, DepthWord, GemmProblem, MacUnit, Matrix,
+    NullObserver, SimOptions, ACC_BITS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use read_core::{
-    count_sign_flips, sign_flips_for_order, sort_input_channels, AddressLut, BalancedKMeans,
-    ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer, SortCriterion,
+    count_sign_flips, packed_count_sign_flips, sign_flips_for_order, sign_flips_for_order_packed,
+    sign_flips_for_order_scalar, sign_flips_for_order_with, sort_input_channels, AddressLut,
+    BalancedKMeans, ClusteringMode, DistanceMetric, ReadConfig, ReadOptimizer, SignFlipScratch,
+    SortCriterion,
 };
 use read_pipeline::{SweepPlan, SweepReport};
 use timing::{
@@ -196,6 +198,109 @@ fn sign_flip_counter_is_order_sum_invariant() {
         assert_eq!(forward_sum, reversed_sum);
         let _ = count_sign_flips(addends.iter().copied());
         let _ = count_sign_flips(reversed);
+    }
+}
+
+/// The word-parallel sign-flip counter agrees with the scalar fold for
+/// arbitrary i64 addends — full-range (wrapping) values included — and
+/// arbitrary lane counts, ragged lane lengths included.
+#[test]
+fn packed_sign_flip_counter_matches_scalar_fold() {
+    let mut gen = Gen::new(0xBEEF);
+    for case in 0..CASES {
+        let lanes_n = gen.range(1, 150);
+        let lanes: Vec<Vec<i64>> = (0..lanes_n)
+            .map(|_| {
+                let len = gen.range(0, 30);
+                (0..len)
+                    .map(|_| {
+                        if case % 4 == 0 {
+                            // Every fourth case stresses the full i64 range,
+                            // where the running sum wraps.
+                            gen.next_u64() as i64
+                        } else {
+                            gen.range(0, 2_000_000) as i64 - 1_000_000
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let scalar: u64 = lanes
+            .iter()
+            .map(|l| count_sign_flips(l.iter().copied()) as u64)
+            .sum();
+        assert_eq!(packed_count_sign_flips(&lanes), scalar, "lanes={lanes_n}");
+    }
+}
+
+/// The packed ordering scorer is bit-exact with the scalar reference for
+/// random matrices, column subsets and activation vectors, including column
+/// counts that are not multiples of the 64-lane word width.
+#[test]
+fn packed_order_scorer_matches_scalar_reference() {
+    let mut gen = Gen::new(0x5C04E);
+    let mut scratch = SignFlipScratch::new();
+    for _ in 0..CASES {
+        let w = gen.weight_matrix(48, 100);
+        let mut order: Vec<usize> = (0..w.rows()).collect();
+        for i in (1..order.len()).rev() {
+            let j = gen.range(0, i + 1);
+            order.swap(i, j);
+        }
+        let columns: Vec<usize> = (0..gen.range(1, w.cols() + 1))
+            .map(|_| gen.range(0, w.cols()))
+            .collect();
+        let acts: Vec<i8> = (0..w.rows()).map(|_| gen.i8()).collect();
+        for activations in [None, Some(acts.as_slice())] {
+            let scalar = sign_flips_for_order_scalar(&w, &columns, &order, activations).unwrap();
+            let packed =
+                sign_flips_for_order_packed(&mut scratch, &w, &columns, &order, activations)
+                    .unwrap();
+            let routed =
+                sign_flips_for_order_with(&mut scratch, &w, &columns, &order, activations).unwrap();
+            assert_eq!(packed, scalar);
+            assert_eq!(routed, scalar);
+        }
+    }
+}
+
+/// Packed (word-at-a-time) depth-histogram accumulation is byte-identical
+/// to recording every lane scalarly, for arbitrary lane counts including
+/// widths not divisible by 64 and depths in the top-bucket clamp region.
+#[test]
+fn packed_histogram_accumulation_matches_scalar() {
+    let mut gen = Gen::new(0x4157);
+    for _ in 0..CASES {
+        let lanes = gen.range(1, 65);
+        let mut packed = DepthHistogram::new();
+        let mut scalar = DepthHistogram::new();
+        for _ in 0..gen.range(1, 8) {
+            let mut depth_planes = [0u64; bitplane::DEPTH_PLANES];
+            let mut sign_flips = 0u64;
+            let mut depths = vec![0u32; lanes];
+            for (l, depth) in depths.iter_mut().enumerate() {
+                let d = gen.range(0, 32) as u32; // 5-bit range, clamp region included
+                *depth = d;
+                for (k, plane) in depth_planes.iter_mut().enumerate() {
+                    if d >> k & 1 == 1 {
+                        *plane |= 1 << l;
+                    }
+                }
+                if gen.next_u64() & 1 == 1 {
+                    sign_flips |= 1 << l;
+                }
+            }
+            let word = DepthWord {
+                depth_planes,
+                sign_flips,
+                lane_mask: bitplane::lane_mask(lanes),
+            };
+            packed.record_word(&word);
+            for (l, &d) in depths.iter().enumerate() {
+                scalar.record_depth(d, sign_flips >> l & 1 == 1);
+            }
+        }
+        assert_eq!(packed, scalar, "lanes={lanes}");
     }
 }
 
