@@ -13,14 +13,18 @@
 //! ids.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::error::PipelineError;
 use crate::exec::{resolve_threads, run_indexed_threads};
-use crate::plan::{UnitResult, WorkPlan, WorkUnit};
+use crate::plan::{UnitLedger, UnitResult, WorkPlan, WorkUnit};
 
 /// A strategy for executing a contiguous range of a [`WorkPlan`]'s units.
 pub trait Executor: Send + Sync {
@@ -174,10 +178,10 @@ impl SubprocessExecutor {
             .args(&self.args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            // stderr is not part of the protocol; inherit it so worker
-            // panics and diagnostics reach the driver's terminal instead of
-            // vanishing behind an opaque exit status.
-            .stderr(Stdio::inherit());
+            // stderr is not part of the protocol; capture it so a dying
+            // worker's panic message can be attached to the driver error
+            // (and re-emitted on the driver's stderr on success).
+            .stderr(Stdio::piped());
         for (key, value) in &self.envs {
             command.env(key, value);
         }
@@ -191,14 +195,27 @@ impl SubprocessExecutor {
 
     /// Feeds `units` to one worker and returns its results matched back to
     /// the request order.
+    ///
+    /// Every exit path — protocol error, worker crash, even a panic in a
+    /// driver thread — reaps the child (via [`ChildGuard`]); no path leaves
+    /// a zombie.  Protocol errors carry the worker's exit status and its
+    /// captured stderr so a mid-stream death is diagnosable from the error
+    /// alone.
     fn drive_worker(&self, units: &[WorkUnit]) -> Result<Vec<UnitResult>, PipelineError> {
-        let mut child = self.spawn_worker()?;
-        let mut stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        let mut guard = ChildGuard::new(self.spawn_worker()?);
+        let Some(mut stdin) = guard.child.stdin.take() else {
+            return Err(PipelineError::exec("worker stdin was not piped"));
+        };
+        let Some(stdout) = guard.child.stdout.take() else {
+            return Err(PipelineError::exec("worker stdout was not piped"));
+        };
+        let stderr = guard.child.stderr.take();
 
         // Feed from a scoped thread while draining on this one, so neither
-        // pipe can fill up and deadlock the pair.
-        let feed_and_drain = std::thread::scope(|scope| {
+        // pipe can fill up and deadlock the pair.  stderr is drained on its
+        // own thread for the same reason: a chatty worker must not block on
+        // a full stderr pipe while the driver waits for stdout.
+        let (drained, written, stderr_text) = std::thread::scope(|scope| {
             let writer = scope.spawn(move || -> std::io::Result<()> {
                 for unit in units {
                     writeln!(stdin, "{}", unit.encode())?;
@@ -206,6 +223,13 @@ impl SubprocessExecutor {
                 stdin.flush()
                 // Dropping stdin closes the pipe: the worker sees EOF and
                 // exits its serve loop.
+            });
+            let stderr_reader = scope.spawn(move || {
+                let mut text = String::new();
+                if let Some(mut pipe) = stderr {
+                    let _ = pipe.read_to_string(&mut text);
+                }
+                text
             });
 
             // Unit → request-index lookup: results self-identify, so each
@@ -216,7 +240,7 @@ impl SubprocessExecutor {
                 .map(|(index, unit)| (unit, index))
                 .collect();
             let mut results: Vec<Option<UnitResult>> = vec![None; units.len()];
-            let drain = || -> Result<(), PipelineError> {
+            let drain = |results: &mut Vec<Option<UnitResult>>| -> Result<(), PipelineError> {
                 for line in BufReader::new(stdout).lines() {
                     let line = line.map_err(|e| {
                         PipelineError::exec(format!("worker stdout read failed: {e}"))
@@ -253,26 +277,51 @@ impl SubprocessExecutor {
                 }
                 Ok(())
             };
-            // If drain aborted early, returning from it dropped the stdout
-            // reader and closed the pipe's read end: a worker blocked
-            // writing results gets EPIPE, its serve loop errors out and the
-            // process exits, which in turn unblocks the writer thread (its
-            // stdin writes fail) — so the join and the wait below cannot
-            // deadlock on a serve-based worker.
-            let drained = drain();
-            let written = writer.join().expect("writer thread");
-            drained.and(
-                written.map_err(|e| PipelineError::exec(format!("worker stdin write failed: {e}"))),
-            )?;
-            Ok::<_, PipelineError>(results)
+            let drained = drain(&mut results);
+            // If drain aborted early, a *serve-based* worker unblocks on its
+            // own (its result writes hit EPIPE and it exits) — but a wedged
+            // or foreign worker may never exit, leaving the writer blocked
+            // on a full stdin pipe and the stderr reader short of EOF.  Kill
+            // the child here so both joins below are guaranteed to return.
+            if drained.is_err() {
+                let _ = guard.child.kill();
+            }
+            let written: Result<(), PipelineError> = match writer.join() {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(e)) => Err(PipelineError::exec(format!(
+                    "worker stdin write failed: {e}"
+                ))),
+                Err(_) => Err(PipelineError::exec("worker stdin writer thread panicked")),
+            };
+            let stderr_text = stderr_reader.join().unwrap_or_default();
+            (drained.map(|()| results), written, stderr_text)
         });
 
-        let status = child
+        let status = guard
             .wait()
             .map_err(|e| PipelineError::exec(format!("worker wait failed: {e}")))?;
-        let results = feed_and_drain?;
+        let results = match drained.and_then(|results| written.map(|()| results)) {
+            Ok(results) => results,
+            Err(e) => {
+                return Err(PipelineError::exec(format!(
+                    "{e} ({}{})",
+                    describe_exit(status),
+                    stderr_excerpt(&stderr_text)
+                )));
+            }
+        };
         if !status.success() {
-            return Err(PipelineError::exec(format!("worker exited with {status}")));
+            return Err(PipelineError::exec(format!(
+                "{}{}",
+                describe_exit(status),
+                stderr_excerpt(&stderr_text)
+            )));
+        }
+        // The protocol succeeded: forward the worker's diagnostics to the
+        // driver's stderr, preserving the visibility the old
+        // `Stdio::inherit` gave worker panics and harness chatter.
+        if !stderr_text.is_empty() {
+            eprint!("{stderr_text}");
         }
         results
             .into_iter()
@@ -287,6 +336,67 @@ impl SubprocessExecutor {
             })
             .collect()
     }
+}
+
+/// Reaps a worker process on every exit path: dropping the guard without
+/// calling [`ChildGuard::wait`] kills the child and waits on it, so early
+/// returns and panics in the driver cannot leak zombies.
+struct ChildGuard {
+    child: Child,
+    reaped: bool,
+}
+
+impl ChildGuard {
+    fn new(child: Child) -> Self {
+        ChildGuard {
+            child,
+            reaped: false,
+        }
+    }
+
+    /// Waits for the child to exit and disarms the drop-side kill.
+    fn wait(&mut self) -> std::io::Result<ExitStatus> {
+        let status = self.child.wait();
+        if status.is_ok() {
+            self.reaped = true;
+        }
+        status
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if !self.reaped {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// Human-readable exit summary: "worker exited with exit status: 7" or, for
+/// a still-running (killed) worker, the signal form the platform reports.
+fn describe_exit(status: ExitStatus) -> String {
+    format!("worker exited with {status}")
+}
+
+/// Bounded stderr attachment for error messages (the full stream could be
+/// megabytes of harness output; errors stay greppable).
+fn stderr_excerpt(text: &str) -> String {
+    const CAP: usize = 4096;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return String::new();
+    }
+    let mut excerpt = trimmed.to_string();
+    if excerpt.len() > CAP {
+        let mut cut = CAP;
+        while !excerpt.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        excerpt.truncate(cut);
+        excerpt.push_str("… [truncated]");
+    }
+    format!("; worker stderr: {excerpt}")
 }
 
 impl Executor for SubprocessExecutor {
@@ -337,6 +447,589 @@ impl Executor for SubprocessExecutor {
     }
 }
 
+/// Observed fleet behavior of a [`SocketExecutor`], shared across clones of
+/// the executor (counters accumulate over every `execute` call).
+///
+/// These are diagnostics, not part of the result contract: a run that
+/// reports deaths and retries still aggregates byte-identically to a serial
+/// run, because lost units are re-executed and results self-identify.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    worker_deaths: AtomicU64,
+    failed_connects: AtomicU64,
+    retried_units: AtomicU64,
+    completed_units: AtomicU64,
+}
+
+impl FleetStats {
+    /// Workers that died mid-stream (EOF, io error, liveness timeout, or a
+    /// malformed/mismatched response) after a successful handshake.
+    pub fn worker_deaths(&self) -> u64 {
+        self.worker_deaths.load(Ordering::Relaxed)
+    }
+
+    /// Worker addresses that never completed the connect + handshake.
+    pub fn failed_connects(&self) -> u64 {
+        self.failed_connects.load(Ordering::Relaxed)
+    }
+
+    /// Units re-queued for another worker after their first worker died.
+    pub fn retried_units(&self) -> u64 {
+        self.retried_units.load(Ordering::Relaxed)
+    }
+
+    /// Unit results successfully collected from remote workers.
+    pub fn completed_units(&self) -> u64 {
+        self.completed_units.load(Ordering::Relaxed)
+    }
+}
+
+/// How a connect + handshake attempt against one worker address ended.
+enum ConnectOutcome {
+    /// Connected and the worker accepted the pipeline spec.
+    Ready(BufReader<TcpStream>),
+    /// The worker is unreachable or died during the handshake; its share of
+    /// the plan is redistributed to surviving workers.
+    Down(String),
+    /// The worker *answered* and rejected the spec — a configuration error
+    /// that retrying on other workers cannot fix.
+    Rejected(String),
+}
+
+/// How one unit-request/response exchange with a live worker ended.
+enum Exchange {
+    /// The worker answered with the requested unit's result.
+    Completed(UnitResult),
+    /// The worker reported an in-band (`!`-prefixed) unit failure — a
+    /// deterministic error every worker would reproduce, so it is recorded,
+    /// not retried.
+    UnitFailed(String),
+    /// The connection died (EOF, io error, liveness timeout, or an
+    /// undecodable/mismatched response); the in-flight unit is lost.
+    Death(String),
+}
+
+/// Shared driver state for one [`SocketExecutor::execute`] call: the unit
+/// ledger, worker liveness, and the first fatal (non-retryable) error.
+struct FleetShared {
+    ledger: Mutex<UnitLedger>,
+    work_cv: Condvar,
+    live_workers: Mutex<usize>,
+    fatal: Mutex<Option<String>>,
+}
+
+impl FleetShared {
+    fn new(units: usize, max_attempts: u32, workers: usize) -> Self {
+        FleetShared {
+            ledger: Mutex::new(UnitLedger::new(units, max_attempts)),
+            work_cv: Condvar::new(),
+            live_workers: Mutex::new(workers),
+            fatal: Mutex::new(None),
+        }
+    }
+
+    fn lock_ledger(&self) -> std::sync::MutexGuard<'_, UnitLedger> {
+        self.ledger.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fatal_set(&self) -> bool {
+        self.fatal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    fn set_fatal(&self, reason: String) {
+        let mut fatal = self.fatal.lock().unwrap_or_else(|e| e.into_inner());
+        fatal.get_or_insert(reason);
+        drop(fatal);
+        self.work_cv.notify_all();
+    }
+
+    /// Blocks until a unit is available, the plan is settled, a fatal error
+    /// is recorded, or the deadline expires.  Returns the checked-out
+    /// `(slot, attempt)` or `None` when this worker should stop.
+    ///
+    /// Workers must *not* exit on a momentarily-empty queue: another
+    /// worker's in-flight unit may yet be lost and re-queued, and this
+    /// worker may be the only survivor able to run it.
+    fn next_job(&self, deadline: Option<Instant>) -> Option<(usize, u32)> {
+        let mut ledger = self.lock_ledger();
+        loop {
+            if self.fatal_set() {
+                return None;
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    drop(ledger);
+                    self.set_fatal("request timed out while units were outstanding".to_string());
+                    return None;
+                }
+            }
+            if let Some(job) = ledger.checkout() {
+                return Some(job);
+            }
+            if ledger.is_settled() {
+                // Wake any other waiters so they observe settledness too.
+                self.work_cv.notify_all();
+                return None;
+            }
+            // Bounded wait so the deadline (and fatal flags set without the
+            // ledger lock held) are re-checked promptly.
+            let (guard, _) = self
+                .work_cv
+                .wait_timeout(ledger, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            ledger = guard;
+        }
+    }
+
+    fn complete(&self, slot: usize, result: UnitResult) {
+        self.lock_ledger().complete(slot, result);
+        self.work_cv.notify_all();
+    }
+
+    fn fail(&self, slot: usize, reason: String) {
+        self.lock_ledger().fail(slot, reason);
+        self.work_cv.notify_all();
+    }
+
+    /// Records a lost in-flight unit; returns whether it was re-queued (vs
+    /// its attempt budget being exhausted).
+    fn lose(&self, slot: usize, attempt: u32, reason: &str) -> bool {
+        let requeued = self.lock_ledger().lose(slot, attempt, reason);
+        self.work_cv.notify_all();
+        requeued
+    }
+
+    /// Removes one worker from the live set; when the last worker is gone,
+    /// all still-pending units are abandoned so the run fails loudly rather
+    /// than hanging.
+    fn worker_down(&self, reason: &str) {
+        let mut live = self.live_workers.lock().unwrap_or_else(|e| e.into_inner());
+        *live = live.saturating_sub(1);
+        let none_left = *live == 0;
+        drop(live);
+        if none_left {
+            self.lock_ledger()
+                .abandon_pending(&format!("no live workers remain; last error: {reason}"));
+        }
+        self.work_cv.notify_all();
+    }
+}
+
+/// Distributes units across worker *machines*: connects to N TCP addresses
+/// (each served by a `read-worker` process), streams encoded [`WorkUnit`]
+/// lines, and collects self-identifying [`UnitResult`] lines.
+///
+/// Unlike the local executors, remote workers can die mid-stream — the
+/// driver detects EOF, io errors, liveness timeouts, and malformed or
+/// mismatched responses, and re-queues the lost unit for a surviving worker
+/// (up to [`SocketExecutor::max_attempts`] attempts per unit).  Because
+/// results self-identify and the [`crate::Aggregator`] accepts any
+/// partition/permutation, a run that survives worker deaths aggregates
+/// byte-identically to [`SerialExecutor`].
+///
+/// Wire session, per worker (line-delimited, same unit grammar as
+/// [`WorkPlan::serve`]):
+///
+/// ```text
+/// driver → worker   <pipeline spec line>      (a ServeRequest encoding)
+/// worker → driver   ok units=<n>              (or "!<reason>" = rejected)
+/// driver → worker   <unit line>               (repeated, lock-step)
+/// worker → driver   <unit-result line>        (or "!<reason>" = unit failed)
+/// ```
+///
+/// The lock-step exchange (one outstanding unit per worker) is what makes
+/// loss accounting exact: a dead connection loses exactly the one unit the
+/// ledger checked out to it.
+#[derive(Debug, Clone)]
+pub struct SocketExecutor {
+    spec: String,
+    workers: Vec<String>,
+    connect_timeout: Duration,
+    liveness_timeout: Duration,
+    max_attempts: u32,
+    stats: Arc<FleetStats>,
+}
+
+impl SocketExecutor {
+    /// Executor shipping `spec` (a pipeline spec line each worker rebuilds
+    /// its plan from) to `workers` (TCP `host:port` addresses).
+    pub fn new(
+        spec: impl Into<String>,
+        workers: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        SocketExecutor {
+            spec: spec.into(),
+            workers: workers.into_iter().map(Into::into).collect(),
+            connect_timeout: Duration::from_secs(5),
+            liveness_timeout: Duration::from_secs(120),
+            max_attempts: 3,
+            stats: Arc::new(FleetStats::default()),
+        }
+    }
+
+    /// Sets the per-address TCP connect timeout (default 5s).
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-response liveness timeout (default 120s): a worker that
+    /// goes silent longer than this while a unit is outstanding is declared
+    /// dead and its unit re-queued.
+    #[must_use]
+    pub fn liveness_timeout(mut self, timeout: Duration) -> Self {
+        self.liveness_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-unit attempt budget (default 3, clamped to ≥ 1): a unit
+    /// lost this many times fails the run instead of being re-queued.
+    #[must_use]
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// The worker addresses this executor fans out to.
+    pub fn worker_addrs(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// Shared fleet diagnostics (deaths, retries); clones of this executor
+    /// accumulate into the same counters.
+    pub fn stats(&self) -> Arc<FleetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// [`Executor::execute`] with an optional wall-clock deadline: when it
+    /// expires the run fails with a "timed out" error instead of waiting
+    /// for stragglers.  Deadline granularity is bounded by the liveness
+    /// timeout (a worker blocked in a read notices on its next wake).
+    ///
+    /// # Errors
+    ///
+    /// Unit failures (smallest failing index wins), spec rejection by a
+    /// worker, all workers dead with units outstanding, attempt budget
+    /// exhaustion, or deadline expiry.
+    pub fn execute_with_deadline(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<UnitResult>, PipelineError> {
+        let units: Vec<WorkUnit> = range
+            .map(|index| {
+                plan.units()
+                    .get(index)
+                    .cloned()
+                    .ok_or_else(|| PipelineError::exec(format!("unit index {index} out of range")))
+            })
+            .collect::<Result<_, _>>()?;
+        if units.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.workers.is_empty() {
+            return Err(PipelineError::exec(
+                "socket executor has no worker addresses",
+            ));
+        }
+        let shared = FleetShared::new(units.len(), self.max_attempts, self.workers.len());
+        std::thread::scope(|scope| {
+            for addr in &self.workers {
+                let shared = &shared;
+                let units = &units;
+                scope.spawn(move || self.drive_fleet_worker(addr, units, shared, deadline));
+            }
+        });
+        let fatal = shared.fatal.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(reason) = fatal {
+            return Err(PipelineError::exec(reason));
+        }
+        let results = shared
+            .ledger
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_results()?;
+        self.stats
+            .completed_units
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
+        Ok(results)
+    }
+
+    /// One driver thread's session against one worker address: connect,
+    /// handshake, then lock-step unit exchanges until the plan settles or
+    /// the connection dies.
+    fn drive_fleet_worker(
+        &self,
+        addr: &str,
+        units: &[WorkUnit],
+        shared: &FleetShared,
+        deadline: Option<Instant>,
+    ) {
+        let mut reader = match self.connect_worker(addr) {
+            ConnectOutcome::Ready(reader) => reader,
+            ConnectOutcome::Down(reason) => {
+                self.stats.failed_connects.fetch_add(1, Ordering::Relaxed);
+                shared.worker_down(&format!("worker {addr}: {reason}"));
+                return;
+            }
+            ConnectOutcome::Rejected(reason) => {
+                // A spec the worker refuses is a driver/worker configuration
+                // mismatch; no amount of reassignment fixes it.
+                shared.set_fatal(format!("worker {addr} rejected pipeline spec: {reason}"));
+                shared.worker_down("spec rejected");
+                return;
+            }
+        };
+        while let Some((slot, attempt)) = shared.next_job(deadline) {
+            match self.exchange(&mut reader, &units[slot]) {
+                Exchange::Completed(result) => shared.complete(slot, result),
+                Exchange::UnitFailed(reason) => shared.fail(slot, reason),
+                Exchange::Death(reason) => {
+                    self.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                    // Lose the in-flight unit *before* the live-worker
+                    // decrement: if this was the last worker, the unit must
+                    // already be re-queued (or budget-failed) so
+                    // `abandon_pending` accounts for it too.
+                    let reason = format!("worker {addr} died: {reason}");
+                    if shared.lose(slot, attempt, &reason) {
+                        self.stats.retried_units.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shared.worker_down(&reason);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Connects to one worker address and performs the spec handshake.
+    fn connect_worker(&self, addr: &str) -> ConnectOutcome {
+        let addrs = match addr.to_socket_addrs() {
+            Ok(addrs) => addrs,
+            Err(e) => return ConnectOutcome::Down(format!("address did not resolve: {e}")),
+        };
+        let mut last_error = "address resolved to nothing".to_string();
+        for sock_addr in addrs {
+            match TcpStream::connect_timeout(&sock_addr, self.connect_timeout) {
+                Ok(stream) => return self.handshake(stream),
+                Err(e) => last_error = format!("connect failed: {e}"),
+            }
+        }
+        ConnectOutcome::Down(last_error)
+    }
+
+    fn handshake(&self, stream: TcpStream) -> ConnectOutcome {
+        if let Err(e) = stream.set_read_timeout(Some(self.liveness_timeout)) {
+            return ConnectOutcome::Down(format!("set_read_timeout failed: {e}"));
+        }
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(stream);
+        if let Err(e) = writeln!(reader.get_ref(), "{}", self.spec) {
+            return ConnectOutcome::Down(format!("spec send failed: {e}"));
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return ConnectOutcome::Down("connection closed during handshake".to_string()),
+            Ok(_) => {}
+            Err(e) => return ConnectOutcome::Down(format!("handshake read failed: {e}")),
+        }
+        let line = line.trim();
+        if let Some(reason) = line.strip_prefix('!') {
+            return ConnectOutcome::Rejected(reason.to_string());
+        }
+        if line.starts_with("ok") {
+            ConnectOutcome::Ready(reader)
+        } else {
+            ConnectOutcome::Down(format!("unexpected handshake response {line:?}"))
+        }
+    }
+
+    /// One lock-step unit exchange on an established connection.
+    fn exchange(&self, reader: &mut BufReader<TcpStream>, unit: &WorkUnit) -> Exchange {
+        {
+            let mut stream = reader.get_ref();
+            if let Err(e) = writeln!(stream, "{}", unit.encode()) {
+                return Exchange::Death(format!("unit send failed: {e}"));
+            }
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return Exchange::Death("connection closed (EOF) mid-stream".to_string()),
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Exchange::Death(format!(
+                        "liveness timeout: no response within {:?}",
+                        self.liveness_timeout
+                    ));
+                }
+                Err(e) => return Exchange::Death(format!("read failed: {e}")),
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(failure) = trimmed.strip_prefix('!') {
+                return Exchange::UnitFailed(format!("worker reported failure: {failure}"));
+            }
+            // Unlike local subprocess stdout, this connection carries only
+            // protocol traffic: an undecodable line means the stream is
+            // corrupt and the worker cannot be trusted with further units.
+            return match UnitResult::decode(trimmed) {
+                Ok(result) if result.unit() == *unit => Exchange::Completed(result),
+                Ok(other) => Exchange::Death(format!(
+                    "answered with wrong unit {:?}",
+                    other.unit().encode()
+                )),
+                Err(_) => Exchange::Death(format!("undecodable response line {trimmed:?}")),
+            };
+        }
+    }
+}
+
+impl Executor for SocketExecutor {
+    fn name(&self) -> String {
+        format!("socket[{}x remote]", self.workers.len())
+    }
+
+    fn execute(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+    ) -> Result<Vec<UnitResult>, PipelineError> {
+        self.execute_with_deadline(plan, range, None)
+    }
+}
+
+/// Deterministic fault-injection wrapper for property tests: perturbs an
+/// inner executor's result stream (seeded drops, duplicates, shuffles) to
+/// prove the downstream [`crate::Aggregator`] either reproduces the serial
+/// bytes exactly (pure reordering) or fails loudly (any loss/duplication) —
+/// never silently omits units.
+///
+/// The perturbation is deterministic in `(seed, range.start)`, so a failure
+/// reproduces from the test's seed alone.
+#[derive(Debug)]
+pub struct FlakyExecutor<E> {
+    inner: E,
+    seed: u64,
+    drop_per_mille: u16,
+    duplicate_per_mille: u16,
+    shuffle: bool,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl<E> FlakyExecutor<E> {
+    /// Wraps `inner` with no perturbations enabled; compose with the
+    /// builder methods.
+    pub fn new(inner: E, seed: u64) -> Self {
+        FlakyExecutor {
+            inner,
+            seed,
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            shuffle: false,
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// Drops each result with probability `per_mille`/1000.
+    #[must_use]
+    pub fn drop_per_mille(mut self, per_mille: u16) -> Self {
+        self.drop_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Duplicates each (undropped) result with probability `per_mille`/1000.
+    #[must_use]
+    pub fn duplicate_per_mille(mut self, per_mille: u16) -> Self {
+        self.duplicate_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Shuffles the surviving results (Fisher–Yates on the seeded stream).
+    #[must_use]
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Results dropped so far (across all `execute` calls).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Results duplicated so far (across all `execute` calls).
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Executor> Executor for FlakyExecutor<E> {
+    fn name(&self) -> String {
+        format!("flaky[{}]", self.inner.name())
+    }
+
+    fn execute(
+        &self,
+        plan: &WorkPlan<'_>,
+        range: Range<usize>,
+    ) -> Result<Vec<UnitResult>, PipelineError> {
+        let mut rng =
+            SplitMix64::new(self.seed ^ (range.start as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let results = self.inner.execute(plan, range)?;
+        let mut perturbed = Vec::with_capacity(results.len());
+        for result in results {
+            let roll = rng.next() % 1000;
+            if roll < u64::from(self.drop_per_mille) {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if roll < u64::from(self.drop_per_mille) + u64::from(self.duplicate_per_mille) {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+                perturbed.push(result.clone());
+            }
+            perturbed.push(result);
+        }
+        if self.shuffle {
+            // Fisher–Yates over the seeded stream.
+            for i in (1..perturbed.len()).rev() {
+                let j = (rng.next() % (i as u64 + 1)) as usize;
+                perturbed.swap(i, j);
+            }
+        }
+        Ok(perturbed)
+    }
+}
+
+/// SplitMix64: tiny deterministic PRNG for fault injection (this crate has
+/// no rand dependency by design).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +1055,54 @@ mod tests {
         assert_eq!(exec.worker_count(), 0);
         assert_eq!(exec.args.len(), 3);
         assert_eq!(exec.envs.len(), 1);
+    }
+
+    #[test]
+    fn socket_executor_builder_composes() {
+        let exec = SocketExecutor::new("req v1 ...", ["127.0.0.1:7070", "127.0.0.1:7071"])
+            .connect_timeout(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_secs(2))
+            .max_attempts(0);
+        assert_eq!(exec.name(), "socket[2x remote]");
+        assert_eq!(exec.worker_addrs().len(), 2);
+        // Attempt budget clamps to at least one try.
+        assert_eq!(exec.max_attempts, 1);
+        assert_eq!(exec.stats().worker_deaths(), 0);
+    }
+
+    #[test]
+    fn flaky_executor_is_deterministic_in_its_seed() {
+        // Two streams from the same seed must agree (failures reproduce).
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = SplitMix64::new(43);
+        let mut d = SplitMix64::new(42);
+        assert_ne!(
+            (0..8).map(|_| c.next()).collect::<Vec<_>>(),
+            (0..8).map(|_| d.next()).collect::<Vec<_>>()
+        );
+        let flaky = FlakyExecutor::new(SerialExecutor, 42)
+            .drop_per_mille(100)
+            .duplicate_per_mille(100)
+            .shuffle(true);
+        assert_eq!(flaky.name(), "flaky[serial]");
+        assert_eq!(flaky.dropped(), 0);
+        assert_eq!(flaky.duplicated(), 0);
+    }
+
+    #[test]
+    fn stderr_excerpt_is_bounded_and_labeled() {
+        assert_eq!(stderr_excerpt("   \n"), "");
+        assert_eq!(
+            stderr_excerpt("boom\n"),
+            "; worker stderr: boom".to_string()
+        );
+        let long = "x".repeat(10_000);
+        let excerpt = stderr_excerpt(&long);
+        assert!(excerpt.len() < 5000);
+        assert!(excerpt.ends_with("… [truncated]"));
     }
 }

@@ -85,19 +85,25 @@ pub use cache::{
     CacheStats, HistogramCheck, HistogramKey, KeyCheck, ScheduleKey, UnitCheck, UnitKey,
 };
 pub use error::PipelineError;
-pub use executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor};
+pub use executor::{
+    Executor, FlakyExecutor, FleetStats, SerialExecutor, SocketExecutor, SubprocessExecutor,
+    ThreadExecutor,
+};
 pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
-pub use plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
+pub use plan::{Aggregator, PlanOutput, UnitLedger, UnitResult, WorkPlan, WorkUnit};
 pub use report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
 pub use serve::{
     AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient, ServeHandle,
-    ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec,
+    ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec, WorkerConfig, WorkerHandle,
+    WorkerServer, NO_TIMEOUT,
 };
 pub use stage::{
     Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
     ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
-pub use store::{ArtifactStore, DiskStore, MemoryStore, StoreStats};
+pub use store::{
+    ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreServer, StoreStats,
+};
 pub use sweep::{DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase};
 pub use workload::{
     resnet18_workloads, resnet18_workloads_prefix, resnet34_workloads, resnet34_workloads_prefix,
@@ -108,19 +114,25 @@ pub use workload::{
 pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::error::PipelineError;
-    pub use crate::executor::{Executor, SerialExecutor, SubprocessExecutor, ThreadExecutor};
+    pub use crate::executor::{
+        Executor, FlakyExecutor, FleetStats, SerialExecutor, SocketExecutor, SubprocessExecutor,
+        ThreadExecutor,
+    };
     pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
-    pub use crate::plan::{Aggregator, PlanOutput, UnitResult, WorkPlan, WorkUnit};
+    pub use crate::plan::{Aggregator, PlanOutput, UnitLedger, UnitResult, WorkPlan, WorkUnit};
     pub use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
     pub use crate::serve::{
         AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient,
-        ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec,
+        ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec, WorkerConfig,
+        WorkerHandle, WorkerServer, NO_TIMEOUT,
     };
     pub use crate::stage::{
         Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
         ScheduleSource, TopKEvaluator, VariationErrorModel,
     };
-    pub use crate::store::{ArtifactStore, DiskStore, MemoryStore, StoreStats};
+    pub use crate::store::{
+        ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreServer, StoreStats,
+    };
     pub use crate::sweep::{
         DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase,
     };

@@ -31,7 +31,7 @@
 //! `\r`/`\\`, floats rendered with Rust's shortest round-trip formatting
 //! (exact `f64` round trips).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::ops::Range;
 use std::sync::Arc;
@@ -1308,6 +1308,161 @@ impl<'p, 'a> Aggregator<'p, 'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// UnitLedger
+// ---------------------------------------------------------------------------
+
+/// Unit-loss accounting for executors whose workers can die: tracks every
+/// unit of a range from *pending*, through *in flight* on some worker, to
+/// *completed* or *failed* — with a bounded number of re-dispatch attempts
+/// when a worker is lost mid-unit.
+///
+/// The ledger is pure bookkeeping (no I/O, no threads); a distributed
+/// executor like [`crate::SocketExecutor`] drives it under a mutex:
+///
+/// * [`UnitLedger::checkout`] hands the next pending unit to a worker.
+/// * [`UnitLedger::complete`] / [`UnitLedger::fail`] settle an in-flight
+///   unit — failure here means the unit itself failed *deterministically*
+///   (the worker answered with an in-band `!` report), so retrying on
+///   another worker would fail identically and the failure is recorded.
+/// * [`UnitLedger::lose`] reports that the worker holding a unit died; the
+///   unit is re-queued for another worker until its attempt budget is
+///   exhausted, at which point it fails.
+/// * [`UnitLedger::abandon_pending`] fails everything still queued — the
+///   last surviving worker died.
+///
+/// [`UnitLedger::into_results`] enforces the [`crate::Executor`] contract:
+/// all units completed → results in unit order; otherwise the error of the
+/// smallest failing unit index, independent of worker timing.  A unit can
+/// never be silently omitted — every checkout is settled exactly once.
+#[derive(Debug)]
+pub struct UnitLedger {
+    /// `(slot, attempt)` queue; attempts start at 1.
+    pending: VecDeque<(usize, u32)>,
+    results: Vec<Option<UnitResult>>,
+    failures: BTreeMap<usize, String>,
+    in_flight: usize,
+    max_attempts: u32,
+    retried: u64,
+    lost: u64,
+}
+
+impl UnitLedger {
+    /// A ledger over `units` slots, each dispatchable up to `max_attempts`
+    /// times (clamped to at least 1).
+    pub fn new(units: usize, max_attempts: u32) -> UnitLedger {
+        UnitLedger {
+            pending: (0..units).map(|slot| (slot, 1)).collect(),
+            results: (0..units).map(|_| None).collect(),
+            failures: BTreeMap::new(),
+            in_flight: 0,
+            max_attempts: max_attempts.max(1),
+            retried: 0,
+            lost: 0,
+        }
+    }
+
+    /// Hands out the next pending `(slot, attempt)`, marking it in flight.
+    /// `None` means nothing is pending *right now* — the caller must check
+    /// [`UnitLedger::is_settled`] before concluding the plan is done, since
+    /// another worker's in-flight unit may yet be lost and re-queued.
+    pub fn checkout(&mut self) -> Option<(usize, u32)> {
+        let entry = self.pending.pop_front()?;
+        self.in_flight += 1;
+        Some(entry)
+    }
+
+    /// Settles a checked-out slot with its result.  A duplicate completion
+    /// (two workers racing the same re-dispatched slot) keeps the first
+    /// result — units are deterministic, so both are byte-identical.
+    pub fn complete(&mut self, slot: usize, result: UnitResult) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if self.results[slot].is_none() && !self.failures.contains_key(&slot) {
+            self.results[slot] = Some(result);
+        }
+    }
+
+    /// Settles a checked-out slot as deterministically failed (the worker
+    /// computed it and reported an in-band failure): re-dispatching would
+    /// fail identically, so the slot is not retried.
+    pub fn fail(&mut self, slot: usize, reason: impl Into<String>) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if self.results[slot].is_none() {
+            self.failures.entry(slot).or_insert_with(|| reason.into());
+        }
+    }
+
+    /// Reports that the worker holding `(slot, attempt)` died before
+    /// answering.  Returns `true` when the unit was re-queued for another
+    /// worker; `false` when its attempt budget is exhausted and it has been
+    /// recorded as failed.
+    pub fn lose(&mut self, slot: usize, attempt: u32, reason: &str) -> bool {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.lost += 1;
+        if attempt < self.max_attempts {
+            self.retried += 1;
+            self.pending.push_back((slot, attempt + 1));
+            true
+        } else {
+            self.failures.entry(slot).or_insert_with(|| {
+                format!("unit lost {attempt} time(s); attempt budget exhausted: {reason}")
+            });
+            false
+        }
+    }
+
+    /// Fails every still-pending unit (no worker left to run them).
+    pub fn abandon_pending(&mut self, reason: &str) {
+        while let Some((slot, _)) = self.pending.pop_front() {
+            self.failures
+                .entry(slot)
+                .or_insert_with(|| format!("unit abandoned: {reason}"));
+        }
+    }
+
+    /// Whether every unit has been settled (completed or failed) — nothing
+    /// pending, nothing in flight.
+    pub fn is_settled(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0
+    }
+
+    /// Units currently checked out to workers.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Total re-dispatches of lost units.
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Total worker-loss events observed (each re-queued or failed a unit).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Finishes the ledger: every slot completed → the results in unit
+    /// order; otherwise the recorded failure of the *smallest* failing slot
+    /// (deterministic regardless of worker timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] for the smallest failed slot, or for
+    /// the smallest unsettled slot when the ledger was finished early.
+    pub fn into_results(self) -> Result<Vec<UnitResult>, PipelineError> {
+        if let Some((slot, reason)) = self.failures.into_iter().next() {
+            return Err(PipelineError::exec(format!("unit {slot}: {reason}")));
+        }
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(slot, result)| {
+                result.ok_or_else(|| PipelineError::exec(format!("unit {slot} was never settled")))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1462,5 +1617,101 @@ mod tests {
                 trial_range: 0..8
             }
         );
+    }
+
+    // ---- UnitLedger -------------------------------------------------------
+
+    fn sentinel_result(slot: usize) -> UnitResult {
+        UnitResult::McShard {
+            cell: slot,
+            trial_range: 0..1,
+            ters: vec![],
+        }
+    }
+
+    #[test]
+    fn ledger_happy_path_returns_results_in_unit_order() {
+        let mut ledger = UnitLedger::new(3, 3);
+        // Check units out in a scrambled order (two workers interleaving).
+        let a = ledger.checkout().unwrap();
+        let b = ledger.checkout().unwrap();
+        assert_eq!((a, b), ((0, 1), (1, 1)));
+        ledger.complete(b.0, sentinel_result(b.0));
+        let c = ledger.checkout().unwrap();
+        ledger.complete(c.0, sentinel_result(c.0));
+        assert!(!ledger.is_settled(), "slot 0 still in flight");
+        ledger.complete(a.0, sentinel_result(a.0));
+        assert!(ledger.is_settled());
+        assert_eq!(ledger.checkout(), None);
+        let results = ledger.into_results().unwrap();
+        assert_eq!(results.len(), 3);
+        for (slot, result) in results.iter().enumerate() {
+            assert_eq!(*result, sentinel_result(slot));
+        }
+    }
+
+    #[test]
+    fn ledger_requeues_lost_units_until_budget_exhausted() {
+        let mut ledger = UnitLedger::new(1, 2);
+        let (slot, attempt) = ledger.checkout().unwrap();
+        assert!(
+            ledger.lose(slot, attempt, "worker died"),
+            "first loss retries"
+        );
+        assert_eq!(ledger.retried(), 1);
+        assert!(!ledger.is_settled(), "re-queued unit is pending again");
+        let (slot, attempt) = ledger.checkout().unwrap();
+        assert_eq!(attempt, 2);
+        assert!(
+            !ledger.lose(slot, attempt, "worker died again"),
+            "budget spent"
+        );
+        assert!(ledger.is_settled());
+        assert_eq!(ledger.lost(), 2);
+        let err = ledger.into_results().unwrap_err().to_string();
+        assert!(err.contains("unit 0"), "{err}");
+        assert!(err.contains("budget exhausted"), "{err}");
+        assert!(err.contains("worker died again"), "{err}");
+    }
+
+    #[test]
+    fn ledger_reports_smallest_failing_slot_regardless_of_timing() {
+        let mut ledger = UnitLedger::new(3, 1);
+        let first = ledger.checkout().unwrap();
+        let second = ledger.checkout().unwrap();
+        let third = ledger.checkout().unwrap();
+        // Failures land in reverse order; the smallest slot's error wins.
+        ledger.fail(third.0, "late failure");
+        ledger.fail(second.0, "middle failure");
+        ledger.complete(first.0, sentinel_result(0));
+        let err = ledger.into_results().unwrap_err().to_string();
+        assert!(err.contains("unit 1: middle failure"), "{err}");
+    }
+
+    #[test]
+    fn ledger_abandons_pending_units_when_no_workers_survive() {
+        let mut ledger = UnitLedger::new(3, 3);
+        let (slot, attempt) = ledger.checkout().unwrap();
+        ledger.lose(slot, attempt, "connection reset");
+        ledger.abandon_pending("no surviving workers");
+        assert!(ledger.is_settled());
+        let err = ledger.into_results().unwrap_err().to_string();
+        assert!(err.contains("unit 0: unit abandoned"), "{err}");
+        assert!(err.contains("no surviving workers"), "{err}");
+    }
+
+    #[test]
+    fn ledger_keeps_first_result_on_duplicate_completion() {
+        let mut ledger = UnitLedger::new(1, 3);
+        let (slot, attempt) = ledger.checkout().unwrap();
+        // The driver declared this worker dead (liveness timeout) and
+        // re-dispatched, but the slow worker's result eventually surfaced
+        // too: first settle wins, the duplicate is dropped on the floor.
+        assert!(ledger.lose(slot, attempt, "liveness timeout"));
+        let (slot2, _) = ledger.checkout().unwrap();
+        ledger.complete(slot2, sentinel_result(0));
+        ledger.complete(slot, sentinel_result(0));
+        assert!(ledger.is_settled());
+        assert_eq!(ledger.into_results().unwrap().len(), 1);
     }
 }

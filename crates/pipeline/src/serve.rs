@@ -51,6 +51,7 @@ use timing::{DepthHistogram, OperatingCondition};
 use crate::cache::CacheStats;
 use crate::error::PipelineError;
 use crate::exec::{resolve_threads, run_indexed_threads};
+use crate::executor::SocketExecutor;
 use crate::pipeline::ReadPipeline;
 use crate::plan::{escape_wire, unescape, UnitResult, WorkPlan, WorkUnit};
 use crate::stage::Algorithm;
@@ -74,6 +75,13 @@ fn io_err(context: &str, e: std::io::Error) -> PipelineError {
 // ---------------------------------------------------------------------------
 // Protocol vocabulary
 // ---------------------------------------------------------------------------
+
+/// Sentinel for [`ServeRequest::timeout_ms`] requesting an explicitly
+/// unbounded request (wire spelling: `timeout_ms=none`).
+///
+/// `timeout_ms=0` means "use the server's default timeout", so without this
+/// sentinel a client could never *opt out* of a server default.
+pub const NO_TIMEOUT: u64 = u64::MAX;
 
 /// Admission class of a request: interactive units preempt bulk ones at the
 /// daemon's scheduling gate.
@@ -473,7 +481,10 @@ pub struct ServeRequest {
     pub accuracy: Option<AccuracySpec>,
     /// Admission class; `None` lets the daemon choose by unit count.
     pub priority: Option<Priority>,
-    /// Per-request timeout in milliseconds (0 = server default).
+    /// Per-request timeout in milliseconds.  `0` means "use the server's
+    /// default timeout" ([`ServerConfig::default_timeout_ms`]); the
+    /// [`NO_TIMEOUT`] sentinel (wire: `timeout_ms=none`) explicitly
+    /// requests an unbounded run even when the server has a default.
     pub timeout_ms: u64,
 }
 
@@ -552,7 +563,12 @@ impl ServeRequest {
             None => "auto",
             Some(p) => p.as_str(),
         };
-        let _ = write!(out, " priority={priority} timeout_ms={}", self.timeout_ms);
+        let _ = write!(out, " priority={priority}");
+        if self.timeout_ms == NO_TIMEOUT {
+            out.push_str(" timeout_ms=none");
+        } else {
+            let _ = write!(out, " timeout_ms={}", self.timeout_ms);
+        }
         out
     }
 
@@ -623,7 +639,13 @@ impl ServeRequest {
                 "mc" => request.mc = Some(McSpec::decode(value, line)?),
                 "acc" => request.accuracy = Some(AccuracySpec::decode(value, line)?),
                 "priority" => request.priority = Priority::parse(value, line)?,
-                "timeout_ms" => request.timeout_ms = parse_num(value, "timeout_ms", line)?,
+                "timeout_ms" => {
+                    request.timeout_ms = if value == "none" {
+                        NO_TIMEOUT
+                    } else {
+                        parse_num(value, "timeout_ms", line)?
+                    }
+                }
                 other => return Err(bad_request(line, &format!("unknown field {other:?}"))),
             }
         }
@@ -709,11 +731,17 @@ enum FlightValue {
 
 enum FlightState {
     /// A leader is computing; `waiters` requests are parked on the condvar.
-    Running { waiters: usize },
+    ///
+    /// `epoch` identifies the flight *generation*: when a leader aborts and
+    /// a new leader re-takes the same key, parked waiters of the old
+    /// generation observe a different epoch and retry instead of touching
+    /// counters they never registered on.
+    Running { epoch: u64, waiters: usize },
     /// The leader finished; `remaining` registered waiters have yet to
     /// collect.  Errors fan out as strings ([`PipelineError`] is not
     /// `Clone`).
     Done {
+        epoch: u64,
         value: Result<FlightValue, String>,
         remaining: usize,
     },
@@ -764,6 +792,7 @@ pub(crate) struct UnitScheduler {
     gate_cv: Condvar,
     flights: Mutex<HashMap<String, FlightState>>,
     flights_cv: Condvar,
+    flight_epoch: AtomicU64,
 }
 
 impl UnitScheduler {
@@ -777,6 +806,7 @@ impl UnitScheduler {
             gate_cv: Condvar::new(),
             flights: Mutex::new(HashMap::new()),
             flights_cv: Condvar::new(),
+            flight_epoch: AtomicU64::new(0),
         }
     }
 
@@ -798,11 +828,9 @@ impl UnitScheduler {
             gate.interactive_waiting += 1;
         }
         loop {
-            let blocked = gate.active >= self.slots
-                || (priority == Priority::Bulk && gate.interactive_waiting > 0);
-            if !blocked {
-                break;
-            }
+            // Deadline first, even when a slot is free: an already-expired
+            // request must not claim a slot and begin a computation its
+            // client has given up on.
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     if priority == Priority::Interactive {
@@ -811,6 +839,11 @@ impl UnitScheduler {
                     self.gate_cv.notify_all();
                     return Err(timed_out("waiting for an executor slot"));
                 }
+            }
+            let blocked = gate.active >= self.slots
+                || (priority == Priority::Bulk && gate.interactive_waiting > 0);
+            if !blocked {
+                break;
             }
             gate = match deadline_wait(deadline) {
                 Some(wait) => {
@@ -866,18 +899,22 @@ impl UnitScheduler {
     /// otherwise parks until the leader publishes (or aborts → `Retry`).
     fn join_or_lead(&self, key: &str, deadline: Option<Instant>) -> Result<Role, PipelineError> {
         let mut flights = lock_ok(&self.flights);
-        match flights.get_mut(key) {
+        let joined_epoch = match flights.get_mut(key) {
             None => {
-                flights.insert(key.to_string(), FlightState::Running { waiters: 0 });
+                let epoch = self.flight_epoch.fetch_add(1, Ordering::Relaxed);
+                flights.insert(key.to_string(), FlightState::Running { epoch, waiters: 0 });
                 return Ok(Role::Leader);
             }
-            Some(FlightState::Running { waiters }) => *waiters += 1,
+            Some(FlightState::Running { epoch, waiters }) => {
+                *waiters += 1;
+                *epoch
+            }
             Some(FlightState::Done { value, .. }) => {
                 // Late arrival after publish but before the last registered
                 // waiter collected: clone without touching `remaining`.
                 return Ok(Role::Joined(value.clone()));
             }
-        }
+        };
         loop {
             flights = match deadline_wait(deadline) {
                 Some(wait) => {
@@ -894,17 +931,34 @@ impl UnitScheduler {
             match flights.get_mut(key) {
                 // Leader aborted (its gate wait timed out): race again.
                 None => return Ok(Role::Retry),
-                Some(FlightState::Running { waiters }) => {
+                Some(FlightState::Running { epoch, waiters }) => {
+                    if *epoch != joined_epoch {
+                        // Our leader aborted and a *new* flight re-took the
+                        // key before we woke; we are not registered on this
+                        // generation, so leave its counter alone and race
+                        // again.
+                        return Ok(Role::Retry);
+                    }
                     if let Some(d) = deadline {
                         if Instant::now() >= d {
-                            *waiters -= 1;
+                            *waiters = waiters.saturating_sub(1);
                             return Err(timed_out("waiting on an in-flight unit"));
                         }
                     }
                 }
-                Some(FlightState::Done { value, remaining }) => {
+                Some(FlightState::Done {
+                    epoch,
+                    value,
+                    remaining,
+                }) => {
+                    if *epoch != joined_epoch {
+                        // A successor generation published; its `remaining`
+                        // counts *its* waiters, not us — clone without
+                        // decrementing (same as a late arrival).
+                        return Ok(Role::Joined(value.clone()));
+                    }
                     let value = value.clone();
-                    *remaining -= 1;
+                    *remaining = remaining.saturating_sub(1);
                     if *remaining == 0 {
                         flights.remove(key);
                     }
@@ -942,9 +996,16 @@ impl UnitScheduler {
         };
         let mut flights = lock_ok(&self.flights);
         match flights.get_mut(key) {
-            Some(FlightState::Running { waiters }) if *waiters > 0 => {
-                let remaining = *waiters;
-                flights.insert(key.to_string(), FlightState::Done { value, remaining });
+            Some(FlightState::Running { epoch, waiters }) if *waiters > 0 => {
+                let (epoch, remaining) = (*epoch, *waiters);
+                flights.insert(
+                    key.to_string(),
+                    FlightState::Done {
+                        epoch,
+                        value,
+                        remaining,
+                    },
+                );
             }
             _ => {
                 flights.remove(key);
@@ -981,6 +1042,16 @@ impl UnitScheduler {
             }
             let threads = resolve_threads(self.slots.min(phase.len()), phase.len());
             let phase_results = run_indexed_threads(threads, phase.len(), |i| {
+                // Check the deadline *between* units, not only inside gate
+                // and flight waits: a leader that just finished a large unit
+                // must not start the next one after its client's timeout —
+                // previously a request's compute was unbounded once
+                // admitted.
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(timed_out("between units"));
+                    }
+                }
                 self.run_unit(plan, &units[phase[i]], priority, deadline, inflight_hits)
             })?;
             for (&slot, result) in phase.iter().zip(phase_results) {
@@ -1115,22 +1186,15 @@ impl RequestJob {
         })
     }
 
-    /// Expands the plan, schedules its units through the daemon pool and
-    /// aggregates the report, returning per-request cache statistics.
-    fn run(
-        &self,
-        sched: &UnitScheduler,
-        store: &Arc<dyn ArtifactStore>,
-        interactive_max_units: usize,
-        default_timeout_ms: u64,
-    ) -> Result<JobOutcome, PipelineError> {
-        let store_before = store.stats();
+    /// Expands this request's [`WorkPlan`] (borrowing the job's pipeline
+    /// and workloads).  Also the worker-side entry point: a `read-worker`
+    /// rebuilds the same plan from the same spec line, so unit encodings
+    /// match the driver's byte-for-byte.
+    pub(crate) fn plan(&self) -> Result<WorkPlan<'_>, PipelineError> {
         let request = &self.request;
-        let plan = match request.kind {
-            RequestKind::Ter => self.pipeline.plan_ter(&request.network, &self.workloads)?,
-            RequestKind::Sweep => self
-                .pipeline
-                .plan_sweep(&request.network, &self.workloads)?,
+        match request.kind {
+            RequestKind::Ter => self.pipeline.plan_ter(&request.network, &self.workloads),
+            RequestKind::Sweep => self.pipeline.plan_sweep(&request.network, &self.workloads),
             RequestKind::Accuracy => {
                 let model = self
                     .model
@@ -1147,9 +1211,25 @@ impl RequestJob {
                     dataset,
                     &self.workloads,
                     seeds,
-                )?
+                )
             }
-        };
+        }
+    }
+
+    /// Expands the plan, schedules its units through the daemon pool (or a
+    /// worker fleet, for bulk requests when one is configured) and
+    /// aggregates the report, returning per-request cache statistics.
+    fn run(
+        &self,
+        sched: &UnitScheduler,
+        store: &Arc<dyn ArtifactStore>,
+        interactive_max_units: usize,
+        default_timeout_ms: u64,
+        fleet: &[String],
+    ) -> Result<JobOutcome, PipelineError> {
+        let store_before = store.stats();
+        let request = &self.request;
+        let plan = self.plan()?;
         let units = plan.len();
         let priority = request
             .priority
@@ -1158,14 +1238,28 @@ impl RequestJob {
             } else {
                 Priority::Bulk
             });
-        let timeout_ms = if request.timeout_ms > 0 {
-            request.timeout_ms
-        } else {
-            default_timeout_ms
+        // `0` = server default, `NO_TIMEOUT` = explicitly unbounded (which
+        // also overrides a server default), anything else = explicit bound.
+        let timeout_ms = match request.timeout_ms {
+            0 => default_timeout_ms,
+            ms => ms,
         };
-        let deadline = (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
+        let deadline = (timeout_ms > 0 && timeout_ms != NO_TIMEOUT)
+            .then(|| Instant::now() + Duration::from_millis(timeout_ms));
         let inflight = AtomicU64::new(0);
-        let results = sched.run_plan_units(&plan, priority, deadline, &inflight)?;
+        let results = if !fleet.is_empty() && priority == Priority::Bulk {
+            // Bulk work ships to the worker fleet (interactive requests stay
+            // local: connection + handshake latency would dominate them).
+            // A fleet-level failure falls back to the local pool so a dead
+            // fleet degrades to PR-6 behavior instead of failing requests.
+            let executor = SocketExecutor::new(request.encode(), fleet.iter().cloned());
+            match executor.execute_with_deadline(&plan, 0..plan.len(), deadline) {
+                Ok(results) => results,
+                Err(_) => sched.run_plan_units(&plan, priority, deadline, &inflight)?,
+            }
+        } else {
+            sched.run_plan_units(&plan, priority, deadline, &inflight)?
+        };
         let output = plan.aggregate(results)?;
         let report_json = match request.kind {
             RequestKind::Ter => output.into_ter()?.to_json(),
@@ -1206,8 +1300,14 @@ pub struct ServerConfig {
     /// `priority=auto` requests with at most this many units run as
     /// interactive.
     pub interactive_max_units: usize,
-    /// Default per-request timeout in milliseconds (0 = none).
+    /// Default per-request timeout in milliseconds (0 = none; a request can
+    /// opt out of a non-zero default with [`NO_TIMEOUT`]).
     pub default_timeout_ms: u64,
+    /// Worker-fleet addresses (`host:port` of `read-worker` processes).
+    /// When non-empty, bulk requests route their whole plan through a
+    /// [`SocketExecutor`] over these workers instead of the local pool,
+    /// falling back locally if the fleet fails.
+    pub fleet: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -1217,6 +1317,7 @@ impl Default for ServerConfig {
             store: None,
             interactive_max_units: 8,
             default_timeout_ms: 0,
+            fleet: Vec::new(),
         }
     }
 }
@@ -1226,6 +1327,7 @@ struct ServerShared {
     store: Arc<dyn ArtifactStore>,
     interactive_max_units: usize,
     default_timeout_ms: u64,
+    fleet: Vec<String>,
     shutdown: AtomicBool,
     next_id: AtomicU64,
 }
@@ -1265,6 +1367,7 @@ impl ServeServer {
                 store,
                 interactive_max_units: config.interactive_max_units,
                 default_timeout_ms: config.default_timeout_ms,
+                fleet: config.fleet,
                 shutdown: AtomicBool::new(false),
                 next_id: AtomicU64::new(1),
             }),
@@ -1451,6 +1554,7 @@ fn process_request(shared: &ServerShared, line: &str) -> Result<JobOutcome, Pipe
         &shared.store,
         shared.interactive_max_units,
         shared.default_timeout_ms,
+        &shared.fleet,
     )
 }
 
@@ -1649,9 +1753,290 @@ impl ServeClient {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Worker server (fleet side)
+// ---------------------------------------------------------------------------
+
+/// Configuration for a [`WorkerServer`].
+#[derive(Default)]
+pub struct WorkerConfig {
+    /// Shared artifact store (typically a
+    /// [`crate::store::RemoteStore`] so the whole fleet shares one warm
+    /// namespace); `None` = a fresh in-memory store.
+    pub store: Option<Arc<dyn ArtifactStore>>,
+    /// Fault injection for tests and smoke runs: after serving this many
+    /// units the worker drops its connection mid-stream (no reply) and
+    /// [`WorkerServer::run`] returns an error, as a crashed worker process
+    /// would.
+    pub die_after_units: Option<u64>,
+}
+
+struct WorkerShared {
+    store: Arc<dyn ArtifactStore>,
+    die_after_units: Option<u64>,
+    served: AtomicU64,
+    died: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// The fleet worker daemon: the remote analog of handing
+/// [`WorkPlan::serve`] a pipe pair.  Each connection opens with a `req v1`
+/// pipeline spec line; the worker rebuilds the same [`WorkPlan`] the driver
+/// holds (same spec → same unit encodings) and answers unit lines with
+/// unit-result lines until EOF.
+///
+/// Per-connection wire session (driver side documented on
+/// [`SocketExecutor`]):
+///
+/// ```text
+/// ← <req v1 spec line>      (or: ping / shutdown)
+/// → ok units=<n>            (or "!<reason>" = spec rejected)
+/// ← <unit line>
+/// → <unit-result line>      (or "!<reason>" = unit failed)
+/// ```
+pub struct WorkerServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<WorkerShared>,
+}
+
+impl WorkerServer {
+    /// Binds a worker to `addr` (e.g. `127.0.0.1:0` for an ephemeral test
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] when the socket cannot be bound.
+    pub fn bind(addr: &str, config: WorkerConfig) -> Result<WorkerServer, PipelineError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        let local = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+        let store = config
+            .store
+            .unwrap_or_else(|| Arc::new(MemoryStore::new()) as Arc<dyn ArtifactStore>);
+        Ok(WorkerServer {
+            listener,
+            addr: local,
+            shared: Arc::new(WorkerShared {
+                store,
+                die_after_units: config.die_after_units,
+                served: AtomicU64::new(0),
+                died: AtomicBool::new(false),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound socket address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves driver connections until `shutdown` arrives (drains in-flight
+    /// connections before returning) — or until the injected death
+    /// triggers, which also stops the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on a fatal accept error, and — by
+    /// design — after an injected [`WorkerConfig::die_after_units`] death,
+    /// so a worker *binary* exits non-zero exactly like a crashed process.
+    pub fn run(self) -> Result<(), PipelineError> {
+        let shared = &self.shared;
+        let addr = self.addr;
+        std::thread::scope(|scope| {
+            loop {
+                let (stream, _) = match self.listener.accept() {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        return Err(io_err("accept", e));
+                    }
+                };
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(stream);
+                    break;
+                }
+                scope.spawn(move || handle_worker_connection(shared, stream, addr));
+            }
+            Ok(())
+        })?;
+        if self.shared.died.load(Ordering::SeqCst) {
+            return Err(PipelineError::exec(format!(
+                "worker died (injected) after {} served units",
+                self.shared.served.load(Ordering::Relaxed)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Binds and runs the worker on a background thread — the in-process
+    /// form used by tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WorkerServer::bind`] failures.
+    pub fn spawn(addr: &str, config: WorkerConfig) -> Result<WorkerHandle, PipelineError> {
+        let server = WorkerServer::bind(addr, config)?;
+        let local = server.local_addr();
+        let join = std::thread::spawn(move || server.run());
+        Ok(WorkerHandle { addr: local, join })
+    }
+
+    /// Asks the worker at `addr` to stop accepting, drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on transport failure or an
+    /// unexpected response.
+    pub fn shutdown_at(addr: &str) -> Result<(), PipelineError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| io_err("set_read_timeout", e))?;
+        let mut reader = BufReader::new(stream);
+        writeln!(reader.get_ref(), "shutdown").map_err(|e| io_err("send", e))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("receive", e))?;
+        if line.trim() == "ok shutdown" {
+            Ok(())
+        } else {
+            Err(PipelineError::exec(format!(
+                "worker shutdown: unexpected response {:?}",
+                line.trim()
+            )))
+        }
+    }
+}
+
+/// Handle to a worker spawned with [`WorkerServer::spawn`].
+pub struct WorkerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<Result<(), PipelineError>>,
+}
+
+impl WorkerHandle {
+    /// The worker's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the worker to exit and returns its run result (an `Err`
+    /// for an injected death — the in-process analog of a non-zero exit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's exit result; a panicked worker thread
+    /// surfaces as [`PipelineError::Exec`].
+    pub fn join(self) -> Result<(), PipelineError> {
+        self.join
+            .join()
+            .map_err(|_| PipelineError::exec("worker thread panicked"))?
+    }
+}
+
+fn handle_worker_connection(shared: &WorkerShared, stream: TcpStream, self_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    // Control / handshake phase: answer pings until a spec line arrives.
+    let job = loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "ping" {
+            if writeln!(writer, "ok pong").is_err() || writer.flush().is_err() {
+                return;
+            }
+            continue;
+        }
+        if line == "shutdown" {
+            let _ = writeln!(writer, "ok shutdown");
+            let _ = writer.flush();
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag.
+            let _ = TcpStream::connect(self_addr);
+            return;
+        }
+        let spec = ServeRequest::decode(line)
+            .and_then(|request| RequestJob::build(request, Arc::clone(&shared.store)));
+        match spec {
+            Ok(job) => break job,
+            Err(e) => {
+                let _ = writeln!(writer, "!{e}");
+                let _ = writer.flush();
+                return;
+            }
+        }
+    };
+    let plan = match job.plan() {
+        Ok(plan) => plan,
+        Err(e) => {
+            let _ = writeln!(writer, "!{e}");
+            let _ = writer.flush();
+            return;
+        }
+    };
+    if writeln!(writer, "ok units={}", plan.len()).is_err() || writer.flush().is_err() {
+        return;
+    }
+    // Unit phase: essentially `WorkPlan::serve` over the socket, with the
+    // optional injected death for fault testing.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(limit) = shared.die_after_units {
+            if shared.served.load(Ordering::Relaxed) >= limit
+                && !shared.died.swap(true, Ordering::SeqCst)
+            {
+                // Injected mid-stream death: drop the connection without
+                // answering the outstanding unit, and stop the whole worker
+                // (run() will report the death) — exactly what a crashed
+                // process looks like to the driver.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(self_addr);
+                return;
+            }
+        }
+        let reply = match WorkUnit::decode(trimmed) {
+            Ok(unit) => match plan.run_unit_spec(&unit) {
+                Ok(result) => result.encode(),
+                Err(e) => format!("!{e}"),
+            },
+            Err(e) => format!("!{e}"),
+        };
+        if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+            return;
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{Executor as _, SerialExecutor};
     use std::sync::mpsc;
 
     // ---- protocol ---------------------------------------------------------
@@ -1806,7 +2191,13 @@ mod tests {
         // waiter on it, then publish a sentinel histogram and check the
         // waiter re-wraps it with its own indices and counts an in-flight
         // hit instead of computing.
-        lock_ok(&sched.flights).insert(key.clone(), FlightState::Running { waiters: 0 });
+        lock_ok(&sched.flights).insert(
+            key.clone(),
+            FlightState::Running {
+                epoch: 0,
+                waiters: 0,
+            },
+        );
         let sentinel = DepthHistogram::new();
         let (result, joined_hits) = std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
@@ -1817,7 +2208,10 @@ mod tests {
             loop {
                 {
                     let flights = lock_ok(&sched.flights);
-                    if matches!(flights.get(&key), Some(FlightState::Running { waiters: 1 })) {
+                    if matches!(
+                        flights.get(&key),
+                        Some(FlightState::Running { waiters: 1, .. })
+                    ) {
                         break;
                     }
                 }
@@ -1828,6 +2222,7 @@ mod tests {
                 flights.insert(
                     key.clone(),
                     FlightState::Done {
+                        epoch: 0,
                         value: Ok(FlightValue::Hist(sentinel.clone())),
                         remaining: 1,
                     },
@@ -1910,6 +2305,217 @@ mod tests {
         assert!(bad.is_err());
 
         client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    // ---- deadline + waiter-accounting pins --------------------------------
+
+    #[test]
+    fn expired_deadline_never_claims_a_free_slot() {
+        // Bug pin: `acquire` used to check the deadline only while blocked,
+        // so an already-expired request with a free slot started computing
+        // anyway.
+        let sched = UnitScheduler::new(4);
+        let expired = Some(Instant::now() - Duration::from_millis(1));
+        let err = sched
+            .acquire(Priority::Interactive, expired)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("timed out"), "{err}");
+        // The aborted acquisition left the gate untouched.
+        let gate = lock_ok(&sched.gate);
+        assert_eq!(gate.active, 0);
+        assert_eq!(gate.interactive_waiting, 0);
+    }
+
+    #[test]
+    fn deadline_is_checked_between_units() {
+        // Bug pin: once admitted, a leader used to run every remaining unit
+        // with no deadline check between them.
+        let (pipeline, workloads) = tiny_plan_fixture();
+        let plan = pipeline.plan_ter("vgg16", &workloads).unwrap();
+        let sched = UnitScheduler::new(1);
+        let inflight = AtomicU64::new(0);
+        let expired = Some(Instant::now() - Duration::from_millis(1));
+        let err = sched
+            .run_plan_units(&plan, Priority::Interactive, expired, &inflight)
+            .unwrap_err();
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn abandoned_waiter_does_not_touch_a_successor_flights_accounting() {
+        // Bug pin: a waiter parked on a flight whose leader aborted used to
+        // decrement whatever state *currently* held the key — if a new
+        // generation had re-taken it, the waiter corrupted (underflowed)
+        // counters it never registered on.
+        let sched = UnitScheduler::new(1);
+        let key = "epoch-test".to_string();
+        std::thread::scope(|scope| {
+            // Generation 1: this thread leads.
+            assert!(matches!(
+                sched.join_or_lead(&key, None).unwrap(),
+                Role::Leader
+            ));
+            let deadline = Some(Instant::now() + Duration::from_millis(200));
+            let (sched_ref, key_ref) = (&sched, &key);
+            let waiter = scope.spawn(move || sched_ref.join_or_lead(key_ref, deadline));
+            // Wait until the waiter registered on generation 1.
+            loop {
+                {
+                    let flights = lock_ok(&sched.flights);
+                    if matches!(
+                        flights.get(&key),
+                        Some(FlightState::Running { waiters: 1, .. })
+                    ) {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Generation 1 aborts and generation 2 re-takes the key before
+            // the waiter wakes.
+            {
+                let mut flights = lock_ok(&sched.flights);
+                flights.remove(&key);
+                let epoch = sched.flight_epoch.fetch_add(1, Ordering::Relaxed);
+                flights.insert(key.clone(), FlightState::Running { epoch, waiters: 0 });
+            }
+            sched.flights_cv.notify_all();
+            // The stale waiter must come back as Retry without panicking or
+            // decrementing generation 2's counter.
+            assert!(matches!(waiter.join().unwrap().unwrap(), Role::Retry));
+            let flights = lock_ok(&sched.flights);
+            assert!(matches!(
+                flights.get(&key),
+                Some(FlightState::Running { waiters: 0, .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn stale_waiter_joins_a_successor_publish_without_decrementing_it() {
+        // Same race, Done flavor: the successor generation published with
+        // `remaining` counting *its* waiters; a stale waiter clones the
+        // value but must not decrement (which used to free the entry early
+        // or underflow).
+        let sched = UnitScheduler::new(1);
+        let key = "epoch-done-test".to_string();
+        std::thread::scope(|scope| {
+            assert!(matches!(
+                sched.join_or_lead(&key, None).unwrap(),
+                Role::Leader
+            ));
+            let waiter = scope.spawn(|| sched.join_or_lead(&key, None));
+            loop {
+                {
+                    let flights = lock_ok(&sched.flights);
+                    if matches!(
+                        flights.get(&key),
+                        Some(FlightState::Running { waiters: 1, .. })
+                    ) {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Generation 1 aborts; generation 2 leads and publishes Done
+            // with 2 registered waiters of its own.
+            {
+                let mut flights = lock_ok(&sched.flights);
+                flights.remove(&key);
+                let epoch = sched.flight_epoch.fetch_add(1, Ordering::Relaxed);
+                flights.insert(
+                    key.clone(),
+                    FlightState::Done {
+                        epoch,
+                        value: Ok(FlightValue::Hist(DepthHistogram::new())),
+                        remaining: 2,
+                    },
+                );
+            }
+            sched.flights_cv.notify_all();
+            let joined = waiter.join().unwrap().unwrap();
+            assert!(matches!(joined, Role::Joined(Ok(FlightValue::Hist(_)))));
+            let flights = lock_ok(&sched.flights);
+            assert!(matches!(
+                flights.get(&key),
+                Some(FlightState::Done { remaining: 2, .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn no_timeout_sentinel_round_trips_and_disables_the_server_default() {
+        let mut request = ServeRequest::ter("no-timeout");
+        request.timeout_ms = NO_TIMEOUT;
+        let encoded = request.encode();
+        assert!(encoded.contains("timeout_ms=none"), "{encoded}");
+        let decoded = ServeRequest::decode(&encoded).unwrap();
+        assert_eq!(decoded.timeout_ms, NO_TIMEOUT);
+        assert_eq!(decoded, request);
+
+        // End-to-end: a server whose default timeout already expired still
+        // serves a NO_TIMEOUT request (0 would have inherited the default
+        // and timed out between units).
+        let handle = ServeServer::spawn(
+            "127.0.0.1:0",
+            ServerConfig {
+                default_timeout_ms: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = handle.client();
+        let mut request = ServeRequest::ter("no-timeout");
+        request.layers = 1;
+        request.pixels = 1;
+        request.sources = vec![SourceSpec::Baseline];
+        request.corners = vec![CornerSpec::ideal()];
+        request.timeout_ms = NO_TIMEOUT;
+        let reply = client.request(&request).unwrap();
+        assert_eq!(reply.units, 1);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    // ---- worker server ----------------------------------------------------
+
+    #[test]
+    fn worker_rejects_a_bad_spec_in_band() {
+        let handle = WorkerServer::spawn("127.0.0.1:0", WorkerConfig::default()).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(reader.get_ref(), "req v1 kind=nonsense").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with('!'), "{line}");
+        WorkerServer::shutdown_at(&handle.addr().to_string()).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn worker_serves_a_plan_over_the_socket_protocol() {
+        let handle = WorkerServer::spawn("127.0.0.1:0", WorkerConfig::default()).unwrap();
+
+        let mut request = ServeRequest::ter("worker-e2e");
+        request.layers = 1;
+        request.pixels = 1;
+        request.sources = vec![SourceSpec::Baseline];
+        request.corners = vec![CornerSpec::ideal()];
+        // Driver side: the same spec expands to the same plan.
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+        let job = RequestJob::build(request.clone(), store).unwrap();
+        let plan = job.plan().unwrap();
+        let serial = SerialExecutor.execute(&plan, 0..plan.len()).unwrap();
+
+        let executor = SocketExecutor::new(request.encode(), [handle.addr().to_string()]);
+        let remote = executor.execute(&plan, 0..plan.len()).unwrap();
+        assert_eq!(remote, serial);
+        assert_eq!(executor.stats().worker_deaths(), 0);
+        assert_eq!(executor.stats().completed_units(), plan.len() as u64);
+
+        WorkerServer::shutdown_at(&handle.addr().to_string()).unwrap();
         handle.join().unwrap();
     }
 

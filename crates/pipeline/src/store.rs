@@ -46,11 +46,15 @@
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::error::PipelineError;
+use crate::plan::{escape_wire, unescape};
 
 /// Version tag of the on-disk entry format.  Stored in every entry header;
 /// entries carrying any other version read as misses and are counted in
@@ -78,6 +82,12 @@ pub struct StoreStats {
     pub corrupt: u64,
     /// Entries written to the store.
     pub writes: u64,
+    /// Orphaned temporary files swept when the store was opened — the
+    /// residue of writers that crashed between tmp-write and rename.
+    /// Always zero for [`MemoryStore`]; [`DiskStore::new`] removes and
+    /// counts them so a long-lived store directory cannot accumulate them
+    /// forever.
+    pub stale_tmp: u64,
 }
 
 /// A content-addressed, concurrency-safe store of text-encoded artifacts.
@@ -123,6 +133,7 @@ struct StoreCounters {
     misses: AtomicU64,
     corrupt: AtomicU64,
     writes: AtomicU64,
+    stale_tmp: AtomicU64,
 }
 
 impl StoreCounters {
@@ -145,6 +156,7 @@ impl StoreCounters {
             misses: self.misses.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            stale_tmp: self.stale_tmp.load(Ordering::Relaxed),
         }
     }
 }
@@ -241,7 +253,14 @@ pub struct DiskStore {
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl DiskStore {
-    /// Opens (creating if necessary) the store rooted at `root`.
+    /// Opens (creating if necessary) the store rooted at `root`, sweeping
+    /// any orphaned `.tmp` files a crashed writer left behind (counted in
+    /// [`StoreStats::stale_tmp`]).
+    ///
+    /// The sweep races benignly with live writers in other processes: a
+    /// swept-mid-write tmp file makes that writer's publish fail, which
+    /// `put` already absorbs as a best-effort no-op — the artifact is
+    /// simply recomputed and rewritten by the next user.
     ///
     /// # Errors
     ///
@@ -255,10 +274,38 @@ impl DiskStore {
                 root.display()
             ))
         })?;
-        Ok(DiskStore {
+        let store = DiskStore {
             root,
             counters: StoreCounters::default(),
-        })
+        };
+        let swept = store.sweep_stale_tmp();
+        store.counters.stale_tmp.store(swept, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// Removes every `*.tmp` file under the store's kind directories and
+    /// returns how many were deleted.
+    fn sweep_stale_tmp(&self) -> u64 {
+        let mut swept = 0;
+        let Ok(kinds) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        for kind in kinds.flatten() {
+            let dir = kind.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "tmp") && fs::remove_file(&path).is_ok() {
+                    swept += 1;
+                }
+            }
+        }
+        swept
     }
 
     /// The store's root directory.
@@ -324,8 +371,12 @@ impl ArtifactStore for DiskStore {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
+        // Every exit from here on — error, late hit, even a panic in the
+        // entry codec — removes the tmp file unless the rename consumed it;
+        // only a crash of the whole process can strand one, and those are
+        // swept (and counted) by the next [`DiskStore::new`] over this root.
+        let guard = TmpGuard { path: &tmp };
         if fs::write(&tmp, render_entry(kind, check, payload)).is_err() {
-            let _ = fs::remove_file(&tmp);
             return;
         }
         // First-writer-wins: a racing writer (thread or process) may have
@@ -337,17 +388,15 @@ impl ArtifactStore for DiskStore {
         if let Ok(content) = fs::read_to_string(&path) {
             if let Some((entry_kind, entry_check, _)) = parse_entry(&content) {
                 if entry_kind == kind && entry_check == escape_check(check) {
-                    let _ = fs::remove_file(&tmp);
                     self.counters.hits.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
         }
-        if fs::rename(&tmp, &path).is_err() {
-            let _ = fs::remove_file(&tmp);
-            return;
+        if fs::rename(&tmp, &path).is_ok() {
+            guard.disarm();
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
         }
-        self.counters.writes.fetch_add(1, Ordering::Relaxed);
     }
 
     fn note_corrupt(&self, kind: &str, key: u64) {
@@ -357,6 +406,25 @@ impl ArtifactStore for DiskStore {
 
     fn stats(&self) -> StoreStats {
         self.counters.snapshot()
+    }
+}
+
+/// Removes a pending tmp file on every exit path of [`DiskStore::put`]
+/// except the successful rename (which consumes the file).  `disarm` after
+/// the rename; dropping armed — early return, error, panic — deletes it.
+struct TmpGuard<'p> {
+    path: &'p Path,
+}
+
+impl TmpGuard<'_> {
+    fn disarm(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for TmpGuard<'_> {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(self.path);
     }
 }
 
@@ -397,6 +465,496 @@ fn parse_entry(content: &str) -> Option<(&str, &str, &str)> {
     Some((kind, check, payload))
 }
 
+// ---------------------------------------------------------------------------
+// Remote store: a line-delimited TCP protocol over any ArtifactStore
+// ---------------------------------------------------------------------------
+
+/// Wire grammar of the remote-store protocol (one request line, one
+/// response line; free-text fields use the repo's `\s`/`\n` wire escaping):
+///
+/// ```text
+/// ping                                                   → ok pong
+/// get kind=<esc> key=<16 hex> check=<esc>                → hit payload=<esc> | miss
+/// put kind=<esc> key=<16 hex> check=<esc> payload=<esc>  → ok
+/// corrupt kind=<esc> key=<16 hex>                        → ok
+/// stats                                                  → stats hits=N misses=N corrupt=N writes=N stale_tmp=N
+/// shutdown                                               → ok shutdown
+/// anything else                                          → err msg=<esc>
+/// ```
+///
+/// [`RemoteStore`] speaks the client side, [`StoreServer`] the daemon side
+/// (backed by any [`ArtifactStore`], typically a [`DiskStore`]).
+fn wire_field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    line.split_whitespace().find_map(|t| t.strip_prefix(key))
+}
+
+fn parse_hex_key(value: &str) -> Option<u64> {
+    u64::from_str_radix(value, 16).ok()
+}
+
+/// An [`ArtifactStore`] served by a remote [`StoreServer`] over TCP: the
+/// shared artifact namespace of a worker fleet.  Cold workers pointed at a
+/// warm store daemon recompute nothing, and every worker's write-through
+/// publishes fleet-wide — the multi-machine form of the shared
+/// [`DiskStore`] directory.
+///
+/// The client holds one lazily-established connection (reconnecting once
+/// per operation on a broken pipe) and keeps its own [`StoreStats`]: a
+/// transport failure degrades the lookup to a counted miss — the store
+/// contract is best-effort, so a dead daemon slows a fleet down but never
+/// fails it.
+#[derive(Debug)]
+pub struct RemoteStore {
+    addr: String,
+    timeout: Duration,
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+    counters: StoreCounters,
+}
+
+impl RemoteStore {
+    /// A client for the store daemon at `addr` (e.g. `127.0.0.1:7431`).
+    /// Does not connect until first use; use [`RemoteStore::connect`] to
+    /// fail fast on an unreachable daemon.
+    pub fn new(addr: impl Into<String>) -> RemoteStore {
+        RemoteStore {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+            conn: Mutex::new(None),
+            counters: StoreCounters::default(),
+        }
+    }
+
+    /// A client for the daemon at `addr`, validated with a `ping` round
+    /// trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] when the daemon is unreachable or
+    /// answers the ping with anything but `ok pong`.
+    pub fn connect(addr: impl Into<String>) -> Result<RemoteStore, PipelineError> {
+        let store = RemoteStore::new(addr);
+        store.ping()?;
+        Ok(store)
+    }
+
+    /// Sets the per-operation I/O timeout (default 30 s).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> RemoteStore {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn open_connection(&self) -> std::io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn try_round_trip(
+        conn: &mut Option<BufReader<TcpStream>>,
+        line: &str,
+    ) -> std::io::Result<String> {
+        let reader = match conn {
+            Some(reader) => reader,
+            None => unreachable!("caller ensures a connection"),
+        };
+        let mut stream = reader.get_ref();
+        writeln!(stream, "{line}")?;
+        stream.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "store daemon closed the connection",
+            ));
+        }
+        Ok(response.trim().to_string())
+    }
+
+    /// One request/response exchange, transparently reconnecting once — a
+    /// daemon restart between operations otherwise turns the first use of
+    /// the stale connection into a spurious miss.
+    fn round_trip(&self, line: &str) -> Result<String, PipelineError> {
+        let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        for attempt in 0..2 {
+            if conn.is_none() {
+                match self.open_connection() {
+                    Ok(fresh) => *conn = Some(fresh),
+                    Err(e) if attempt == 0 => {
+                        let _ = e;
+                        continue;
+                    }
+                    Err(e) => {
+                        return Err(PipelineError::exec(format!(
+                            "remote store {}: connect failed: {e}",
+                            self.addr
+                        )))
+                    }
+                }
+            }
+            match Self::try_round_trip(&mut conn, line) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    *conn = None;
+                    if attempt > 0 {
+                        return Err(PipelineError::exec(format!(
+                            "remote store {}: {e}",
+                            self.addr
+                        )));
+                    }
+                }
+            }
+        }
+        Err(PipelineError::exec(format!(
+            "remote store {}: unreachable",
+            self.addr
+        )))
+    }
+
+    /// Liveness check against the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on transport failure or an
+    /// unexpected response.
+    pub fn ping(&self) -> Result<(), PipelineError> {
+        match self.round_trip("ping")?.as_str() {
+            "ok pong" => Ok(()),
+            other => Err(PipelineError::exec(format!(
+                "remote store {}: unexpected ping response {other:?}",
+                self.addr
+            ))),
+        }
+    }
+
+    /// The *daemon's* aggregate counters (every client's traffic), as
+    /// opposed to [`ArtifactStore::stats`] which reports this client's own
+    /// view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on transport or protocol failure.
+    pub fn daemon_stats(&self) -> Result<StoreStats, PipelineError> {
+        let response = self.round_trip("stats")?;
+        if !response.starts_with("stats ") {
+            return Err(PipelineError::exec(format!(
+                "remote store {}: unexpected stats response {response:?}",
+                self.addr
+            )));
+        }
+        let num = |key: &str| -> u64 {
+            wire_field(&response, key)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        Ok(StoreStats {
+            hits: num("hits="),
+            misses: num("misses="),
+            corrupt: num("corrupt="),
+            writes: num("writes="),
+            stale_tmp: num("stale_tmp="),
+        })
+    }
+
+    /// Asks the daemon to stop accepting, drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on transport failure.
+    pub fn shutdown_daemon(&self) -> Result<(), PipelineError> {
+        let response = self.round_trip("shutdown")?;
+        if response == "ok shutdown" {
+            Ok(())
+        } else {
+            Err(PipelineError::exec(format!(
+                "remote store {}: unexpected shutdown response {response:?}",
+                self.addr
+            )))
+        }
+    }
+}
+
+impl ArtifactStore for RemoteStore {
+    fn name(&self) -> String {
+        format!("remote[{}]", self.addr)
+    }
+
+    fn load(&self, kind: &str, key: u64, check: &str) -> Option<String> {
+        let line = format!(
+            "get kind={} key={key:016x} check={}",
+            escape_wire(kind),
+            escape_wire(check)
+        );
+        let response = match self.round_trip(&line) {
+            Ok(response) => response,
+            Err(_) => {
+                // Transport failure degrades to a miss: the artifact is
+                // recomputed, never an error.
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if response == "miss" {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let payload = response
+            .starts_with("hit ")
+            .then(|| wire_field(&response, "payload="))
+            .flatten()
+            .and_then(|escaped| unescape(escaped, &response).ok());
+        match payload {
+            Some(payload) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                // A garbled response is treated like a corrupt entry.
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, kind: &str, key: u64, check: &str, payload: &str) {
+        let line = format!(
+            "put kind={} key={key:016x} check={} payload={}",
+            escape_wire(kind),
+            escape_wire(check),
+            escape_wire(payload)
+        );
+        if matches!(self.round_trip(&line).as_deref(), Ok("ok")) {
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_corrupt(&self, kind: &str, key: u64) {
+        let line = format!("corrupt kind={} key={key:016x}", escape_wire(kind));
+        let _ = self.round_trip(&line);
+        self.counters.reclassify_hit_as_corrupt();
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+/// The store daemon: serves the remote-store wire protocol over TCP,
+/// backed by any [`ArtifactStore`] (typically a [`DiskStore`], making the
+/// fleet's shared namespace persistent).  One handler thread per
+/// connection; the in-band `shutdown` command stops the accept loop and
+/// drains in-flight connections before [`StoreServer::run`] returns.
+pub struct StoreServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    store: Arc<dyn ArtifactStore>,
+    shutdown: AtomicBool,
+}
+
+impl StoreServer {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] when the socket cannot be bound.
+    pub fn bind(addr: &str, store: Arc<dyn ArtifactStore>) -> Result<StoreServer, PipelineError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| PipelineError::exec(format!("store daemon bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PipelineError::exec(format!("store daemon local_addr: {e}")))?;
+        Ok(StoreServer {
+            listener,
+            addr,
+            store,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound socket address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves connections until a `shutdown` command arrives, then drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Exec`] on a fatal accept error.
+    pub fn run(self) -> Result<(), PipelineError> {
+        std::thread::scope(|scope| {
+            loop {
+                let (stream, _) = match self.listener.accept() {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        return Err(PipelineError::exec(format!("store daemon accept: {e}")));
+                    }
+                };
+                if self.shutdown.load(Ordering::SeqCst) {
+                    drop(stream);
+                    break;
+                }
+                let server = &self;
+                scope.spawn(move || server.handle_connection(stream));
+            }
+            Ok(())
+        })
+    }
+
+    /// Binds and runs the daemon on a background thread — the in-process
+    /// form used by tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreServer::bind`] failures.
+    pub fn spawn(addr: &str, store: Arc<dyn ArtifactStore>) -> Result<StoreHandle, PipelineError> {
+        let server = StoreServer::bind(addr, store)?;
+        let addr = server.local_addr();
+        let join = std::thread::spawn(move || server.run());
+        Ok(StoreHandle { addr, join })
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = std::io::BufWriter::new(write_half);
+        for line in BufReader::new(stream).lines() {
+            let Ok(line) = line else { return };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let done = self.dispatch(line, &mut writer);
+            if writer.flush().is_err() || done {
+                return;
+            }
+        }
+    }
+
+    /// Handles one protocol line; returns `true` when the connection
+    /// should close (shutdown acknowledged).
+    fn dispatch(&self, line: &str, writer: &mut impl std::io::Write) -> bool {
+        let reply_err = |writer: &mut dyn std::io::Write, msg: &str| {
+            let _ = writeln!(writer, "err msg={}", escape_wire(msg));
+        };
+        match line.split_whitespace().next() {
+            Some("ping") => {
+                let _ = writeln!(writer, "ok pong");
+            }
+            Some("stats") => {
+                let s = self.store.stats();
+                let _ = writeln!(
+                    writer,
+                    "stats hits={} misses={} corrupt={} writes={} stale_tmp={}",
+                    s.hits, s.misses, s.corrupt, s.writes, s.stale_tmp
+                );
+            }
+            Some("shutdown") => {
+                let _ = writeln!(writer, "ok shutdown");
+                let _ = writer.flush();
+                self.shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(self.addr);
+                return true;
+            }
+            Some("get") => match Self::decode_entry_fields(line, false) {
+                Some((kind, key, check, _)) => {
+                    match self.store.load(&kind, key, &check) {
+                        Some(payload) => {
+                            let _ = writeln!(writer, "hit payload={}", escape_wire(&payload));
+                        }
+                        None => {
+                            let _ = writeln!(writer, "miss");
+                        }
+                    };
+                }
+                None => reply_err(writer, &format!("malformed get {line:?}")),
+            },
+            Some("put") => match Self::decode_entry_fields(line, true) {
+                Some((kind, key, check, Some(payload))) => {
+                    self.store.put(&kind, key, &check, &payload);
+                    let _ = writeln!(writer, "ok");
+                }
+                _ => reply_err(writer, &format!("malformed put {line:?}")),
+            },
+            Some("corrupt") => {
+                let fields = wire_field(line, "kind=")
+                    .and_then(|k| unescape(k, line).ok())
+                    .zip(wire_field(line, "key=").and_then(parse_hex_key));
+                match fields {
+                    Some((kind, key)) => {
+                        self.store.note_corrupt(&kind, key);
+                        let _ = writeln!(writer, "ok");
+                    }
+                    None => reply_err(writer, &format!("malformed corrupt {line:?}")),
+                }
+            }
+            _ => reply_err(writer, "unknown command"),
+        }
+        false
+    }
+
+    /// Decodes `kind=`/`key=`/`check=` (and, for puts, `payload=`) from a
+    /// request line.
+    #[allow(clippy::type_complexity)]
+    fn decode_entry_fields(
+        line: &str,
+        want_payload: bool,
+    ) -> Option<(String, u64, String, Option<String>)> {
+        let kind = unescape(wire_field(line, "kind=")?, line).ok()?;
+        let key = parse_hex_key(wire_field(line, "key=")?)?;
+        let check = unescape(wire_field(line, "check=")?, line).ok()?;
+        let payload = if want_payload {
+            Some(unescape(wire_field(line, "payload=")?, line).ok()?)
+        } else {
+            None
+        };
+        Some((kind, key, check, payload))
+    }
+}
+
+/// Handle to a daemon spawned with [`StoreServer::spawn`].
+pub struct StoreHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<Result<(), PipelineError>>,
+}
+
+impl StoreHandle {
+    /// The daemon's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A [`RemoteStore`] client connected to this daemon.
+    pub fn client(&self) -> RemoteStore {
+        RemoteStore::new(self.addr.to_string())
+    }
+
+    /// Waits for the daemon to exit (send `shutdown` first — e.g.
+    /// [`RemoteStore::shutdown_daemon`] — or this blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's exit result; a panicked server thread
+    /// surfaces as [`PipelineError::Exec`].
+    pub fn join(self) -> Result<(), PipelineError> {
+        self.join
+            .join()
+            .map_err(|_| PipelineError::exec("store daemon thread panicked"))?
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,7 +988,8 @@ mod tests {
                 hits: 1,
                 misses: 2,
                 corrupt: 0,
-                writes: 1
+                writes: 1,
+                stale_tmp: 0
             }
         );
         store.note_corrupt("schedule", 7);
@@ -443,7 +1002,8 @@ mod tests {
                 hits: 0,
                 misses: 3,
                 corrupt: 1,
-                writes: 1
+                writes: 1,
+                stale_tmp: 0
             }
         );
     }
@@ -474,7 +1034,8 @@ mod tests {
                 hits: 1,
                 misses: 2,
                 corrupt: 0,
-                writes: 1
+                writes: 1,
+                stale_tmp: 0
             }
         );
         let _ = fs::remove_dir_all(&dir);
@@ -521,7 +1082,8 @@ mod tests {
                 hits: 1,
                 misses: 0,
                 corrupt: 0,
-                writes: 1
+                writes: 1,
+                stale_tmp: 0
             }
         );
         // A *different* full key under the same fingerprint is not a late
@@ -553,6 +1115,119 @@ mod tests {
         assert_eq!(store.load("unit", 1, check).as_deref(), Some(payload));
         assert_eq!(store.load("unit", 1, "line\nbreak"), None);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_store_sweeps_and_counts_stale_tmp_files() {
+        let dir = temp_dir("stale-tmp");
+        {
+            let store = DiskStore::new(&dir).unwrap();
+            store.put("unit", 1, "check", "payload");
+            assert_eq!(store.stats().stale_tmp, 0, "fresh store has no orphans");
+        }
+        // Simulate two writers that crashed between tmp-write and rename.
+        let kind_dir = dir.join("unit");
+        fs::write(kind_dir.join(".dead1.tmp"), "half an entry").unwrap();
+        fs::write(kind_dir.join(".dead2.tmp"), "").unwrap();
+
+        let reopened = DiskStore::new(&dir).unwrap();
+        assert_eq!(reopened.stats().stale_tmp, 2);
+        assert!(!kind_dir.join(".dead1.tmp").exists());
+        assert!(!kind_dir.join(".dead2.tmp").exists());
+        // Healthy entries are untouched by the sweep.
+        assert_eq!(
+            reopened.load("unit", 1, "check").as_deref(),
+            Some("payload")
+        );
+        // A third open finds nothing left to sweep.
+        assert_eq!(DiskStore::new(&dir).unwrap().stats().stale_tmp, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remote_store_round_trips_through_a_daemon() {
+        let dir = temp_dir("remote");
+        let disk = Arc::new(DiskStore::new(&dir).unwrap()) as Arc<dyn ArtifactStore>;
+        let handle = StoreServer::spawn("127.0.0.1:0", Arc::clone(&disk)).unwrap();
+        let remote = RemoteStore::connect(handle.addr().to_string()).unwrap();
+        assert!(remote.name().starts_with("remote["));
+
+        assert_eq!(remote.load("unit", 7, "check a"), None);
+        remote.put("unit", 7, "check a", "payload with\nnewline and spaces");
+        assert_eq!(
+            remote.load("unit", 7, "check a").as_deref(),
+            Some("payload with\nnewline and spaces")
+        );
+        // Mismatched check is a miss, exactly like the local backends.
+        assert_eq!(remote.load("unit", 7, "check b"), None);
+        // Empty payloads survive the wire framing.
+        remote.put("unit", 8, "c", "");
+        assert_eq!(remote.load("unit", 8, "c").as_deref(), Some(""));
+
+        // Client-side counters reflect this client's traffic...
+        assert_eq!(
+            remote.stats(),
+            StoreStats {
+                hits: 2,
+                misses: 2,
+                corrupt: 0,
+                writes: 2,
+                stale_tmp: 0
+            }
+        );
+        // ...daemon stats reflect the backing store's.
+        let daemon = remote.daemon_stats().unwrap();
+        assert_eq!(daemon, disk.stats());
+        assert_eq!(daemon.writes, 2);
+
+        // note_corrupt evicts daemon-side; the next load misses.
+        remote.note_corrupt("unit", 7);
+        assert_eq!(remote.load("unit", 7, "check a"), None);
+
+        // A second client sees the first client's entries: the shared
+        // namespace contract.
+        let second = handle.client();
+        assert_eq!(second.load("unit", 8, "c").as_deref(), Some(""));
+
+        remote.shutdown_daemon().unwrap();
+        handle.join().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remote_store_degrades_to_misses_when_daemon_is_unreachable() {
+        // Bind-then-drop guarantees a dead port.
+        let dead_addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        assert!(RemoteStore::connect(&dead_addr).is_err(), "ping must fail");
+        let remote = RemoteStore::new(&dead_addr).timeout(Duration::from_millis(200));
+        assert_eq!(remote.load("unit", 1, "c"), None);
+        remote.put("unit", 1, "c", "p");
+        assert_eq!(remote.stats().misses, 1);
+        assert_eq!(remote.stats().writes, 0, "failed put is uncounted");
+    }
+
+    #[test]
+    fn store_daemon_rejects_malformed_lines_in_band() {
+        let handle = StoreServer::spawn("127.0.0.1:0", Arc::new(MemoryStore::new()) as _).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut ask = |line: &str| {
+            writeln!(&stream, "{line}").unwrap();
+            (&stream).flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response.trim().to_string()
+        };
+        assert!(ask("get kind=unit").starts_with("err msg="));
+        assert!(ask("put kind=unit key=zz check=c payload=p").starts_with("err msg="));
+        assert!(ask("warp").starts_with("err msg="));
+        // The connection survives protocol errors.
+        assert_eq!(ask("ping"), "ok pong");
+        assert_eq!(ask("shutdown"), "ok shutdown");
+        handle.join().unwrap();
     }
 
     #[test]

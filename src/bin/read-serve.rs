@@ -7,7 +7,12 @@
 //!
 //! ```text
 //! read-serve [--addr HOST:PORT] [--slots N] [--store DIR] [--timeout-ms N]
+//!            [--fleet HOST:PORT,HOST:PORT,...]
 //! ```
+//!
+//! With `--fleet`, bulk requests route their whole plan to the listed
+//! `read-worker` processes through a `SocketExecutor` (falling back to the
+//! local pool if the fleet fails); interactive requests always run locally.
 //!
 //! The daemon runs until a client sends the in-band `shutdown` command
 //! (e.g. `ServeClient::shutdown`), then drains in-flight requests and
@@ -47,10 +52,17 @@ fn parse_args() -> Result<Args, String> {
                 let store = DiskStore::new(&dir).map_err(|e| format!("--store {dir}: {e}"))?;
                 config.store = Some(Arc::new(store) as Arc<dyn ArtifactStore>);
             }
+            "--fleet" => {
+                config.fleet = value("--fleet")?
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: read-serve [--addr HOST:PORT] [--slots N] [--store DIR] \
-                     [--timeout-ms N]"
+                     [--timeout-ms N] [--fleet HOST:PORT,...]"
                         .to_string(),
                 )
             }

@@ -86,19 +86,24 @@ pub mod prelude {
     pub use read_core::{
         ClusterSchedule, ClusteringMode, LayerSchedule, ReadConfig, ReadOptimizer, SortCriterion,
     };
-    pub use read_pipeline::{resnet18_workloads, resnet34_workloads, vgg16_workloads};
+    pub use read_pipeline::{
+        resnet18_workloads, resnet18_workloads_prefix, resnet34_workloads,
+        resnet34_workloads_prefix, vgg16_workloads, vgg16_workloads_prefix,
+    };
     pub use read_pipeline::{AccuracyPoint, AccuracyReport};
     pub use read_pipeline::{
         AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient,
-        ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec,
+        ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec, WorkerConfig,
+        WorkerHandle, WorkerServer, NO_TIMEOUT,
     };
     pub use read_pipeline::{
         Aggregator, Algorithm, ArtifactStore, Baseline, CacheStats, DelayErrorModel, DieSpec,
-        DiskStore, ErrorModel, Evaluator, Executor, LayerReport, LayerWorkload, MemoryStore,
-        MonteCarloErrorModel, MonteCarloSweep, NetworkReport, PipelineError, PlanOutput,
-        ReadPipeline, ReadPipelineBuilder, ScheduleSource, SerialExecutor, StoreStats,
-        SubprocessExecutor, SweepCell, SweepPlan, SweepReport, ThreadExecutor, TopKEvaluator,
-        UnitResult, VariationErrorModel, WorkPlan, WorkUnit, WorkloadConfig, WorstCase,
+        DiskStore, ErrorModel, Evaluator, Executor, FlakyExecutor, FleetStats, LayerReport,
+        LayerWorkload, MemoryStore, MonteCarloErrorModel, MonteCarloSweep, NetworkReport,
+        PipelineError, PlanOutput, ReadPipeline, ReadPipelineBuilder, RemoteStore, ScheduleSource,
+        SerialExecutor, SocketExecutor, StoreHandle, StoreServer, StoreStats, SubprocessExecutor,
+        SweepCell, SweepPlan, SweepReport, ThreadExecutor, TopKEvaluator, UnitLedger, UnitResult,
+        VariationErrorModel, WorkPlan, WorkUnit, WorkloadConfig, WorstCase,
     };
     pub use timing::{
         ber_from_ter, paper_conditions, AnalyticAnalysis, DelayModel, DepthHistogram,

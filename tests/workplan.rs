@@ -363,3 +363,126 @@ fn aggregator_rejects_missing_duplicate_and_gapped_results() {
     let output = plan.aggregate(results).unwrap();
     assert!(output.into_ter().is_err());
 }
+
+// ---- failure paths: worker death and flaky transport ---------------------
+
+const WORKER_DIE_ENV: &str = "READ_WORKPLAN_WORKER_DIE";
+
+/// Worker entry point for the death regression: serves exactly one unit,
+/// then writes a diagnostic to stderr and exits 7 mid-stream, as a crashed
+/// worker would.  A no-op under a normal `cargo test` run.
+#[test]
+fn dying_worker_entry() {
+    if std::env::var(WORKER_DIE_ENV).is_err() {
+        return;
+    }
+    let pipeline = worker_builder().build().expect("worker pipeline");
+    let workloads = tiny_workloads(2);
+    let plan = pipeline
+        .plan_sweep(WORKER_NETWORK, &workloads)
+        .expect("worker plan");
+    use std::io::{BufRead as _, Write as _};
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout).expect("stdout newline");
+    for line in BufReader::new(std::io::stdin()).lines() {
+        let line = line.expect("stdin line");
+        let Ok(unit) = WorkUnit::decode(line.trim()) else {
+            continue;
+        };
+        let result = plan.run_unit_spec(&unit).expect("unit result");
+        writeln!(stdout, "{}", result.encode()).expect("result line");
+        stdout.flush().expect("flush stdout");
+        break;
+    }
+    // Write stderr directly (as `plan.serve` does for stdout): `eprintln!`
+    // would be captured by the libtest harness and never reach the driver.
+    let mut stderr = std::io::stderr().lock();
+    writeln!(stderr, "injected fault: worker abandoning its stream").expect("stderr line");
+    stderr.flush().expect("flush stderr");
+    std::process::exit(7);
+}
+
+/// Regression (failure-path sweep): a worker process that exits mid-stream
+/// surfaces as a `PipelineError` carrying its exit status and captured
+/// stderr — not a panic, a hang, or a silently short report.
+#[test]
+fn worker_death_mid_stream_surfaces_status_and_stderr() {
+    let workloads = tiny_workloads(2);
+    let exe = std::env::current_exe().expect("test binary path");
+    let subprocess = SubprocessExecutor::new(exe)
+        .args(["dying_worker_entry", "--exact", "--quiet"])
+        .env(WORKER_DIE_ENV, "1")
+        .workers(1);
+    let err = worker_builder()
+        .executor(subprocess)
+        .build()
+        .unwrap()
+        .run_sweep(WORKER_NETWORK, &workloads)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("worker exited with") && msg.contains("7"),
+        "error must carry the worker's exit status: {msg}"
+    );
+    assert!(
+        msg.contains("injected fault: worker abandoning its stream"),
+        "error must carry the worker's stderr: {msg}"
+    );
+}
+
+/// `FlakyExecutor` as a transport-fault model: pure reordering still
+/// aggregates byte-identically to serial (over threads and over worker
+/// processes), while any dropped or duplicated result makes aggregation
+/// fail loudly — a perturbed run can never produce a silently wrong
+/// report.
+#[test]
+fn flaky_transport_reaggregates_or_fails_loudly() {
+    let workloads = tiny_workloads(2);
+    let pipeline = worker_builder().build().unwrap();
+    let plan = pipeline.plan_sweep(WORKER_NETWORK, &workloads).unwrap();
+    let reference = pipeline
+        .run_plan(&plan)
+        .unwrap()
+        .into_sweep()
+        .unwrap()
+        .to_json();
+
+    // Reorder-only over an in-process pool and over worker processes.
+    let exe = std::env::current_exe().expect("test binary path");
+    let subprocess = SubprocessExecutor::new(exe)
+        .args(["shard_worker_entry", "--exact", "--quiet"])
+        .env(WORKER_ENV, "1")
+        .workers(2);
+    let shuffled: Vec<Box<dyn Executor>> = vec![
+        Box::new(FlakyExecutor::new(ThreadExecutor::new(2), 5).shuffle(true)),
+        Box::new(FlakyExecutor::new(subprocess, 6).shuffle(true)),
+    ];
+    for executor in &shuffled {
+        let results = executor.execute(&plan, 0..plan.len()).unwrap();
+        let report = plan.aggregate(results).unwrap().into_sweep().unwrap();
+        assert_eq!(report.to_json(), reference, "{}", executor.name());
+    }
+
+    // Lossy transport: every perturbed run must be *rejected*, and every
+    // clean run must still match the reference bytes.
+    let mut perturbed = 0;
+    for seed in 0..24u64 {
+        let flaky = FlakyExecutor::new(SerialExecutor, seed)
+            .drop_per_mille(120)
+            .duplicate_per_mille(120)
+            .shuffle(true);
+        let results = flaky.execute(&plan, 0..plan.len()).unwrap();
+        let lossy = flaky.dropped() > 0 || flaky.duplicated() > 0;
+        match plan.aggregate(results) {
+            Ok(output) => {
+                assert!(!lossy, "seed {seed}: a lossy result set must not aggregate");
+                assert_eq!(output.into_sweep().unwrap().to_json(), reference);
+            }
+            Err(err) => {
+                assert!(lossy, "seed {seed}: a clean result set was rejected: {err}");
+                perturbed += 1;
+            }
+        }
+    }
+    assert!(perturbed > 0, "injection rates never perturbed a run");
+}
