@@ -25,18 +25,44 @@ pub enum Dataflow {
     WeightStationary,
 }
 
-impl Dataflow {
-    /// All dataflows implemented by the simulator.
-    pub const ALL: [Dataflow; 2] = [Dataflow::OutputStationary, Dataflow::WeightStationary];
+/// The single variant registry: [`Dataflow::ALL`] and [`Dataflow::name`]
+/// are both generated from this one invocation, so adding a dataflow (the
+/// enum is `#[non_exhaustive]` precisely to leave room for row-stationary)
+/// is a one-site change — add the variant to the enum and one line here.
+/// The generated `name()` match is exhaustive with explicit arms: an enum
+/// variant missing from the registry fails to compile instead of silently
+/// falling out of `ALL`.
+macro_rules! dataflow_registry {
+    ($(($variant:ident, $name:literal)),+ $(,)?) => {
+        impl Dataflow {
+            /// All dataflows implemented by the simulator, in declaration
+            /// order.
+            pub const ALL: [Dataflow; [$(Dataflow::$variant),+].len()] =
+                [$(Dataflow::$variant),+];
 
-    /// Short human-readable name used in experiment output.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Dataflow::OutputStationary => "output-stationary",
-            Dataflow::WeightStationary => "weight-stationary",
+            /// Short human-readable name used in experiment output.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $(Dataflow::$variant => $name,)+
+                }
+            }
+
+            /// The dataflow with the given [`Dataflow::name`], if any —
+            /// the inverse used by wire decoders.
+            pub fn from_name(name: &str) -> Option<Dataflow> {
+                match name {
+                    $($name => Some(Dataflow::$variant),)+
+                    _ => None,
+                }
+            }
         }
-    }
+    };
 }
+
+dataflow_registry!(
+    (OutputStationary, "output-stationary"),
+    (WeightStationary, "weight-stationary"),
+);
 
 impl std::fmt::Display for Dataflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -59,5 +85,15 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert_ne!(names[0], names[1]);
         assert_eq!(Dataflow::OutputStationary.to_string(), "output-stationary");
+    }
+
+    /// Every registered dataflow round-trips through its name — the seam a
+    /// future row-stationary variant plugs into with a single registry line.
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for df in Dataflow::ALL {
+            assert_eq!(Dataflow::from_name(df.name()), Some(df));
+        }
+        assert_eq!(Dataflow::from_name("row-stationary"), None);
     }
 }

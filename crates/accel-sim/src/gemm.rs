@@ -266,7 +266,12 @@ impl GemmProblem {
         })
     }
 
-    fn select_pixels(&self, options: &SimOptions) -> Vec<usize> {
+    /// The output pixels a simulation under `options` covers, in ascending
+    /// order — all of them, or a deterministic seeded sample.  Exposed so
+    /// alternative execution engines (e.g. the event-driven dataflow
+    /// simulator) cover exactly the pixel set
+    /// [`GemmProblem::simulate_with_schedule`] would.
+    pub fn select_pixels(&self, options: &SimOptions) -> Vec<usize> {
         let m = self.num_pixels();
         match options.max_pixels {
             Some(max) if max < m => {

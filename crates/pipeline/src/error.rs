@@ -1,6 +1,7 @@
 //! Error type of the pipeline layer.
 
 use accel_sim::SimError;
+use dataflow_sim::EventError;
 use qnn::QnnError;
 use read_core::ReadError;
 
@@ -35,6 +36,8 @@ pub enum PipelineError {
     Sim(SimError),
     /// The fault-injection evaluation failed.
     Eval(QnnError),
+    /// The event-driven dataflow engine failed.
+    Probe(EventError),
 }
 
 impl PipelineError {
@@ -67,6 +70,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Schedule(e) => write!(f, "schedule source failed: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
             PipelineError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            PipelineError::Probe(e) => write!(f, "dataflow probe failed: {e}"),
         }
     }
 }
@@ -77,6 +81,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Schedule(e) => Some(e),
             PipelineError::Sim(e) => Some(e),
             PipelineError::Eval(e) => Some(e),
+            PipelineError::Probe(e) => Some(e),
             _ => None,
         }
     }
@@ -97,5 +102,16 @@ impl From<SimError> for PipelineError {
 impl From<QnnError> for PipelineError {
     fn from(e: QnnError) -> Self {
         PipelineError::Eval(e)
+    }
+}
+
+impl From<EventError> for PipelineError {
+    fn from(e: EventError) -> Self {
+        // An invalid schedule is a simulation-input error whichever engine
+        // rejects it; everything else is specific to the event engine.
+        match e {
+            EventError::Sim(sim) => PipelineError::Sim(sim),
+            other => PipelineError::Probe(other),
+        }
     }
 }

@@ -91,15 +91,17 @@ pub use executor::{
 };
 pub use pipeline::{ReadPipeline, ReadPipelineBuilder};
 pub use plan::{Aggregator, PlanOutput, UnitLedger, UnitResult, WorkPlan, WorkUnit};
-pub use report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+pub use report::{
+    AccuracyPoint, AccuracyReport, DataflowNetworkReport, DataflowRow, LayerReport, NetworkReport,
+};
 pub use serve::{
     AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient, ServeHandle,
     ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec, WorkerConfig, WorkerHandle,
     WorkerServer, NO_TIMEOUT,
 };
 pub use stage::{
-    Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
-    ScheduleSource, TopKEvaluator, VariationErrorModel,
+    Algorithm, Baseline, DataflowProber, DelayErrorModel, ErrorModel, Evaluator, EventProber,
+    MonteCarloErrorModel, ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
 pub use store::{
     ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreServer, StoreStats,
@@ -120,15 +122,18 @@ pub mod prelude {
     };
     pub use crate::pipeline::{ReadPipeline, ReadPipelineBuilder};
     pub use crate::plan::{Aggregator, PlanOutput, UnitLedger, UnitResult, WorkPlan, WorkUnit};
-    pub use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+    pub use crate::report::{
+        AccuracyPoint, AccuracyReport, DataflowNetworkReport, DataflowRow, LayerReport,
+        NetworkReport,
+    };
     pub use crate::serve::{
         AccuracySpec, CornerSpec, McSpec, ModelFamily, Priority, RequestKind, ServeClient,
         ServeHandle, ServeReply, ServeRequest, ServeServer, ServerConfig, SourceSpec, WorkerConfig,
         WorkerHandle, WorkerServer, NO_TIMEOUT,
     };
     pub use crate::stage::{
-        Algorithm, Baseline, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel,
-        ScheduleSource, TopKEvaluator, VariationErrorModel,
+        Algorithm, Baseline, DataflowProber, DelayErrorModel, ErrorModel, Evaluator, EventProber,
+        MonteCarloErrorModel, ScheduleSource, TopKEvaluator, VariationErrorModel,
     };
     pub use crate::store::{
         ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreServer, StoreStats,

@@ -18,10 +18,10 @@ use crate::cache::{
 use crate::error::PipelineError;
 use crate::executor::{Executor, SerialExecutor, ThreadExecutor};
 use crate::plan::{escape_wire, PlanOutput, WorkPlan};
-use crate::report::{AccuracyReport, NetworkReport};
+use crate::report::{AccuracyReport, DataflowNetworkReport, NetworkReport};
 use crate::stage::{
-    fnv1a, DelayErrorModel, ErrorModel, Evaluator, MonteCarloErrorModel, ScheduleSource,
-    TopKEvaluator, VariationErrorModel,
+    fnv1a, DataflowProber, DelayErrorModel, ErrorModel, Evaluator, EventProber,
+    MonteCarloErrorModel, ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
 use crate::store::ArtifactStore;
 use crate::sweep::{SweepPlan, SweepReport};
@@ -43,6 +43,7 @@ pub struct ReadPipelineBuilder {
     executor: Option<Arc<dyn Executor>>,
     sweep_plan: Option<SweepPlan>,
     store: Option<Arc<dyn ArtifactStore>>,
+    prober: Option<Arc<dyn DataflowProber>>,
 }
 
 impl ReadPipelineBuilder {
@@ -191,6 +192,14 @@ impl ReadPipelineBuilder {
         self
     }
 
+    /// Sets the dataflow-probe stage [`ReadPipeline::run_dataflow`] uses
+    /// (default: an [`EventProber`] with the default
+    /// [`dataflow_sim::EngineConfig`]).
+    pub fn dataflow_prober(mut self, prober: impl DataflowProber + 'static) -> Self {
+        self.prober = Some(Arc::new(prober));
+        self
+    }
+
     /// Validates the configuration and builds the pipeline.
     ///
     /// # Errors
@@ -264,6 +273,9 @@ impl ReadPipelineBuilder {
             hist_cache: HistogramCache::with_store(self.store.clone()),
             unit_cache: UnitCache::with_store(self.store.clone()),
             store: self.store,
+            prober: self
+                .prober
+                .unwrap_or_else(|| Arc::new(EventProber::default())),
         })
     }
 }
@@ -314,6 +326,7 @@ pub struct ReadPipeline {
     hist_cache: HistogramCache,
     unit_cache: UnitCache,
     store: Option<Arc<dyn ArtifactStore>>,
+    prober: Arc<dyn DataflowProber>,
 }
 
 impl std::fmt::Debug for ReadPipeline {
@@ -353,6 +366,16 @@ impl ReadPipeline {
     /// The configured dataflow.
     pub fn dataflow(&self) -> Dataflow {
         self.dataflow
+    }
+
+    /// The configured simulation options.
+    pub fn sim_options(&self) -> &SimOptions {
+        &self.sim_options
+    }
+
+    /// The configured dataflow-probe stage.
+    pub fn dataflow_prober(&self) -> &dyn DataflowProber {
+        self.prober.as_ref()
     }
 
     /// The configured schedule sources, in report order.
@@ -727,6 +750,37 @@ impl ReadPipeline {
         WorkPlan::accuracy(self, model, network, dataset, workloads, seeds)
     }
 
+    /// The [`WorkPlan`] of the dataflow-probe experiment
+    /// ([`ReadPipeline::run_dataflow`]): one probe unit per
+    /// (dataflow, workload, source) cell, over every registered
+    /// [`Dataflow`] variant.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReadPipeline::plan_dataflow_with`].
+    pub fn plan_dataflow<'a>(
+        &'a self,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        self.plan_dataflow_with(network, workloads, Dataflow::ALL.to_vec())
+    }
+
+    /// The [`WorkPlan`] of a dataflow-probe experiment over an explicit
+    /// dataflow list (cells are dataflow-major in the given order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Input`] when `dataflows` is empty.
+    pub fn plan_dataflow_with<'a>(
+        &'a self,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+        dataflows: Vec<Dataflow>,
+    ) -> Result<WorkPlan<'a>, PipelineError> {
+        WorkPlan::dataflow(self, network, workloads, dataflows)
+    }
+
     /// Executes a [`WorkPlan`] on the configured executor and aggregates the
     /// results.  The typed `run_*` methods are conveniences over this.
     ///
@@ -761,6 +815,31 @@ impl ReadPipeline {
     ) -> Result<NetworkReport, PipelineError> {
         let plan = self.plan_ter(network, workloads)?;
         self.run_plan(&plan)?.into_ter()
+    }
+
+    /// Runs the dataflow-probe experiment: the event-driven engine
+    /// ([`dataflow_sim::run_dataflow`], or whatever
+    /// [`ReadPipelineBuilder::dataflow_prober`] configured) over every
+    /// registered [`Dataflow`] for every (workload, source) pair, returning
+    /// the dynamic-timing reports — cycles, utilization, per-context stall
+    /// breakdown, peak psum-buffer occupancy — the analytic simulator
+    /// cannot see.
+    ///
+    /// Rows are ordered dataflow-major, then layer, then source,
+    /// independent of the execution strategy.  Probe units are memoized
+    /// through the unit-result cache (and an attached artifact store), so
+    /// reruns aggregate without re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule and engine failures in cell order.
+    pub fn run_dataflow(
+        &self,
+        network: &str,
+        workloads: &[LayerWorkload],
+    ) -> Result<DataflowNetworkReport, PipelineError> {
+        let plan = self.plan_dataflow(network, workloads)?;
+        self.run_plan(&plan)?.into_dataflow()
     }
 
     /// Runs the configured corner/die sweep (see
@@ -1040,6 +1119,40 @@ mod tests {
     }
 
     #[test]
+    fn run_dataflow_probes_every_dataflow_and_memoizes() {
+        let pipeline = ReadPipeline::builder()
+            .source(Algorithm::Baseline)
+            .condition(OperatingCondition::ideal())
+            .build()
+            .unwrap();
+        let workloads = tiny_workloads(1);
+        let report = pipeline.run_dataflow("tiny", &workloads).unwrap();
+        // One row per registered dataflow, dataflow-major in registry order.
+        assert_eq!(report.rows.len(), Dataflow::ALL.len());
+        for (row, df) in report.rows.iter().zip(Dataflow::ALL) {
+            assert_eq!(row.report.dataflow, df.name());
+            assert_eq!(row.layer, workloads[0].name);
+            assert_eq!(row.algorithm, "baseline");
+            assert!(row.report.macs > 0);
+            assert!(row.report.cycles >= row.report.macs / 16);
+        }
+        // Output-stationary never spills psums; conv1_1 has 27 reduction
+        // rows over a 16-row array, so weight-stationary must.
+        let os = report
+            .row("output-stationary", &workloads[0].name, "baseline")
+            .unwrap();
+        assert_eq!(os.report.peak_psum_buffer, 0);
+        let ws = report
+            .row("weight-stationary", &workloads[0].name, "baseline")
+            .unwrap();
+        assert!(ws.report.peak_psum_buffer > 0);
+        // A rerun aggregates from the memoized unit results.
+        let again = pipeline.run_dataflow("tiny", &workloads).unwrap();
+        assert_eq!(again.to_json(), report.to_json());
+        assert!(pipeline.cache_stats().unit_hits >= Dataflow::ALL.len() as u64);
+    }
+
+    #[test]
     fn threaded_executor_matches_serial_reports() {
         let build = |executor: Arc<dyn Executor>| {
             ReadPipeline::builder()
@@ -1056,6 +1169,10 @@ mod tests {
         assert_eq!(
             threaded.run_ter("exec", &workloads).unwrap().to_json(),
             serial.run_ter("exec", &workloads).unwrap().to_json()
+        );
+        assert_eq!(
+            threaded.run_dataflow("exec", &workloads).unwrap().to_json(),
+            serial.run_dataflow("exec", &workloads).unwrap().to_json()
         );
     }
 

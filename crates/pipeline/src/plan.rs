@@ -14,6 +14,10 @@
 //!   bit.
 //! * [`WorkUnit::AccuracyPoint`] — evaluate one (condition, source) cell of
 //!   an accuracy experiment under error injection.
+//! * [`WorkUnit::DataflowProbe`] — run the event-driven dataflow engine on
+//!   one (dataflow, workload, source) cell and return its
+//!   [`dataflow_sim::DataflowReport`] (cycles, utilization, stall
+//!   breakdown, peak buffer occupancy).
 //!
 //! Units are *position-independent*: a unit's result depends only on the
 //! unit identity and the pipeline configuration, never on which worker ran
@@ -36,6 +40,8 @@ use std::io::{BufRead, Write};
 use std::ops::Range;
 use std::sync::Arc;
 
+use accel_sim::Dataflow;
+use dataflow_sim::DataflowReport;
 use qnn::{Dataset, Model};
 use timing::{DepthHistogram, OperatingCorner, TerEstimate};
 
@@ -44,7 +50,9 @@ use crate::cache::{
 };
 use crate::error::PipelineError;
 use crate::pipeline::ReadPipeline;
-use crate::report::{AccuracyPoint, AccuracyReport, LayerReport, NetworkReport};
+use crate::report::{
+    AccuracyPoint, AccuracyReport, DataflowNetworkReport, DataflowRow, LayerReport, NetworkReport,
+};
 use crate::stage::fnv1a;
 use crate::sweep::{DieModel, SweepCell, SweepPlan, SweepReport, WorstCase};
 use crate::workload::LayerWorkload;
@@ -80,6 +88,13 @@ pub enum WorkUnit {
         /// (condition, source) cell index.
         cell: usize,
     },
+    /// Run the event-driven dataflow engine on one
+    /// (dataflow, workload, source) cell.  Cells are dataflow-major over
+    /// the plan's pairs (`dataflow = cell / pairs`, `pair = cell % pairs`).
+    DataflowProbe {
+        /// (dataflow, workload, source) cell index.
+        cell: usize,
+    },
 }
 
 impl WorkUnit {
@@ -94,6 +109,7 @@ impl WorkUnit {
                 )
             }
             WorkUnit::AccuracyPoint { cell } => format!("acc cell={cell}"),
+            WorkUnit::DataflowProbe { cell } => format!("dflow cell={cell}"),
         }
     }
 
@@ -115,6 +131,9 @@ impl WorkUnit {
                 trial_range: parse_range(field(&mut tokens, "trials", line)?, line)?,
             },
             "acc" => WorkUnit::AccuracyPoint {
+                cell: parse_field(&mut tokens, "cell", line)?,
+            },
+            "dflow" => WorkUnit::DataflowProbe {
                 cell: parse_field(&mut tokens, "cell", line)?,
             },
             other => return Err(bad_wire(line, &format!("unknown unit tag {other:?}"))),
@@ -162,6 +181,13 @@ pub enum UnitResult {
         /// The evaluated accuracy point.
         point: AccuracyPoint,
     },
+    /// A [`WorkUnit::DataflowProbe`] result.
+    DataflowProbe {
+        /// (dataflow, workload, source) cell index.
+        cell: usize,
+        /// The probed dynamic-timing report.
+        report: DataflowReport,
+    },
 }
 
 impl UnitResult {
@@ -179,6 +205,7 @@ impl UnitResult {
                 trial_range: trial_range.clone(),
             },
             UnitResult::Accuracy { cell, .. } => WorkUnit::AccuracyPoint { cell: *cell },
+            UnitResult::DataflowProbe { cell, .. } => WorkUnit::DataflowProbe { cell: *cell },
         }
     }
 
@@ -223,6 +250,11 @@ impl UnitResult {
                 point.mean_ber,
                 point.seeds
             ),
+            UnitResult::DataflowProbe { cell, report } => {
+                // The report body is the dataflow-sim crate's own wire
+                // rendering, shared with the artifact store.
+                format!("dflow cell={cell} {}", report.to_wire())
+            }
         }
     }
 
@@ -294,6 +326,15 @@ impl UnitResult {
                         seeds,
                     },
                 }
+            }
+            "dflow" => {
+                let cell = parse_field(&mut tokens, "cell", line)?;
+                // The remaining tokens are the dataflow report's wire
+                // rendering, which rejects trailing tokens itself.
+                let body: Vec<&str> = tokens.by_ref().collect();
+                let report = DataflowReport::from_wire(&body.join(" "))
+                    .ok_or_else(|| bad_wire(line, "malformed dataflow report"))?;
+                UnitResult::DataflowProbe { cell, report }
             }
             other => return Err(bad_wire(line, &format!("unknown result tag {other:?}"))),
         };
@@ -415,6 +456,8 @@ pub(crate) enum PlanKind<'a> {
         conv_names: Vec<String>,
         seeds: u64,
     },
+    /// A dataflow-probe experiment ([`ReadPipeline::run_dataflow`]).
+    Dataflow { dataflows: Vec<Dataflow> },
 }
 
 /// The full content signature of a plan: every stage fingerprint, workload
@@ -476,6 +519,25 @@ fn plan_signature(
                     sig.push(';');
                 }
                 let _ = write!(sig, "{condition:?}");
+            }
+        }
+        PlanKind::Dataflow { dataflows } => {
+            // The prober's fingerprint covers the engine configuration
+            // (channel capacities, hop latency), which changes every probe
+            // result — the stage signature deliberately excludes it so TER
+            // / sweep / accuracy memoization stays undisturbed.
+            let prober = pipeline.dataflow_prober();
+            let _ = write!(
+                sig,
+                " kind=dflow prober={}:{:016x} dataflows=",
+                escape_wire(&prober.name()),
+                prober.fingerprint()
+            );
+            for (i, dataflow) in dataflows.iter().enumerate() {
+                if i > 0 {
+                    sig.push(';');
+                }
+                sig.push_str(dataflow.name());
             }
         }
     }
@@ -662,6 +724,33 @@ impl<'a> WorkPlan<'a> {
                 conv_names,
                 seeds,
             },
+            units,
+        ))
+    }
+
+    pub(crate) fn dataflow(
+        pipeline: &'a ReadPipeline,
+        network: &str,
+        workloads: &'a [LayerWorkload],
+        dataflows: Vec<Dataflow>,
+    ) -> Result<Self, PipelineError> {
+        if dataflows.is_empty() {
+            return Err(PipelineError::Input {
+                reason: "dataflow plan needs at least one dataflow to probe".into(),
+            });
+        }
+        // Probes carry their own dynamics; no operating condition or
+        // histogram warm-up is involved.  Cells are dataflow-major so the
+        // report groups each dataflow's layers together.
+        let pairs = workloads.len() * pipeline.sources().len();
+        let units = (0..dataflows.len() * pairs)
+            .map(|cell| WorkUnit::DataflowProbe { cell })
+            .collect();
+        Ok(WorkPlan::assemble(
+            pipeline,
+            workloads,
+            network,
+            PlanKind::Dataflow { dataflows },
             units,
         ))
     }
@@ -900,6 +989,28 @@ impl<'a> WorkPlan<'a> {
                     },
                 })
             }
+            WorkUnit::DataflowProbe { cell } => {
+                let PlanKind::Dataflow { dataflows } = &self.kind else {
+                    return Err(PipelineError::exec("dflow unit outside a dataflow plan"));
+                };
+                let pairs = self.pairs();
+                let dataflow = dataflows[*cell / pairs];
+                let pair = *cell % pairs;
+                let workload = self.workload_of(pair);
+                let source = self.source_of(pair);
+                let schedule = self.pipeline.schedule_for(&workload.weights, source)?;
+                let report = self.pipeline.dataflow_prober().probe(
+                    &workload.problem(),
+                    self.pipeline.array(),
+                    dataflow,
+                    &schedule,
+                    self.pipeline.sim_options(),
+                )?;
+                Ok(UnitResult::DataflowProbe {
+                    cell: *cell,
+                    report,
+                })
+            }
         }
     }
 
@@ -959,6 +1070,7 @@ impl std::fmt::Debug for WorkPlan<'_> {
             PlanKind::Ter => "ter",
             PlanKind::Sweep { .. } => "sweep",
             PlanKind::Accuracy { .. } => "accuracy",
+            PlanKind::Dataflow { .. } => "dataflow",
         };
         f.debug_struct("WorkPlan")
             .field("network", &self.network)
@@ -978,6 +1090,8 @@ pub enum PlanOutput {
     Sweep(SweepReport),
     /// A [`ReadPipeline::run_accuracy`]-shaped report.
     Accuracy(AccuracyReport),
+    /// A [`ReadPipeline::run_dataflow`]-shaped report.
+    Dataflow(DataflowNetworkReport),
 }
 
 impl PlanOutput {
@@ -1010,6 +1124,16 @@ impl PlanOutput {
             ))),
         }
     }
+
+    /// The dataflow report, if this output is one.
+    pub fn into_dataflow(self) -> Result<DataflowNetworkReport, PipelineError> {
+        match self {
+            PlanOutput::Dataflow(report) => Ok(report),
+            other => Err(PipelineError::exec(format!(
+                "expected a dataflow report, aggregated {other:?}"
+            ))),
+        }
+    }
 }
 
 /// Folds [`UnitResult`]s back into the plan's report.
@@ -1026,6 +1150,7 @@ pub struct Aggregator<'p, 'a> {
     hists: BTreeMap<usize, DepthHistogram>,
     shards: BTreeMap<usize, Vec<McShardSamples>>,
     points: BTreeMap<usize, AccuracyPoint>,
+    probes: BTreeMap<usize, DataflowReport>,
 }
 
 /// One Monte-Carlo shard's samples: the trial range plus the per-pair trial
@@ -1040,6 +1165,7 @@ impl<'p, 'a> Aggregator<'p, 'a> {
             hists: BTreeMap::new(),
             shards: BTreeMap::new(),
             points: BTreeMap::new(),
+            probes: BTreeMap::new(),
         }
     }
 
@@ -1113,6 +1239,22 @@ impl<'p, 'a> Aggregator<'p, 'a> {
                 if self.points.insert(cell, point).is_some() {
                     return Err(PipelineError::exec(format!(
                         "duplicate accuracy result for cell {cell}"
+                    )));
+                }
+            }
+            UnitResult::DataflowProbe { cell, report } => {
+                if self
+                    .plan
+                    .index_of(&WorkUnit::DataflowProbe { cell })
+                    .is_none()
+                {
+                    return Err(PipelineError::exec(format!(
+                        "dataflow result for cell {cell}, which is not part of this plan"
+                    )));
+                }
+                if self.probes.insert(cell, report).is_some() {
+                    return Err(PipelineError::exec(format!(
+                        "duplicate dataflow result for cell {cell}"
                     )));
                 }
             }
@@ -1304,6 +1446,25 @@ impl<'p, 'a> Aggregator<'p, 'a> {
                     points,
                 }))
             }
+            PlanKind::Dataflow { dataflows } => {
+                let cells = dataflows.len() * plan.pairs();
+                let mut rows = Vec::with_capacity(cells);
+                for cell in 0..cells {
+                    let report = self.probes.get(&cell).cloned().ok_or_else(|| {
+                        PipelineError::exec(format!("dataflow result for cell {cell} missing"))
+                    })?;
+                    let pair = cell % plan.pairs();
+                    rows.push(DataflowRow {
+                        layer: plan.workload_of(pair).name.clone(),
+                        algorithm: plan.source_of(pair).name(),
+                        report,
+                    });
+                }
+                Ok(PlanOutput::Dataflow(DataflowNetworkReport {
+                    network: plan.network.clone(),
+                    rows,
+                }))
+            }
         }
     }
 }
@@ -1476,6 +1637,7 @@ mod tests {
                 trial_range: 8..24,
             },
             WorkUnit::AccuracyPoint { cell: 5 },
+            WorkUnit::DataflowProbe { cell: 11 },
         ];
         for unit in units {
             let encoded = unit.encode();
@@ -1505,6 +1667,8 @@ mod tests {
             "hist cell=0 pair=1 extra=2",
             "mc cell=1 trials=5",
             "acc cell=x",
+            "dflow cell=",
+            "dflow cell=0 extra=1",
         ] {
             assert!(WorkUnit::decode(bad).is_err(), "{bad:?} should not decode");
         }
@@ -1617,6 +1781,37 @@ mod tests {
                 trial_range: 0..8
             }
         );
+    }
+
+    #[test]
+    fn dataflow_results_round_trip() {
+        let report = DataflowReport {
+            dataflow: "weight-stationary".into(),
+            cycles: 240,
+            macs: 128,
+            outputs: 16,
+            stalled: 31,
+            peak_psum_buffer: 8,
+            contexts: vec![dataflow_sim::ContextReport {
+                name: "pe".into(),
+                busy: 128,
+                stall: 31,
+                finish: 240,
+            }],
+            channels: vec![dataflow_sim::ChannelReport {
+                name: "weights".into(),
+                capacity: 4,
+                peak: 4,
+                sends: 128,
+            }],
+        };
+        let result = UnitResult::DataflowProbe { cell: 3, report };
+        assert_eq!(result.unit(), WorkUnit::DataflowProbe { cell: 3 });
+        let encoded = result.encode();
+        assert!(encoded.starts_with("dflow cell=3 df=weight-stationary "));
+        assert_eq!(UnitResult::decode(&encoded).unwrap(), result);
+        // A truncated report body is rejected, not silently accepted.
+        assert!(UnitResult::decode("dflow cell=3 df=weight-stationary cycles=240").is_err());
     }
 
     // ---- UnitLedger -------------------------------------------------------

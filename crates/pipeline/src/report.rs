@@ -207,6 +207,64 @@ impl AccuracyReport {
     }
 }
 
+/// One (dataflow, layer, algorithm) cell of a dataflow-probe experiment:
+/// the event-driven engine's dynamic-timing report for that combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowRow {
+    /// Layer name (e.g. `"conv3_2"`).
+    pub layer: String,
+    /// Schedule-source name (e.g. `"cluster-then-reorder[sign_first]"`).
+    pub algorithm: String,
+    /// The probed dynamics: cycles, utilization, stall breakdown per
+    /// context, peak buffer occupancy.  Carries the dataflow name.
+    pub report: dataflow_sim::DataflowReport,
+}
+
+/// A full dataflow-probe experiment: every (dataflow, layer, source) cell,
+/// produced by [`crate::ReadPipeline::run_dataflow`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataflowNetworkReport {
+    /// Network / experiment label.
+    pub network: String,
+    /// Rows in deterministic order: dataflow-major, then layer, then
+    /// source (the order the pipeline was configured with).
+    pub rows: Vec<DataflowRow>,
+}
+
+impl DataflowNetworkReport {
+    /// The row for a (dataflow, layer, algorithm) triple, if present.
+    pub fn row(&self, dataflow: &str, layer: &str, algorithm: &str) -> Option<&DataflowRow> {
+        self.rows
+            .iter()
+            .find(|r| r.report.dataflow == dataflow && r.layer == layer && r.algorithm == algorithm)
+    }
+
+    /// Deterministic JSON rendering of the report (stable key order,
+    /// shortest round-trip float formatting).  Each row embeds the engine's
+    /// own [`dataflow_sim::DataflowReport::to_json`] object under
+    /// `"report"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.rows.len() * 512);
+        out.push_str("{\"network\":");
+        push_json_str(&mut out, &self.network);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"layer\":");
+            push_json_str(&mut out, &row.layer);
+            out.push_str(",\"algorithm\":");
+            push_json_str(&mut out, &row.algorithm);
+            out.push_str(",\"report\":");
+            out.push_str(&row.report.to_json());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
@@ -332,6 +390,38 @@ mod tests {
         let plain_json = plain.to_json();
         assert!(!plain_json.contains("corner"));
         assert!(!plain_json.contains("ter_stddev"));
+    }
+
+    #[test]
+    fn dataflow_report_lookup_and_json() {
+        let report = DataflowNetworkReport {
+            network: "net".into(),
+            rows: vec![DataflowRow {
+                layer: "conv1".into(),
+                algorithm: "baseline".into(),
+                report: dataflow_sim::DataflowReport {
+                    dataflow: "output-stationary".into(),
+                    cycles: 100,
+                    macs: 64,
+                    outputs: 8,
+                    stalled: 12,
+                    peak_psum_buffer: 0,
+                    contexts: Vec::new(),
+                    channels: Vec::new(),
+                },
+            }],
+        };
+        assert!(report
+            .row("output-stationary", "conv1", "baseline")
+            .is_some());
+        assert!(report
+            .row("weight-stationary", "conv1", "baseline")
+            .is_none());
+        let json = report.to_json();
+        assert_eq!(json, report.clone().to_json());
+        assert!(json.starts_with("{\"network\":\"net\",\"rows\":[{\"layer\":\"conv1\""));
+        assert!(json.contains("\"report\":{\n  \"dataflow\": \"output-stationary\""));
+        dataflow_sim::json::validate(&json).unwrap();
     }
 
     #[test]

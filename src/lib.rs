@@ -14,6 +14,10 @@
 //!   output-channel clustering, schedules, LUT hardware model).
 //! * [`accel_sim`] — cycle-level systolic-array simulator (MAC datapath,
 //!   dataflows, conv→GEMM lowering).
+//! * [`dataflow_sim`] — event-driven dataflow engine: contexts with local
+//!   clocks exchanging typed tokens over bounded channels, with Chrome-
+//!   trace recording and dynamic-timing reports (stalls, utilization,
+//!   buffer occupancy).
 //! * [`timing`] — dynamic timing analysis, PVTA variation corners,
 //!   timing-error-rate estimation and error injection.
 //! * [`qnn`] — quantized (int8) CNN inference substrate with a VGG/ResNet
@@ -63,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 pub use accel_sim;
+pub use dataflow_sim;
 pub use qnn;
 pub use read_core;
 pub use read_pipeline;
@@ -77,6 +82,9 @@ pub mod prelude {
         im2col, weights_to_matrix, ArrayConfig, ColumnGroup, ComputeSchedule, ConvShape,
         CycleObserver, Dataflow, GemmProblem, MacUnit, Matrix, NullObserver, PsumTraceRecorder,
         SignFlipStats, SimOptions, SimResult,
+    };
+    pub use dataflow_sim::{
+        run_dataflow, DataflowReport, DataflowRun, EngineConfig, EventError, TraceRecorder,
     };
     pub use qnn::{
         fault::{evaluate, evaluate_topk},
@@ -105,6 +113,7 @@ pub mod prelude {
         SweepCell, SweepPlan, SweepReport, ThreadExecutor, TopKEvaluator, UnitLedger, UnitResult,
         VariationErrorModel, WorkPlan, WorkUnit, WorkloadConfig, WorstCase,
     };
+    pub use read_pipeline::{DataflowNetworkReport, DataflowProber, DataflowRow, EventProber};
     pub use timing::{
         ber_from_ter, paper_conditions, AnalyticAnalysis, DelayModel, DepthHistogram,
         DynamicTimingAnalyzer, MonteCarloAnalysis, OperatingCondition, OperatingCorner, PeOffsets,

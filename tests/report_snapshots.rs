@@ -151,6 +151,93 @@ fn sweep_report_layout_is_stable() {
     );
 }
 
+/// A hand-constructed dynamic-timing report with every list populated: the
+/// full `DataflowReport::to_json()` layout, including the derived
+/// utilization fields.
+fn full_dataflow_report() -> DataflowReport {
+    DataflowReport {
+        dataflow: "weight-stationary".into(),
+        cycles: 320,
+        macs: 240,
+        outputs: 16,
+        stalled: 41,
+        peak_psum_buffer: 8,
+        contexts: vec![
+            read_repro::dataflow_sim::ContextReport {
+                name: "pe".into(),
+                busy: 240,
+                stall: 41,
+                finish: 320,
+            },
+            read_repro::dataflow_sim::ContextReport {
+                name: "psum-buffer".into(),
+                busy: 32,
+                stall: 0,
+                finish: 318,
+            },
+        ],
+        channels: vec![
+            read_repro::dataflow_sim::ChannelReport {
+                name: "weights".into(),
+                capacity: 4,
+                peak: 4,
+                sends: 240,
+            },
+            read_repro::dataflow_sim::ChannelReport {
+                name: "spill".into(),
+                capacity: 4,
+                peak: 2,
+                sends: 16,
+            },
+        ],
+    }
+}
+
+#[test]
+fn dataflow_report_layout_is_stable() {
+    let json = full_dataflow_report().to_json();
+    read_repro::dataflow_sim::json::validate(&json).expect("snapshot is valid JSON");
+    assert_matches_fixture(
+        &json,
+        include_str!("fixtures/dataflow_report.json"),
+        "dataflow_report",
+    );
+}
+
+/// The Chrome-trace rendering of a deterministic engine run is stable byte
+/// for byte: the engine has no hidden nondeterminism (no wall clock, no
+/// unseeded randomness), so the committed trace doubles as a regression
+/// fixture for event timing.
+#[test]
+fn dataflow_trace_layout_is_stable() {
+    let problem = GemmProblem::new(
+        Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as i8 - 5),
+        Matrix::from_fn(6, 2, |r, c| (r + c) as i8 - 3),
+    )
+    .unwrap();
+    let schedule = ComputeSchedule::baseline(6, 2, 2);
+    let mut trace = TraceRecorder::new();
+    let run = run_dataflow(
+        &problem,
+        &ArrayConfig::new(4, 2),
+        Dataflow::WeightStationary,
+        &schedule,
+        &SimOptions::exhaustive(),
+        &EngineConfig::default(),
+        &mut NullObserver,
+        Some(&mut trace),
+    )
+    .unwrap();
+    assert_eq!(run.outputs, problem.reference_output().unwrap());
+    let json = trace.to_chrome_json();
+    read_repro::dataflow_sim::json::validate(&json).expect("trace is valid JSON");
+    assert_matches_fixture(
+        json.trim_end_matches('\n'),
+        include_str!("fixtures/dataflow_trace.json"),
+        "dataflow_trace",
+    );
+}
+
 /// The sweep cell row layout IS the network report row layout: rendering a
 /// cell's rows through either path yields the same bytes (the guarantee
 /// the sweep-equals-single-run acceptance test builds on).

