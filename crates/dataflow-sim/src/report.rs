@@ -96,28 +96,39 @@ impl DataflowReport {
     /// Deterministic JSON rendering (hand-rolled like every report in the
     /// workspace; field order is a stable, golden-pinned contract).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256);
+        // Sized for the fixed scaffolding plus one line per context and
+        // channel; rendered entirely with push-based writers (no per-field
+        // `format!` allocations — this is on the per-run reporting path).
+        let mut out =
+            String::with_capacity(192 + 96 * self.contexts.len() + 72 * self.channels.len());
         out.push_str("{\n  \"dataflow\": ");
         push_json_str(&mut out, &self.dataflow);
-        out.push_str(&format!(
-            ",\n  \"cycles\": {},\n  \"macs\": {},\n  \"outputs\": {},\n  ",
-            self.cycles, self.macs, self.outputs
-        ));
+        out.push_str(",\n  \"cycles\": ");
+        push_u64(&mut out, self.cycles);
+        out.push_str(",\n  \"macs\": ");
+        push_u64(&mut out, self.macs);
+        out.push_str(",\n  \"outputs\": ");
+        push_u64(&mut out, self.outputs);
+        out.push_str(",\n  ");
         push_json_f64(&mut out, "\"utilization\": ", self.utilization());
-        out.push_str(&format!(
-            ",\n  \"stalled\": {},\n  \"peak_psum_buffer\": {},\n  \"contexts\": [",
-            self.stalled, self.peak_psum_buffer
-        ));
+        out.push_str(",\n  \"stalled\": ");
+        push_u64(&mut out, self.stalled);
+        out.push_str(",\n  \"peak_psum_buffer\": ");
+        push_u64(&mut out, self.peak_psum_buffer);
+        out.push_str(",\n  \"contexts\": [");
         for (i, ctx) in self.contexts.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str("\n    { \"name\": ");
             push_json_str(&mut out, &ctx.name);
-            out.push_str(&format!(
-                ", \"busy\": {}, \"stall\": {}, \"finish\": {}, ",
-                ctx.busy, ctx.stall, ctx.finish
-            ));
+            out.push_str(", \"busy\": ");
+            push_u64(&mut out, ctx.busy);
+            out.push_str(", \"stall\": ");
+            push_u64(&mut out, ctx.stall);
+            out.push_str(", \"finish\": ");
+            push_u64(&mut out, ctx.finish);
+            out.push_str(", ");
             push_json_f64(&mut out, "\"utilization\": ", ctx.utilization(self.cycles));
             out.push_str(" }");
         }
@@ -128,10 +139,13 @@ impl DataflowReport {
             }
             out.push_str("\n    { \"name\": ");
             push_json_str(&mut out, &ch.name);
-            out.push_str(&format!(
-                ", \"capacity\": {}, \"peak\": {}, \"sends\": {} }}",
-                ch.capacity, ch.peak, ch.sends
-            ));
+            out.push_str(", \"capacity\": ");
+            push_u64(&mut out, ch.capacity);
+            out.push_str(", \"peak\": ");
+            push_u64(&mut out, ch.peak);
+            out.push_str(", \"sends\": ");
+            push_u64(&mut out, ch.sends);
+            out.push_str(" }");
         }
         out.push_str("\n  ]\n}");
         out
@@ -284,12 +298,34 @@ pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Appends a decimal integer without a `format!` round trip — the trace
+/// and report renderers push one of these per field, thousands per
+/// document.
+pub(crate) fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[at..]).unwrap());
+}
+
 /// Appends `prefix` followed by a shortest-round-trip float (or `null` for
-/// a non-finite value), matching the pipeline reports' rendering.
+/// a non-finite value), matching the pipeline reports' rendering.  Writes
+/// through `fmt::Write` straight into `out` — shortest-round-trip float
+/// formatting is not worth hand-rolling, but the intermediate `format!`
+/// allocation is.
 pub(crate) fn push_json_f64(out: &mut String, prefix: &str, v: f64) {
+    use std::fmt::Write as _;
     out.push_str(prefix);
     if v.is_finite() {
-        out.push_str(&format!("{v:?}"));
+        let _ = write!(out, "{v:?}");
     } else {
         out.push_str("null");
     }

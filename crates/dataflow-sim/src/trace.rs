@@ -160,70 +160,76 @@ impl TraceRecorder {
     /// events (`"ph": "X"`) carry the compute/stall/drain spans, and counter
     /// events (`"ph": "C"`) carry channel occupancy.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::with_capacity(4096);
+        use crate::report::{push_json_str, push_u64};
+        // One output line per event; sizing the buffer up front and pushing
+        // fields directly (no per-event `format!`, no per-event escaped-name
+        // allocation) keeps rendering linear in the document size — this is
+        // the dominant cost of a traced run.
+        let events = 1
+            + self.tracks.len()
+            + self.tracks.iter().map(|t| t.spans.len()).sum::<usize>()
+            + self.counters.iter().map(|c| c.samples.len()).sum::<usize>();
+        let mut out = String::with_capacity(64 + 100 * events);
         out.push_str("{\"traceEvents\": [\n");
-        let mut first = true;
-        let mut push_event = |out: &mut String, body: String| {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            out.push_str(&body);
-        };
-        push_event(
-            &mut out,
+        // The process-name metadata event is always first, so every later
+        // event can prefix its separator unconditionally.
+        out.push_str(
             "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", \
-             \"args\": {\"name\": \"dataflow-sim\"}}"
-                .to_string(),
+             \"args\": {\"name\": \"dataflow-sim\"}}",
         );
-        for (tid, track) in self.tracks.iter().enumerate() {
-            push_event(
-                &mut out,
-                format!(
-                    "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
-                     \"name\": \"thread_name\", \"args\": {{\"name\": {}}}}}",
-                    json_str(&track.name)
-                ),
-            );
+        // Escape each track name once; it repeats in every span event.
+        let names: Vec<String> = self
+            .tracks
+            .iter()
+            .map(|track| {
+                let mut escaped = String::with_capacity(track.name.len() + 2);
+                push_json_str(&mut escaped, &track.name);
+                escaped
+            })
+            .collect();
+        for (tid, name) in names.iter().enumerate() {
+            out.push_str(",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": ");
+            push_u64(&mut out, tid as u64);
+            out.push_str(", \"name\": \"thread_name\", \"args\": {\"name\": ");
+            out.push_str(name);
+            out.push_str("}}");
         }
         for (tid, track) in self.tracks.iter().enumerate() {
             for span in &track.spans {
-                push_event(
-                    &mut out,
-                    format!(
-                        "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {tid}, \"name\": \"{}\", \
-                         \"cat\": {}, \"ts\": {}, \"dur\": {}}}",
-                        span.kind.name(),
-                        json_str(&track.name),
-                        span.start,
-                        span.dur
-                    ),
-                );
+                out.push_str(",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": ");
+                push_u64(&mut out, tid as u64);
+                out.push_str(", \"name\": \"");
+                out.push_str(span.kind.name());
+                out.push_str("\", \"cat\": ");
+                out.push_str(&names[tid]);
+                out.push_str(", \"ts\": ");
+                push_u64(&mut out, span.start);
+                out.push_str(", \"dur\": ");
+                push_u64(&mut out, span.dur);
+                out.push('}');
             }
         }
+        let mut escaped_name = String::new();
+        let mut samples: Vec<(u64, usize)> = Vec::new();
         for counter in &self.counters {
-            let mut samples: Vec<(u64, usize)> = counter.samples.clone();
+            escaped_name.clear();
+            push_json_str(&mut escaped_name, &counter.name);
+            samples.clear();
+            samples.extend_from_slice(&counter.samples);
             samples.sort_by_key(|&(ts, _)| ts);
-            for (ts, occupancy) in samples {
-                push_event(
-                    &mut out,
-                    format!(
-                        "{{\"ph\": \"C\", \"pid\": 1, \"name\": {}, \"ts\": {ts}, \
-                         \"args\": {{\"occupancy\": {occupancy}}}}}",
-                        json_str(&counter.name)
-                    ),
-                );
+            for &(ts, occupancy) in &samples {
+                out.push_str(",\n{\"ph\": \"C\", \"pid\": 1, \"name\": ");
+                out.push_str(&escaped_name);
+                out.push_str(", \"ts\": ");
+                push_u64(&mut out, ts);
+                out.push_str(", \"args\": {\"occupancy\": ");
+                push_u64(&mut out, occupancy as u64);
+                out.push_str("}}");
             }
         }
         out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
         out
     }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    crate::report::push_json_str(&mut out, s);
-    out
 }
 
 #[cfg(test)]

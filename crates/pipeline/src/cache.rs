@@ -46,7 +46,7 @@ use timing::DepthHistogram;
 use crate::error::PipelineError;
 use crate::plan::{escape_wire, UnitResult};
 use crate::stage::fnv1a;
-use crate::store::ArtifactStore;
+use crate::store::{ArtifactStore, StoreRequest};
 use crate::workload::LayerWorkload;
 
 /// Cache key: (source fingerprint, weights fingerprint, array columns).
@@ -656,6 +656,51 @@ impl<A: ArtifactKind> VerifiedCache<A> {
         Ok(self.admit(key, check, computed, true))
     }
 
+    /// Seeds the memory layer from the backing store in batched round
+    /// trips: every entry not already in memory is looked up through
+    /// [`ArtifactStore::load_many`] (one `mget` per batch on a
+    /// [`crate::store::RemoteStore`] — O(batches) instead of O(entries))
+    /// and the decoded hits are admitted, so the following
+    /// [`VerifiedCache::get_or_compute`] calls are plain memory hits.
+    /// Returns how many entries were admitted.  A no-op without a store.
+    ///
+    /// Purely an optimization: misses and undecodable payloads (noted
+    /// corrupt, as in the un-prefetched path) are computed on demand
+    /// exactly as before, so results are byte-identical either way.
+    pub fn prefetch(&self, entries: &[(A::Key, A::Check)]) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let wanted: Vec<&(A::Key, A::Check)> = {
+            let map = self.map.lock().expect("cache lock");
+            entries
+                .iter()
+                .filter(|(key, _)| !map.contains_key(key))
+                .collect()
+        };
+        if wanted.is_empty() {
+            return 0;
+        }
+        let requests: Vec<StoreRequest> = wanted
+            .iter()
+            .map(|(key, check)| StoreRequest {
+                kind: A::KIND.to_string(),
+                key: A::key_id(key),
+                check: A::check_line(key, check),
+            })
+            .collect();
+        let mut admitted = 0;
+        for ((key, check), payload) in wanted.iter().zip(store.load_many(&requests)) {
+            let Some(payload) = payload else { continue };
+            match A::decode(&payload) {
+                Some(value) => {
+                    self.admit(*key, check.clone(), Arc::new(value), false);
+                    admitted += 1;
+                }
+                None => store.note_corrupt(A::KIND, A::key_id(key)),
+            }
+        }
+        admitted
+    }
+
     /// Inserts a value into the memory layer (first insert wins; a racing
     /// colliding full key is counted and bypassed) and — for freshly
     /// computed values that won the insert — writes it through to the
@@ -865,6 +910,12 @@ impl UnitCache {
         compute: impl FnOnce() -> Result<UnitResult, PipelineError>,
     ) -> Result<Arc<UnitResult>, PipelineError> {
         self.inner.get_or_compute(key, check, compute)
+    }
+
+    /// Batched store prefetch into the memory layer — see
+    /// [`VerifiedCache::prefetch`].
+    pub fn prefetch(&self, entries: &[(UnitKey, UnitCheck)]) -> usize {
+        self.inner.prefetch(entries)
     }
 
     /// Current counters: (hits, misses, collisions, entries).

@@ -12,7 +12,7 @@
 //! plug into; they only need to return the same results for the same unit
 //! ids.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
@@ -459,6 +459,8 @@ pub struct FleetStats {
     failed_connects: AtomicU64,
     retried_units: AtomicU64,
     completed_units: AtomicU64,
+    inflight_peak: AtomicU64,
+    requeued_inflight: AtomicU64,
 }
 
 impl FleetStats {
@@ -482,12 +484,57 @@ impl FleetStats {
     pub fn completed_units(&self) -> u64 {
         self.completed_units.load(Ordering::Relaxed)
     }
+
+    /// The largest in-flight window observed on any single worker: 1 under
+    /// lock-step dispatch, up to [`SocketExecutor::window`] when pipelining
+    /// actually filled the wire.
+    pub fn inflight_peak(&self) -> u64 {
+        self.inflight_peak.load(Ordering::Relaxed)
+    }
+
+    /// In-flight units swept back to the pending queue by worker deaths —
+    /// under windowed dispatch one death can requeue a whole window, and
+    /// this counter makes that recovery observable (it counts only the
+    /// requeued units; budget-exhausted losses fail the run instead).
+    pub fn requeued_inflight(&self) -> u64 {
+        self.requeued_inflight.load(Ordering::Relaxed)
+    }
+
+    fn observe_inflight(&self, depth: u64) {
+        self.inflight_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The counters as a deterministic JSON object (keys in declaration
+    /// order, one per line) — the layout is golden-pinned in
+    /// `tests/fixtures/fleet_stats.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str("{\n");
+        let fields = [
+            ("worker_deaths", self.worker_deaths()),
+            ("failed_connects", self.failed_connects()),
+            ("retried_units", self.retried_units()),
+            ("completed_units", self.completed_units()),
+            ("inflight_peak", self.inflight_peak()),
+            ("requeued_inflight", self.requeued_inflight()),
+        ];
+        for (i, (key, value)) in fields.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+            out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// How a connect + handshake attempt against one worker address ended.
 enum ConnectOutcome {
-    /// Connected and the worker accepted the pipeline spec.
-    Ready(BufReader<TcpStream>),
+    /// Connected and the worker accepted the pipeline spec; the `usize` is
+    /// the negotiated in-flight window (1 = lock-step peer).
+    Ready(BufReader<TcpStream>, usize),
     /// The worker is unreachable or died during the handshake; its share of
     /// the plan is redistributed to surviving workers.
     Down(String),
@@ -496,16 +543,29 @@ enum ConnectOutcome {
     Rejected(String),
 }
 
-/// How one unit-request/response exchange with a live worker ended.
+/// How the optional `window=<n>` pre-spec negotiation ended.
+enum WindowOutcome {
+    /// The worker understands the streamed protocol and answered
+    /// `ok window=<m>`; pipeline at `min(requested, m)`.
+    Negotiated(BufReader<TcpStream>, usize),
+    /// The worker rejected (or closed on) the unknown line — an old
+    /// lock-step peer.  Reconnect fresh and drive it at window 1.
+    LockStep,
+    /// The connection itself failed.
+    Down(String),
+}
+
+/// How one response read from a live worker ended.
 enum Exchange {
-    /// The worker answered with the requested unit's result.
+    /// The worker answered with a self-identifying unit result.
     Completed(UnitResult),
     /// The worker reported an in-band (`!`-prefixed) unit failure — a
     /// deterministic error every worker would reproduce, so it is recorded,
-    /// not retried.
+    /// not retried.  Workers answer in request order, so it belongs to the
+    /// oldest in-flight unit.
     UnitFailed(String),
     /// The connection died (EOF, io error, liveness timeout, or an
-    /// undecodable/mismatched response); the in-flight unit is lost.
+    /// undecodable response); every in-flight unit is lost.
     Death(String),
 }
 
@@ -520,8 +580,13 @@ struct FleetShared {
 
 impl FleetShared {
     fn new(units: usize, max_attempts: u32, workers: usize) -> Self {
+        let mut ledger = UnitLedger::new(units, max_attempts);
+        for _ in 0..workers {
+            // Worker id i belongs to the driver thread of address i.
+            ledger.add_worker();
+        }
         FleetShared {
-            ledger: Mutex::new(UnitLedger::new(units, max_attempts)),
+            ledger: Mutex::new(ledger),
             work_cv: Condvar::new(),
             live_workers: Mutex::new(workers),
             fatal: Mutex::new(None),
@@ -553,7 +618,7 @@ impl FleetShared {
     /// Workers must *not* exit on a momentarily-empty queue: another
     /// worker's in-flight unit may yet be lost and re-queued, and this
     /// worker may be the only survivor able to run it.
-    fn next_job(&self, deadline: Option<Instant>) -> Option<(usize, u32)> {
+    fn next_job(&self, worker: usize, deadline: Option<Instant>) -> Option<(usize, u32)> {
         let mut ledger = self.lock_ledger();
         loop {
             if self.fatal_set() {
@@ -566,7 +631,7 @@ impl FleetShared {
                     return None;
                 }
             }
-            if let Some(job) = ledger.checkout() {
+            if let Some(job) = ledger.checkout_for(worker) {
                 return Some(job);
             }
             if ledger.is_settled() {
@@ -584,22 +649,38 @@ impl FleetShared {
         }
     }
 
-    fn complete(&self, slot: usize, result: UnitResult) {
-        self.lock_ledger().complete(slot, result);
-        self.work_cv.notify_all();
+    /// Non-blocking [`FleetShared::next_job`]: tops up a worker's window
+    /// when more work is pending *right now*, without waiting for other
+    /// workers' in-flight units to be lost and re-queued — the worker
+    /// already has units in flight to keep it busy.
+    fn try_job(&self, worker: usize) -> Option<(usize, u32)> {
+        if self.fatal_set() {
+            return None;
+        }
+        self.lock_ledger().checkout_for(worker)
     }
 
-    fn fail(&self, slot: usize, reason: String) {
-        self.lock_ledger().fail(slot, reason);
+    /// Settles `slot` from `worker`'s window; `false` means the worker
+    /// never held that slot (a protocol violation — treat the connection
+    /// as corrupt).
+    fn complete(&self, worker: usize, slot: usize, result: UnitResult) -> bool {
+        let matched = self.lock_ledger().complete_for(worker, slot, result);
         self.work_cv.notify_all();
+        matched
     }
 
-    /// Records a lost in-flight unit; returns whether it was re-queued (vs
-    /// its attempt budget being exhausted).
-    fn lose(&self, slot: usize, attempt: u32, reason: &str) -> bool {
-        let requeued = self.lock_ledger().lose(slot, attempt, reason);
+    fn fail(&self, worker: usize, slot: usize, reason: String) -> bool {
+        let matched = self.lock_ledger().fail_for(worker, slot, reason);
         self.work_cv.notify_all();
-        requeued
+        matched
+    }
+
+    /// Requeues (or budget-fails) every unit in `worker`'s window; returns
+    /// `(requeued, held)` counts.
+    fn lose_all(&self, worker: usize, reason: &str) -> (usize, usize) {
+        let counts = self.lock_ledger().lose_all(worker, reason);
+        self.work_cv.notify_all();
+        counts
     }
 
     /// Removes one worker from the live set; when the last worker is gone,
@@ -634,15 +715,23 @@ impl FleetShared {
 /// [`WorkPlan::serve`]):
 ///
 /// ```text
+/// driver → worker   window=<n>                (only when window > 1)
+/// worker → driver   ok window=<m>             (old peers "!"/close → window 1)
 /// driver → worker   <pipeline spec line>      (a ServeRequest encoding)
 /// worker → driver   ok units=<n>              (or "!<reason>" = rejected)
-/// driver → worker   <unit line>               (repeated, lock-step)
+/// driver → worker   <unit line>               (up to the window streamed ahead)
 /// worker → driver   <unit-result line>        (or "!<reason>" = unit failed)
 /// ```
 ///
-/// The lock-step exchange (one outstanding unit per worker) is what makes
-/// loss accounting exact: a dead connection loses exactly the one unit the
-/// ledger checked out to it.
+/// Dispatch is *windowed*: the driver streams up to
+/// [`SocketExecutor::window`] unit lines per worker before awaiting
+/// results, hiding the per-message network latency that a lock-step
+/// exchange pays on every unit.  Loss accounting stays exact — the ledger
+/// tracks each worker's in-flight *set*, results self-identify and are
+/// matched against that set out of order, and a dead connection requeues
+/// precisely the units it still held.  Old lock-step workers that do not
+/// understand the `window=` line are driven at window 1, byte-identically
+/// to before.
 #[derive(Debug, Clone)]
 pub struct SocketExecutor {
     spec: String,
@@ -650,6 +739,7 @@ pub struct SocketExecutor {
     connect_timeout: Duration,
     liveness_timeout: Duration,
     max_attempts: u32,
+    window: usize,
     stats: Arc<FleetStats>,
 }
 
@@ -666,6 +756,7 @@ impl SocketExecutor {
             connect_timeout: Duration::from_secs(5),
             liveness_timeout: Duration::from_secs(120),
             max_attempts: 3,
+            window: 8,
             stats: Arc::new(FleetStats::default()),
         }
     }
@@ -691,6 +782,17 @@ impl SocketExecutor {
     #[must_use]
     pub fn max_attempts(mut self, attempts: u32) -> Self {
         self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the per-worker in-flight window (default 8, clamped to ≥ 1):
+    /// how many unit lines are streamed ahead of results on one
+    /// connection.  1 restores the lock-step exchange; the negotiated
+    /// window is further capped by what the worker answers in the
+    /// `window=` handshake.
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
         self
     }
 
@@ -739,10 +841,10 @@ impl SocketExecutor {
         }
         let shared = FleetShared::new(units.len(), self.max_attempts, self.workers.len());
         std::thread::scope(|scope| {
-            for addr in &self.workers {
+            for (worker, addr) in self.workers.iter().enumerate() {
                 let shared = &shared;
                 let units = &units;
-                scope.spawn(move || self.drive_fleet_worker(addr, units, shared, deadline));
+                scope.spawn(move || self.drive_fleet_worker(worker, addr, units, shared, deadline));
             }
         });
         let fatal = shared.fatal.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -761,17 +863,24 @@ impl SocketExecutor {
     }
 
     /// One driver thread's session against one worker address: connect,
-    /// handshake, then lock-step unit exchanges until the plan settles or
-    /// the connection dies.
+    /// handshake (window negotiation + spec), then windowed unit streaming
+    /// until the plan settles or the connection dies.
+    ///
+    /// The driver keeps its window full — blocking for work only when
+    /// nothing is in flight — and matches each response against its
+    /// in-flight set: results self-identify, in-band `!` failures belong
+    /// to the oldest outstanding unit (workers answer in request order).
+    /// On death every unit still in flight is requeued at once.
     fn drive_fleet_worker(
         &self,
+        worker: usize,
         addr: &str,
         units: &[WorkUnit],
         shared: &FleetShared,
         deadline: Option<Instant>,
     ) {
-        let mut reader = match self.connect_worker(addr) {
-            ConnectOutcome::Ready(reader) => reader,
+        let (mut reader, window) = match self.connect_worker(addr) {
+            ConnectOutcome::Ready(reader, window) => (reader, window.max(1)),
             ConnectOutcome::Down(reason) => {
                 self.stats.failed_connects.fetch_add(1, Ordering::Relaxed);
                 shared.worker_down(&format!("worker {addr}: {reason}"));
@@ -785,28 +894,85 @@ impl SocketExecutor {
                 return;
             }
         };
-        while let Some((slot, attempt)) = shared.next_job(deadline) {
-            match self.exchange(&mut reader, &units[slot]) {
-                Exchange::Completed(result) => shared.complete(slot, result),
-                Exchange::UnitFailed(reason) => shared.fail(slot, reason),
-                Exchange::Death(reason) => {
-                    self.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                    // Lose the in-flight unit *before* the live-worker
-                    // decrement: if this was the last worker, the unit must
-                    // already be re-queued (or budget-failed) so
-                    // `abandon_pending` accounts for it too.
-                    let reason = format!("worker {addr} died: {reason}");
-                    if shared.lose(slot, attempt, &reason) {
-                        self.stats.retried_units.fetch_add(1, Ordering::Relaxed);
+        // Mirror of the ledger's in-flight set for this worker, in send
+        // order (front = oldest outstanding unit).
+        let mut inflight: VecDeque<(usize, u32)> = VecDeque::new();
+        let die = |inflight: &mut VecDeque<(usize, u32)>, reason: String| {
+            self.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
+            // Requeue the in-flight window *before* the live-worker
+            // decrement: if this was the last worker, the units must
+            // already be re-queued (or budget-failed) so `abandon_pending`
+            // accounts for them too.
+            let reason = format!("worker {addr} died: {reason}");
+            let (requeued, _held) = shared.lose_all(worker, &reason);
+            inflight.clear();
+            self.stats
+                .retried_units
+                .fetch_add(requeued as u64, Ordering::Relaxed);
+            self.stats
+                .requeued_inflight
+                .fetch_add(requeued as u64, Ordering::Relaxed);
+            shared.worker_down(&reason);
+        };
+        loop {
+            // Top up the window.  Block only with an empty window: the
+            // queue may be momentarily dry while another worker's units
+            // are in flight, and this worker may be the survivor that has
+            // to run them if they are lost.
+            while inflight.len() < window {
+                let job = if inflight.is_empty() {
+                    shared.next_job(worker, deadline)
+                } else {
+                    shared.try_job(worker)
+                };
+                let Some((slot, attempt)) = job else { break };
+                inflight.push_back((slot, attempt));
+                let mut stream = reader.get_ref();
+                if let Err(e) = writeln!(stream, "{}", units[slot].encode()) {
+                    die(&mut inflight, format!("unit send failed: {e}"));
+                    return;
+                }
+            }
+            if inflight.is_empty() {
+                // Nothing pending, nothing in flight here: settled or fatal.
+                return;
+            }
+            self.stats.observe_inflight(inflight.len() as u64);
+            match self.receive(&mut reader) {
+                Exchange::Completed(result) => {
+                    let Some(at) = inflight
+                        .iter()
+                        .position(|&(slot, _)| units[slot] == result.unit())
+                    else {
+                        die(
+                            &mut inflight,
+                            format!("answered with wrong unit {:?}", result.unit().encode()),
+                        );
+                        return;
+                    };
+                    let (slot, _) = inflight.remove(at).expect("position is in range");
+                    if !shared.complete(worker, slot, result) {
+                        die(&mut inflight, format!("ledger lost track of slot {slot}"));
+                        return;
                     }
-                    shared.worker_down(&reason);
+                }
+                Exchange::UnitFailed(reason) => {
+                    let (slot, _) = inflight.pop_front().expect("window is non-empty");
+                    if !shared.fail(worker, slot, reason) {
+                        die(&mut inflight, format!("ledger lost track of slot {slot}"));
+                        return;
+                    }
+                }
+                Exchange::Death(reason) => {
+                    die(&mut inflight, reason);
                     return;
                 }
             }
         }
     }
 
-    /// Connects to one worker address and performs the spec handshake.
+    /// Connects to one worker address and performs the handshake (window
+    /// negotiation, then the pipeline spec).
     fn connect_worker(&self, addr: &str) -> ConnectOutcome {
         let addrs = match addr.to_socket_addrs() {
             Ok(addrs) => addrs,
@@ -815,19 +981,85 @@ impl SocketExecutor {
         let mut last_error = "address resolved to nothing".to_string();
         for sock_addr in addrs {
             match TcpStream::connect_timeout(&sock_addr, self.connect_timeout) {
-                Ok(stream) => return self.handshake(stream),
+                Ok(stream) => return self.handshake(stream, &sock_addr),
                 Err(e) => last_error = format!("connect failed: {e}"),
             }
         }
         ConnectOutcome::Down(last_error)
     }
 
-    fn handshake(&self, stream: TcpStream) -> ConnectOutcome {
+    fn prepare(&self, stream: TcpStream) -> Result<BufReader<TcpStream>, String> {
         if let Err(e) = stream.set_read_timeout(Some(self.liveness_timeout)) {
-            return ConnectOutcome::Down(format!("set_read_timeout failed: {e}"));
+            return Err(format!("set_read_timeout failed: {e}"));
         }
         let _ = stream.set_nodelay(true);
-        let mut reader = BufReader::new(stream);
+        Ok(BufReader::new(stream))
+    }
+
+    fn handshake(&self, stream: TcpStream, sock_addr: &std::net::SocketAddr) -> ConnectOutcome {
+        let mut window = self.window.max(1);
+        let mut stream = stream;
+        if window > 1 {
+            match self.negotiate_window(stream) {
+                WindowOutcome::Negotiated(reader, peer) => {
+                    return self.spec_handshake(reader, window.min(peer.max(1)));
+                }
+                WindowOutcome::LockStep => {
+                    // The old peer closed the connection on the unknown
+                    // line; reconnect fresh and drive it lock-step.
+                    window = 1;
+                    match TcpStream::connect_timeout(sock_addr, self.connect_timeout) {
+                        Ok(fresh) => stream = fresh,
+                        Err(e) => {
+                            return ConnectOutcome::Down(format!(
+                                "reconnect for lock-step fallback failed: {e}"
+                            ));
+                        }
+                    }
+                }
+                WindowOutcome::Down(reason) => return ConnectOutcome::Down(reason),
+            }
+        }
+        let reader = match self.prepare(stream) {
+            Ok(reader) => reader,
+            Err(reason) => return ConnectOutcome::Down(reason),
+        };
+        self.spec_handshake(reader, window)
+    }
+
+    /// Sends `window=<n>` and classifies the peer: a streamed-protocol
+    /// worker answers `ok window=<m>`; an old lock-step worker rejects the
+    /// line (`!`-reply and/or close), which is the fallback signal.
+    fn negotiate_window(&self, stream: TcpStream) -> WindowOutcome {
+        let mut reader = match self.prepare(stream) {
+            Ok(reader) => reader,
+            Err(reason) => return WindowOutcome::Down(reason),
+        };
+        if let Err(e) = writeln!(reader.get_ref(), "window={}", self.window) {
+            return WindowOutcome::Down(format!("window send failed: {e}"));
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return WindowOutcome::LockStep,
+            Ok(_) => {}
+            Err(e) => return WindowOutcome::Down(format!("window negotiation read failed: {e}")),
+        }
+        let line = line.trim();
+        if line.starts_with('!') {
+            return WindowOutcome::LockStep;
+        }
+        match line
+            .strip_prefix("ok window=")
+            .and_then(|m| m.parse::<usize>().ok())
+        {
+            Some(peer) => WindowOutcome::Negotiated(reader, peer),
+            None => WindowOutcome::Down(format!("unexpected window response {line:?}")),
+        }
+    }
+
+    /// Sends the pipeline spec and awaits acceptance on a prepared
+    /// connection.
+    fn spec_handshake(&self, mut reader: BufReader<TcpStream>, window: usize) -> ConnectOutcome {
         if let Err(e) = writeln!(reader.get_ref(), "{}", self.spec) {
             return ConnectOutcome::Down(format!("spec send failed: {e}"));
         }
@@ -842,20 +1074,14 @@ impl SocketExecutor {
             return ConnectOutcome::Rejected(reason.to_string());
         }
         if line.starts_with("ok") {
-            ConnectOutcome::Ready(reader)
+            ConnectOutcome::Ready(reader, window)
         } else {
             ConnectOutcome::Down(format!("unexpected handshake response {line:?}"))
         }
     }
 
-    /// One lock-step unit exchange on an established connection.
-    fn exchange(&self, reader: &mut BufReader<TcpStream>, unit: &WorkUnit) -> Exchange {
-        {
-            let mut stream = reader.get_ref();
-            if let Err(e) = writeln!(stream, "{}", unit.encode()) {
-                return Exchange::Death(format!("unit send failed: {e}"));
-            }
-        }
+    /// Reads one response line from an established connection.
+    fn receive(&self, reader: &mut BufReader<TcpStream>) -> Exchange {
         let mut line = String::new();
         loop {
             line.clear();
@@ -884,11 +1110,7 @@ impl SocketExecutor {
             // protocol traffic: an undecodable line means the stream is
             // corrupt and the worker cannot be trusted with further units.
             return match UnitResult::decode(trimmed) {
-                Ok(result) if result.unit() == *unit => Exchange::Completed(result),
-                Ok(other) => Exchange::Death(format!(
-                    "answered with wrong unit {:?}",
-                    other.unit().encode()
-                )),
+                Ok(result) => Exchange::Completed(result),
                 Err(_) => Exchange::Death(format!("undecodable response line {trimmed:?}")),
             };
         }

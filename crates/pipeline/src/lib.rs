@@ -104,7 +104,8 @@ pub use stage::{
     MonteCarloErrorModel, ScheduleSource, TopKEvaluator, VariationErrorModel,
 };
 pub use store::{
-    ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreServer, StoreStats,
+    ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreRequest, StoreServer,
+    StoreStats,
 };
 pub use sweep::{DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase};
 pub use workload::{
@@ -136,7 +137,8 @@ pub mod prelude {
         MonteCarloErrorModel, ScheduleSource, TopKEvaluator, VariationErrorModel,
     };
     pub use crate::store::{
-        ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreServer, StoreStats,
+        ArtifactStore, DiskStore, MemoryStore, RemoteStore, StoreHandle, StoreRequest, StoreServer,
+        StoreStats,
     };
     pub use crate::sweep::{
         DieSpec, MonteCarloSweep, SweepCell, SweepPlan, SweepReport, WorstCase,

@@ -788,8 +788,14 @@ impl ReadPipeline {
     ///
     /// Propagates unit, executor and aggregation failures.
     pub fn run_plan(&self, plan: &WorkPlan<'_>) -> Result<PlanOutput, PipelineError> {
-        let results = self.executor.execute(plan, 0..plan.len())?;
-        plan.aggregate(results)
+        let results = self.executor.execute(plan, 0..plan.len());
+        // A run boundary: publish any write-behind store buffer (a
+        // RemoteStore batches puts into mput lines) whether the run
+        // succeeded or not, so everything computed is visible fleet-wide.
+        if let Some(store) = &self.store {
+            store.flush();
+        }
+        plan.aggregate(results?)
     }
 
     // ---- experiments ------------------------------------------------------

@@ -890,6 +890,39 @@ impl<'a> WorkPlan<'a> {
         Ok((*result).clone())
     }
 
+    /// Seeds the pipeline's memoized unit-result cache from its artifact
+    /// store in batched round trips, for every cacheable unit of this
+    /// plan — on a [`crate::store::RemoteStore`] that is one `mget` per
+    /// batch, so a warm rerun (or a warm worker connection) costs
+    /// O(batches) store round trips instead of O(units).  Returns how many
+    /// unit results were seeded.  A no-op without an attached store;
+    /// histogram units are excluded (their payload is the histogram,
+    /// cached separately — see [`WorkPlan::run_unit_spec`]).
+    pub fn prefetch_units(&self) -> usize {
+        if self.pipeline.artifact_store().is_none() {
+            return 0;
+        }
+        let entries: Vec<(UnitKey, UnitCheck)> = self
+            .units
+            .iter()
+            .filter(|unit| !matches!(unit, WorkUnit::Histogram { .. }))
+            .map(|unit| {
+                let encoded = unit.encode();
+                (
+                    UnitKey {
+                        plan: self.signature_hash,
+                        unit: fnv1a(encoded.bytes()),
+                    },
+                    UnitCheck {
+                        plan: Arc::clone(&self.signature),
+                        unit: encoded,
+                    },
+                )
+            })
+            .collect();
+        self.pipeline.unit_cache().prefetch(&entries)
+    }
+
     /// Executes a unit unconditionally (the memoization layer's compute
     /// path).
     fn compute_unit(&self, unit: &WorkUnit) -> Result<UnitResult, PipelineError> {
@@ -1496,6 +1529,15 @@ impl<'p, 'a> Aggregator<'p, 'a> {
 /// all units completed → results in unit order; otherwise the error of the
 /// smallest failing unit index, independent of worker timing.  A unit can
 /// never be silently omitted — every checkout is settled exactly once.
+///
+/// For *windowed* (pipelined) dispatch, where one worker holds several
+/// units in flight at once, the ledger also tracks per-worker in-flight
+/// sets: register a worker with [`UnitLedger::add_worker`], check units
+/// out to it with [`UnitLedger::checkout_for`], settle them by slot with
+/// [`UnitLedger::complete_for`] / [`UnitLedger::fail_for`], and on worker
+/// death requeue *everything* it held with [`UnitLedger::lose_all`] — the
+/// same attempt-budget and smallest-failing-index semantics as the
+/// one-unit API, applied to the whole window.
 #[derive(Debug)]
 pub struct UnitLedger {
     /// `(slot, attempt)` queue; attempts start at 1.
@@ -1506,6 +1548,9 @@ pub struct UnitLedger {
     max_attempts: u32,
     retried: u64,
     lost: u64,
+    /// Per-worker in-flight sets for windowed dispatch; entries mirror a
+    /// subset of the global `in_flight` count.
+    workers: Vec<Vec<(usize, u32)>>,
 }
 
 impl UnitLedger {
@@ -1520,7 +1565,80 @@ impl UnitLedger {
             max_attempts: max_attempts.max(1),
             retried: 0,
             lost: 0,
+            workers: Vec::new(),
         }
+    }
+
+    /// Registers a worker for windowed dispatch and returns its id, used as
+    /// the `worker` argument of the `*_for` methods below.
+    pub fn add_worker(&mut self) -> usize {
+        self.workers.push(Vec::new());
+        self.workers.len() - 1
+    }
+
+    /// [`UnitLedger::checkout`] into `worker`'s in-flight set: the unit is
+    /// remembered as held by that worker until settled by slot or requeued
+    /// wholesale by [`UnitLedger::lose_all`].
+    pub fn checkout_for(&mut self, worker: usize) -> Option<(usize, u32)> {
+        let job = self.checkout()?;
+        self.workers[worker].push(job);
+        Some(job)
+    }
+
+    /// Units currently checked out to `worker`.
+    pub fn in_flight_of(&self, worker: usize) -> usize {
+        self.workers[worker].len()
+    }
+
+    fn release(&mut self, worker: usize, slot: usize) -> bool {
+        let held = &mut self.workers[worker];
+        match held.iter().position(|&(s, _)| s == slot) {
+            Some(at) => {
+                held.swap_remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Settles `slot` from `worker`'s in-flight set with its result.
+    /// Returns `false` (and changes nothing) when the worker does not hold
+    /// that slot — the response did not match anything the caller sent, so
+    /// the connection should be treated as corrupt instead.
+    pub fn complete_for(&mut self, worker: usize, slot: usize, result: UnitResult) -> bool {
+        if !self.release(worker, slot) {
+            return false;
+        }
+        self.complete(slot, result);
+        true
+    }
+
+    /// Settles `slot` from `worker`'s in-flight set as deterministically
+    /// failed (see [`UnitLedger::fail`]).  Returns `false` when the worker
+    /// does not hold that slot.
+    pub fn fail_for(&mut self, worker: usize, slot: usize, reason: impl Into<String>) -> bool {
+        if !self.release(worker, slot) {
+            return false;
+        }
+        self.fail(slot, reason);
+        true
+    }
+
+    /// Reports that `worker` died: every unit in its in-flight set is lost
+    /// at once — each is re-queued for a survivor (attempt budget
+    /// permitting) or recorded as failed, exactly as [`UnitLedger::lose`]
+    /// would one at a time.  Returns `(requeued, held)`: how many units
+    /// went back to the pending queue out of how many the worker held.
+    pub fn lose_all(&mut self, worker: usize, reason: &str) -> (usize, usize) {
+        let held = std::mem::take(&mut self.workers[worker]);
+        let total = held.len();
+        let mut requeued = 0;
+        for (slot, attempt) in held {
+            if self.lose(slot, attempt, reason) {
+                requeued += 1;
+            }
+        }
+        (requeued, total)
     }
 
     /// Hands out the next pending `(slot, attempt)`, marking it in flight.
@@ -1908,5 +2026,71 @@ mod tests {
         ledger.complete(slot, sentinel_result(0));
         assert!(ledger.is_settled());
         assert_eq!(ledger.into_results().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ledger_windowed_checkout_tracks_per_worker_sets() {
+        let mut ledger = UnitLedger::new(4, 3);
+        let w0 = ledger.add_worker();
+        let w1 = ledger.add_worker();
+        let (a, _) = ledger.checkout_for(w0).unwrap();
+        let (b, _) = ledger.checkout_for(w0).unwrap();
+        let (c, _) = ledger.checkout_for(w1).unwrap();
+        assert_eq!(ledger.in_flight_of(w0), 2);
+        assert_eq!(ledger.in_flight_of(w1), 1);
+        assert_eq!(ledger.in_flight(), 3);
+        // Out-of-order settle within the window.
+        assert!(ledger.complete_for(w0, b, sentinel_result(b)));
+        assert!(ledger.complete_for(w0, a, sentinel_result(a)));
+        // A slot another worker holds (or nobody holds) does not match.
+        assert!(!ledger.complete_for(w0, c, sentinel_result(c)));
+        assert!(ledger.complete_for(w1, c, sentinel_result(c)));
+        let (d, _) = ledger.checkout_for(w1).unwrap();
+        assert!(ledger.fail_for(w1, d, "deterministic failure"));
+        assert!(ledger.is_settled());
+        let err = ledger.into_results().unwrap_err().to_string();
+        assert!(
+            err.contains(&format!("unit {d}: deterministic failure")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn ledger_lose_all_requeues_a_dead_workers_window() {
+        let mut ledger = UnitLedger::new(3, 2);
+        let w0 = ledger.add_worker();
+        let w1 = ledger.add_worker();
+        for _ in 0..3 {
+            ledger.checkout_for(w0).unwrap();
+        }
+        let (requeued, held) = ledger.lose_all(w0, "worker died");
+        assert_eq!((requeued, held), (3, 3));
+        assert_eq!(ledger.in_flight_of(w0), 0);
+        assert_eq!(ledger.retried(), 3);
+        assert!(!ledger.is_settled(), "window went back to pending");
+        // The survivor drains the requeued units at attempt 2.
+        while let Some((slot, attempt)) = ledger.checkout_for(w1) {
+            assert_eq!(attempt, 2);
+            assert!(ledger.complete_for(w1, slot, sentinel_result(slot)));
+        }
+        assert!(ledger.is_settled());
+        assert_eq!(ledger.into_results().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn ledger_lose_all_exhausts_attempt_budgets_per_unit() {
+        let mut ledger = UnitLedger::new(2, 2);
+        let w0 = ledger.add_worker();
+        // Slot 0 burns one attempt first; slot 1 is on its first attempt.
+        let (slot, attempt) = ledger.checkout().unwrap();
+        assert!(ledger.lose(slot, attempt, "first death"));
+        ledger.checkout_for(w0).unwrap();
+        ledger.checkout_for(w0).unwrap();
+        let (requeued, held) = ledger.lose_all(w0, "second death");
+        assert_eq!(held, 2);
+        assert_eq!(requeued, 1, "slot 0's budget is spent, slot 1 requeues");
+        let err = ledger.into_results().unwrap_err().to_string();
+        assert!(err.contains("unit 0"), "{err}");
+        assert!(err.contains("budget exhausted"), "{err}");
     }
 }

@@ -1789,11 +1789,19 @@ struct WorkerShared {
 /// [`SocketExecutor`]):
 ///
 /// ```text
+/// ← window=<n>              (optional: streamed-protocol negotiation)
+/// → ok window=<m>           (m = n clamped to [1, 1024])
 /// ← <req v1 spec line>      (or: ping / shutdown)
 /// → ok units=<n>            (or "!<reason>" = spec rejected)
-/// ← <unit line>
+/// ← <unit line>             (drivers may stream several ahead)
 /// → <unit-result line>      (or "!<reason>" = unit failed)
 /// ```
+///
+/// Units are answered strictly in request order, one reply per unit line,
+/// so a pipelining driver can attribute in-band `!` failures to its oldest
+/// outstanding unit.  The negotiation line exists for interop: a driver
+/// that receives `!`/close instead of `ok window=` knows it is talking to
+/// an old lock-step worker and falls back to window 1.
 pub struct WorkerServer {
     listener: TcpListener,
     addr: SocketAddr,
@@ -1971,6 +1979,26 @@ fn handle_worker_connection(shared: &WorkerShared, stream: TcpStream, self_addr:
             let _ = TcpStream::connect(self_addr);
             return;
         }
+        if let Some(requested) = line.strip_prefix("window=") {
+            // Streamed-protocol negotiation: echo the accepted window
+            // (serving is FIFO regardless — requests queue in the socket —
+            // so the cap only bounds how far drivers run ahead).
+            match requested.parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    if writeln!(writer, "ok window={}", n.min(1024)).is_err()
+                        || writer.flush().is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                _ => {
+                    let _ = writeln!(writer, "!bad window line {line:?}");
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+        }
         let spec = ServeRequest::decode(line)
             .and_then(|request| RequestJob::build(request, Arc::clone(&shared.store)));
         match spec {
@@ -1990,11 +2018,29 @@ fn handle_worker_connection(shared: &WorkerShared, stream: TcpStream, self_addr:
             return;
         }
     };
+    // Batched store warm-up: seed the plan's unit-result cache with one
+    // mget round trip (per batch) instead of a per-unit get during the
+    // stream — the O(batches) warm-rerun path.
+    plan.prefetch_units();
     if writeln!(writer, "ok units={}", plan.len()).is_err() || writer.flush().is_err() {
+        shared.store.flush();
         return;
     }
-    // Unit phase: essentially `WorkPlan::serve` over the socket, with the
-    // optional injected death for fault testing.
+    serve_units(shared, &plan, &mut reader, &mut writer, self_addr);
+    // Connection drained (or died): publish this connection's buffered
+    // write-behind puts so other fleet members (and warm reruns) see them.
+    shared.store.flush();
+}
+
+/// The unit phase of a worker connection: essentially [`WorkPlan::serve`]
+/// over the socket, with the optional injected death for fault testing.
+fn serve_units(
+    shared: &WorkerShared,
+    plan: &crate::plan::WorkPlan<'_>,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut std::io::BufWriter<TcpStream>,
+    self_addr: SocketAddr,
+) {
     let mut line = String::new();
     loop {
         line.clear();

@@ -123,8 +123,36 @@ pub trait ArtifactStore: Send + Sync {
     /// [`StoreStats::hits`] stays "computations actually saved".
     fn note_corrupt(&self, kind: &str, key: u64);
 
+    /// Batched lookup: one [`ArtifactStore::load`] answer per request, in
+    /// request order.  The default implementation loops over `load`;
+    /// remote backends override it to answer the whole batch in one round
+    /// trip ([`RemoteStore`]'s `mget`), which is what makes warm-rerun
+    /// prefetches O(batches) instead of O(units).
+    fn load_many(&self, requests: &[StoreRequest]) -> Vec<Option<String>> {
+        requests
+            .iter()
+            .map(|r| self.load(&r.kind, r.key, &r.check))
+            .collect()
+    }
+
+    /// Publishes any buffered writes (a write-behind backend's `mput`);
+    /// call at run boundaries.  Default: no-op — `put` is immediate for
+    /// the local backends.
+    fn flush(&self) {}
+
     /// Current counters.
     fn stats(&self) -> StoreStats;
+}
+
+/// One lookup of an [`ArtifactStore::load_many`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreRequest {
+    /// Artifact kind (the `kind` argument of [`ArtifactStore::load`]).
+    pub kind: String,
+    /// 64-bit content fingerprint.
+    pub key: u64,
+    /// Full-key check line the entry must match.
+    pub check: String,
 }
 
 #[derive(Debug, Default)]
@@ -476,11 +504,18 @@ fn parse_entry(content: &str) -> Option<(&str, &str, &str)> {
 /// ping                                                   → ok pong
 /// get kind=<esc> key=<16 hex> check=<esc>                → hit payload=<esc> | miss
 /// put kind=<esc> key=<16 hex> check=<esc> payload=<esc>  → ok
+/// mget count=<n> {kind=<esc> key=<16 hex> check=<esc>}×n → mres count=<n> {hit payload=<esc> | miss}×n
+/// mput count=<n> {kind=<esc> key=<16 hex> check=<esc> payload=<esc>}×n
+///                                                        → ok count=<n>
 /// corrupt kind=<esc> key=<16 hex>                        → ok
 /// stats                                                  → stats hits=N misses=N corrupt=N writes=N stale_tmp=N
 /// shutdown                                               → ok shutdown
 /// anything else                                          → err msg=<esc>
 /// ```
+///
+/// The batched `mget`/`mput` lines answer (or publish) `n` entries in one
+/// round trip — every field is a single escaped token, so the repeated
+/// groups parse unambiguously by position.
 ///
 /// [`RemoteStore`] speaks the client side, [`StoreServer`] the daemon side
 /// (backed by any [`ArtifactStore`], typically a [`DiskStore`]).
@@ -503,13 +538,35 @@ fn parse_hex_key(value: &str) -> Option<u64> {
 /// transport failure degrades the lookup to a counted miss — the store
 /// contract is best-effort, so a dead daemon slows a fleet down but never
 /// fails it.
+///
+/// I/O is *batched*: `put` appends to a small write-behind buffer that is
+/// published as one `mput` line when it fills (and on
+/// [`ArtifactStore::flush`] — called at run boundaries and when a worker
+/// connection drains), and [`ArtifactStore::load_many`] answers a whole
+/// batch with one `mget` line.  Reads are read-your-writes: a `load`
+/// checks the unflushed buffer first, so buffering is invisible to the
+/// writing process; other clients observe the writes after the flush.
 #[derive(Debug)]
 pub struct RemoteStore {
     addr: String,
     timeout: Duration,
     conn: Mutex<Option<BufReader<TcpStream>>>,
     counters: StoreCounters,
+    write_behind: usize,
+    buffer: Mutex<Vec<BufferedPut>>,
 }
+
+#[derive(Debug)]
+struct BufferedPut {
+    kind: String,
+    key: u64,
+    check: String,
+    payload: String,
+}
+
+/// Entries per batched wire line: bounds line length (and the daemon's
+/// per-line allocation) without changing observable behavior.
+const BATCH_CHUNK: usize = 64;
 
 impl RemoteStore {
     /// A client for the store daemon at `addr` (e.g. `127.0.0.1:7431`).
@@ -521,6 +578,8 @@ impl RemoteStore {
             timeout: Duration::from_secs(30),
             conn: Mutex::new(None),
             counters: StoreCounters::default(),
+            write_behind: 32,
+            buffer: Mutex::new(Vec::new()),
         }
     }
 
@@ -541,6 +600,17 @@ impl RemoteStore {
     #[must_use]
     pub fn timeout(mut self, timeout: Duration) -> RemoteStore {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sets the write-behind buffer capacity (default 32): `put`s are
+    /// buffered and published as one `mput` line when this many
+    /// accumulate, or on [`ArtifactStore::flush`].  `0` disables
+    /// buffering — every `put` is an immediate round trip, the pre-batched
+    /// behavior.
+    #[must_use]
+    pub fn write_behind(mut self, capacity: usize) -> RemoteStore {
+        self.write_behind = capacity;
         self
     }
 
@@ -668,6 +738,7 @@ impl RemoteStore {
     ///
     /// Returns [`PipelineError::Exec`] on transport failure.
     pub fn shutdown_daemon(&self) -> Result<(), PipelineError> {
+        self.flush();
         let response = self.round_trip("shutdown")?;
         if response == "ok shutdown" {
             Ok(())
@@ -678,6 +749,76 @@ impl RemoteStore {
             )))
         }
     }
+
+    /// Publishes `pending` as `mput` lines, [`BATCH_CHUNK`] entries each.
+    /// Best-effort like `put`: a failed batch is dropped (uncounted) and
+    /// its artifacts are recomputed by whoever needs them next.
+    fn publish(&self, pending: Vec<BufferedPut>) {
+        for chunk in pending.chunks(BATCH_CHUNK) {
+            let mut line = format!("mput count={}", chunk.len());
+            for entry in chunk {
+                line.push_str(&format!(
+                    " kind={} key={:016x} check={} payload={}",
+                    escape_wire(&entry.kind),
+                    entry.key,
+                    escape_wire(&entry.check),
+                    escape_wire(&entry.payload)
+                ));
+            }
+            let expected = format!("ok count={}", chunk.len());
+            if matches!(self.round_trip(&line).as_deref(), Ok(r) if r == expected) {
+                self.counters
+                    .writes
+                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Serves `(kind, key, check)` from the unflushed write-behind buffer
+    /// (read-your-writes), newest entry first.
+    fn buffered(&self, kind: &str, key: u64, check: &str) -> Option<String> {
+        let buffer = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+        buffer
+            .iter()
+            .rev()
+            .find(|e| e.key == key && e.kind == kind && e.check == check)
+            .map(|e| e.payload.clone())
+    }
+
+    /// Parses an `mres count=<n> {hit payload=<esc> | miss}×n` response.
+    fn parse_mres(response: &str, expect: usize) -> Option<Vec<Option<String>>> {
+        let mut tokens = response.split_whitespace();
+        if tokens.next()? != "mres" {
+            return None;
+        }
+        let count: usize = tokens.next()?.strip_prefix("count=")?.parse().ok()?;
+        if count != expect {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            match tokens.next()? {
+                "miss" => out.push(None),
+                "hit" => {
+                    let escaped = tokens.next()?.strip_prefix("payload=")?;
+                    out.push(Some(unescape(escaped, response).ok()?));
+                }
+                _ => return None,
+            }
+        }
+        tokens.next().is_none().then_some(out)
+    }
+}
+
+impl Drop for RemoteStore {
+    fn drop(&mut self) {
+        // Last-chance publish of buffered writes; run boundaries should
+        // already have flushed.
+        let pending = std::mem::take(self.buffer.get_mut().unwrap_or_else(|p| p.into_inner()));
+        if !pending.is_empty() {
+            self.publish(pending);
+        }
+    }
 }
 
 impl ArtifactStore for RemoteStore {
@@ -686,6 +827,10 @@ impl ArtifactStore for RemoteStore {
     }
 
     fn load(&self, kind: &str, key: u64, check: &str) -> Option<String> {
+        if let Some(payload) = self.buffered(kind, key, check) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(payload);
+        }
         let line = format!(
             "get kind={} key={key:016x} check={}",
             escape_wire(kind),
@@ -724,21 +869,96 @@ impl ArtifactStore for RemoteStore {
     }
 
     fn put(&self, kind: &str, key: u64, check: &str, payload: &str) {
-        let line = format!(
-            "put kind={} key={key:016x} check={} payload={}",
-            escape_wire(kind),
-            escape_wire(check),
-            escape_wire(payload)
-        );
-        if matches!(self.round_trip(&line).as_deref(), Ok("ok")) {
-            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        if self.write_behind == 0 {
+            let line = format!(
+                "put kind={} key={key:016x} check={} payload={}",
+                escape_wire(kind),
+                escape_wire(check),
+                escape_wire(payload)
+            );
+            if matches!(self.round_trip(&line).as_deref(), Ok("ok")) {
+                self.counters.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let full = {
+            let mut buffer = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+            buffer.push(BufferedPut {
+                kind: kind.to_string(),
+                key,
+                check: check.to_string(),
+                payload: payload.to_string(),
+            });
+            (buffer.len() >= self.write_behind).then(|| std::mem::take(&mut *buffer))
+        };
+        if let Some(pending) = full {
+            self.publish(pending);
         }
     }
 
     fn note_corrupt(&self, kind: &str, key: u64) {
+        {
+            // Evict unflushed buffered writes too — the payload failed to
+            // decode, so read-your-writes must not re-serve it.
+            let mut buffer = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+            buffer.retain(|e| !(e.key == key && e.kind == kind));
+        }
         let line = format!("corrupt kind={} key={key:016x}", escape_wire(kind));
         let _ = self.round_trip(&line);
         self.counters.reclassify_hit_as_corrupt();
+    }
+
+    fn load_many(&self, requests: &[StoreRequest]) -> Vec<Option<String>> {
+        // Read-your-writes first; the rest in `mget` batches.
+        let mut answers: Vec<Option<String>> = requests
+            .iter()
+            .map(|r| self.buffered(&r.kind, r.key, &r.check))
+            .collect();
+        let unresolved: Vec<usize> = (0..requests.len())
+            .filter(|&i| answers[i].is_none())
+            .collect();
+        for chunk in unresolved.chunks(BATCH_CHUNK) {
+            let mut line = format!("mget count={}", chunk.len());
+            for &i in chunk {
+                let r = &requests[i];
+                line.push_str(&format!(
+                    " kind={} key={:016x} check={}",
+                    escape_wire(&r.kind),
+                    r.key,
+                    escape_wire(&r.check)
+                ));
+            }
+            // A transport/protocol failure leaves the whole chunk as
+            // counted misses, same as a single get.
+            let batch = self
+                .round_trip(&line)
+                .ok()
+                .and_then(|response| Self::parse_mres(&response, chunk.len()));
+            if let Some(batch) = batch {
+                for (&i, answer) in chunk.iter().zip(batch) {
+                    answers[i] = answer;
+                }
+            }
+        }
+        for answer in &answers {
+            let counter = if answer.is_some() {
+                &self.counters.hits
+            } else {
+                &self.counters.misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        answers
+    }
+
+    fn flush(&self) {
+        let pending = {
+            let mut buffer = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *buffer)
+        };
+        if !pending.is_empty() {
+            self.publish(pending);
+        }
     }
 
     fn stats(&self) -> StoreStats {
@@ -888,6 +1108,38 @@ impl StoreServer {
                 }
                 _ => reply_err(writer, &format!("malformed put {line:?}")),
             },
+            Some("mget") => match Self::decode_batch(line, false) {
+                Some(entries) => {
+                    let requests: Vec<StoreRequest> = entries
+                        .into_iter()
+                        .map(|(kind, key, check, _)| StoreRequest { kind, key, check })
+                        .collect();
+                    let answers = self.store.load_many(&requests);
+                    let mut response = format!("mres count={}", answers.len());
+                    for answer in answers {
+                        match answer {
+                            Some(payload) => {
+                                response.push_str(" hit payload=");
+                                response.push_str(&escape_wire(&payload));
+                            }
+                            None => response.push_str(" miss"),
+                        }
+                    }
+                    let _ = writeln!(writer, "{response}");
+                }
+                None => reply_err(writer, &format!("malformed mget {line:?}")),
+            },
+            Some("mput") => match Self::decode_batch(line, true) {
+                Some(entries) => {
+                    let count = entries.len();
+                    for (kind, key, check, payload) in entries {
+                        let payload = payload.expect("mput batches decode payloads");
+                        self.store.put(&kind, key, &check, &payload);
+                    }
+                    let _ = writeln!(writer, "ok count={count}");
+                }
+                None => reply_err(writer, &format!("malformed mput {line:?}")),
+            },
             Some("corrupt") => {
                 let fields = wire_field(line, "kind=")
                     .and_then(|k| unescape(k, line).ok())
@@ -921,6 +1173,35 @@ impl StoreServer {
             None
         };
         Some((kind, key, check, payload))
+    }
+
+    /// Decodes an `mget`/`mput` batch line: `count=<n>` followed by `n`
+    /// positional `kind=`/`key=`/`check=` (and, for `mput`, `payload=`)
+    /// groups — every field is one escaped token, so position is identity.
+    #[allow(clippy::type_complexity)]
+    fn decode_batch(
+        line: &str,
+        want_payload: bool,
+    ) -> Option<Vec<(String, u64, String, Option<String>)>> {
+        fn field<'t>(tokens: &mut impl Iterator<Item = &'t str>, key: &str) -> Option<&'t str> {
+            tokens.next()?.strip_prefix(key)
+        }
+        let mut tokens = line.split_whitespace();
+        tokens.next()?; // the command itself
+        let count: usize = field(&mut tokens, "count=")?.parse().ok()?;
+        let mut out = Vec::new();
+        for _ in 0..count {
+            let kind = unescape(field(&mut tokens, "kind=")?, line).ok()?;
+            let key = parse_hex_key(field(&mut tokens, "key=")?)?;
+            let check = unescape(field(&mut tokens, "check=")?, line).ok()?;
+            let payload = if want_payload {
+                Some(unescape(field(&mut tokens, "payload=")?, line).ok()?)
+            } else {
+                None
+            };
+            out.push((kind, key, check, payload));
+        }
+        tokens.next().is_none().then_some(out)
     }
 }
 
@@ -1154,6 +1435,7 @@ mod tests {
 
         assert_eq!(remote.load("unit", 7, "check a"), None);
         remote.put("unit", 7, "check a", "payload with\nnewline and spaces");
+        // Served read-your-writes from the unflushed write-behind buffer.
         assert_eq!(
             remote.load("unit", 7, "check a").as_deref(),
             Some("payload with\nnewline and spaces")
@@ -1163,6 +1445,10 @@ mod tests {
         // Empty payloads survive the wire framing.
         remote.put("unit", 8, "c", "");
         assert_eq!(remote.load("unit", 8, "c").as_deref(), Some(""));
+
+        // Writes count when the buffer publishes (one mput round trip).
+        assert_eq!(remote.stats().writes, 0, "buffered, not yet published");
+        remote.flush();
 
         // Client-side counters reflect this client's traffic...
         assert_eq!(
@@ -1192,6 +1478,155 @@ mod tests {
         remote.shutdown_daemon().unwrap();
         handle.join().unwrap();
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remote_store_batches_load_many_across_chunks() {
+        let backing = Arc::new(MemoryStore::new());
+        let handle = StoreServer::spawn(
+            "127.0.0.1:0",
+            Arc::clone(&backing) as Arc<dyn ArtifactStore>,
+        )
+        .unwrap();
+        let remote = handle.client();
+
+        // Enough entries to span more than one BATCH_CHUNK wire line in
+        // both the mput and mget directions.
+        let total = BATCH_CHUNK + 9;
+        for i in 0..total as u64 {
+            remote.put("unit", i, "check", &format!("payload {i}"));
+        }
+        remote.flush();
+        assert_eq!(backing.len(), total);
+        assert_eq!(remote.stats().writes as usize, total);
+
+        // A mixed batch: present keys with the right check hit, wrong
+        // checks and absent keys miss, positionally.
+        let requests: Vec<StoreRequest> = (0..total as u64 + 4)
+            .map(|i| StoreRequest {
+                kind: "unit".to_string(),
+                key: i,
+                check: if i % 2 == 0 { "check" } else { "wrong" }.to_string(),
+            })
+            .collect();
+        let answers = remote.load_many(&requests);
+        assert_eq!(answers.len(), requests.len());
+        let mut hits = 0u64;
+        for (i, answer) in answers.iter().enumerate() {
+            if i < total && i % 2 == 0 {
+                assert_eq!(answer.as_deref(), Some(format!("payload {i}").as_str()));
+                hits += 1;
+            } else {
+                assert!(answer.is_none(), "entry {i} must miss");
+            }
+        }
+        let stats = remote.stats();
+        assert_eq!(stats.hits, hits);
+        assert_eq!(stats.misses, requests.len() as u64 - hits);
+
+        remote.shutdown_daemon().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn load_many_serves_buffered_writes_without_a_daemon() {
+        // Bind-then-drop guarantees a dead port: only the write-behind
+        // buffer can answer, everything else degrades to counted misses.
+        let dead_addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let remote = RemoteStore::new(&dead_addr).timeout(Duration::from_millis(200));
+        remote.put("unit", 1, "c", "from the buffer");
+        let answers = remote.load_many(&[
+            StoreRequest {
+                kind: "unit".to_string(),
+                key: 1,
+                check: "c".to_string(),
+            },
+            StoreRequest {
+                kind: "unit".to_string(),
+                key: 2,
+                check: "c".to_string(),
+            },
+        ]);
+        assert_eq!(answers[0].as_deref(), Some("from the buffer"));
+        assert_eq!(answers[1], None);
+        assert_eq!(remote.stats().hits, 1);
+        assert_eq!(remote.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_behind_publishes_at_capacity_and_on_drop() {
+        let backing = Arc::new(MemoryStore::new());
+        let handle = StoreServer::spawn(
+            "127.0.0.1:0",
+            Arc::clone(&backing) as Arc<dyn ArtifactStore>,
+        )
+        .unwrap();
+        {
+            let remote = handle.client().write_behind(2);
+            remote.put("unit", 1, "c", "one");
+            assert_eq!(backing.len(), 0, "below capacity: buffered");
+            remote.put("unit", 2, "c", "two");
+            assert_eq!(
+                backing.len(),
+                2,
+                "capacity reached: one mput publishes both"
+            );
+            remote.put("unit", 3, "c", "three");
+            assert_eq!(backing.len(), 2, "tail write buffered again");
+            assert_eq!(remote.stats().writes, 2);
+            // Dropping the client publishes the leftover buffer.
+        }
+        assert_eq!(backing.len(), 3);
+
+        // write_behind(0) restores the pre-batched immediate puts.
+        let eager = handle.client().write_behind(0);
+        eager.put("unit", 4, "c", "four");
+        assert_eq!(backing.len(), 4);
+        assert_eq!(eager.stats().writes, 1);
+        eager.shutdown_daemon().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn store_daemon_answers_batched_wire_lines_positionally() {
+        let handle = StoreServer::spawn("127.0.0.1:0", Arc::new(MemoryStore::new()) as _).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut ask = |line: &str| {
+            writeln!(&stream, "{line}").unwrap();
+            (&stream).flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response.trim_end_matches('\n').to_string()
+        };
+        assert_eq!(
+            ask(
+                "mput count=2 kind=unit key=0000000000000001 check=c payload=one\\stwo \
+                 kind=unit key=0000000000000002 check=c payload="
+            ),
+            "ok count=2"
+        );
+        // Answers come back positionally: hit, miss, hit-with-empty-payload.
+        assert_eq!(
+            ask("mget count=3 kind=unit key=0000000000000001 check=c \
+                 kind=unit key=0000000000000003 check=c \
+                 kind=unit key=0000000000000002 check=c"),
+            "mres count=3 hit payload=one\\stwo miss hit payload="
+        );
+        // Truncated batches, trailing tokens and bad keys are rejected
+        // in-band; the connection survives.
+        assert!(ask("mget count=2 kind=unit key=0000000000000001 check=c").starts_with("err msg="));
+        assert!(
+            ask("mget count=1 kind=unit key=0000000000000001 check=c extra=1")
+                .starts_with("err msg=")
+        );
+        assert!(ask("mput count=1 kind=unit key=zz check=c payload=p").starts_with("err msg="));
+        assert_eq!(ask("ping"), "ok pong");
+        assert_eq!(ask("shutdown"), "ok shutdown");
+        handle.join().unwrap();
     }
 
     #[test]

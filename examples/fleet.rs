@@ -17,8 +17,11 @@
 //!
 //! ```text
 //! cargo build --release --bins
-//! cargo run --release --example fleet
+//! cargo run --release --example fleet -- --window 8
 //! ```
+//!
+//! `--window N` sets the per-worker in-flight dispatch window (default 8;
+//! 1 reproduces the original lock-step protocol).
 
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
@@ -158,6 +161,21 @@ impl Daemon {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut window = 8usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--window" => {
+                window = argv
+                    .next()
+                    .ok_or("--window requires a count")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
     let root = std::env::temp_dir().join(format!("read-fleet-example-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let request = fleet_request();
@@ -203,6 +221,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drive the sweep through the fleet.
     let executor =
         SocketExecutor::new(request.encode(), [healthy.addr.clone(), flaky.addr.clone()])
+            .window(window)
             .liveness_timeout(Duration::from_secs(60));
     let stats = executor.stats();
     let (fleet, workloads) = fleet_pipeline(
@@ -224,12 +243,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "the lost unit must have been retried on the survivor"
     );
     println!(
-        "\nfleet run: byte-identical to serial ({} bytes); \
-         worker deaths: {}, units retried: {}, units completed: {}",
+        "\nfleet run (window {window}): byte-identical to serial ({} bytes); \
+         worker deaths: {}, units retried: {}, units completed: {}, \
+         in-flight peak: {}, in-flight requeued: {}",
         distributed.len(),
         stats.worker_deaths(),
         stats.retried_units(),
         stats.completed_units(),
+        stats.inflight_peak(),
+        stats.requeued_inflight(),
     );
 
     // Warm rerun against the fleet's shared store: pure aggregation.

@@ -109,9 +109,9 @@ pub mod prelude {
         DiskStore, ErrorModel, Evaluator, Executor, FlakyExecutor, FleetStats, LayerReport,
         LayerWorkload, MemoryStore, MonteCarloErrorModel, MonteCarloSweep, NetworkReport,
         PipelineError, PlanOutput, ReadPipeline, ReadPipelineBuilder, RemoteStore, ScheduleSource,
-        SerialExecutor, SocketExecutor, StoreHandle, StoreServer, StoreStats, SubprocessExecutor,
-        SweepCell, SweepPlan, SweepReport, ThreadExecutor, TopKEvaluator, UnitLedger, UnitResult,
-        VariationErrorModel, WorkPlan, WorkUnit, WorkloadConfig, WorstCase,
+        SerialExecutor, SocketExecutor, StoreHandle, StoreRequest, StoreServer, StoreStats,
+        SubprocessExecutor, SweepCell, SweepPlan, SweepReport, ThreadExecutor, TopKEvaluator,
+        UnitLedger, UnitResult, VariationErrorModel, WorkPlan, WorkUnit, WorkloadConfig, WorstCase,
     };
     pub use read_pipeline::{DataflowNetworkReport, DataflowProber, DataflowRow, EventProber};
     pub use timing::{

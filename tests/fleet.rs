@@ -176,9 +176,10 @@ fn fleet_with_mid_stream_worker_death_matches_serial_and_reruns_warm() {
 
 // ---- flaky transport over the socket executor ----------------------------
 
-/// `FlakyExecutor` over the socket transport: reordered results still
-/// aggregate byte-identically to serial, while dropped results are refused
-/// loudly — never a silently short report.
+/// `FlakyExecutor` over the socket transport, swept across dispatch
+/// windows (lock-step, shallow, and deep pipelining): reordered results
+/// still aggregate byte-identically to serial, while dropped results are
+/// refused loudly — never a silently short report.
 #[test]
 fn flaky_socket_transport_reaggregates_or_fails_loudly() {
     let request = fleet_request("fleet-flaky");
@@ -192,33 +193,154 @@ fn flaky_socket_transport_reaggregates_or_fails_loudly() {
         .to_json();
     let plan = pipeline.plan_sweep(&request.network, &workloads).unwrap();
 
-    let shuffled = FlakyExecutor::new(
-        SocketExecutor::new(request.encode(), [worker.addr().to_string()]),
-        9,
-    )
-    .shuffle(true);
-    let results = shuffled.execute(&plan, 0..plan.len()).unwrap();
-    let report = plan.aggregate(results).unwrap().into_sweep().unwrap();
-    assert_eq!(report.to_json(), reference);
+    for window in [1usize, 2, 8] {
+        let shuffled = FlakyExecutor::new(
+            SocketExecutor::new(request.encode(), [worker.addr().to_string()]).window(window),
+            9,
+        )
+        .shuffle(true);
+        let results = shuffled.execute(&plan, 0..plan.len()).unwrap();
+        let report = plan.aggregate(results).unwrap().into_sweep().unwrap();
+        assert_eq!(
+            report.to_json(),
+            reference,
+            "window={window}: shuffled fleet results must reaggregate to the serial bytes"
+        );
 
-    // Dropping results over the same transport must fail loudly.
-    let lossy = FlakyExecutor::new(
-        SocketExecutor::new(request.encode(), [worker.addr().to_string()]),
-        9,
-    )
-    .drop_per_mille(1000);
-    let results = lossy.execute(&plan, 0..plan.len()).unwrap();
-    assert!(
-        lossy.dropped() > 0,
-        "the injection rate must drop something"
-    );
-    assert!(
-        plan.aggregate(results).is_err(),
-        "lost results must be refused, not silently omitted"
-    );
+        // Dropping results over the same transport must fail loudly.
+        let lossy = FlakyExecutor::new(
+            SocketExecutor::new(request.encode(), [worker.addr().to_string()]).window(window),
+            9,
+        )
+        .drop_per_mille(1000);
+        let results = lossy.execute(&plan, 0..plan.len()).unwrap();
+        assert!(
+            lossy.dropped() > 0,
+            "window={window}: the injection rate must drop something"
+        );
+        assert!(
+            plan.aggregate(results).is_err(),
+            "window={window}: lost results must be refused, not silently omitted"
+        );
+    }
 
     WorkerServer::shutdown_at(&worker.addr().to_string()).unwrap();
     worker.join().unwrap();
+}
+
+// ---- windowed dispatch ----------------------------------------------------
+
+/// A TCP forwarder that holds each accepted connection for `delay` before
+/// dialing `upstream` — it hands the other worker a deterministic head
+/// start at claiming units, without touching the bytes.
+fn slow_start_proxy(upstream: std::net::SocketAddr, delay: Duration) -> String {
+    use std::net::{Shutdown, TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    return;
+                };
+                let mut up_rx = client.try_clone().unwrap();
+                let mut up_tx = server.try_clone().unwrap();
+                let pump = std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut up_rx, &mut up_tx);
+                    let _ = up_tx.shutdown(Shutdown::Write);
+                });
+                let (mut down_rx, mut down_tx) = (server, client);
+                let _ = std::io::copy(&mut down_rx, &mut down_tx);
+                let _ = down_tx.shutdown(Shutdown::Write);
+                let _ = pump.join();
+            });
+        }
+    });
+    addr.to_string()
+}
+
+/// A worker that dies with a full window of unanswered units: every
+/// in-flight unit must be requeued and completed on the survivor, the
+/// recovery must be observable in the new `FleetStats` counters, and the
+/// report must still be byte-identical to serial.
+#[test]
+fn worker_death_with_a_full_window_requeues_in_flight_units() {
+    let request = fleet_request("fleet-window-death");
+    let (reference_pipeline, workloads) =
+        fleet_pipeline(&request, Arc::new(MemoryStore::new()), SerialExecutor);
+    let reference = reference_pipeline
+        .run_sweep(&request.network, &workloads)
+        .unwrap()
+        .to_json();
+
+    // The rigged worker answers one unit, then drops its connection with
+    // the rest of its window still unanswered.  The healthy worker sits
+    // behind a slow-start proxy so the rigged one deterministically fills
+    // its window before the survivor can drain the queue.
+    let healthy = WorkerServer::spawn("127.0.0.1:0", WorkerConfig::default()).unwrap();
+    let healthy_proxy = slow_start_proxy(healthy.addr(), Duration::from_secs(1));
+    let flaky = WorkerServer::spawn(
+        "127.0.0.1:0",
+        WorkerConfig {
+            store: None,
+            die_after_units: Some(1),
+        },
+    )
+    .unwrap();
+    let executor = SocketExecutor::new(request.encode(), [healthy_proxy, flaky.addr().to_string()])
+        .window(8)
+        .liveness_timeout(Duration::from_secs(30));
+    let stats = executor.stats();
+    let (fleet_pipe, workloads) = fleet_pipeline(&request, Arc::new(MemoryStore::new()), executor);
+    let distributed = fleet_pipe.run_sweep(&request.network, &workloads).unwrap();
+
+    assert_eq!(
+        distributed.to_json(),
+        reference,
+        "a full-window death must not change the report bytes"
+    );
+    assert!(
+        stats.worker_deaths() >= 1,
+        "the rigged worker must have died mid-stream"
+    );
+    assert!(
+        stats.requeued_inflight() >= 2,
+        "a windowed death must requeue the dead worker's whole in-flight \
+         set, not just one lock-step unit (requeued: {})",
+        stats.requeued_inflight()
+    );
+    assert!(
+        stats.retried_units() >= stats.requeued_inflight(),
+        "every requeued unit is a retry"
+    );
+    assert!(
+        stats.inflight_peak() >= 2,
+        "pipelined dispatch must have filled a window beyond lock-step \
+         depth (peak: {})",
+        stats.inflight_peak()
+    );
+
+    WorkerServer::shutdown_at(&healthy.addr().to_string()).unwrap();
+    healthy.join().unwrap();
+    assert!(
+        flaky.join().is_err(),
+        "the rigged worker must report its injected death"
+    );
+}
+
+/// The `FleetStats` JSON layout is a pinned contract: keys in declaration
+/// order, one per line, golden-pinned so downstream dashboards can parse
+/// it without a JSON library.
+#[test]
+fn fleet_stats_json_layout_is_pinned() {
+    assert_eq!(
+        FleetStats::default().to_json(),
+        include_str!("fixtures/fleet_stats.json"),
+        "FleetStats::to_json layout drifted from tests/fixtures/fleet_stats.json"
+    );
 }
 
 // ---- fleet routing through the serve daemon -------------------------------
